@@ -1,0 +1,83 @@
+//! Ablation (ours): coverage of the XOR invariance on the *extended*
+//! Table-I signals — pointer-update suppressions and recovery/checkpoint
+//! signal drops — which the paper's three campaign classes do not sample.
+//!
+//! This probes the edges of the invariance: e.g. a FL write-*pointer*
+//! suppression loses an id without ever unbalancing port traffic, so IDLD
+//! is architecturally blind to it (a documented property, not a bug — see
+//! EXPERIMENTS.md).
+
+use idld_bugs::{BugModel, BugSpec, SingleShotHook};
+use idld_campaign::{Campaign, CampaignConfig, GoldenRun};
+use idld_core::{CheckerSet, IdldChecker};
+use idld_sim::Simulator;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    idld_bench::banner("Ablation: extended control-signal sites vs the XOR invariance");
+    let cfg = CampaignConfig::from_env();
+    let campaign = Campaign::new(cfg);
+    let picks: Vec<_> = idld_workloads::suite()
+        .into_iter()
+        .filter(|w| matches!(w.name, "crc32" | "qsort" | "dijkstra"))
+        .collect();
+    let runs = 8usize;
+    println!(
+        "{:<34} {:>7} {:>9} {:>9} {:>8}",
+        "site (suppressed sub-signal)", "armed", "activated", "detected", "masked"
+    );
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xab1a);
+    for choice in BugModel::EXTENDED_SITES {
+        let mut armed = 0;
+        let mut activated = 0;
+        let mut detected = 0;
+        let mut masked = 0;
+        for w in &picks {
+            let golden = GoldenRun::capture(w, cfg.sim);
+            let count = golden.census.count(choice.site);
+            if count == 0 {
+                continue;
+            }
+            for _ in 0..runs {
+                let spec = BugSpec {
+                    site: choice.site,
+                    occurrence: rng.gen_range(0..count),
+                    corruption: choice.corruption(0),
+                    model: BugModel::Leakage, // reporting bucket only
+                };
+                armed += 1;
+                // Drive manually (Campaign::run_one asserts activation,
+                // which extended recovery-signal sites cannot guarantee).
+                let mut hook = SingleShotHook::new(spec);
+                let mut checkers = CheckerSet::new();
+                checkers.push(Box::new(IdldChecker::new(&cfg.sim.rrs)));
+                let mut sim = Simulator::new(&w.program, cfg.sim);
+                let res =
+                    sim.run(&mut hook, &mut checkers, Some(&golden.trace), golden.timeout_budget());
+                if hook.activation_cycle().is_none() {
+                    continue;
+                }
+                activated += 1;
+                if checkers.detection_of("idld").is_some() {
+                    detected += 1;
+                }
+                if idld_campaign::classify(&res, &golden.output).is_masked() {
+                    masked += 1;
+                }
+            }
+        }
+        let label = format!(
+            "{:?} ({})",
+            choice.site,
+            if choice.suppress_ptr { "ptr" } else { "array/signal" }
+        );
+        println!("{label:<34} {armed:>7} {activated:>9} {detected:>9} {masked:>8}");
+    }
+    let _ = campaign;
+    println!();
+    println!("Expected edges: pointer-update drops on FL/ROB/RHT writes keep");
+    println!("port traffic balanced (leak without imbalance) — IDLD coverage");
+    println!("there is structural, not guaranteed. Recovery/checkpoint drops");
+    println!("surface via walk-traffic imbalance when a flush crosses them.");
+}

@@ -1,0 +1,65 @@
+//! Criterion micro-benchmarks (ours): simulation-throughput cost of
+//! attaching the checkers, and raw event-processing throughput of the IDLD
+//! checker itself.
+//!
+//! (In hardware IDLD is off the critical path — §VI.A reports no timing
+//! impact; this measures the *simulator's* bookkeeping cost instead, which
+//! matters for campaign scale.)
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use idld_core::{BitVectorChecker, Checker, CheckerSet, CounterChecker, IdldChecker};
+use idld_rrs::{EventSink, NoFaults, PhysReg, RrsConfig, RrsEvent};
+use idld_sim::{SimConfig, Simulator};
+
+fn sim_run(checkers: &mut CheckerSet) -> u64 {
+    let w = idld_workloads::by_name("crc32").expect("workload exists");
+    let mut sim = Simulator::new(&w.program, SimConfig::default());
+    let res = sim.run(&mut NoFaults, checkers, None, 10_000_000);
+    assert_eq!(res.output, w.expected_output);
+    res.cycles
+}
+
+fn bench_sim_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_crc32");
+    g.sample_size(10);
+    g.bench_function("no_checkers", |b| {
+        b.iter(|| black_box(sim_run(&mut CheckerSet::new())))
+    });
+    g.bench_function("idld", |b| {
+        b.iter(|| {
+            let mut set = CheckerSet::new();
+            set.push(Box::new(IdldChecker::new(&RrsConfig::default())));
+            black_box(sim_run(&mut set))
+        })
+    });
+    g.bench_function("idld_bv_counter", |b| {
+        b.iter(|| {
+            let cfg = RrsConfig::default();
+            let mut set = CheckerSet::new();
+            set.push(Box::new(IdldChecker::new(&cfg)));
+            set.push(Box::new(BitVectorChecker::new(&cfg)));
+            set.push(Box::new(CounterChecker::new(&cfg)));
+            black_box(sim_run(&mut set))
+        })
+    });
+    g.finish();
+}
+
+fn bench_event_throughput(c: &mut Criterion) {
+    let cfg = RrsConfig::default();
+    c.bench_function("idld_events_1k", |b| {
+        let mut ck = IdldChecker::new(&cfg);
+        b.iter(|| {
+            for i in 0..500u16 {
+                let p = PhysReg(i % 128);
+                ck.event(RrsEvent::FlRead(p));
+                ck.event(RrsEvent::FlWrite(p));
+            }
+            ck.end_cycle(black_box(0));
+            black_box(ck.detection())
+        })
+    });
+}
+
+criterion_group!(benches, bench_sim_overhead, bench_event_throughput);
+criterion_main!(benches);

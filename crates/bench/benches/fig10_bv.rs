@@ -1,0 +1,14 @@
+//! Regenerates paper Figure 10: adding the bit-vector baseline scheme.
+
+use idld_campaign::analysis::DetectionFigure;
+
+fn main() {
+    idld_bench::banner("Figure 10: traditional + bit-vector (BV) coverage");
+    let res = idld_bench::run_standard_campaign();
+    let fig = DetectionFigure::build(&res);
+    print!("{}", fig.render());
+    println!();
+    println!("Paper: BV adds only ~1% over traditional (83.5% total, ~17%");
+    println!("still undetected); ~8.6% of bugs are caught by BV before the");
+    println!("end of the test, often millions of cycles after activation.");
+}

@@ -1,0 +1,12 @@
+//! Regenerates paper Figure 8: outcome breakdown for control-signal bugs.
+
+use idld_campaign::analysis::OutcomeFigure;
+
+fn main() {
+    idld_bench::banner("Figure 8: outcomes of control-signal bug injections");
+    let res = idld_bench::run_standard_campaign();
+    print!("{}", OutcomeFigure::build(&res).render());
+    println!();
+    println!("Paper shape: outcome mix varies strongly per benchmark; SDC,");
+    println!("Timeout, Assert and Crash all appear alongside masked classes.");
+}

@@ -1,0 +1,13 @@
+//! Regenerates paper Table II: RRS area/energy, baseline vs IDLD.
+
+use idld_rrs::RrsConfig;
+use idld_rtl::{table2, TechParams};
+
+fn main() {
+    idld_bench::banner("Table II: RRS area and energy, baseline vs IDLD");
+    let t = table2(&RrsConfig::default(), &TechParams::default());
+    print!("{}", t.render());
+    println!();
+    println!("Baseline columns are calibrated to the paper; the IDLD increment");
+    println!("is predicted from the gate-level model (see idld-rtl docs).");
+}

@@ -1,0 +1,285 @@
+//! Single-activation injection: bug specs and the hook that arms them.
+
+use crate::model::BugModel;
+use idld_rrs::{CensusHook, Corruption, FaultHook, OpSite};
+use rand::Rng;
+use std::fmt;
+
+/// A fully specified single bug activation: corrupt the `occurrence`-th
+/// operation at `site` with `corruption`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BugSpec {
+    /// The targeted control-signal site.
+    pub site: OpSite,
+    /// 0-based occurrence index of the operation at which to activate.
+    pub occurrence: u64,
+    /// The corruption applied at activation.
+    pub corruption: Corruption,
+    /// The bug-model class this spec was sampled for (reporting only).
+    pub model: BugModel,
+}
+
+impl BugSpec {
+    /// Samples a spec for `model` uniformly over all occurrences of the
+    /// model's candidate sites observed in the golden-run `census`
+    /// (equivalent to the paper's random-cycle arming, but reproducible).
+    ///
+    /// For [`BugModel::PdstCorruption`] a uniformly random single bit of
+    /// the `pdst_bits`-wide id is flipped.
+    ///
+    /// Returns `None` when the census shows no occurrence of any candidate
+    /// site (the bug cannot activate in this workload).
+    pub fn sample(
+        model: BugModel,
+        census: &CensusHook,
+        pdst_bits: u32,
+        rng: &mut impl Rng,
+    ) -> Option<BugSpec> {
+        let sites = model.sites();
+        let counts: Vec<u64> = sites.iter().map(|s| census.count(s.site)).collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        // Pick a global occurrence index, then map it onto a site.
+        let mut pick = rng.gen_range(0..total);
+        for (choice, &count) in sites.iter().zip(&counts) {
+            if pick < count {
+                let value_xor = if model == BugModel::PdstCorruption {
+                    1u16 << rng.gen_range(0..pdst_bits)
+                } else {
+                    0
+                };
+                return Some(BugSpec {
+                    site: choice.site,
+                    occurrence: pick,
+                    corruption: choice.corruption(value_xor),
+                    model,
+                });
+            }
+            pick -= count;
+        }
+        unreachable!("occurrence index within total")
+    }
+}
+
+impl fmt::Display for BugSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} at {:?}#{}{}",
+            self.model,
+            self.site,
+            self.occurrence,
+            if self.corruption.value_xor != 0 {
+                format!(" (bit mask {:#b})", self.corruption.value_xor)
+            } else {
+                String::new()
+            }
+        )
+    }
+}
+
+/// A [`FaultHook`] that applies one [`BugSpec`] exactly once and records
+/// the activation cycle.
+#[derive(Clone, Debug)]
+pub struct SingleShotHook {
+    spec: BugSpec,
+    seen: u64,
+    cycle: u64,
+    activation: Option<u64>,
+}
+
+impl SingleShotHook {
+    /// Arms `spec`.
+    pub fn new(spec: BugSpec) -> Self {
+        SingleShotHook { spec, seen: 0, cycle: 0, activation: None }
+    }
+
+    /// The armed spec.
+    pub fn spec(&self) -> &BugSpec {
+        &self.spec
+    }
+
+    /// The cycle in which the bug activated, if it has.
+    pub fn activation_cycle(&self) -> Option<u64> {
+        self.activation
+    }
+}
+
+impl FaultHook for SingleShotHook {
+    fn on_op(&mut self, site: OpSite) -> Corruption {
+        if site != self.spec.site || self.activation.is_some() {
+            if site == self.spec.site {
+                self.seen += 1;
+            }
+            return Corruption::NONE;
+        }
+        let idx = self.seen;
+        self.seen += 1;
+        if idx == self.spec.occurrence {
+            self.activation = Some(self.cycle);
+            self.spec.corruption
+        } else {
+            Corruption::NONE
+        }
+    }
+
+    fn begin_cycle(&mut self, cycle: u64) {
+        self.cycle = cycle;
+    }
+}
+
+/// A hook injecting one *at-rest* RAT upset (§V.D's storage-corruption
+/// class): at cycle `cycle`, entry `arch`'s stored PdstID is XORed with
+/// `mask` without any port traffic. Combine with
+/// [`idld_core`-style] parity checking to reproduce the paper's
+/// "orthogonal schemes" claim.
+#[derive(Clone, Copy, Debug)]
+pub struct AtRestHook {
+    /// Cycle at which the upset lands.
+    pub cycle: u64,
+    /// RAT entry (logical register index).
+    pub arch: usize,
+    /// Bit-flip mask.
+    pub mask: u16,
+    cur: u64,
+    applied: bool,
+}
+
+impl AtRestHook {
+    /// Arms an upset of `arch` with `mask` at `cycle`.
+    pub fn new(cycle: u64, arch: usize, mask: u16) -> Self {
+        AtRestHook { cycle, arch, mask, cur: 0, applied: false }
+    }
+
+    /// True once the upset has been delivered.
+    pub fn applied(&self) -> bool {
+        self.applied
+    }
+}
+
+impl FaultHook for AtRestHook {
+    fn on_op(&mut self, _site: OpSite) -> Corruption {
+        Corruption::NONE
+    }
+
+    fn begin_cycle(&mut self, cycle: u64) {
+        self.cur = cycle;
+    }
+
+    fn take_at_rest(&mut self) -> Option<(usize, u16)> {
+        if !self.applied && self.cur >= self.cycle {
+            self.applied = true;
+            Some((self.arch, self.mask))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn census_with(pairs: &[(OpSite, u64)]) -> CensusHook {
+        let mut c = CensusHook::new();
+        for &(site, n) in pairs {
+            for _ in 0..n {
+                c.on_op(site);
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn sample_distributes_over_sites_by_count() {
+        let census = census_with(&[(OpSite::FlPop, 90), (OpSite::RobCommitRead, 10)]);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut fl = 0;
+        for _ in 0..200 {
+            let spec = BugSpec::sample(BugModel::Duplication, &census, 7, &mut rng).unwrap();
+            assert!(spec.corruption.suppress_ptr);
+            match spec.site {
+                OpSite::FlPop => {
+                    fl += 1;
+                    assert!(spec.occurrence < 90);
+                }
+                OpSite::RobCommitRead => assert!(spec.occurrence < 10),
+                other => panic!("unexpected site {other:?}"),
+            }
+        }
+        assert!(fl > 140, "sampling should be proportional to counts, got {fl}/200");
+    }
+
+    #[test]
+    fn sample_empty_census_is_none() {
+        let census = CensusHook::new();
+        let mut rng = SmallRng::seed_from_u64(7);
+        assert!(BugSpec::sample(BugModel::Leakage, &census, 7, &mut rng).is_none());
+    }
+
+    #[test]
+    fn corruption_sample_flips_single_bit() {
+        let census = census_with(&[(OpSite::RatWrite, 5)]);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let spec = BugSpec::sample(BugModel::PdstCorruption, &census, 7, &mut rng).unwrap();
+            assert_eq!(spec.corruption.value_xor.count_ones(), 1);
+            assert!(spec.corruption.value_xor < 1 << 7);
+        }
+    }
+
+    #[test]
+    fn hook_fires_exactly_once_at_occurrence() {
+        let spec = BugSpec {
+            site: OpSite::FlPop,
+            occurrence: 2,
+            corruption: Corruption { suppress_ptr: true, ..Corruption::NONE },
+            model: BugModel::Duplication,
+        };
+        let mut hook = SingleShotHook::new(spec);
+        hook.begin_cycle(10);
+        assert!(!hook.on_op(OpSite::FlPop).is_active());
+        assert!(!hook.on_op(OpSite::RatWrite).is_active(), "other sites untouched");
+        hook.begin_cycle(11);
+        assert!(!hook.on_op(OpSite::FlPop).is_active());
+        hook.begin_cycle(12);
+        assert!(hook.on_op(OpSite::FlPop).is_active(), "third occurrence fires");
+        assert_eq!(hook.activation_cycle(), Some(12));
+        hook.begin_cycle(13);
+        assert!(!hook.on_op(OpSite::FlPop).is_active(), "single shot only");
+    }
+
+    #[test]
+    fn spec_display_mentions_model_and_site() {
+        let spec = BugSpec {
+            site: OpSite::RatWrite,
+            occurrence: 9,
+            corruption: Corruption { value_xor: 0b100, ..Corruption::NONE },
+            model: BugModel::PdstCorruption,
+        };
+        let s = spec.to_string();
+        assert!(s.contains("PdstID Corruption") && s.contains("RatWrite") && s.contains("#9"));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let census = census_with(&[(OpSite::RatWrite, 100), (OpSite::FlPush, 50)]);
+        let a = BugSpec::sample(
+            BugModel::Leakage,
+            &census,
+            7,
+            &mut SmallRng::seed_from_u64(42),
+        );
+        let b = BugSpec::sample(
+            BugModel::Leakage,
+            &census,
+            7,
+            &mut SmallRng::seed_from_u64(42),
+        );
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,29 @@
+//! # idld-bugs — RRS bug models and single-activation injection
+//!
+//! Implements the bug models of IDLD paper §III/§IV for the register
+//! renaming subsystem:
+//!
+//! * **Control Signal Corruption** — a momentary de-assertion of one
+//!   control signal from Table I. Depending on the signal this manifests as
+//!   PdstID *duplication* (a FIFO read pointer fails to advance: the same
+//!   id is delivered twice) or *leakage* (a write-enable fails: an id is
+//!   never stored) or both.
+//! * **PdstID Corruption** — the id value is corrupted as it is written
+//!   into the RAT.
+//!
+//! Campaigns follow the paper's §IV.A protocol: **one activation per run**,
+//! armed at a uniformly random *occurrence* of the targeted operation
+//! (derived from a golden-run operation census — equivalent to the paper's
+//! "random clock cycle" arming, but exactly reproducible under a seed).
+//!
+//! [`BugModel`] groups the Table-I sites into the three campaign classes
+//! (duplication / leakage / PdstID corruption, 1 000 runs each per benchmark
+//! in the paper); [`BugModel::EXTENDED_SITES`] lists the additional exotic
+//! signals (pointer-update, recovery and checkpoint suppressions) exercised
+//! by the ablation benches.
+
+pub mod inject;
+pub mod model;
+
+pub use inject::{AtRestHook, BugSpec, SingleShotHook};
+pub use model::{BugModel, SiteChoice};

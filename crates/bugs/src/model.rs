@@ -1,0 +1,149 @@
+//! Bug-model classes and their mapping to Table-I control-signal sites.
+
+use idld_rrs::{Corruption, OpSite};
+use std::fmt;
+
+/// The three bug-model classes of the paper's campaigns (§IV.A).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BugModel {
+    /// Read-enable corruption: a FIFO read pointer fails to advance, so the
+    /// same PdstID is delivered twice.
+    Duplication,
+    /// Write-enable corruption: a PdstID is read from one array but never
+    /// written into the next, so it disappears.
+    Leakage,
+    /// The PdstID value is corrupted as it is written into the RAT
+    /// (simultaneous leakage of the real id and duplication of the
+    /// corrupted one).
+    PdstCorruption,
+}
+
+impl BugModel {
+    /// All three campaign classes.
+    pub const ALL: [BugModel; 3] =
+        [BugModel::Duplication, BugModel::Leakage, BugModel::PdstCorruption];
+
+    /// Human-readable label used in figure output.
+    pub fn label(self) -> &'static str {
+        match self {
+            BugModel::Duplication => "Duplication",
+            BugModel::Leakage => "Leakage",
+            BugModel::PdstCorruption => "PdstID Corruption",
+        }
+    }
+
+    /// The candidate corruption sites for this class.
+    pub fn sites(self) -> &'static [SiteChoice] {
+        match self {
+            BugModel::Duplication => &[
+                SiteChoice { site: OpSite::FlPop, suppress_array: false, suppress_ptr: true },
+                SiteChoice {
+                    site: OpSite::RobCommitRead,
+                    suppress_array: false,
+                    suppress_ptr: true,
+                },
+            ],
+            // Leakage targets the write-enables of the three arrays that
+            // hold PdstIDs (FL, RAT, ROB), with the paper's pure-leakage
+            // semantics: the id simply disappears (§III.C). For the FL this
+            // suppresses the whole enqueue (array + pointer); the harsher
+            // stale-slot variant lives in the extended/ablation set, as do
+            // RHT write-enables (a dropped RHT log entry only leaks when a
+            // later recovery walks across it).
+            BugModel::Leakage => &[
+                SiteChoice { site: OpSite::RatWrite, suppress_array: true, suppress_ptr: false },
+                SiteChoice { site: OpSite::FlPush, suppress_array: true, suppress_ptr: true },
+                SiteChoice { site: OpSite::RobAlloc, suppress_array: true, suppress_ptr: false },
+            ],
+            BugModel::PdstCorruption => &[SiteChoice {
+                site: OpSite::RatWrite,
+                suppress_array: false,
+                suppress_ptr: false,
+            }],
+        }
+    }
+
+    /// The exotic Table-I signals outside the paper's three campaign
+    /// classes: pointer-update suppressions and recovery/checkpoint-signal
+    /// suppressions. Exercised by the ablation benches to probe the edges
+    /// of the XOR invariance's coverage.
+    pub const EXTENDED_SITES: [SiteChoice; 9] = [
+        // Stale-slot FL leak: array write dropped but the pointer advances,
+        // so a stale id later re-enters circulation (leak + duplication).
+        SiteChoice { site: OpSite::FlPush, suppress_array: true, suppress_ptr: false },
+        SiteChoice { site: OpSite::FlPush, suppress_array: false, suppress_ptr: true },
+        SiteChoice { site: OpSite::RobAlloc, suppress_array: false, suppress_ptr: true },
+        SiteChoice { site: OpSite::RhtAppend, suppress_array: true, suppress_ptr: false },
+        SiteChoice { site: OpSite::RhtAppend, suppress_array: false, suppress_ptr: true },
+        SiteChoice { site: OpSite::RobTailRestore, suppress_array: true, suppress_ptr: false },
+        SiteChoice { site: OpSite::RhtTailRestore, suppress_array: true, suppress_ptr: false },
+        SiteChoice { site: OpSite::RatRecover, suppress_array: true, suppress_ptr: false },
+        SiteChoice { site: OpSite::CkptTake, suppress_array: true, suppress_ptr: false },
+    ];
+}
+
+impl fmt::Display for BugModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One concrete corruptible signal: a site plus which sub-signals to
+/// suppress when activated.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct SiteChoice {
+    /// The Table-I control-signal site.
+    pub site: OpSite,
+    /// Suppress the array-update sub-signal.
+    pub suppress_array: bool,
+    /// Suppress the pointer-update sub-signal.
+    pub suppress_ptr: bool,
+}
+
+impl SiteChoice {
+    /// The corruption this choice applies at activation. `value_xor` is
+    /// non-zero only for the PdstID-corruption model and is supplied by the
+    /// sampler.
+    pub fn corruption(&self, value_xor: u16) -> Corruption {
+        Corruption {
+            suppress_array: self.suppress_array,
+            suppress_ptr: self.suppress_ptr,
+            value_xor,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_map_to_expected_signals() {
+        let dup_sites: Vec<_> = BugModel::Duplication.sites().iter().map(|s| s.site).collect();
+        assert_eq!(dup_sites, vec![OpSite::FlPop, OpSite::RobCommitRead]);
+        assert!(BugModel::Duplication.sites().iter().all(|s| s.suppress_ptr));
+
+        let leak_sites: Vec<_> = BugModel::Leakage.sites().iter().map(|s| s.site).collect();
+        assert_eq!(leak_sites, vec![OpSite::RatWrite, OpSite::FlPush, OpSite::RobAlloc]);
+        assert!(BugModel::Leakage.sites().iter().all(|s| s.suppress_array));
+
+        assert_eq!(BugModel::PdstCorruption.sites().len(), 1);
+        let pc = BugModel::PdstCorruption.sites()[0];
+        assert!(!pc.suppress_array && !pc.suppress_ptr);
+    }
+
+    #[test]
+    fn corruption_construction() {
+        let c = BugModel::Leakage.sites()[0].corruption(0);
+        assert!(c.suppress_array && !c.suppress_ptr && c.value_xor == 0);
+        let c = BugModel::PdstCorruption.sites()[0].corruption(0b10);
+        assert_eq!(c.value_xor, 0b10);
+        assert!(c.is_active());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(BugModel::Duplication.to_string(), "Duplication");
+        assert_eq!(BugModel::ALL.len(), 3);
+    }
+}

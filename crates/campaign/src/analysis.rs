@@ -1,0 +1,432 @@
+//! Aggregations reproducing each figure of the paper's evaluation.
+
+use crate::campaign::{CampaignResult, RunRecord};
+use crate::classify::OutcomeClass;
+use idld_bugs::BugModel;
+use std::fmt::Write as _;
+
+fn pct(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        100.0 * num as f64 / den as f64
+    }
+}
+
+/// Figure 3: fraction of bug activations masked, per benchmark × model.
+#[derive(Clone, Debug)]
+pub struct MaskingFigure {
+    /// `(bench, masked % per BugModel::ALL order, run counts)`.
+    pub rows: Vec<(String, [f64; 3], [usize; 3])>,
+    /// Average masked % per model over all runs.
+    pub average: [f64; 3],
+}
+
+impl MaskingFigure {
+    /// Builds the figure from campaign records.
+    pub fn build(res: &CampaignResult) -> Self {
+        let mut rows = Vec::new();
+        let mut tot = [0usize; 3];
+        let mut totm = [0usize; 3];
+        for bench in res.benches() {
+            let mut pcts = [0.0; 3];
+            let mut counts = [0usize; 3];
+            for (mi, model) in BugModel::ALL.iter().enumerate() {
+                let runs: Vec<&RunRecord> =
+                    res.of_bench(bench).filter(|r| r.model == *model).collect();
+                let masked = runs.iter().filter(|r| r.outcome.is_masked()).count();
+                pcts[mi] = pct(masked, runs.len());
+                counts[mi] = runs.len();
+                tot[mi] += runs.len();
+                totm[mi] += masked;
+            }
+            rows.push((bench.to_string(), pcts, counts));
+        }
+        let average = [
+            pct(totm[0], tot[0]),
+            pct(totm[1], tot[1]),
+            pct(totm[2], tot[2]),
+        ];
+        MaskingFigure { rows, average }
+    }
+
+    /// Renders the figure as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "Figure 3 — Masked bug activations (%) per benchmark and bug model"
+        );
+        let _ = writeln!(
+            s,
+            "{:<14} {:>14} {:>14} {:>18}",
+            "benchmark",
+            BugModel::ALL[0].label(),
+            BugModel::ALL[1].label(),
+            BugModel::ALL[2].label()
+        );
+        for (bench, p, _) in &self.rows {
+            let _ = writeln!(s, "{bench:<14} {:>13.1}% {:>13.1}% {:>17.1}%", p[0], p[1], p[2]);
+        }
+        let a = self.average;
+        let _ = writeln!(
+            s,
+            "{:<14} {:>13.1}% {:>13.1}% {:>17.1}%",
+            "AVERAGE", a[0], a[1], a[2]
+        );
+        s
+    }
+}
+
+/// Figure 4: % of masked bugs whose effect persists until reset.
+#[derive(Clone, Debug)]
+pub struct PersistenceFigure {
+    /// `(bench, persisting % of masked, masked count)`.
+    pub rows: Vec<(String, f64, usize)>,
+    /// Overall persisting % of masked.
+    pub average: f64,
+}
+
+impl PersistenceFigure {
+    /// Builds the figure from campaign records.
+    pub fn build(res: &CampaignResult) -> Self {
+        let mut rows = Vec::new();
+        let mut tot = 0usize;
+        let mut totp = 0usize;
+        for bench in res.benches() {
+            let masked: Vec<&RunRecord> =
+                res.of_bench(bench).filter(|r| r.outcome.is_masked()).collect();
+            let persist = masked.iter().filter(|r| r.persists).count();
+            rows.push((bench.to_string(), pct(persist, masked.len()), masked.len()));
+            tot += masked.len();
+            totp += persist;
+        }
+        PersistenceFigure { rows, average: pct(totp, tot) }
+    }
+
+    /// Renders the figure.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "Figure 4 — Masked bugs whose effects persist until reset (%)");
+        let _ = writeln!(s, "{:<14} {:>10} {:>9}", "benchmark", "persist%", "masked");
+        for (bench, p, n) in &self.rows {
+            let _ = writeln!(s, "{bench:<14} {p:>9.1}% {n:>9}");
+        }
+        let _ = writeln!(s, "{:<14} {:>9.1}%", "AVERAGE", self.average);
+        s
+    }
+}
+
+/// Figure 5: manifestation-latency histogram, eight log₁₀ buckets.
+#[derive(Clone, Debug)]
+pub struct ManifestationFigure {
+    /// Bucket upper bounds: `10^1 .. 10^8` cycles.
+    pub bucket_tops: [u64; 8],
+    /// Counts for non-masked bugs per bucket.
+    pub non_masked: [usize; 8],
+    /// Counts for masked-with-side-effect (Performance/CFD) bugs.
+    pub masked_side_effect: [usize; 8],
+    /// Benign activations (no manifestation at all — not on the plot).
+    pub benign: usize,
+}
+
+impl ManifestationFigure {
+    /// Builds the figure from campaign records.
+    pub fn build(res: &CampaignResult) -> Self {
+        let bucket_tops = [10, 100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000];
+        let mut fig = ManifestationFigure {
+            bucket_tops,
+            non_masked: [0; 8],
+            masked_side_effect: [0; 8],
+            benign: 0,
+        };
+        for r in &res.records {
+            let Some(lat) = r.manifestation_latency() else {
+                fig.benign += 1;
+                continue;
+            };
+            let bucket = bucket_tops
+                .iter()
+                .position(|&top| lat < top)
+                .unwrap_or(bucket_tops.len() - 1);
+            if r.outcome.is_masked_with_side_effect() {
+                fig.masked_side_effect[bucket] += 1;
+            } else if !r.outcome.is_masked() {
+                fig.non_masked[bucket] += 1;
+            }
+        }
+        fig
+    }
+
+    /// Renders the figure.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "Figure 5 — Bug manifestation latencies (activation → first evidence)"
+        );
+        let _ = writeln!(
+            s,
+            "{:<16} {:>12} {:>24}",
+            "bucket (cycles)", "non-masked", "masked w/ side effect"
+        );
+        let mut lo = 1u64;
+        for (i, &top) in self.bucket_tops.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "[{lo:>9}, {top:>9}) {:>11} {:>24}",
+                self.non_masked[i], self.masked_side_effect[i]
+            );
+            lo = top;
+        }
+        let _ = writeln!(s, "(benign, never manifests: {})", self.benign);
+        s
+    }
+}
+
+/// Figure 8: outcome-class breakdown per benchmark for the control-signal
+/// models (duplication + leakage).
+#[derive(Clone, Debug)]
+pub struct OutcomeFigure {
+    /// `(bench, counts per OutcomeClass::ALL order)`.
+    pub rows: Vec<(String, [usize; 7])>,
+}
+
+impl OutcomeFigure {
+    /// Builds the figure from campaign records (control-signal runs only).
+    pub fn build(res: &CampaignResult) -> Self {
+        let mut rows = Vec::new();
+        for bench in res.benches() {
+            let mut counts = [0usize; 7];
+            for r in res
+                .of_bench(bench)
+                .filter(|r| r.model != BugModel::PdstCorruption)
+            {
+                let idx = OutcomeClass::ALL
+                    .iter()
+                    .position(|c| *c == r.outcome)
+                    .expect("class in ALL");
+                counts[idx] += 1;
+            }
+            rows.push((bench.to_string(), counts));
+        }
+        OutcomeFigure { rows }
+    }
+
+    /// Renders the figure.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "Figure 8 — Outcomes of control-signal bug injections per benchmark"
+        );
+        let _ = write!(s, "{:<14}", "benchmark");
+        for c in OutcomeClass::ALL {
+            let _ = write!(s, " {:>8}", c.label());
+        }
+        let _ = writeln!(s);
+        for (bench, counts) in &self.rows {
+            let _ = write!(s, "{bench:<14}");
+            for c in counts {
+                let _ = write!(s, " {c:>8}");
+            }
+            let _ = writeln!(s);
+        }
+        s
+    }
+}
+
+/// Figures 9 & 10: detection coverage of IDLD, traditional end-of-test
+/// checking, and traditional+BV, plus detection-order statistics.
+#[derive(Clone, Debug)]
+pub struct DetectionFigure {
+    /// Total injected bugs.
+    pub total: usize,
+    /// Detected by IDLD.
+    pub idld: usize,
+    /// Detected by traditional end-of-test checking (non-masked outcomes).
+    pub traditional: usize,
+    /// Detected by traditional ∪ BV.
+    pub traditional_plus_bv: usize,
+    /// Detected by BV at all.
+    pub bv: usize,
+    /// Detected by BV strictly before the end of the test (BV-first).
+    pub bv_first: usize,
+    /// Mean IDLD detection latency in cycles.
+    pub idld_mean_latency: f64,
+    /// Maximum IDLD detection latency in cycles.
+    pub idld_max_latency: u64,
+    /// Mean BV detection latency (over BV detections) in cycles.
+    pub bv_mean_latency: f64,
+}
+
+impl DetectionFigure {
+    /// Builds the figure from campaign records.
+    pub fn build(res: &CampaignResult) -> Self {
+        let total = res.records.len();
+        let mut idld = 0;
+        let mut traditional = 0;
+        let mut tp_bv = 0;
+        let mut bv = 0;
+        let mut bv_first = 0;
+        let mut idld_lat_sum = 0u64;
+        let mut idld_max = 0u64;
+        let mut bv_lat_sum = 0u64;
+        for r in &res.records {
+            let eot = r.eot_detects();
+            if r.detections.idld.is_some() {
+                idld += 1;
+                let l = r.idld_latency().expect("idld latency");
+                idld_lat_sum += l;
+                idld_max = idld_max.max(l);
+            }
+            if eot {
+                traditional += 1;
+            }
+            if let Some(c) = r.detections.bv {
+                bv += 1;
+                bv_lat_sum += c.saturating_sub(r.activation_cycle);
+                if c < r.end_cycle || !eot {
+                    bv_first += 1;
+                }
+            }
+            if eot || r.detections.bv.is_some() {
+                tp_bv += 1;
+            }
+        }
+        DetectionFigure {
+            total,
+            idld,
+            traditional,
+            traditional_plus_bv: tp_bv,
+            bv,
+            bv_first,
+            idld_mean_latency: if idld == 0 { 0.0 } else { idld_lat_sum as f64 / idld as f64 },
+            idld_max_latency: idld_max,
+            bv_mean_latency: if bv == 0 { 0.0 } else { bv_lat_sum as f64 / bv as f64 },
+        }
+    }
+
+    /// Coverage percentages `(idld, traditional, traditional+bv)`.
+    pub fn coverage(&self) -> (f64, f64, f64) {
+        (
+            pct(self.idld, self.total),
+            pct(self.traditional, self.total),
+            pct(self.traditional_plus_bv, self.total),
+        )
+    }
+
+    /// Renders figures 9 and 10.
+    pub fn render(&self) -> String {
+        let (i, t, tb) = self.coverage();
+        let mut s = String::new();
+        let _ = writeln!(s, "Figure 9 — Bug detection capability");
+        let _ = writeln!(s, "  IDLD:                      {i:>6.1}%  ({}/{})", self.idld, self.total);
+        let _ = writeln!(
+            s,
+            "  Traditional end-of-test:   {t:>6.1}%  ({}/{})",
+            self.traditional, self.total
+        );
+        let _ = writeln!(
+            s,
+            "  IDLD mean/max detection latency: {:.2} / {} cycles",
+            self.idld_mean_latency, self.idld_max_latency
+        );
+        let _ = writeln!(s);
+        let _ = writeln!(s, "Figure 10 — Adding the bit-vector (BV) scheme");
+        let _ = writeln!(s, "  Traditional + BV:          {tb:>6.1}%  ({}/{})", self.traditional_plus_bv, self.total);
+        let _ = writeln!(
+            s,
+            "  BV detects at all:         {:>6.1}%  ({}/{})",
+            pct(self.bv, self.total),
+            self.bv,
+            self.total
+        );
+        let _ = writeln!(
+            s,
+            "  BV detects before end-of-test: {:>6.1}%  (mean BV latency {:.0} cycles)",
+            pct(self.bv_first, self.total),
+            self.bv_mean_latency
+        );
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{Campaign, CampaignConfig};
+
+    fn result() -> CampaignResult {
+        let cfg = CampaignConfig { runs_per_cell: 5, seed: 7, ..Default::default() };
+        let picks: Vec<_> = idld_workloads::suite()
+            .into_iter()
+            .filter(|w| w.name == "bitcount" || w.name == "crc32")
+            .collect();
+        Campaign::new(cfg).run(&picks)
+    }
+
+    #[test]
+    fn masking_figure_shape() {
+        let res = result();
+        let fig = MaskingFigure::build(&res);
+        assert_eq!(fig.rows.len(), 2);
+        for (_, p, n) in &fig.rows {
+            assert!(p.iter().all(|&x| (0.0..=100.0).contains(&x)));
+            assert!(n.iter().all(|&c| c == 5));
+        }
+        let text = fig.render();
+        assert!(text.contains("AVERAGE") && text.contains("crc32"));
+    }
+
+    #[test]
+    fn persistence_figure_shape() {
+        let res = result();
+        let fig = PersistenceFigure::build(&res);
+        assert_eq!(fig.rows.len(), 2);
+        assert!(fig.render().contains("persist%"));
+    }
+
+    #[test]
+    fn manifestation_buckets_cover_all_manifested() {
+        let res = result();
+        let fig = ManifestationFigure::build(&res);
+        let counted: usize = fig.non_masked.iter().sum::<usize>()
+            + fig.masked_side_effect.iter().sum::<usize>()
+            + fig.benign;
+        // Every record is either bucketed, benign, or masked-without-side
+        // effect... benign covers exactly manifestation==None.
+        let unaccounted = res
+            .records
+            .iter()
+            .filter(|r| {
+                r.manifestation_latency().is_some()
+                    && r.outcome.is_masked()
+                    && !r.outcome.is_masked_with_side_effect()
+            })
+            .count();
+        assert_eq!(counted + unaccounted, res.records.len());
+        assert!(fig.render().contains("Figure 5"));
+    }
+
+    #[test]
+    fn outcome_figure_counts_control_signal_runs() {
+        let res = result();
+        let fig = OutcomeFigure::build(&res);
+        for (_, counts) in &fig.rows {
+            assert_eq!(counts.iter().sum::<usize>(), 10, "dup+leak runs per bench");
+        }
+        assert!(fig.render().contains("Benign"));
+    }
+
+    #[test]
+    fn detection_figure_idld_is_100_percent() {
+        let res = result();
+        let fig = DetectionFigure::build(&res);
+        let (idld, trad, tb) = fig.coverage();
+        assert_eq!(idld, 100.0, "IDLD coverage must be total (paper Fig. 9)");
+        assert!(trad <= 100.0 && tb >= trad, "BV can only add coverage");
+        assert!(fig.idld_mean_latency < 100.0, "near-instantaneous");
+        assert!(fig.render().contains("Figure 10"));
+    }
+}

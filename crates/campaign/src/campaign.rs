@@ -1,0 +1,360 @@
+//! The campaign driver: golden runs, injection runs, record collection.
+
+use crate::classify::{classify, manifestation_cycle, OutcomeClass};
+use idld_bugs::{BugModel, BugSpec, SingleShotHook};
+use idld_core::{BitVectorChecker, CheckerSet, CounterChecker, IdldChecker};
+use idld_rrs::CensusHook;
+use idld_sim::{CommitTrace, SimConfig, Simulator};
+use idld_workloads::Workload;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Campaign parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct CampaignConfig {
+    /// Core configuration used for golden and injected runs.
+    pub sim: SimConfig,
+    /// Injection runs per (workload × bug model) cell. The paper used
+    /// 1 000; the default here is CI-scale and the benches read
+    /// `IDLD_RUNS_PER_CELL` to scale up.
+    pub runs_per_cell: usize,
+    /// Master seed; every run's RNG derives deterministically from it.
+    pub seed: u64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig { sim: SimConfig::default(), runs_per_cell: 30, seed: 0x1d1d }
+    }
+}
+
+impl CampaignConfig {
+    /// Reads `IDLD_RUNS_PER_CELL` and `IDLD_SEED` from the environment,
+    /// falling back to the defaults — the hook the bench harnesses use to
+    /// scale toward the paper's 1 000 runs per cell.
+    pub fn from_env() -> Self {
+        let mut cfg = CampaignConfig::default();
+        if let Some(n) = std::env::var("IDLD_RUNS_PER_CELL").ok().and_then(|v| v.parse().ok()) {
+            cfg.runs_per_cell = n;
+        }
+        if let Some(s) = std::env::var("IDLD_SEED").ok().and_then(|v| v.parse().ok()) {
+            cfg.seed = s;
+        }
+        cfg
+    }
+}
+
+/// A golden (bug-free) run of one workload.
+#[derive(Clone, Debug)]
+pub struct GoldenRun {
+    /// The workload.
+    pub workload: Workload,
+    /// Full commit trace.
+    pub trace: CommitTrace,
+    /// Cycle count (the timeout budget is 2.5× this).
+    pub cycles: u64,
+    /// Output stream.
+    pub output: Vec<u64>,
+    /// Census of control-signal occurrences, used to arm injections.
+    pub census: CensusHook,
+}
+
+impl GoldenRun {
+    /// Executes the golden run for `workload`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload does not halt cleanly or its output deviates
+    /// from the native reference — that would invalidate the whole
+    /// campaign.
+    pub fn capture(workload: &Workload, sim_cfg: SimConfig) -> GoldenRun {
+        let mut census = CensusHook::new();
+        let mut sim = Simulator::new(&workload.program, sim_cfg);
+        let res = sim.run(&mut census, &mut CheckerSet::new(), None, 500_000_000);
+        assert_eq!(
+            res.stop,
+            idld_sim::SimStop::Halted,
+            "golden run of {} did not halt",
+            workload.name
+        );
+        assert_eq!(
+            res.output, workload.expected_output,
+            "golden run of {} deviates from the native reference",
+            workload.name
+        );
+        GoldenRun {
+            workload: workload.clone(),
+            trace: res.trace,
+            cycles: res.cycles,
+            output: res.output,
+            census,
+        }
+    }
+
+    /// The injected-run cycle budget: 2.5× the golden cycles (paper's
+    /// Timeout definition).
+    pub fn timeout_budget(&self) -> u64 {
+        self.cycles * 5 / 2
+    }
+}
+
+/// Per-checker first-detection latency relative to bug activation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Detections {
+    /// IDLD detection cycle (absolute), if detected.
+    pub idld: Option<u64>,
+    /// Bit-vector detection cycle.
+    pub bv: Option<u64>,
+    /// Counter detection cycle.
+    pub counter: Option<u64>,
+}
+
+/// One injected run's record.
+#[derive(Clone, Debug)]
+pub struct RunRecord {
+    /// Workload name.
+    pub bench: &'static str,
+    /// Bug-model class.
+    pub model: BugModel,
+    /// The exact injected bug.
+    pub spec: BugSpec,
+    /// Cycle of activation (always present: specs are sampled from the
+    /// golden census, and the run is identical to golden until activation).
+    pub activation_cycle: u64,
+    /// Outcome class.
+    pub outcome: OutcomeClass,
+    /// First cycle the bug showed any evidence, if ever.
+    pub manifestation_cycle: Option<u64>,
+    /// The run finished at this cycle.
+    pub end_cycle: u64,
+    /// Masked runs whose PdstID damage survives program termination
+    /// (paper Fig. 4).
+    pub persists: bool,
+    /// Checker detections (absolute cycles).
+    pub detections: Detections,
+}
+
+impl RunRecord {
+    /// Manifestation latency in cycles (activation → first evidence).
+    pub fn manifestation_latency(&self) -> Option<u64> {
+        self.manifestation_cycle
+            .map(|m| m.saturating_sub(self.activation_cycle))
+    }
+
+    /// IDLD detection latency in cycles.
+    pub fn idld_latency(&self) -> Option<u64> {
+        self.detections.idld.map(|c| c.saturating_sub(self.activation_cycle))
+    }
+
+    /// True if traditional end-of-test checking flags this run (only
+    /// non-masked outcomes are visible at end of test).
+    pub fn eot_detects(&self) -> bool {
+        !self.outcome.is_masked()
+    }
+}
+
+/// All records of one campaign.
+#[derive(Clone, Debug, Default)]
+pub struct CampaignResult {
+    /// Every injected run's record.
+    pub records: Vec<RunRecord>,
+}
+
+impl CampaignResult {
+    /// Records of one workload.
+    pub fn of_bench<'a>(&'a self, bench: &'a str) -> impl Iterator<Item = &'a RunRecord> + 'a {
+        self.records.iter().filter(move |r| r.bench == bench)
+    }
+
+    /// Records of one bug model.
+    pub fn of_model(&self, model: BugModel) -> impl Iterator<Item = &'_ RunRecord> + '_ {
+        self.records.iter().filter(move |r| r.model == model)
+    }
+
+    /// The distinct benchmark names, in first-seen order.
+    pub fn benches(&self) -> Vec<&'static str> {
+        let mut v = Vec::new();
+        for r in &self.records {
+            if !v.contains(&r.bench) {
+                v.push(r.bench);
+            }
+        }
+        v
+    }
+}
+
+/// The campaign driver.
+#[derive(Clone, Debug)]
+pub struct Campaign {
+    /// Parameters.
+    pub cfg: CampaignConfig,
+}
+
+impl Campaign {
+    /// Creates a campaign with the given parameters.
+    pub fn new(cfg: CampaignConfig) -> Self {
+        Campaign { cfg }
+    }
+
+    /// Derives the per-run RNG deterministically from (seed, bench, model,
+    /// run index).
+    fn run_rng(&self, bench: &str, model: BugModel, k: usize) -> SmallRng {
+        let mut h = DefaultHasher::new();
+        self.cfg.seed.hash(&mut h);
+        bench.hash(&mut h);
+        model.label().hash(&mut h);
+        k.hash(&mut h);
+        SmallRng::seed_from_u64(h.finish())
+    }
+
+    /// Runs one injection against a golden run.
+    pub fn run_one(&self, golden: &GoldenRun, spec: BugSpec) -> RunRecord {
+        let mut hook = SingleShotHook::new(spec);
+        let mut checkers = CheckerSet::new();
+        checkers.push(Box::new(IdldChecker::new(&self.cfg.sim.rrs)));
+        checkers.push(Box::new(BitVectorChecker::new(&self.cfg.sim.rrs)));
+        checkers.push(Box::new(CounterChecker::new(&self.cfg.sim.rrs)));
+
+        let mut sim = Simulator::new(&golden.workload.program, self.cfg.sim);
+        let res = sim.run(&mut hook, &mut checkers, Some(&golden.trace), golden.timeout_budget());
+
+        let outcome = classify(&res, &golden.output);
+        let activation_cycle = hook
+            .activation_cycle()
+            .expect("sampled activation must fire (identical prefix to golden)");
+        let persists = outcome.is_masked() && !res.final_contents.is_exact_partition();
+        RunRecord {
+            bench: golden.workload.name,
+            model: spec.model,
+            spec,
+            activation_cycle,
+            outcome,
+            manifestation_cycle: manifestation_cycle(&res, outcome),
+            end_cycle: res.cycles,
+            persists,
+            detections: Detections {
+                idld: checkers.detection_of("idld").map(|d| d.cycle),
+                bv: checkers.detection_of("bv").map(|d| d.cycle),
+                counter: checkers.detection_of("counter").map(|d| d.cycle),
+            },
+        }
+    }
+
+    /// Runs one workload's full cell block (all models × runs).
+    fn run_workload(&self, w: &Workload) -> Vec<RunRecord> {
+        let golden = GoldenRun::capture(w, self.cfg.sim);
+        let bits = self.cfg.sim.rrs.pdst_bits();
+        let mut records = Vec::new();
+        for model in BugModel::ALL {
+            for k in 0..self.cfg.runs_per_cell {
+                let mut rng = self.run_rng(w.name, model, k);
+                let Some(spec) = BugSpec::sample(model, &golden.census, bits, &mut rng) else {
+                    continue;
+                };
+                records.push(self.run_one(&golden, spec));
+            }
+        }
+        records
+    }
+
+    /// Runs the full campaign over `workloads` (paper protocol: for every
+    /// workload, `runs_per_cell` runs of each of the three bug models).
+    ///
+    /// Workloads run on parallel threads; the record order (and every
+    /// record's content) is identical to a sequential run, so results stay
+    /// bit-deterministic under a seed.
+    pub fn run(&self, workloads: &[Workload]) -> CampaignResult {
+        let mut result = CampaignResult::default();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = workloads
+                .iter()
+                .map(|w| scope.spawn(move || self.run_workload(w)))
+                .collect();
+            for h in handles {
+                result.records.extend(h.join().expect("campaign worker panicked"));
+            }
+        });
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mini_campaign() -> CampaignResult {
+        let cfg = CampaignConfig { runs_per_cell: 4, seed: 42, ..Default::default() };
+        let suite = idld_workloads::suite();
+        let picks: Vec<Workload> = suite
+            .into_iter()
+            .filter(|w| w.name == "crc32" || w.name == "basicmath")
+            .collect();
+        Campaign::new(cfg).run(&picks)
+    }
+
+    #[test]
+    fn campaign_produces_expected_record_count() {
+        let res = mini_campaign();
+        assert_eq!(res.records.len(), 2 * 3 * 4);
+        assert_eq!(res.benches(), vec!["crc32", "basicmath"]);
+    }
+
+    #[test]
+    fn idld_detects_every_injected_bug() {
+        // The paper's headline: 100% coverage, instantaneous.
+        let res = mini_campaign();
+        for r in &res.records {
+            assert!(
+                r.detections.idld.is_some(),
+                "{}: {} not detected by IDLD",
+                r.bench,
+                r.spec
+            );
+        }
+    }
+
+    #[test]
+    fn idld_latency_is_tiny() {
+        let res = mini_campaign();
+        for r in &res.records {
+            let lat = r.idld_latency().expect("detected");
+            // Instantaneous modulo a recovery window (bounded by a couple
+            // of full walk lengths).
+            assert!(lat < 600, "{}: latency {} for {}", r.bench, lat, r.spec);
+        }
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let a = mini_campaign();
+        let b = mini_campaign();
+        assert_eq!(a.records.len(), b.records.len());
+        for (x, y) in a.records.iter().zip(&b.records) {
+            assert_eq!(x.spec, y.spec);
+            assert_eq!(x.outcome, y.outcome);
+            assert_eq!(x.detections, y.detections);
+        }
+    }
+
+    #[test]
+    fn golden_capture_sanity() {
+        let w = idld_workloads::by_name("bitcount").expect("exists");
+        let g = GoldenRun::capture(&w, SimConfig::default());
+        assert!(g.cycles > 1000);
+        assert_eq!(g.output, w.expected_output);
+        assert!(g.census.count(idld_rrs::OpSite::FlPop) > 100);
+        assert_eq!(g.timeout_budget(), g.cycles * 5 / 2);
+    }
+
+    #[test]
+    fn outcomes_are_diverse() {
+        // Across 24 injections at least masked and non-masked outcomes
+        // should both appear (the paper's whole point).
+        let res = mini_campaign();
+        let masked = res.records.iter().filter(|r| r.outcome.is_masked()).count();
+        assert!(masked > 0, "some bugs should be masked");
+        assert!(masked < res.records.len(), "some bugs should be visible");
+    }
+}

@@ -1,0 +1,189 @@
+//! Outcome classification (paper §IV.A and §VI.C).
+
+use idld_sim::{RunResult, SimStop};
+
+/// The seven outcome classes of the paper.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum OutcomeClass {
+    /// Identical output, identical commit trace including cycles.
+    Benign,
+    /// Identical output and committed sequence; commit *cycles* deviate.
+    Performance,
+    /// Identical output; the committed instruction sequence deviates.
+    ControlFlowDeviation,
+    /// Run terminates normally but the output differs (Silent Data
+    /// Corruption).
+    Sdc,
+    /// Run exceeded 2.5× the golden cycle count.
+    Timeout,
+    /// The hardware model raised an unserviceable internal condition.
+    Assert,
+    /// An architectural fault (memory/control) was delivered at commit.
+    Crash,
+}
+
+impl OutcomeClass {
+    /// All classes, in reporting order.
+    pub const ALL: [OutcomeClass; 7] = [
+        OutcomeClass::Benign,
+        OutcomeClass::Performance,
+        OutcomeClass::ControlFlowDeviation,
+        OutcomeClass::Sdc,
+        OutcomeClass::Timeout,
+        OutcomeClass::Assert,
+        OutcomeClass::Crash,
+    ];
+
+    /// Short label used in tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            OutcomeClass::Benign => "Benign",
+            OutcomeClass::Performance => "Performance",
+            OutcomeClass::ControlFlowDeviation => "CFD",
+            OutcomeClass::Sdc => "SDC",
+            OutcomeClass::Timeout => "Timeout",
+            OutcomeClass::Assert => "Assert",
+            OutcomeClass::Crash => "Crash",
+        }
+    }
+
+    /// True for the Masked super-class (Benign ∪ Performance ∪ CFD): the
+    /// program's output is unaffected, so traditional end-of-test checking
+    /// cannot see the bug.
+    pub fn is_masked(self) -> bool {
+        matches!(
+            self,
+            OutcomeClass::Benign | OutcomeClass::Performance | OutcomeClass::ControlFlowDeviation
+        )
+    }
+
+    /// True for masked classes that still leave a side effect observable by
+    /// a hypothetical trace-comparison mechanism (paper Fig. 5's red line).
+    pub fn is_masked_with_side_effect(self) -> bool {
+        matches!(
+            self,
+            OutcomeClass::Performance | OutcomeClass::ControlFlowDeviation
+        )
+    }
+}
+
+impl std::fmt::Display for OutcomeClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Classifies one injected run against the golden output.
+pub fn classify(result: &RunResult, golden_output: &[u64]) -> OutcomeClass {
+    match result.stop {
+        SimStop::Halted => {
+            if result.output != golden_output {
+                OutcomeClass::Sdc
+            } else if result.divergence.order.is_some() {
+                OutcomeClass::ControlFlowDeviation
+            } else if result.divergence.timing.is_some() {
+                OutcomeClass::Performance
+            } else {
+                OutcomeClass::Benign
+            }
+        }
+        SimStop::CycleLimit => OutcomeClass::Timeout,
+        SimStop::Assert(_) => OutcomeClass::Assert,
+        SimStop::Crash(_) => OutcomeClass::Crash,
+    }
+}
+
+/// The manifestation cycle: when the bug first shows *any* evidence
+/// (divergence from the golden trace, or abnormal termination). `None` for
+/// Benign runs — no evidence ever (paper: 13.5% of bugs).
+pub fn manifestation_cycle(result: &RunResult, class: OutcomeClass) -> Option<u64> {
+    match class {
+        OutcomeClass::Benign => None,
+        OutcomeClass::Performance => result.divergence.timing,
+        OutcomeClass::ControlFlowDeviation => result.divergence.order,
+        OutcomeClass::Sdc => result.divergence.first_cycle().or(Some(result.cycles)),
+        OutcomeClass::Timeout | OutcomeClass::Assert | OutcomeClass::Crash => {
+            result.divergence.first_cycle().or(Some(result.cycles))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idld_rrs::{ContentSnapshot, RrsAssert};
+    use idld_sim::{CommitTrace, CrashCause, Divergence};
+
+    fn result(stop: SimStop, output: Vec<u64>, div: Divergence) -> RunResult {
+        RunResult {
+            stop,
+            cycles: 100,
+            committed: 10,
+            output,
+            trace: CommitTrace::new(),
+            divergence: div,
+            final_contents: ContentSnapshot { counts: vec![1] },
+            stats: idld_sim::SimStats::default(),
+        }
+    }
+
+    #[test]
+    fn benign() {
+        let r = result(SimStop::Halted, vec![1], Divergence::default());
+        let c = classify(&r, &[1]);
+        assert_eq!(c, OutcomeClass::Benign);
+        assert!(c.is_masked());
+        assert!(!c.is_masked_with_side_effect());
+        assert_eq!(manifestation_cycle(&r, c), None);
+    }
+
+    #[test]
+    fn performance() {
+        let d = Divergence { order: None, timing: Some(40) };
+        let r = result(SimStop::Halted, vec![1], d);
+        let c = classify(&r, &[1]);
+        assert_eq!(c, OutcomeClass::Performance);
+        assert!(c.is_masked() && c.is_masked_with_side_effect());
+        assert_eq!(manifestation_cycle(&r, c), Some(40));
+    }
+
+    #[test]
+    fn cfd() {
+        let d = Divergence { order: Some(30), timing: Some(25) };
+        let r = result(SimStop::Halted, vec![1], d);
+        assert_eq!(classify(&r, &[1]), OutcomeClass::ControlFlowDeviation);
+    }
+
+    #[test]
+    fn sdc_beats_divergence_class() {
+        let d = Divergence { order: Some(30), timing: None };
+        let r = result(SimStop::Halted, vec![2], d);
+        let c = classify(&r, &[1]);
+        assert_eq!(c, OutcomeClass::Sdc);
+        assert!(!c.is_masked());
+        assert_eq!(manifestation_cycle(&r, c), Some(30));
+    }
+
+    #[test]
+    fn abnormal_terminations() {
+        assert_eq!(
+            classify(&result(SimStop::CycleLimit, vec![], Divergence::default()), &[1]),
+            OutcomeClass::Timeout
+        );
+        assert_eq!(
+            classify(
+                &result(SimStop::Assert(RrsAssert::FlOverflow), vec![], Divergence::default()),
+                &[1]
+            ),
+            OutcomeClass::Assert
+        );
+        let r = result(
+            SimStop::Crash(CrashCause::InvalidPc(5)),
+            vec![],
+            Divergence::default(),
+        );
+        let c = classify(&r, &[1]);
+        assert_eq!(c, OutcomeClass::Crash);
+        assert_eq!(manifestation_cycle(&r, c), Some(100), "falls back to stop cycle");
+    }
+}

@@ -1,0 +1,163 @@
+//! The checker interface shared by IDLD and the baseline schemes.
+
+use idld_rrs::{EventSink, RrsEvent};
+use std::fmt;
+
+/// How a checker flagged a violation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DetectionKind {
+    /// IDLD: `FLxor ^ RATxor ^ ROBxor` deviated from the constant.
+    XorInvariance,
+    /// Bit-vector: a PdstID was freed while already marked free.
+    DoubleFree,
+    /// Bit-vector / counter: free-register count wrong at a pipeline-empty
+    /// check point.
+    FreeCountMismatch,
+    /// Counter: the free count left its physically possible range.
+    CounterRange,
+    /// Parity: a RAT read returned an entry whose stored parity disagrees
+    /// with its contents (at-rest corruption, §V.D).
+    ParityMismatch,
+}
+
+impl fmt::Display for DetectionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DetectionKind::XorInvariance => "xor invariance violation",
+            DetectionKind::DoubleFree => "double free",
+            DetectionKind::FreeCountMismatch => "free count mismatch",
+            DetectionKind::CounterRange => "counter out of range",
+            DetectionKind::ParityMismatch => "rat parity mismatch",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A recorded first detection.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Detection {
+    /// The cycle in which the violation was flagged.
+    pub cycle: u64,
+    /// What tripped.
+    pub kind: DetectionKind,
+}
+
+/// A hardware bug checker observing the RRS port-event stream.
+///
+/// The driving simulator calls [`EventSink::event`] for every port transfer,
+/// [`Checker::end_cycle`] once per cycle (the invariance check point) and
+/// [`Checker::on_pipeline_empty`] whenever the ROB drains (the check point
+/// available to the weaker baseline schemes, paper §V.E).
+pub trait Checker: EventSink {
+    /// Short scheme name used in reports (e.g. `"idld"`, `"bv"`).
+    fn name(&self) -> &'static str;
+
+    /// Called at the end of cycle `cycle`; checkers that check continuously
+    /// (IDLD) evaluate their invariant here and stamp pending detections.
+    fn end_cycle(&mut self, cycle: u64);
+
+    /// Called when the pipeline is empty at the end of cycle `cycle`
+    /// (retired == renamed); the bit-vector and counter schemes run their
+    /// leak checks here.
+    fn on_pipeline_empty(&mut self, cycle: u64);
+
+    /// The first detection, if any.
+    fn detection(&self) -> Option<Detection>;
+
+    /// Resets to power-on state (for checker reuse across runs).
+    fn reset(&mut self);
+}
+
+/// A set of checkers attached to one core, fed from a single event stream.
+#[derive(Default)]
+pub struct CheckerSet {
+    checkers: Vec<Box<dyn Checker>>,
+}
+
+impl CheckerSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a checker.
+    pub fn push(&mut self, c: Box<dyn Checker>) -> &mut Self {
+        self.checkers.push(c);
+        self
+    }
+
+    /// True if the set has no checkers.
+    pub fn is_empty(&self) -> bool {
+        self.checkers.is_empty()
+    }
+
+    /// Number of checkers.
+    pub fn len(&self) -> usize {
+        self.checkers.len()
+    }
+
+    /// Forwards the cycle boundary to every checker.
+    pub fn end_cycle(&mut self, cycle: u64) {
+        for c in &mut self.checkers {
+            c.end_cycle(cycle);
+        }
+    }
+
+    /// Forwards the pipeline-empty check point to every checker.
+    pub fn on_pipeline_empty(&mut self, cycle: u64) {
+        for c in &mut self.checkers {
+            c.on_pipeline_empty(cycle);
+        }
+    }
+
+    /// First detection per checker, as `(name, detection)` pairs.
+    pub fn detections(&self) -> Vec<(&'static str, Option<Detection>)> {
+        self.checkers.iter().map(|c| (c.name(), c.detection())).collect()
+    }
+
+    /// First detection of the checker called `name`.
+    pub fn detection_of(&self, name: &str) -> Option<Detection> {
+        self.checkers.iter().find(|c| c.name() == name).and_then(|c| c.detection())
+    }
+}
+
+impl EventSink for CheckerSet {
+    fn event(&mut self, ev: RrsEvent) {
+        for c in &mut self.checkers {
+            c.event(ev);
+        }
+    }
+}
+
+impl fmt::Debug for CheckerSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CheckerSet")
+            .field("checkers", &self.checkers.iter().map(|c| c.name()).collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::idld::IdldChecker;
+    use idld_rrs::RrsConfig;
+
+    #[test]
+    fn set_fans_out_and_reports() {
+        let cfg = RrsConfig::default();
+        let mut set = CheckerSet::new();
+        set.push(Box::new(IdldChecker::new(&cfg)));
+        assert_eq!(set.len(), 1);
+        set.end_cycle(0);
+        assert_eq!(set.detections(), vec![("idld", None)]);
+        assert_eq!(set.detection_of("idld"), None);
+        assert_eq!(set.detection_of("nope"), None);
+    }
+
+    #[test]
+    fn detection_kind_display() {
+        assert_eq!(DetectionKind::XorInvariance.to_string(), "xor invariance violation");
+        assert_eq!(DetectionKind::DoubleFree.to_string(), "double free");
+    }
+}

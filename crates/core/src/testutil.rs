@@ -1,0 +1,41 @@
+//! Test-only single-activation fault hook (mirrors `idld-bugs`' production
+//! hook without creating a dev-dependency cycle).
+
+use idld_rrs::{Corruption, FaultHook, OpSite};
+
+/// Corrupts the `at`-th occurrence (0-based) of one [`OpSite`].
+pub struct OneShot {
+    /// Target site.
+    pub site: OpSite,
+    /// Occurrence index to corrupt.
+    pub at: u64,
+    /// Corruption to apply.
+    pub corruption: Corruption,
+    /// Occurrences seen.
+    pub seen: u64,
+    /// Whether the corruption fired.
+    pub fired: bool,
+}
+
+impl OneShot {
+    /// Creates a hook corrupting occurrence `at` of `site`.
+    pub fn new(site: OpSite, at: u64, corruption: Corruption) -> Self {
+        OneShot { site, at, corruption, seen: 0, fired: false }
+    }
+}
+
+impl FaultHook for OneShot {
+    fn on_op(&mut self, site: OpSite) -> Corruption {
+        if site != self.site {
+            return Corruption::NONE;
+        }
+        let idx = self.seen;
+        self.seen += 1;
+        if idx == self.at {
+            self.fired = true;
+            self.corruption
+        } else {
+            Corruption::NONE
+        }
+    }
+}

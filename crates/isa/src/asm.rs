@@ -1,0 +1,420 @@
+//! A tiny two-pass assembler with symbolic labels.
+//!
+//! Workloads are written directly in Rust against this builder; labels may be
+//! referenced before they are defined and are patched in [`Asm::finish`].
+
+use crate::inst::{AluOp, BrCond, Inst};
+use crate::program::{Program, DEFAULT_MEM_SIZE};
+use crate::reg::ArchReg;
+use std::collections::HashMap;
+
+#[derive(Clone, Debug)]
+enum Fixup {
+    /// Patch the `target` field of the instruction at `at`.
+    Target { at: usize, label: String },
+    /// Patch the immediate of the `Li` at `at` with the label's pc index
+    /// (used for computed jumps through `Jalr`).
+    LiPc { at: usize, label: String },
+}
+
+/// Assembler/builder for tiny-RISC [`Program`]s.
+///
+/// All instruction-emitting methods return `&mut Self` so straight-line
+/// sequences can be chained. Control-flow targets are string labels.
+///
+/// ```
+/// use idld_isa::asm::Asm;
+/// use idld_isa::reg::r;
+/// use idld_isa::emu::Emulator;
+///
+/// let mut a = Asm::new();
+/// a.li(r(1), 0).li(r(2), 5);
+/// a.label("loop");
+/// a.add(r(1), r(1), r(2));
+/// a.addi(r(2), r(2), -1);
+/// a.bne(r(2), r(0), "loop");
+/// a.out(r(1)).halt();
+/// let p = a.finish();
+/// assert_eq!(Emulator::new(&p).run(100).output, vec![15]);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Asm {
+    insts: Vec<Inst>,
+    labels: HashMap<String, usize>,
+    fixups: Vec<Fixup>,
+    image: Vec<(u64, Vec<u8>)>,
+    mem_size: usize,
+    name: String,
+}
+
+impl Asm {
+    /// Creates an empty assembler with the default 1 MiB memory size.
+    pub fn new() -> Self {
+        Asm { mem_size: DEFAULT_MEM_SIZE, ..Default::default() }
+    }
+
+    /// Sets the program name used in experiment reports.
+    pub fn name(&mut self, name: &str) -> &mut Self {
+        self.name = name.to_string();
+        self
+    }
+
+    /// Overrides the data memory size in bytes.
+    pub fn mem_size(&mut self, bytes: usize) -> &mut Self {
+        self.mem_size = bytes;
+        self
+    }
+
+    /// Adds an initial data region at `addr`.
+    pub fn data(&mut self, addr: u64, bytes: &[u8]) -> &mut Self {
+        self.image.push((addr, bytes.to_vec()));
+        self
+    }
+
+    /// Adds an initial region of little-endian 64-bit words at `addr`.
+    pub fn data_u64(&mut self, addr: u64, words: &[u64]) -> &mut Self {
+        let mut bytes = Vec::with_capacity(words.len() * 8);
+        for w in words {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        self.data(addr, &bytes)
+    }
+
+    /// Adds an initial region of little-endian 32-bit words at `addr`.
+    pub fn data_u32(&mut self, addr: u64, words: &[u32]) -> &mut Self {
+        let mut bytes = Vec::with_capacity(words.len() * 4);
+        for w in words {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        self.data(addr, &bytes)
+    }
+
+    /// Defines `label` at the current instruction index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already defined.
+    pub fn label(&mut self, label: &str) -> &mut Self {
+        let prev = self.labels.insert(label.to_string(), self.insts.len());
+        assert!(prev.is_none(), "label redefined: {label}");
+        self
+    }
+
+    /// Current instruction index (the pc of the next emitted instruction).
+    pub fn here(&self) -> usize {
+        self.insts.len()
+    }
+
+    fn push(&mut self, inst: Inst) -> &mut Self {
+        self.insts.push(inst);
+        self
+    }
+
+    fn push_target(&mut self, inst: Inst, label: &str) -> &mut Self {
+        self.fixups.push(Fixup::Target { at: self.insts.len(), label: label.to_string() });
+        self.push(inst)
+    }
+
+    // --- ALU register forms -------------------------------------------------
+
+    /// `rd = rs1 + rs2`.
+    pub fn add(&mut self, rd: ArchReg, rs1: ArchReg, rs2: ArchReg) -> &mut Self {
+        self.push(Inst::Alu { op: AluOp::Add, rd, rs1, rs2 })
+    }
+    /// `rd = rs1 - rs2`.
+    pub fn sub(&mut self, rd: ArchReg, rs1: ArchReg, rs2: ArchReg) -> &mut Self {
+        self.push(Inst::Alu { op: AluOp::Sub, rd, rs1, rs2 })
+    }
+    /// `rd = rs1 * rs2`.
+    pub fn mul(&mut self, rd: ArchReg, rs1: ArchReg, rs2: ArchReg) -> &mut Self {
+        self.push(Inst::Alu { op: AluOp::Mul, rd, rs1, rs2 })
+    }
+    /// `rd = rs1 / rs2` (unsigned; x/0 = all-ones).
+    pub fn divu(&mut self, rd: ArchReg, rs1: ArchReg, rs2: ArchReg) -> &mut Self {
+        self.push(Inst::Alu { op: AluOp::Divu, rd, rs1, rs2 })
+    }
+    /// `rd = rs1 % rs2` (unsigned; x%0 = x).
+    pub fn remu(&mut self, rd: ArchReg, rs1: ArchReg, rs2: ArchReg) -> &mut Self {
+        self.push(Inst::Alu { op: AluOp::Remu, rd, rs1, rs2 })
+    }
+    /// `rd = rs1 & rs2`.
+    pub fn and(&mut self, rd: ArchReg, rs1: ArchReg, rs2: ArchReg) -> &mut Self {
+        self.push(Inst::Alu { op: AluOp::And, rd, rs1, rs2 })
+    }
+    /// `rd = rs1 | rs2`.
+    pub fn or(&mut self, rd: ArchReg, rs1: ArchReg, rs2: ArchReg) -> &mut Self {
+        self.push(Inst::Alu { op: AluOp::Or, rd, rs1, rs2 })
+    }
+    /// `rd = rs1 ^ rs2`.
+    pub fn xor(&mut self, rd: ArchReg, rs1: ArchReg, rs2: ArchReg) -> &mut Self {
+        self.push(Inst::Alu { op: AluOp::Xor, rd, rs1, rs2 })
+    }
+    /// `rd = rs1 << rs2`.
+    pub fn sll(&mut self, rd: ArchReg, rs1: ArchReg, rs2: ArchReg) -> &mut Self {
+        self.push(Inst::Alu { op: AluOp::Sll, rd, rs1, rs2 })
+    }
+    /// `rd = rs1 >> rs2` (logical).
+    pub fn srl(&mut self, rd: ArchReg, rs1: ArchReg, rs2: ArchReg) -> &mut Self {
+        self.push(Inst::Alu { op: AluOp::Srl, rd, rs1, rs2 })
+    }
+    /// `rd = rs1 >> rs2` (arithmetic).
+    pub fn sra(&mut self, rd: ArchReg, rs1: ArchReg, rs2: ArchReg) -> &mut Self {
+        self.push(Inst::Alu { op: AluOp::Sra, rd, rs1, rs2 })
+    }
+    /// `rd = (rs1 < rs2)` signed.
+    pub fn slt(&mut self, rd: ArchReg, rs1: ArchReg, rs2: ArchReg) -> &mut Self {
+        self.push(Inst::Alu { op: AluOp::Slt, rd, rs1, rs2 })
+    }
+    /// `rd = (rs1 < rs2)` unsigned.
+    pub fn sltu(&mut self, rd: ArchReg, rs1: ArchReg, rs2: ArchReg) -> &mut Self {
+        self.push(Inst::Alu { op: AluOp::Sltu, rd, rs1, rs2 })
+    }
+
+    // --- ALU immediate forms ------------------------------------------------
+
+    /// `rd = rs1 + imm`.
+    pub fn addi(&mut self, rd: ArchReg, rs1: ArchReg, imm: i64) -> &mut Self {
+        self.push(Inst::AluI { op: AluOp::Add, rd, rs1, imm })
+    }
+    /// `rd = rs1 & imm`.
+    pub fn andi(&mut self, rd: ArchReg, rs1: ArchReg, imm: i64) -> &mut Self {
+        self.push(Inst::AluI { op: AluOp::And, rd, rs1, imm })
+    }
+    /// `rd = rs1 | imm`.
+    pub fn ori(&mut self, rd: ArchReg, rs1: ArchReg, imm: i64) -> &mut Self {
+        self.push(Inst::AluI { op: AluOp::Or, rd, rs1, imm })
+    }
+    /// `rd = rs1 ^ imm`.
+    pub fn xori(&mut self, rd: ArchReg, rs1: ArchReg, imm: i64) -> &mut Self {
+        self.push(Inst::AluI { op: AluOp::Xor, rd, rs1, imm })
+    }
+    /// `rd = rs1 << imm`.
+    pub fn slli(&mut self, rd: ArchReg, rs1: ArchReg, imm: i64) -> &mut Self {
+        self.push(Inst::AluI { op: AluOp::Sll, rd, rs1, imm })
+    }
+    /// `rd = rs1 >> imm` (logical).
+    pub fn srli(&mut self, rd: ArchReg, rs1: ArchReg, imm: i64) -> &mut Self {
+        self.push(Inst::AluI { op: AluOp::Srl, rd, rs1, imm })
+    }
+    /// `rd = rs1 >> imm` (arithmetic).
+    pub fn srai(&mut self, rd: ArchReg, rs1: ArchReg, imm: i64) -> &mut Self {
+        self.push(Inst::AluI { op: AluOp::Sra, rd, rs1, imm })
+    }
+    /// `rd = (rs1 < imm)` signed.
+    pub fn slti(&mut self, rd: ArchReg, rs1: ArchReg, imm: i64) -> &mut Self {
+        self.push(Inst::AluI { op: AluOp::Slt, rd, rs1, imm })
+    }
+    /// `rd = rs1 * imm`.
+    pub fn muli(&mut self, rd: ArchReg, rs1: ArchReg, imm: i64) -> &mut Self {
+        self.push(Inst::AluI { op: AluOp::Mul, rd, rs1, imm })
+    }
+
+    // --- Immediates and moves -----------------------------------------------
+
+    /// `rd = imm`.
+    pub fn li(&mut self, rd: ArchReg, imm: i64) -> &mut Self {
+        self.push(Inst::Li { rd, imm })
+    }
+    /// `rd = rs1` (assembled as `addi rd, rs1, 0`).
+    pub fn mv(&mut self, rd: ArchReg, rs1: ArchReg) -> &mut Self {
+        self.addi(rd, rs1, 0)
+    }
+    /// `rd =` instruction index of `label` (for indirect jumps).
+    pub fn la(&mut self, rd: ArchReg, label: &str) -> &mut Self {
+        self.fixups.push(Fixup::LiPc { at: self.insts.len(), label: label.to_string() });
+        self.push(Inst::Li { rd, imm: 0 })
+    }
+
+    // --- Memory -------------------------------------------------------------
+
+    /// `rd = mem64[rs1 + imm]`.
+    pub fn ld(&mut self, rd: ArchReg, rs1: ArchReg, imm: i64) -> &mut Self {
+        self.push(Inst::Ld { rd, rs1, imm })
+    }
+    /// `rd = zext(mem32[rs1 + imm])`.
+    pub fn ldw(&mut self, rd: ArchReg, rs1: ArchReg, imm: i64) -> &mut Self {
+        self.push(Inst::Ldw { rd, rs1, imm })
+    }
+    /// `rd = zext(mem8[rs1 + imm])`.
+    pub fn ldb(&mut self, rd: ArchReg, rs1: ArchReg, imm: i64) -> &mut Self {
+        self.push(Inst::Ldb { rd, rs1, imm })
+    }
+    /// `mem64[rs1 + imm] = rs2`.
+    pub fn st(&mut self, rs2: ArchReg, rs1: ArchReg, imm: i64) -> &mut Self {
+        self.push(Inst::St { rs1, rs2, imm })
+    }
+    /// `mem32[rs1 + imm] = rs2`.
+    pub fn stw(&mut self, rs2: ArchReg, rs1: ArchReg, imm: i64) -> &mut Self {
+        self.push(Inst::Stw { rs1, rs2, imm })
+    }
+    /// `mem8[rs1 + imm] = rs2`.
+    pub fn stb(&mut self, rs2: ArchReg, rs1: ArchReg, imm: i64) -> &mut Self {
+        self.push(Inst::Stb { rs1, rs2, imm })
+    }
+
+    // --- Control flow -------------------------------------------------------
+
+    /// Branch to `label` if `rs1 == rs2`.
+    pub fn beq(&mut self, rs1: ArchReg, rs2: ArchReg, label: &str) -> &mut Self {
+        self.push_target(Inst::Br { cond: BrCond::Eq, rs1, rs2, target: 0 }, label)
+    }
+    /// Branch to `label` if `rs1 != rs2`.
+    pub fn bne(&mut self, rs1: ArchReg, rs2: ArchReg, label: &str) -> &mut Self {
+        self.push_target(Inst::Br { cond: BrCond::Ne, rs1, rs2, target: 0 }, label)
+    }
+    /// Branch to `label` if `rs1 < rs2` (signed).
+    pub fn blt(&mut self, rs1: ArchReg, rs2: ArchReg, label: &str) -> &mut Self {
+        self.push_target(Inst::Br { cond: BrCond::Lt, rs1, rs2, target: 0 }, label)
+    }
+    /// Branch to `label` if `rs1 >= rs2` (signed).
+    pub fn bge(&mut self, rs1: ArchReg, rs2: ArchReg, label: &str) -> &mut Self {
+        self.push_target(Inst::Br { cond: BrCond::Ge, rs1, rs2, target: 0 }, label)
+    }
+    /// Branch to `label` if `rs1 < rs2` (unsigned).
+    pub fn bltu(&mut self, rs1: ArchReg, rs2: ArchReg, label: &str) -> &mut Self {
+        self.push_target(Inst::Br { cond: BrCond::Ltu, rs1, rs2, target: 0 }, label)
+    }
+    /// Branch to `label` if `rs1 >= rs2` (unsigned).
+    pub fn bgeu(&mut self, rs1: ArchReg, rs2: ArchReg, label: &str) -> &mut Self {
+        self.push_target(Inst::Br { cond: BrCond::Geu, rs1, rs2, target: 0 }, label)
+    }
+    /// Unconditional jump to `label`, link in `rd`.
+    pub fn jal(&mut self, rd: ArchReg, label: &str) -> &mut Self {
+        self.push_target(Inst::Jal { rd, target: 0 }, label)
+    }
+    /// Unconditional jump to `label`, assembled as an always-taken branch
+    /// (`beq r0, r0, label`) so it writes no register — programs using `j`
+    /// must keep the `r0 == 0` convention.
+    pub fn j(&mut self, label: &str) -> &mut Self {
+        let zero = ArchReg::new(0);
+        self.beq(zero, zero, label)
+    }
+    /// Indirect jump to instruction index `rs1 + imm`, link in `rd`.
+    pub fn jalr(&mut self, rd: ArchReg, rs1: ArchReg, imm: i64) -> &mut Self {
+        self.push(Inst::Jalr { rd, rs1, imm })
+    }
+
+    // --- Misc ---------------------------------------------------------------
+
+    /// Appends `rs1` to the output stream.
+    pub fn out(&mut self, rs1: ArchReg) -> &mut Self {
+        self.push(Inst::Out { rs1 })
+    }
+    /// Normal termination.
+    pub fn halt(&mut self) -> &mut Self {
+        self.push(Inst::Halt)
+    }
+    /// No operation.
+    pub fn nop(&mut self) -> &mut Self {
+        self.push(Inst::Nop)
+    }
+
+    /// Resolves all label fixups and produces the final [`Program`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced label was never defined.
+    pub fn finish(self) -> Program {
+        let Asm { mut insts, labels, fixups, image, mem_size, name } = self;
+        for fixup in fixups {
+            match fixup {
+                Fixup::Target { at, label } => {
+                    let &pc = labels
+                        .get(&label)
+                        .unwrap_or_else(|| panic!("undefined label: {label}"));
+                    match &mut insts[at] {
+                        Inst::Br { target, .. } | Inst::Jal { target, .. } => *target = pc,
+                        other => unreachable!("target fixup on non-control inst {other}"),
+                    }
+                }
+                Fixup::LiPc { at, label } => {
+                    let &pc = labels
+                        .get(&label)
+                        .unwrap_or_else(|| panic!("undefined label: {label}"));
+                    match &mut insts[at] {
+                        Inst::Li { imm, .. } => *imm = pc as i64,
+                        other => unreachable!("LiPc fixup on non-Li inst {other}"),
+                    }
+                }
+            }
+        }
+        Program { insts, image, mem_size, name }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emu::{Emulator, StopReason};
+    use crate::reg::r;
+
+    #[test]
+    fn forward_and_backward_labels() {
+        let mut a = Asm::new();
+        a.li(r(1), 3);
+        a.j("skip"); // forward reference
+        a.li(r(1), 99);
+        a.label("skip");
+        a.label("loop");
+        a.addi(r(1), r(1), -1);
+        a.bne(r(1), r(0), "loop"); // backward reference
+        a.out(r(1)).halt();
+        let p = a.finish();
+        let res = Emulator::new(&p).run(100);
+        assert_eq!(res.stop, StopReason::Halted);
+        assert_eq!(res.output, vec![0]);
+    }
+
+    #[test]
+    fn la_and_indirect_jump() {
+        let mut a = Asm::new();
+        a.la(r(5), "func");
+        a.jalr(r(1), r(5), 0);
+        a.out(r(2)).halt();
+        a.label("func");
+        a.li(r(2), 77);
+        a.jalr(r(3), r(1), 0); // return through link register
+        let p = a.finish();
+        let res = Emulator::new(&p).run(100);
+        assert_eq!(res.output, vec![77]);
+    }
+
+    #[test]
+    fn data_images() {
+        let mut a = Asm::new();
+        a.data_u64(0x100, &[41]);
+        a.li(r(1), 0x100);
+        a.ld(r(2), r(1), 0);
+        a.addi(r(2), r(2), 1);
+        a.out(r(2)).halt();
+        let res = Emulator::new(&a.finish()).run(100);
+        assert_eq!(res.output, vec![42]);
+    }
+
+    #[test]
+    fn data_u32_little_endian() {
+        let mut a = Asm::new();
+        a.data_u32(0, &[0xdead_beef]);
+        a.li(r(1), 0);
+        a.ldw(r(2), r(1), 0);
+        a.out(r(2)).halt();
+        let res = Emulator::new(&a.finish()).run(100);
+        assert_eq!(res.output, vec![0xdead_beef]);
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined label")]
+    fn undefined_label_panics() {
+        let mut a = Asm::new();
+        a.j("nowhere");
+        let _ = a.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "label redefined")]
+    fn duplicate_label_panics() {
+        let mut a = Asm::new();
+        a.label("x");
+        a.label("x");
+    }
+}

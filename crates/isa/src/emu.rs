@@ -1,0 +1,312 @@
+//! In-order architectural emulator — the golden reference model.
+//!
+//! The emulator executes programs with precise architectural semantics and no
+//! microarchitectural state. It serves two roles in the reproduction:
+//!
+//! 1. validating workloads against native Rust reference implementations, and
+//! 2. cross-checking that the out-of-order simulator (with its full register
+//!    renaming subsystem) is architecturally equivalent when no bug is
+//!    injected.
+
+use crate::inst::Inst;
+use crate::mem::{MemFault, Memory};
+use crate::program::Program;
+use crate::reg::{ArchReg, NUM_ARCH_REGS};
+use std::fmt;
+
+/// An architectural fault raised during emulation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EmuFault {
+    /// A data memory access out of bounds.
+    Mem(MemFault),
+    /// Control transferred to an invalid instruction index.
+    InvalidPc(usize),
+}
+
+impl fmt::Display for EmuFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmuFault::Mem(m) => write!(f, "{m}"),
+            EmuFault::InvalidPc(pc) => write!(f, "invalid pc: {pc}"),
+        }
+    }
+}
+
+impl std::error::Error for EmuFault {}
+
+impl From<MemFault> for EmuFault {
+    fn from(m: MemFault) -> Self {
+        EmuFault::Mem(m)
+    }
+}
+
+/// Why a run stopped.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StopReason {
+    /// The program executed [`Inst::Halt`].
+    Halted,
+    /// An architectural fault occurred.
+    Fault(EmuFault),
+    /// The step budget given to [`Emulator::run`] was exhausted.
+    StepLimit,
+}
+
+/// The architectural outcome of a run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct EmuResult {
+    /// Why execution stopped.
+    pub stop: StopReason,
+    /// Values emitted by [`Inst::Out`], in program order.
+    pub output: Vec<u64>,
+    /// Number of instructions executed (committed).
+    pub steps: u64,
+}
+
+/// The architectural emulator. Create one per run with [`Emulator::new`].
+#[derive(Clone, Debug)]
+pub struct Emulator {
+    regs: [u64; NUM_ARCH_REGS],
+    pc: usize,
+    mem: Memory,
+    output: Vec<u64>,
+    steps: u64,
+    program: Program,
+}
+
+/// The result of a single architectural step.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StepOutcome {
+    /// The instruction executed; execution continues.
+    Continue,
+    /// The instruction was `Halt`.
+    Halted,
+    /// The instruction faulted.
+    Fault(EmuFault),
+}
+
+impl Emulator {
+    /// Creates an emulator with fresh memory built from the program image.
+    pub fn new(program: &Program) -> Self {
+        Emulator {
+            regs: [0; NUM_ARCH_REGS],
+            pc: 0,
+            mem: program.build_memory(),
+            output: Vec::new(),
+            steps: 0,
+            program: program.clone(),
+        }
+    }
+
+    /// Current program counter (instruction index).
+    #[inline]
+    pub fn pc(&self) -> usize {
+        self.pc
+    }
+
+    /// Reads an architectural register.
+    #[inline]
+    pub fn reg(&self, r: ArchReg) -> u64 {
+        self.regs[r.index()]
+    }
+
+    /// Writes an architectural register (for test setup).
+    #[inline]
+    pub fn set_reg(&mut self, r: ArchReg, v: u64) {
+        self.regs[r.index()] = v;
+    }
+
+    /// The data memory.
+    #[inline]
+    pub fn mem(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// The output stream so far.
+    #[inline]
+    pub fn output(&self) -> &[u64] {
+        &self.output
+    }
+
+    /// Number of instructions executed so far.
+    #[inline]
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Executes a single instruction.
+    pub fn step(&mut self) -> StepOutcome {
+        let Some(inst) = self.program.fetch(self.pc) else {
+            return StepOutcome::Fault(EmuFault::InvalidPc(self.pc));
+        };
+        self.steps += 1;
+        let mut next_pc = self.pc + 1;
+        match inst {
+            Inst::Alu { op, rd, rs1, rs2 } => {
+                self.regs[rd.index()] = op.apply(self.regs[rs1.index()], self.regs[rs2.index()]);
+            }
+            Inst::AluI { op, rd, rs1, imm } => {
+                self.regs[rd.index()] = op.apply(self.regs[rs1.index()], imm as u64);
+            }
+            Inst::Li { rd, imm } => self.regs[rd.index()] = imm as u64,
+            Inst::Ld { rd, rs1, imm } | Inst::Ldw { rd, rs1, imm } | Inst::Ldb { rd, rs1, imm } => {
+                let width = inst.mem_width().expect("load has a width");
+                let addr = self.regs[rs1.index()].wrapping_add(imm as u64);
+                match self.mem.load(addr, width) {
+                    Ok(v) => self.regs[rd.index()] = v,
+                    Err(e) => return StepOutcome::Fault(e.into()),
+                }
+            }
+            Inst::St { rs1, rs2, imm } | Inst::Stw { rs1, rs2, imm } | Inst::Stb { rs1, rs2, imm } => {
+                let width = inst.mem_width().expect("store has a width");
+                let addr = self.regs[rs1.index()].wrapping_add(imm as u64);
+                if let Err(e) = self.mem.store(addr, width, self.regs[rs2.index()]) {
+                    return StepOutcome::Fault(e.into());
+                }
+            }
+            Inst::Br { cond, rs1, rs2, target } => {
+                if cond.eval(self.regs[rs1.index()], self.regs[rs2.index()]) {
+                    next_pc = target;
+                }
+            }
+            Inst::Jal { rd, target } => {
+                self.regs[rd.index()] = (self.pc + 1) as u64;
+                next_pc = target;
+            }
+            Inst::Jalr { rd, rs1, imm } => {
+                let target = self.regs[rs1.index()].wrapping_add(imm as u64);
+                self.regs[rd.index()] = (self.pc + 1) as u64;
+                next_pc = target as usize;
+                if target > usize::MAX as u64 {
+                    return StepOutcome::Fault(EmuFault::InvalidPc(usize::MAX));
+                }
+            }
+            Inst::Out { rs1 } => self.output.push(self.regs[rs1.index()]),
+            Inst::Halt => return StepOutcome::Halted,
+            Inst::Nop => {}
+        }
+        self.pc = next_pc;
+        StepOutcome::Continue
+    }
+
+    /// Runs until halt, fault or `max_steps` executed instructions.
+    pub fn run(&mut self, max_steps: u64) -> EmuResult {
+        let stop = loop {
+            if self.steps >= max_steps {
+                break StopReason::StepLimit;
+            }
+            match self.step() {
+                StepOutcome::Continue => {}
+                StepOutcome::Halted => break StopReason::Halted,
+                StepOutcome::Fault(f) => break StopReason::Fault(f),
+            }
+        };
+        EmuResult { stop, output: self.output.clone(), steps: self.steps }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::reg::r;
+
+    fn run(a: Asm, max: u64) -> EmuResult {
+        Emulator::new(&a.finish()).run(max)
+    }
+
+    #[test]
+    fn arithmetic_program() {
+        let mut a = Asm::new();
+        a.li(r(1), 10).li(r(2), 3);
+        a.sub(r(3), r(1), r(2));
+        a.mul(r(4), r(3), r(3));
+        a.out(r(4)).halt();
+        assert_eq!(run(a, 100).output, vec![49]);
+    }
+
+    #[test]
+    fn loop_with_memory() {
+        // Sum bytes 0..16 written then read back.
+        let mut a = Asm::new();
+        a.li(r(1), 0); // i
+        a.li(r(2), 16);
+        a.li(r(3), 64); // base
+        a.label("w");
+        a.add(r(4), r(3), r(1));
+        a.stb(r(1), r(4), 0);
+        a.addi(r(1), r(1), 1);
+        a.blt(r(1), r(2), "w");
+        a.li(r(1), 0).li(r(5), 0);
+        a.label("rd");
+        a.add(r(4), r(3), r(1));
+        a.ldb(r(6), r(4), 0);
+        a.add(r(5), r(5), r(6));
+        a.addi(r(1), r(1), 1);
+        a.blt(r(1), r(2), "rd");
+        a.out(r(5)).halt();
+        assert_eq!(run(a, 1000).output, vec![120]);
+    }
+
+    #[test]
+    fn memory_fault_stops_run() {
+        let mut a = Asm::new();
+        a.li(r(1), 1 << 40);
+        a.ld(r(2), r(1), 0);
+        a.halt();
+        let res = run(a, 100);
+        match res.stop {
+            StopReason::Fault(EmuFault::Mem(m)) => assert_eq!(m.addr, 1 << 40),
+            other => panic!("expected memory fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_pc_faults() {
+        let mut a = Asm::new();
+        a.li(r(1), 1_000_000);
+        a.jalr(r(2), r(1), 0);
+        let res = run(a, 100);
+        assert_eq!(res.stop, StopReason::Fault(EmuFault::InvalidPc(1_000_000)));
+    }
+
+    #[test]
+    fn running_off_the_end_faults() {
+        let mut a = Asm::new();
+        a.nop();
+        let res = run(a, 100);
+        assert_eq!(res.stop, StopReason::Fault(EmuFault::InvalidPc(1)));
+    }
+
+    #[test]
+    fn step_limit() {
+        let mut a = Asm::new();
+        a.label("spin");
+        a.j("spin");
+        let res = run(a, 50);
+        assert_eq!(res.stop, StopReason::StepLimit);
+        assert_eq!(res.steps, 50);
+    }
+
+    #[test]
+    fn call_and_return() {
+        let mut a = Asm::new();
+        a.li(r(10), 5);
+        a.jal(r(1), "double");
+        a.out(r(10)).halt();
+        a.label("double");
+        a.add(r(10), r(10), r(10));
+        a.jalr(r(2), r(1), 0);
+        assert_eq!(run(a, 100).output, vec![10]);
+    }
+
+    #[test]
+    fn out_preserves_order() {
+        let mut a = Asm::new();
+        for v in [3i64, 1, 4, 1, 5] {
+            a.li(r(1), v);
+            a.out(r(1));
+        }
+        a.halt();
+        assert_eq!(run(a, 100).output, vec![3, 1, 4, 1, 5]);
+    }
+}

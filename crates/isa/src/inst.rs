@@ -1,0 +1,355 @@
+//! Instruction definitions and static metadata queries.
+
+use crate::reg::ArchReg;
+use std::fmt;
+
+/// Binary ALU operation selector, shared by the register and immediate forms.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AluOp {
+    /// Wrapping 64-bit addition.
+    Add,
+    /// Wrapping 64-bit subtraction.
+    Sub,
+    /// Wrapping 64-bit multiplication (low 64 bits).
+    Mul,
+    /// Unsigned division; division by zero yields `u64::MAX` (RISC-V style —
+    /// no architectural fault, keeping the fault model focused on memory and
+    /// control flow as in the paper's Crash class).
+    Divu,
+    /// Unsigned remainder; remainder by zero yields the dividend.
+    Remu,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left (shift amount masked to 6 bits).
+    Sll,
+    /// Logical shift right (shift amount masked to 6 bits).
+    Srl,
+    /// Arithmetic shift right (shift amount masked to 6 bits).
+    Sra,
+    /// Signed set-less-than (result 0 or 1).
+    Slt,
+    /// Unsigned set-less-than (result 0 or 1).
+    Sltu,
+}
+
+impl AluOp {
+    /// Applies the operation to two 64-bit operand values.
+    #[inline]
+    pub fn apply(self, a: u64, b: u64) -> u64 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::Divu => a.checked_div(b).unwrap_or(u64::MAX),
+            AluOp::Remu => {
+                if b == 0 {
+                    a
+                } else {
+                    a % b
+                }
+            }
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Sll => a << (b & 63),
+            AluOp::Srl => a >> (b & 63),
+            AluOp::Sra => ((a as i64) >> (b & 63)) as u64,
+            AluOp::Slt => ((a as i64) < (b as i64)) as u64,
+            AluOp::Sltu => (a < b) as u64,
+        }
+    }
+
+    /// True for the long-latency multiply/divide class (used by the
+    /// out-of-order simulator's functional-unit latency table).
+    #[inline]
+    pub fn is_long_latency(self) -> bool {
+        matches!(self, AluOp::Mul | AluOp::Divu | AluOp::Remu)
+    }
+}
+
+/// Branch comparison condition.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BrCond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed greater-or-equal.
+    Ge,
+    /// Unsigned less-than.
+    Ltu,
+    /// Unsigned greater-or-equal.
+    Geu,
+}
+
+impl BrCond {
+    /// Evaluates the condition on two 64-bit operand values.
+    #[inline]
+    pub fn eval(self, a: u64, b: u64) -> bool {
+        match self {
+            BrCond::Eq => a == b,
+            BrCond::Ne => a != b,
+            BrCond::Lt => (a as i64) < (b as i64),
+            BrCond::Ge => (a as i64) >= (b as i64),
+            BrCond::Ltu => a < b,
+            BrCond::Geu => a >= b,
+        }
+    }
+}
+
+/// One tiny-RISC instruction.
+///
+/// Program counters are *instruction indices* into [`crate::Program::insts`]
+/// rather than byte addresses; data memory is byte-addressed separately.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Inst {
+    /// `rd = op(rs1, rs2)`.
+    Alu { op: AluOp, rd: ArchReg, rs1: ArchReg, rs2: ArchReg },
+    /// `rd = op(rs1, imm)`.
+    AluI { op: AluOp, rd: ArchReg, rs1: ArchReg, imm: i64 },
+    /// `rd = imm` (full 64-bit immediate load).
+    Li { rd: ArchReg, imm: i64 },
+    /// `rd = mem64[rs1 + imm]`.
+    Ld { rd: ArchReg, rs1: ArchReg, imm: i64 },
+    /// `rd = zext(mem32[rs1 + imm])`.
+    Ldw { rd: ArchReg, rs1: ArchReg, imm: i64 },
+    /// `rd = zext(mem8[rs1 + imm])`.
+    Ldb { rd: ArchReg, rs1: ArchReg, imm: i64 },
+    /// `mem64[rs1 + imm] = rs2`.
+    St { rs1: ArchReg, rs2: ArchReg, imm: i64 },
+    /// `mem32[rs1 + imm] = rs2[31:0]`.
+    Stw { rs1: ArchReg, rs2: ArchReg, imm: i64 },
+    /// `mem8[rs1 + imm] = rs2[7:0]`.
+    Stb { rs1: ArchReg, rs2: ArchReg, imm: i64 },
+    /// Conditional branch to instruction index `target`.
+    Br { cond: BrCond, rs1: ArchReg, rs2: ArchReg, target: usize },
+    /// Unconditional jump to `target`; `rd =` return pc (pc+1).
+    Jal { rd: ArchReg, target: usize },
+    /// Indirect jump to instruction index `rs1 + imm`; `rd = pc + 1`.
+    Jalr { rd: ArchReg, rs1: ArchReg, imm: i64 },
+    /// Appends the value of `rs1` to the program output stream.
+    Out { rs1: ArchReg },
+    /// Normal program termination.
+    Halt,
+    /// No operation.
+    Nop,
+}
+
+/// Coarse classification of an instruction, used by the simulator to steer
+/// instructions to functional units and queues.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum InstKind {
+    /// Single-cycle integer ALU operation (including `Li` and `Nop`).
+    Alu,
+    /// Long-latency multiply/divide.
+    MulDiv,
+    /// Memory load (any width).
+    Load,
+    /// Memory store (any width).
+    Store,
+    /// Conditional branch.
+    Branch,
+    /// Direct jump with link.
+    Jump,
+    /// Indirect jump with link.
+    JumpInd,
+    /// Output-stream append.
+    Out,
+    /// Halt.
+    Halt,
+}
+
+impl Inst {
+    /// The destination architectural register, if the instruction writes one.
+    ///
+    /// This is the *Ldst* of the paper: instructions returning `Some` consume
+    /// a physical register from the free list when renamed.
+    #[inline]
+    pub fn dest(&self) -> Option<ArchReg> {
+        match *self {
+            Inst::Alu { rd, .. }
+            | Inst::AluI { rd, .. }
+            | Inst::Li { rd, .. }
+            | Inst::Ld { rd, .. }
+            | Inst::Ldw { rd, .. }
+            | Inst::Ldb { rd, .. }
+            | Inst::Jal { rd, .. }
+            | Inst::Jalr { rd, .. } => Some(rd),
+            _ => None,
+        }
+    }
+
+    /// The source architectural registers (up to two).
+    #[inline]
+    pub fn sources(&self) -> [Option<ArchReg>; 2] {
+        match *self {
+            Inst::Alu { rs1, rs2, .. } => [Some(rs1), Some(rs2)],
+            Inst::AluI { rs1, .. } => [Some(rs1), None],
+            Inst::Li { .. } => [None, None],
+            Inst::Ld { rs1, .. } | Inst::Ldw { rs1, .. } | Inst::Ldb { rs1, .. } => {
+                [Some(rs1), None]
+            }
+            Inst::St { rs1, rs2, .. }
+            | Inst::Stw { rs1, rs2, .. }
+            | Inst::Stb { rs1, rs2, .. } => [Some(rs1), Some(rs2)],
+            Inst::Br { rs1, rs2, .. } => [Some(rs1), Some(rs2)],
+            Inst::Jal { .. } => [None, None],
+            Inst::Jalr { rs1, .. } => [Some(rs1), None],
+            Inst::Out { rs1 } => [Some(rs1), None],
+            Inst::Halt | Inst::Nop => [None, None],
+        }
+    }
+
+    /// The instruction's [`InstKind`].
+    #[inline]
+    pub fn kind(&self) -> InstKind {
+        match *self {
+            Inst::Alu { op, .. } | Inst::AluI { op, .. } => {
+                if op.is_long_latency() {
+                    InstKind::MulDiv
+                } else {
+                    InstKind::Alu
+                }
+            }
+            Inst::Li { .. } | Inst::Nop => InstKind::Alu,
+            Inst::Ld { .. } | Inst::Ldw { .. } | Inst::Ldb { .. } => InstKind::Load,
+            Inst::St { .. } | Inst::Stw { .. } | Inst::Stb { .. } => InstKind::Store,
+            Inst::Br { .. } => InstKind::Branch,
+            Inst::Jal { .. } => InstKind::Jump,
+            Inst::Jalr { .. } => InstKind::JumpInd,
+            Inst::Out { .. } => InstKind::Out,
+            Inst::Halt => InstKind::Halt,
+        }
+    }
+
+    /// True if the instruction can redirect control flow.
+    #[inline]
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self.kind(),
+            InstKind::Branch | InstKind::Jump | InstKind::JumpInd
+        )
+    }
+
+    /// The access width in bytes for loads and stores, `None` otherwise.
+    #[inline]
+    pub fn mem_width(&self) -> Option<usize> {
+        match *self {
+            Inst::Ld { .. } | Inst::St { .. } => Some(8),
+            Inst::Ldw { .. } | Inst::Stw { .. } => Some(4),
+            Inst::Ldb { .. } | Inst::Stb { .. } => Some(1),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Inst::Alu { op, rd, rs1, rs2 } => write!(f, "{op:?} {rd}, {rs1}, {rs2}"),
+            Inst::AluI { op, rd, rs1, imm } => write!(f, "{op:?}i {rd}, {rs1}, {imm}"),
+            Inst::Li { rd, imm } => write!(f, "li {rd}, {imm}"),
+            Inst::Ld { rd, rs1, imm } => write!(f, "ld {rd}, {imm}({rs1})"),
+            Inst::Ldw { rd, rs1, imm } => write!(f, "ldw {rd}, {imm}({rs1})"),
+            Inst::Ldb { rd, rs1, imm } => write!(f, "ldb {rd}, {imm}({rs1})"),
+            Inst::St { rs1, rs2, imm } => write!(f, "st {rs2}, {imm}({rs1})"),
+            Inst::Stw { rs1, rs2, imm } => write!(f, "stw {rs2}, {imm}({rs1})"),
+            Inst::Stb { rs1, rs2, imm } => write!(f, "stb {rs2}, {imm}({rs1})"),
+            Inst::Br { cond, rs1, rs2, target } => {
+                write!(f, "b{cond:?} {rs1}, {rs2}, @{target}")
+            }
+            Inst::Jal { rd, target } => write!(f, "jal {rd}, @{target}"),
+            Inst::Jalr { rd, rs1, imm } => write!(f, "jalr {rd}, {rs1}, {imm}"),
+            Inst::Out { rs1 } => write!(f, "out {rs1}"),
+            Inst::Halt => write!(f, "halt"),
+            Inst::Nop => write!(f, "nop"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::r;
+
+    #[test]
+    fn alu_semantics() {
+        assert_eq!(AluOp::Add.apply(u64::MAX, 1), 0);
+        assert_eq!(AluOp::Sub.apply(0, 1), u64::MAX);
+        assert_eq!(AluOp::Mul.apply(1 << 63, 2), 0);
+        assert_eq!(AluOp::Divu.apply(7, 2), 3);
+        assert_eq!(AluOp::Divu.apply(7, 0), u64::MAX);
+        assert_eq!(AluOp::Remu.apply(7, 2), 1);
+        assert_eq!(AluOp::Remu.apply(7, 0), 7);
+        assert_eq!(AluOp::Sll.apply(1, 65), 2, "shift amount masked to 6 bits");
+        assert_eq!(AluOp::Sra.apply(u64::MAX, 5), u64::MAX);
+        assert_eq!(AluOp::Srl.apply(u64::MAX, 63), 1);
+        assert_eq!(AluOp::Slt.apply(u64::MAX, 0), 1, "-1 < 0 signed");
+        assert_eq!(AluOp::Sltu.apply(u64::MAX, 0), 0);
+    }
+
+    #[test]
+    fn branch_conditions() {
+        assert!(BrCond::Eq.eval(3, 3));
+        assert!(BrCond::Ne.eval(3, 4));
+        assert!(BrCond::Lt.eval(u64::MAX, 0));
+        assert!(!BrCond::Ltu.eval(u64::MAX, 0));
+        assert!(BrCond::Ge.eval(0, u64::MAX));
+        assert!(BrCond::Geu.eval(u64::MAX, 0));
+    }
+
+    #[test]
+    fn dest_and_sources() {
+        let i = Inst::Alu { op: AluOp::Add, rd: r(1), rs1: r(2), rs2: r(3) };
+        assert_eq!(i.dest(), Some(r(1)));
+        assert_eq!(i.sources(), [Some(r(2)), Some(r(3))]);
+
+        let st = Inst::St { rs1: r(4), rs2: r(5), imm: 8 };
+        assert_eq!(st.dest(), None);
+        assert_eq!(st.sources(), [Some(r(4)), Some(r(5))]);
+
+        let jal = Inst::Jal { rd: r(1), target: 0 };
+        assert_eq!(jal.dest(), Some(r(1)));
+        assert_eq!(jal.sources(), [None, None]);
+    }
+
+    #[test]
+    fn kinds() {
+        assert_eq!(Inst::Li { rd: r(0), imm: 0 }.kind(), InstKind::Alu);
+        assert_eq!(
+            Inst::Alu { op: AluOp::Mul, rd: r(0), rs1: r(0), rs2: r(0) }.kind(),
+            InstKind::MulDiv
+        );
+        assert_eq!(Inst::Ld { rd: r(0), rs1: r(0), imm: 0 }.kind(), InstKind::Load);
+        assert_eq!(Inst::Halt.kind(), InstKind::Halt);
+        assert!(Inst::Jalr { rd: r(0), rs1: r(0), imm: 0 }.is_control());
+        assert!(!Inst::Nop.is_control());
+    }
+
+    #[test]
+    fn mem_widths() {
+        assert_eq!(Inst::Ld { rd: r(0), rs1: r(0), imm: 0 }.mem_width(), Some(8));
+        assert_eq!(Inst::Stw { rs1: r(0), rs2: r(0), imm: 0 }.mem_width(), Some(4));
+        assert_eq!(Inst::Ldb { rd: r(0), rs1: r(0), imm: 0 }.mem_width(), Some(1));
+        assert_eq!(Inst::Nop.mem_width(), None);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let insts = [
+            Inst::Alu { op: AluOp::Add, rd: r(1), rs1: r(2), rs2: r(3) },
+            Inst::Li { rd: r(1), imm: -7 },
+            Inst::Br { cond: BrCond::Eq, rs1: r(1), rs2: r(2), target: 9 },
+            Inst::Halt,
+        ];
+        for i in &insts {
+            assert!(!i.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Byte-addressed data memory with precise bounds checking.
+
+use std::fmt;
+
+/// A faulting memory access, reported with the offending address and width.
+///
+/// In the outcome classification of the paper (§VI.C) an architectural memory
+/// fault at commit time lands a run in the **Crash** class.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MemFault {
+    /// The first byte address of the faulting access.
+    pub addr: u64,
+    /// The access width in bytes.
+    pub width: usize,
+}
+
+impl fmt::Display for MemFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "memory fault: {}-byte access at {:#x}", self.width, self.addr)
+    }
+}
+
+impl std::error::Error for MemFault {}
+
+/// Flat little-endian byte-addressed data memory.
+///
+/// Unaligned accesses are permitted (they are assembled from byte accesses),
+/// keeping the architectural fault model down to a single cause: access
+/// beyond the memory size.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Memory {
+    bytes: Vec<u8>,
+}
+
+impl Memory {
+    /// Creates a zero-initialized memory of `size` bytes.
+    pub fn new(size: usize) -> Self {
+        Memory { bytes: vec![0; size] }
+    }
+
+    /// The memory size in bytes.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.bytes.len()
+    }
+
+    #[inline]
+    fn check(&self, addr: u64, width: usize) -> Result<usize, MemFault> {
+        let a = addr as usize;
+        if (addr as usize as u64) == addr && a.checked_add(width).is_some_and(|end| end <= self.bytes.len())
+        {
+            Ok(a)
+        } else {
+            Err(MemFault { addr, width })
+        }
+    }
+
+    /// Loads `width` bytes (1, 4 or 8) little-endian, zero-extended to 64 bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault`] if any byte of the access is out of bounds.
+    pub fn load(&self, addr: u64, width: usize) -> Result<u64, MemFault> {
+        let a = self.check(addr, width)?;
+        let mut v: u64 = 0;
+        for i in (0..width).rev() {
+            v = (v << 8) | self.bytes[a + i] as u64;
+        }
+        Ok(v)
+    }
+
+    /// Stores the low `width` bytes (1, 4 or 8) of `value` little-endian.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemFault`] if any byte of the access is out of bounds.
+    pub fn store(&mut self, addr: u64, width: usize, value: u64) -> Result<(), MemFault> {
+        let a = self.check(addr, width)?;
+        for i in 0..width {
+            self.bytes[a + i] = (value >> (8 * i)) as u8;
+        }
+        Ok(())
+    }
+
+    /// Loads a value *speculatively*: out-of-bounds accesses return `0`
+    /// instead of faulting.
+    ///
+    /// The out-of-order simulator uses this for wrong-path loads, which must
+    /// not fault (faults are architecturally raised only at commit).
+    #[inline]
+    pub fn load_speculative(&self, addr: u64, width: usize) -> u64 {
+        self.load(addr, width).unwrap_or(0)
+    }
+
+    /// Bulk-copies `data` into memory starting at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region does not fit; initial images are programmer
+    /// errors, not simulated faults.
+    pub fn write_image(&mut self, addr: u64, data: &[u8]) {
+        let a = addr as usize;
+        self.bytes[a..a + data.len()].copy_from_slice(data);
+    }
+
+    /// Reads `len` bytes starting at `addr` (for test assertions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region is out of bounds.
+    pub fn read_image(&self, addr: u64, len: usize) -> &[u8] {
+        let a = addr as usize;
+        &self.bytes[a..a + len]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_load_round_trip() {
+        let mut m = Memory::new(64);
+        m.store(8, 8, 0x1122_3344_5566_7788).unwrap();
+        assert_eq!(m.load(8, 8).unwrap(), 0x1122_3344_5566_7788);
+        assert_eq!(m.load(8, 1).unwrap(), 0x88, "little endian");
+        assert_eq!(m.load(12, 4).unwrap(), 0x1122_3344);
+    }
+
+    #[test]
+    fn unaligned_access_allowed() {
+        let mut m = Memory::new(64);
+        m.store(3, 8, 0xdead_beef_cafe_f00d).unwrap();
+        assert_eq!(m.load(3, 8).unwrap(), 0xdead_beef_cafe_f00d);
+    }
+
+    #[test]
+    fn zero_extension() {
+        let mut m = Memory::new(16);
+        m.store(0, 1, 0xff).unwrap();
+        assert_eq!(m.load(0, 8).unwrap(), 0xff);
+        assert_eq!(m.load(0, 1).unwrap(), 0xff);
+    }
+
+    #[test]
+    fn out_of_bounds_faults() {
+        let m = Memory::new(16);
+        assert_eq!(m.load(16, 1), Err(MemFault { addr: 16, width: 1 }));
+        assert_eq!(m.load(9, 8), Err(MemFault { addr: 9, width: 8 }));
+        assert!(m.load(u64::MAX, 8).is_err(), "address wraparound must fault");
+        assert!(m.load(u64::MAX - 3, 8).is_err());
+    }
+
+    #[test]
+    fn speculative_load_never_faults() {
+        let m = Memory::new(16);
+        assert_eq!(m.load_speculative(1 << 40, 8), 0);
+        assert_eq!(m.load_speculative(0, 8), 0);
+    }
+
+    #[test]
+    fn image_round_trip() {
+        let mut m = Memory::new(32);
+        m.write_image(4, &[1, 2, 3]);
+        assert_eq!(m.read_image(4, 3), &[1, 2, 3]);
+        assert_eq!(m.load(4, 1).unwrap(), 1);
+    }
+
+    #[test]
+    fn fault_display() {
+        let f = MemFault { addr: 0x20, width: 4 };
+        assert_eq!(f.to_string(), "memory fault: 4-byte access at 0x20");
+    }
+}

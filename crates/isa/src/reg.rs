@@ -1,0 +1,95 @@
+//! Architectural (logical) register identifiers.
+
+use std::fmt;
+
+/// Number of architectural registers in the ISA.
+///
+/// The paper's RRS configuration (§VI.A) uses a 32-entry RAT, i.e. 32 logical
+/// registers, all of which participate in renaming (there is no hardwired
+/// zero register).
+pub const NUM_ARCH_REGS: usize = 32;
+
+/// An architectural (logical) register identifier, `r0`..`r31`.
+///
+/// This is the *Ldst/Lsrc* namespace of the paper: the register names that
+/// the Register Alias Table maps onto physical register identifiers.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ArchReg(u8);
+
+impl ArchReg {
+    /// Creates a register identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= NUM_ARCH_REGS`.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        assert!(index < NUM_ARCH_REGS, "architectural register out of range: {index}");
+        ArchReg(index as u8)
+    }
+
+    /// The register's index, `0..NUM_ARCH_REGS`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterates over all architectural registers in ascending order.
+    pub fn all() -> impl Iterator<Item = ArchReg> {
+        (0..NUM_ARCH_REGS).map(ArchReg::new)
+    }
+}
+
+impl fmt::Display for ArchReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Debug for ArchReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Shorthand constructor used pervasively by the workload assembly sources.
+///
+/// # Panics
+///
+/// Panics if `index >= NUM_ARCH_REGS`.
+#[inline]
+pub fn r(index: usize) -> ArchReg {
+    ArchReg::new(index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        for i in 0..NUM_ARCH_REGS {
+            assert_eq!(ArchReg::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(ArchReg::new(7).to_string(), "r7");
+        assert_eq!(format!("{:?}", ArchReg::new(31)), "r31");
+    }
+
+    #[test]
+    fn all_covers_every_register() {
+        let v: Vec<_> = ArchReg::all().collect();
+        assert_eq!(v.len(), NUM_ARCH_REGS);
+        assert_eq!(v[0].index(), 0);
+        assert_eq!(v[31].index(), 31);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let _ = ArchReg::new(NUM_ARCH_REGS);
+    }
+}

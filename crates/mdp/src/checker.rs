@@ -1,0 +1,210 @@
+//! The IDLD instance for the LFST (paper §V.F, Figure 7).
+
+use crate::predictor::StoreTag;
+
+/// When the insertion/removal XOR pair is compared.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CheckPolicy {
+    /// Check whenever the insertion−removal counter returns to zero.
+    CounterZero,
+    /// Check whenever the store queue drains (paper's "possibly simpler
+    /// alternative").
+    SqEmpty,
+    /// Checkpoint the insertion XOR every `interval` insertions and compare
+    /// once the matching removals have drained — the paper's mechanism for
+    /// frequent checks when the SQ rarely empties. Modeled as a windowed
+    /// check: compare the XOR of the oldest unchecked window once its
+    /// insertion count has been matched by removals.
+    Checkpointed {
+        /// Insertions per checkpoint window.
+        interval: u32,
+    },
+}
+
+/// A detection record.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MdpDetection {
+    /// The op index (driver time) at which the violation was flagged.
+    pub at_op: u64,
+}
+
+/// IDLD for the Store-Sets LFST: two XOR registers (insertions, removals)
+/// plus a counter, compared under a [`CheckPolicy`].
+#[derive(Clone, Debug)]
+pub struct MdpIdld {
+    policy: CheckPolicy,
+    xor_in: u64,
+    xor_out: u64,
+    balance: i64,
+    ops: u64,
+    detection: Option<MdpDetection>,
+    /// Checkpointed policy: queue of (window xor-in, insert count).
+    windows: Vec<(u64, u32)>,
+    cur_window_xor: u64,
+    cur_window_count: u32,
+    removals_outstanding: u64,
+}
+
+impl MdpIdld {
+    /// Creates a checker with the given policy.
+    pub fn new(policy: CheckPolicy) -> Self {
+        MdpIdld {
+            policy,
+            xor_in: 0,
+            xor_out: 0,
+            balance: 0,
+            ops: 0,
+            detection: None,
+            windows: Vec::new(),
+            cur_window_xor: 0,
+            cur_window_count: 0,
+            removals_outstanding: 0,
+        }
+    }
+
+    fn extend(tag: StoreTag) -> u64 {
+        tag.0 | 1 << 63 // the §V.D extended bit, so tag 0 is visible
+    }
+
+    /// Observes an insertion into the LFST. (Actual port traffic, like the
+    /// RRS checker: a suppressed insertion would not reach us.)
+    pub fn on_insert(&mut self, tag: StoreTag) {
+        self.ops += 1;
+        let x = Self::extend(tag);
+        self.xor_in ^= x;
+        self.balance += 1;
+        if let CheckPolicy::Checkpointed { interval } = self.policy {
+            self.cur_window_xor ^= x;
+            self.cur_window_count += 1;
+            if self.cur_window_count == interval {
+                self.windows.push((self.cur_window_xor, self.cur_window_count));
+                self.cur_window_xor = 0;
+                self.cur_window_count = 0;
+            }
+        }
+    }
+
+    /// Observes a removal (address resolution or displacement-by-overwrite).
+    pub fn on_remove(&mut self, tag: StoreTag) {
+        self.ops += 1;
+        self.xor_out ^= Self::extend(tag);
+        self.balance -= 1;
+        self.removals_outstanding += 1;
+        if self.policy == CheckPolicy::CounterZero && self.balance == 0 {
+            self.check();
+        }
+        if let CheckPolicy::Checkpointed { .. } = self.policy {
+            // Once a whole window's insertions have matching removals,
+            // compare that window's XOR against the removals seen.
+            if let Some(&(_, count)) = self.windows.first() {
+                if self.removals_outstanding >= count as u64 && self.balance == 0 {
+                    self.check();
+                    self.windows.remove(0);
+                    self.removals_outstanding = 0;
+                }
+            }
+        }
+    }
+
+    /// The driver signals that the store queue drained.
+    pub fn on_sq_empty(&mut self) {
+        if self.policy == CheckPolicy::SqEmpty {
+            self.check();
+        }
+    }
+
+    fn check(&mut self) {
+        if self.detection.is_none() && self.xor_in != self.xor_out {
+            self.detection = Some(MdpDetection { at_op: self.ops });
+        }
+    }
+
+    /// Forces a final end-of-test comparison (any policy).
+    pub fn final_check(&mut self) {
+        self.check();
+    }
+
+    /// The first detection, if any.
+    pub fn detection(&self) -> Option<MdpDetection> {
+        self.detection
+    }
+
+    /// Current insertion-minus-removal balance.
+    pub fn balance(&self) -> i64 {
+        self.balance
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_traffic_is_clean_under_all_policies() {
+        for policy in [
+            CheckPolicy::CounterZero,
+            CheckPolicy::SqEmpty,
+            CheckPolicy::Checkpointed { interval: 4 },
+        ] {
+            let mut c = MdpIdld::new(policy);
+            for i in 0..100 {
+                c.on_insert(StoreTag(i));
+                c.on_remove(StoreTag(i));
+                c.on_sq_empty();
+            }
+            c.final_check();
+            assert_eq!(c.detection(), None, "{policy:?}");
+            assert_eq!(c.balance(), 0);
+        }
+    }
+
+    #[test]
+    fn counter_zero_detects_swapped_identity() {
+        // Insert a, remove b (a stale, b phantom): counter returns to zero
+        // but the XORs differ — exactly the §V.E weakness of a bare
+        // counter, caught by the XOR pair.
+        let mut c = MdpIdld::new(CheckPolicy::CounterZero);
+        c.on_insert(StoreTag(1));
+        c.on_remove(StoreTag(2));
+        assert!(c.detection().is_some());
+    }
+
+    #[test]
+    fn dropped_removal_detected_at_sq_empty() {
+        let mut c = MdpIdld::new(CheckPolicy::SqEmpty);
+        c.on_insert(StoreTag(1));
+        // The removal never happens (bug); the SQ drains.
+        c.on_sq_empty();
+        assert!(c.detection().is_some());
+    }
+
+    #[test]
+    fn tag_zero_is_visible() {
+        let mut c = MdpIdld::new(CheckPolicy::SqEmpty);
+        c.on_insert(StoreTag(0));
+        c.on_sq_empty();
+        assert!(c.detection().is_some(), "extended bit makes tag 0 countable");
+    }
+
+    #[test]
+    fn checkpointed_checks_without_waiting_for_global_drain() {
+        let mut c = MdpIdld::new(CheckPolicy::Checkpointed { interval: 2 });
+        c.on_insert(StoreTag(1));
+        c.on_insert(StoreTag(2));
+        // Remove a wrong pair: balance returns to 0 at window boundary.
+        c.on_remove(StoreTag(1));
+        c.on_remove(StoreTag(9));
+        assert!(c.detection().is_some());
+    }
+
+    #[test]
+    fn detection_is_sticky() {
+        let mut c = MdpIdld::new(CheckPolicy::CounterZero);
+        c.on_insert(StoreTag(1));
+        c.on_remove(StoreTag(2));
+        let first = c.detection().unwrap();
+        c.on_insert(StoreTag(3));
+        c.on_remove(StoreTag(3));
+        assert_eq!(c.detection().unwrap(), first);
+    }
+}

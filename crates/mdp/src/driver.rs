@@ -1,0 +1,271 @@
+//! A small store/load pipeline driver demonstrating the MDP use case.
+
+use crate::checker::{CheckPolicy, MdpIdld};
+use crate::predictor::{StoreSets, StoreTag};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Driver parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct DriverConfig {
+    /// Memory operations simulated.
+    pub num_ops: u64,
+    /// Fraction of ops that are stores, in percent.
+    pub store_pct: u32,
+    /// Distinct static pcs (smaller → more store-set conflicts).
+    pub num_pcs: u64,
+    /// Store-queue capacity; address resolution drains oldest-first.
+    pub sq_entries: usize,
+    /// Index of the LFST *removal opportunity* whose removal signal is
+    /// suppressed (`None` = bug-free run).
+    pub inject_removal_drop_at: Option<u64>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig {
+            num_ops: 20_000,
+            store_pct: 40,
+            num_pcs: 96,
+            sq_entries: 16,
+            inject_removal_drop_at: None,
+            seed: 0x111d,
+        }
+    }
+}
+
+/// Outcome of one driver run.
+#[derive(Clone, Copy, Debug)]
+pub struct DriverOutcome {
+    /// Op index at which the injected bug activated.
+    pub activation_op: Option<u64>,
+    /// Op index at which the checker flagged the invariance violation.
+    pub detection_op: Option<u64>,
+    /// Op index at which a load first waited on a departed store (the
+    /// architectural hang symptom); `None` if the bug stayed masked.
+    pub hang_op: Option<u64>,
+    /// Stores inserted into the LFST.
+    pub insertions: u64,
+    /// Removals observed (resolution + displacement).
+    pub removals: u64,
+    /// Number of times the store queue drained (check opportunities for
+    /// the SQ-empty policy).
+    pub sq_empties: u64,
+}
+
+/// The driver: dispatches a synthetic stream of loads and stores through a
+/// [`StoreSets`] predictor with an attached [`MdpIdld`] checker, modeling
+/// the map-stage insertions and execute-stage removals of paper Figure 7.
+#[derive(Debug)]
+pub struct MdpPipeline {
+    cfg: DriverConfig,
+}
+
+struct RunState {
+    ss: StoreSets,
+    idld: MdpIdld,
+    outcome: DriverOutcome,
+    departed: Vec<StoreTag>,
+    resolution_events: u64,
+}
+
+impl RunState {
+    /// Resolves the address of `(pc, tag)`; the removal-enable signal of
+    /// the `inject_at`-th genuine removal opportunity is suppressed.
+    fn resolve(&mut self, op: u64, pc: u64, tag: StoreTag, inject_at: Option<u64>) {
+        let names = self.ss.lfst_names(pc, tag);
+        let mut enable = true;
+        if names {
+            if Some(self.resolution_events) == inject_at {
+                enable = false;
+                self.outcome.activation_op = Some(op);
+            }
+            self.resolution_events += 1;
+        }
+        if self.ss.resolve_store(pc, tag, enable) {
+            self.outcome.removals += 1;
+            self.idld.on_remove(tag);
+        } else if names && !enable {
+            // The stale instance leaves the pipeline with its LFST entry
+            // still pointing at it.
+            self.departed.push(tag);
+        }
+    }
+}
+
+impl MdpPipeline {
+    /// Creates a driver.
+    pub fn new(cfg: DriverConfig) -> Self {
+        MdpPipeline { cfg }
+    }
+
+    /// Runs the scenario under `policy`.
+    pub fn run(&self, policy: CheckPolicy) -> DriverOutcome {
+        let cfg = self.cfg;
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let mut st = RunState {
+            ss: StoreSets::new(256, 64),
+            idld: MdpIdld::new(policy),
+            outcome: DriverOutcome {
+                activation_op: None,
+                detection_op: None,
+                hang_op: None,
+                insertions: 0,
+                removals: 0,
+                sq_empties: 0,
+            },
+            departed: Vec::new(),
+            resolution_events: 0,
+        };
+        // Pre-train some store sets so loads and stores conflict.
+        for k in 0..cfg.num_pcs / 3 {
+            st.ss.train_violation(k * 3 + 1, k * 3);
+        }
+
+        let mut sq: VecDeque<(u64, StoreTag)> = VecDeque::new();
+        let mut next_tag = 0u64;
+
+        for op in 0..cfg.num_ops {
+            let pc = rng.gen_range(0..cfg.num_pcs);
+            let is_store = rng.gen_range(0..100) < cfg.store_pct;
+            if is_store {
+                let tag = StoreTag(next_tag);
+                next_tag += 1;
+                let d = st.ss.dispatch_store(pc, tag);
+                if d.inserted {
+                    st.outcome.insertions += 1;
+                    if let Some(old) = d.displaced {
+                        // Removed-by-overwrite through the regular path.
+                        st.outcome.removals += 1;
+                        st.idld.on_remove(old);
+                    }
+                    st.idld.on_insert(tag);
+                }
+                sq.push_back((pc, tag));
+                if sq.len() > cfg.sq_entries {
+                    let (old_pc, old_tag) = sq.pop_front().expect("non-empty");
+                    st.resolve(op, old_pc, old_tag, cfg.inject_removal_drop_at);
+                }
+            } else {
+                // A load waits on its set's last fetched store; if that
+                // store departed, the load hangs (paper §V.F).
+                if let Some(dep) = st.ss.dispatch_load(pc) {
+                    let gone = st.departed.contains(&dep)
+                        && !sq.iter().any(|&(_, t)| t == dep);
+                    if gone && st.outcome.hang_op.is_none() {
+                        st.outcome.hang_op = Some(op);
+                    }
+                }
+            }
+            // Address generation: the oldest store resolves with ~55%
+            // probability per op, so the queue regularly drains and the
+            // SQ-empty check point fires often (the paper's condition for
+            // frequent checking).
+            if !sq.is_empty() && rng.gen_range(0..100) < 55 {
+                let (old_pc, old_tag) = sq.pop_front().expect("non-empty");
+                st.resolve(op, old_pc, old_tag, cfg.inject_removal_drop_at);
+            }
+            if sq.is_empty() {
+                st.outcome.sq_empties += 1;
+                st.idld.on_sq_empty();
+            }
+            if st.outcome.detection_op.is_none() && st.idld.detection().is_some() {
+                st.outcome.detection_op = Some(op);
+            }
+        }
+        // End of test: final drain (removal signals healthy) + check.
+        while let Some((old_pc, old_tag)) = sq.pop_front() {
+            if st.ss.resolve_store(old_pc, old_tag, true) {
+                st.outcome.removals += 1;
+                st.idld.on_remove(old_tag);
+            }
+        }
+        st.idld.on_sq_empty();
+        st.idld.final_check();
+        if st.outcome.detection_op.is_none() && st.idld.detection().is_some() {
+            st.outcome.detection_op = Some(cfg.num_ops);
+        }
+        st.outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(policy: CheckPolicy, inject: Option<u64>) -> DriverOutcome {
+        let cfg = DriverConfig { inject_removal_drop_at: inject, ..Default::default() };
+        MdpPipeline::new(cfg).run(policy)
+    }
+
+    #[test]
+    fn bug_free_runs_are_clean_under_all_policies() {
+        for policy in [
+            CheckPolicy::CounterZero,
+            CheckPolicy::SqEmpty,
+            CheckPolicy::Checkpointed { interval: 8 },
+        ] {
+            let out = run(policy, None);
+            assert_eq!(out.detection_op, None, "{policy:?}");
+            assert_eq!(out.insertions, out.removals, "{policy:?}: closed loop");
+            assert!(out.insertions > 1000);
+            assert!(out.sq_empties > 3, "check opportunities exist");
+        }
+    }
+
+    #[test]
+    fn dropped_removal_activates_and_is_detected() {
+        let out = run(CheckPolicy::SqEmpty, Some(200));
+        let act = out.activation_op.expect("injection must activate");
+        let det = out.detection_op.expect("IDLD must detect");
+        assert!(det >= act, "cannot detect before activation");
+    }
+
+    #[test]
+    fn detection_beats_or_matches_the_hang_symptom() {
+        // The architectural symptom (hung load) may appear much later than
+        // the invariance violation, or never; detection must not be slower.
+        let out = run(CheckPolicy::SqEmpty, Some(200));
+        let det = out.detection_op.expect("detected");
+        if let Some(h) = out.hang_op {
+            assert!(det <= h + 1, "detection at {det} vs hang at {h}");
+        }
+    }
+
+    #[test]
+    fn injection_is_deterministic() {
+        let a = run(CheckPolicy::SqEmpty, Some(300));
+        let b = run(CheckPolicy::SqEmpty, Some(300));
+        assert_eq!(a.detection_op, b.detection_op);
+        assert_eq!(a.hang_op, b.hang_op);
+        assert_eq!(a.activation_op, b.activation_op);
+    }
+
+    #[test]
+    fn sq_empty_policy_detects_most_injections() {
+        // An injected removal drop stays detectable only until a same-set
+        // store displaces the stale entry (removal-by-overwrite rebalances
+        // the XOR pair — the masked case of §V.F). With frequent SQ-empty
+        // check points a solid majority of injections must be caught.
+        let mut detected = 0;
+        let mut activated = 0;
+        for k in 0..20 {
+            let out = run(CheckPolicy::SqEmpty, Some(k * 10));
+            if let Some(act) = out.activation_op {
+                activated += 1;
+                if let Some(det) = out.detection_op {
+                    assert!(det >= act, "injection {k}: detect {det} < activate {act}");
+                    detected += 1;
+                }
+            }
+        }
+        assert!(activated >= 15, "most injections should activate: {activated}/20");
+        assert!(
+            detected * 2 > activated,
+            "majority detected: {detected}/{activated}"
+        );
+    }
+}

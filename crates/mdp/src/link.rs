@@ -1,0 +1,209 @@
+//! A credit-based NoC link — the paper's "broader applicability" claim
+//! (§V.F: "bus communication, exchanges between NoC links, FIFOs etc.").
+//!
+//! Two closed loops coexist here and need *different* checkers:
+//!
+//! * **flits**: every flit sent must eventually be delivered — an IDLD XOR
+//!   pair over the link's ingress/egress ports, checked when the link goes
+//!   idle, catches a dropped flit instantly at the next idle point;
+//! * **credits**: every consumed credit must eventually return — a dropped
+//!   credit never unbalances flit traffic (the flit *was* delivered), so
+//!   the XOR is structurally blind to it and a conservation counter
+//!   (`credits + in-flight == total`) is the right checker.
+//!
+//! The pairing mirrors §V.E's taxonomy: XOR invariance for identifier
+//! circulation, counting for pure resource conservation.
+
+use std::collections::VecDeque;
+
+/// What a link checker flagged.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LinkDetection {
+    /// The flit XOR pair disagreed at an idle point (a flit was lost or
+    /// conjured).
+    FlitXorMismatch {
+        /// Operation index of the detection.
+        at_op: u64,
+    },
+    /// Credit conservation failed (`credits + in-flight != total`).
+    CreditLeak {
+        /// Operation index of the detection.
+        at_op: u64,
+    },
+}
+
+/// A credit-based link with both IDLD-style checkers attached.
+#[derive(Clone, Debug)]
+pub struct CreditLink {
+    total_credits: u32,
+    credits: u32,
+    wire: VecDeque<u64>,
+    xor_in: u64,
+    xor_out: u64,
+    ops: u64,
+    detection: Option<LinkDetection>,
+}
+
+impl CreditLink {
+    /// Creates a link with `credits` buffer slots.
+    pub fn new(credits: u32) -> Self {
+        CreditLink {
+            total_credits: credits,
+            credits,
+            wire: VecDeque::new(),
+            xor_in: 0,
+            xor_out: 0,
+            ops: 0,
+            detection: None,
+        }
+    }
+
+    fn extend(flit: u64) -> u64 {
+        flit | 1 << 63
+    }
+
+    /// Sender-side credits currently available.
+    pub fn credits(&self) -> u32 {
+        self.credits
+    }
+
+    /// Flits currently on the wire.
+    pub fn in_flight(&self) -> usize {
+        self.wire.len()
+    }
+
+    /// Sends `flit` if a credit is available; `wire_ok = false` injects the
+    /// flit-drop bug (the credit is consumed, the flit vanishes).
+    /// Returns whether the send was accepted.
+    pub fn send(&mut self, flit: u64, wire_ok: bool) -> bool {
+        self.ops += 1;
+        if self.credits == 0 {
+            return false;
+        }
+        self.credits -= 1;
+        self.xor_in ^= Self::extend(flit);
+        if wire_ok {
+            self.wire.push_back(flit);
+        }
+        true
+    }
+
+    /// Delivers the oldest flit; `credit_return_ok = false` injects the
+    /// credit-drop bug (the flit arrives, the credit never returns).
+    pub fn deliver(&mut self, credit_return_ok: bool) -> Option<u64> {
+        self.ops += 1;
+        let flit = self.wire.pop_front()?;
+        self.xor_out ^= Self::extend(flit);
+        if credit_return_ok {
+            self.credits += 1;
+        }
+        Some(flit)
+    }
+
+    /// The idle-point check (link empty): compares the flit XOR pair and
+    /// credit conservation. Also callable at any quiescent moment.
+    pub fn check_idle(&mut self) {
+        if self.detection.is_some() {
+            return;
+        }
+        if self.wire.is_empty() && self.xor_in != self.xor_out {
+            self.detection = Some(LinkDetection::FlitXorMismatch { at_op: self.ops });
+            return;
+        }
+        if self.credits + self.wire.len() as u32 != self.total_credits {
+            self.detection = Some(LinkDetection::CreditLeak { at_op: self.ops });
+        }
+    }
+
+    /// The first detection, if any.
+    pub fn detection(&self) -> Option<LinkDetection> {
+        self.detection
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(link: &mut CreditLink) {
+        while link.deliver(true).is_some() {}
+        link.check_idle();
+    }
+
+    #[test]
+    fn clean_traffic_never_detects() {
+        let mut link = CreditLink::new(4);
+        for round in 0..200u64 {
+            for k in 0..3 {
+                assert!(link.send(round * 3 + k, true));
+            }
+            drain(&mut link);
+        }
+        assert_eq!(link.detection(), None);
+        assert_eq!(link.credits(), 4);
+    }
+
+    #[test]
+    fn backpressure_respects_credits() {
+        let mut link = CreditLink::new(2);
+        assert!(link.send(1, true));
+        assert!(link.send(2, true));
+        assert!(!link.send(3, true), "no credit left");
+        link.deliver(true);
+        assert!(link.send(3, true));
+    }
+
+    #[test]
+    fn dropped_flit_detected_at_next_idle_point() {
+        let mut link = CreditLink::new(4);
+        link.send(7, true);
+        link.send(8, false); // lost on the wire
+        // The lost flit also leaks its credit, but the XOR check fires
+        // first at the idle point — identifying *what* went wrong, not just
+        // that a credit is missing.
+        drain(&mut link);
+        assert!(matches!(link.detection(), Some(LinkDetection::FlitXorMismatch { .. })));
+    }
+
+    #[test]
+    fn dropped_credit_is_invisible_to_the_xor_but_not_the_counter() {
+        let mut link = CreditLink::new(4);
+        link.send(7, true);
+        link.deliver(false); // flit arrives, credit vanishes
+        link.check_idle();
+        assert!(
+            matches!(link.detection(), Some(LinkDetection::CreditLeak { .. })),
+            "got {:?}",
+            link.detection()
+        );
+        assert_eq!(link.credits(), 3, "pool permanently smaller");
+    }
+
+    #[test]
+    fn flit_id_zero_is_visible() {
+        let mut link = CreditLink::new(2);
+        link.send(0, false); // drop flit id 0
+        drain(&mut link);
+        assert!(
+            matches!(link.detection(), Some(LinkDetection::FlitXorMismatch { .. })),
+            "the extended bit makes flit 0 countable"
+        );
+    }
+
+    #[test]
+    fn credit_starvation_throughput_collapse() {
+        // Drop every credit return: after `credits` deliveries the link is
+        // dead — the §V.F hang analogue.
+        let mut link = CreditLink::new(3);
+        let mut sent = 0;
+        for f in 0..10u64 {
+            if link.send(f, true) {
+                sent += 1;
+            }
+            link.deliver(false);
+        }
+        assert_eq!(sent, 3, "link starves after the credit pool drains");
+        link.check_idle();
+        assert!(matches!(link.detection(), Some(LinkDetection::CreditLeak { .. })));
+    }
+}

@@ -1,0 +1,203 @@
+//! The Store-Sets memory dependence predictor (SSIT + LFST).
+
+/// A unique identifier of one in-flight store instance (the *inum* of the
+/// paper's Figure 7).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct StoreTag(pub u64);
+
+/// Store-Sets predictor state.
+///
+/// * **SSIT** (Store Set ID Table): pc-indexed, maps a memory instruction
+///   to its store-set id (SSID).
+/// * **LFST** (Last Fetched Store Table): SSID-indexed, holds the tag of
+///   the most recently dispatched store of the set, if still unresolved.
+#[derive(Clone, Debug)]
+pub struct StoreSets {
+    ssit: Vec<Option<u32>>,
+    lfst: Vec<Option<StoreTag>>,
+    next_ssid: u32,
+}
+
+impl StoreSets {
+    /// Creates a predictor with `ssit_entries` SSIT slots and
+    /// `lfst_entries` LFST slots.
+    pub fn new(ssit_entries: usize, lfst_entries: usize) -> Self {
+        StoreSets {
+            ssit: vec![None; ssit_entries],
+            lfst: vec![None; lfst_entries],
+            next_ssid: 0,
+        }
+    }
+
+    #[inline]
+    fn ssit_index(&self, pc: u64) -> usize {
+        (pc as usize) % self.ssit.len()
+    }
+
+    #[inline]
+    fn lfst_index(&self, ssid: u32) -> usize {
+        (ssid as usize) % self.lfst.len()
+    }
+
+    /// The SSID assigned to `pc`, if any.
+    pub fn ssid_of(&self, pc: u64) -> Option<u32> {
+        self.ssit[self.ssit_index(pc)]
+    }
+
+    /// Dispatch of the store at `pc` with tag `tag`: returns the
+    /// predicted-conflicting older store to wait behind (if any) and
+    /// *inserts* the store into the LFST (it becomes the set's last
+    /// fetched store). The displaced tag, if any, counts as removed-by-
+    /// overwrite (paper §V.F).
+    pub fn dispatch_store(&mut self, pc: u64, tag: StoreTag) -> StoreDispatch {
+        let Some(ssid) = self.ssid_of(pc) else {
+            return StoreDispatch { depends_on: None, inserted: false, displaced: None };
+        };
+        let slot = self.lfst_index(ssid);
+        let displaced = self.lfst[slot].take();
+        self.lfst[slot] = Some(tag);
+        StoreDispatch { depends_on: displaced, inserted: true, displaced }
+    }
+
+    /// Dispatch of the load at `pc`: returns the store the load must wait
+    /// behind, per its store set.
+    pub fn dispatch_load(&self, pc: u64) -> Option<StoreTag> {
+        let ssid = self.ssid_of(pc)?;
+        self.lfst[self.lfst_index(ssid)]
+    }
+
+    /// The store's address resolved: remove it from the LFST if its entry
+    /// still names it. Returns `true` if an entry was removed — the
+    /// *removal* event of the IDLD invariance. `removal_enable` models the
+    /// corruptible control signal: when `false` the entry is left stale
+    /// (the injected bug).
+    pub fn resolve_store(&mut self, pc: u64, tag: StoreTag, removal_enable: bool) -> bool {
+        let Some(ssid) = self.ssid_of(pc) else { return false };
+        let slot = self.lfst_index(ssid);
+        if self.lfst[slot] == Some(tag)
+            && removal_enable {
+                self.lfst[slot] = None;
+                return true;
+            }
+        false
+    }
+
+    /// True if the LFST entry for `pc`'s set currently names `tag`
+    /// (i.e. a resolution of this store would perform a removal).
+    pub fn lfst_names(&self, pc: u64, tag: StoreTag) -> bool {
+        self.ssid_of(pc)
+            .map(|ssid| self.lfst[self.lfst_index(ssid)] == Some(tag))
+            .unwrap_or(false)
+    }
+
+    /// Trains the predictor after a memory-order violation between the
+    /// load at `load_pc` and the store at `store_pc`: both get a common
+    /// SSID (the simplified merge rule of the paper).
+    pub fn train_violation(&mut self, load_pc: u64, store_pc: u64) {
+        let li = self.ssit_index(load_pc);
+        let si = self.ssit_index(store_pc);
+        let ssid = match (self.ssit[li], self.ssit[si]) {
+            (Some(a), Some(b)) => a.min(b),
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (None, None) => {
+                let id = self.next_ssid;
+                self.next_ssid = self.next_ssid.wrapping_add(1);
+                id
+            }
+        };
+        self.ssit[li] = Some(ssid);
+        self.ssit[si] = Some(ssid);
+    }
+
+    /// Number of currently valid LFST entries.
+    pub fn lfst_occupancy(&self) -> usize {
+        self.lfst.iter().flatten().count()
+    }
+}
+
+/// Result of a store dispatch.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct StoreDispatch {
+    /// An older store of the same set this store should order behind.
+    pub depends_on: Option<StoreTag>,
+    /// Whether the store was inserted into the LFST (it had a store set).
+    pub inserted: bool,
+    /// The entry it displaced (removed-by-overwrite), if any.
+    pub displaced: Option<StoreTag>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untrained_pcs_have_no_sets() {
+        let mut ss = StoreSets::new(64, 16);
+        assert_eq!(ss.dispatch_load(100), None);
+        let d = ss.dispatch_store(200, StoreTag(1));
+        assert!(!d.inserted);
+        assert_eq!(ss.lfst_occupancy(), 0);
+    }
+
+    #[test]
+    fn violation_training_creates_dependence() {
+        let mut ss = StoreSets::new(64, 16);
+        ss.train_violation(100, 200);
+        assert_eq!(ss.ssid_of(100), ss.ssid_of(200));
+        let d = ss.dispatch_store(200, StoreTag(7));
+        assert!(d.inserted && d.depends_on.is_none());
+        assert_eq!(ss.dispatch_load(100), Some(StoreTag(7)));
+    }
+
+    #[test]
+    fn resolution_removes_entry() {
+        let mut ss = StoreSets::new(64, 16);
+        ss.train_violation(100, 200);
+        ss.dispatch_store(200, StoreTag(7));
+        assert!(ss.resolve_store(200, StoreTag(7), true));
+        assert_eq!(ss.dispatch_load(100), None);
+        assert_eq!(ss.lfst_occupancy(), 0);
+    }
+
+    #[test]
+    fn suppressed_removal_leaves_stale_entry() {
+        let mut ss = StoreSets::new(64, 16);
+        ss.train_violation(100, 200);
+        ss.dispatch_store(200, StoreTag(7));
+        assert!(!ss.resolve_store(200, StoreTag(7), false), "removal dropped");
+        // The departed store still poisons the set: a load would wait on
+        // tag 7 forever (paper: "a load may cause execution to hang").
+        assert_eq!(ss.dispatch_load(100), Some(StoreTag(7)));
+    }
+
+    #[test]
+    fn overwrite_displaces_previous_instance() {
+        let mut ss = StoreSets::new(64, 16);
+        ss.train_violation(100, 200);
+        ss.dispatch_store(200, StoreTag(1));
+        let d = ss.dispatch_store(200, StoreTag(2));
+        assert_eq!(d.displaced, Some(StoreTag(1)), "removed by overwrite");
+        assert_eq!(d.depends_on, Some(StoreTag(1)), "orders behind the older instance");
+        assert_eq!(ss.dispatch_load(100), Some(StoreTag(2)));
+    }
+
+    #[test]
+    fn stale_resolution_of_displaced_store_is_a_noop() {
+        let mut ss = StoreSets::new(64, 16);
+        ss.train_violation(100, 200);
+        ss.dispatch_store(200, StoreTag(1));
+        ss.dispatch_store(200, StoreTag(2));
+        assert!(!ss.resolve_store(200, StoreTag(1), true), "already displaced");
+        assert_eq!(ss.lfst_occupancy(), 1);
+    }
+
+    #[test]
+    fn set_merging_picks_stable_id() {
+        let mut ss = StoreSets::new(64, 16);
+        ss.train_violation(1, 2); // new set
+        ss.train_violation(3, 4); // another set
+        ss.train_violation(1, 3); // merge: both get min id
+        assert_eq!(ss.ssid_of(1), ss.ssid_of(3));
+    }
+}

@@ -1,0 +1,177 @@
+//! The RAT checkpoint table.
+
+use crate::event::{EventSink, RrsEvent};
+use crate::fault::{FaultHook, OpSite};
+use crate::phys::PhysReg;
+
+/// One RAT checkpoint slot.
+#[derive(Clone, Debug)]
+pub struct Ckpt {
+    /// Snapshot of the RAT contents.
+    pub rat: Vec<PhysReg>,
+    /// Snapshot of the per-PdstID RAT reference counts (all ones unless
+    /// move elimination is active).
+    pub refcounts: Vec<i32>,
+    /// Allocation sequence number the snapshot corresponds to: the RAT
+    /// state *before* renaming instruction `seq`.
+    pub seq: u64,
+    /// Whether this slot currently holds a usable snapshot.
+    pub valid: bool,
+}
+
+/// The checkpoint table (CKPT): a rotating set of RAT snapshots taken every
+/// fixed number of ROB allocations (paper §III.A).
+///
+/// The checkpoint-take *content copy* is gated by the corruptible
+/// [`OpSite::CkptTake`] signal; the slot-rotation bookkeeping proceeds
+/// regardless, so a suppressed take leaves a slot whose metadata claims the
+/// new position but whose contents are from an older epoch — the paper's
+/// "recovered from a wrong checkpoint" scenario.
+#[derive(Clone, Debug)]
+pub struct CkptTable {
+    slots: Vec<Ckpt>,
+    next: usize,
+}
+
+impl CkptTable {
+    /// Creates a table of `num` invalid slots for a RAT of `rat_len`
+    /// entries over `num_phys` physical registers.
+    pub fn new(num: usize, rat_len: usize, num_phys: usize) -> Self {
+        CkptTable {
+            slots: (0..num)
+                .map(|_| Ckpt {
+                    rat: vec![PhysReg(0); rat_len],
+                    refcounts: vec![0; num_phys],
+                    seq: 0,
+                    valid: false,
+                })
+                .collect(),
+            next: 0,
+        }
+    }
+
+    /// Number of slots.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if the table has no slots.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Access to a slot (for restore and inspection).
+    #[inline]
+    pub fn slot(&self, i: usize) -> &Ckpt {
+        &self.slots[i]
+    }
+
+    /// Takes a checkpoint of `rat_snapshot` at allocation sequence `seq`,
+    /// returning the slot used.
+    ///
+    /// When the checkpoint signal is suppressed the content copy (and the
+    /// matching IDLD XOR snapshot, which shares the signal — no
+    /// [`RrsEvent::CkptTake`] is emitted) does not happen, but the slot
+    /// metadata still rotates to the new sequence.
+    pub fn take(
+        &mut self,
+        rat_snapshot: &[PhysReg],
+        refcounts: &[i32],
+        seq: u64,
+        hook: &mut impl FaultHook,
+        sink: &mut impl EventSink,
+    ) -> usize {
+        let slot = self.next;
+        self.next = (self.next + 1) % self.slots.len();
+        let c = hook.on_op(OpSite::CkptTake);
+        let s = &mut self.slots[slot];
+        s.seq = seq;
+        s.valid = true;
+        if !c.suppress_array && !c.suppress_ptr {
+            s.rat.copy_from_slice(rat_snapshot);
+            s.refcounts.copy_from_slice(refcounts);
+            sink.event(RrsEvent::CkptTake { slot });
+        }
+        slot
+    }
+
+    /// Finds the newest valid checkpoint with `min_seq <= seq <= max_seq`.
+    ///
+    /// `max_seq` is the flush point + 1 (the restore target); `min_seq` is
+    /// the oldest sequence whose RHT entries still exist (the retirement
+    /// boundary) — an older checkpoint could not be walked forward.
+    pub fn find(&self, max_seq: u64, min_seq: u64) -> Option<usize> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.valid && s.seq <= max_seq && s.seq >= min_seq)
+            .max_by_key(|(_, s)| s.seq)
+            .map(|(i, _)| i)
+    }
+
+    /// Invalidates checkpoints younger than the flush point (their contents
+    /// belong to the squashed future).
+    pub fn invalidate_after(&mut self, max_seq: u64) {
+        for s in &mut self.slots {
+            if s.valid && s.seq > max_seq {
+                s.valid = false;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{NullSink, RecordingSink};
+    use crate::fault::{Corruption, NoFaults};
+    use crate::testutil::OneShot;
+
+    fn snap(v: u16) -> Vec<PhysReg> {
+        vec![PhysReg(v); 2]
+    }
+
+    #[test]
+    fn rotation_and_find() {
+        let mut t = CkptTable::new(2, 2, 8);
+        assert_eq!(t.take(&snap(1), &[1; 8], 0, &mut NoFaults, &mut NullSink), 0);
+        assert_eq!(t.take(&snap(2), &[1; 8], 24, &mut NoFaults, &mut NullSink), 1);
+        assert_eq!(t.take(&snap(3), &[1; 8], 48, &mut NoFaults, &mut NullSink), 0, "rotates");
+        // Newest ≤ 50 is seq 48 in slot 0.
+        assert_eq!(t.find(50, 0), Some(0));
+        // For a flush point before 48, only slot 1 (seq 24) qualifies.
+        assert_eq!(t.find(47, 0), Some(1));
+        // Retirement boundary excludes too-old checkpoints.
+        assert_eq!(t.find(47, 30), None);
+    }
+
+    #[test]
+    fn invalidate_after_flush() {
+        let mut t = CkptTable::new(4, 2, 8);
+        t.take(&snap(1), &[1; 8], 0, &mut NoFaults, &mut NullSink);
+        t.take(&snap(2), &[1; 8], 24, &mut NoFaults, &mut NullSink);
+        t.take(&snap(3), &[1; 8], 48, &mut NoFaults, &mut NullSink);
+        t.invalidate_after(30);
+        assert_eq!(t.find(100, 0), Some(1), "seq-48 checkpoint invalidated");
+    }
+
+    #[test]
+    fn suppressed_take_keeps_stale_content_with_new_seq() {
+        let mut t = CkptTable::new(1, 2, 8);
+        let mut s = RecordingSink::new();
+        t.take(&snap(7), &[1; 8], 0, &mut NoFaults, &mut s);
+        let mut hook = OneShot::new(
+            OpSite::CkptTake,
+            0,
+            Corruption { suppress_array: true, ..Corruption::NONE },
+        );
+        t.take(&snap(9), &[1; 8], 24, &mut hook, &mut s);
+        let slot = t.slot(0);
+        assert_eq!(slot.seq, 24, "metadata rotated");
+        assert_eq!(slot.rat, snap(7), "content is from the older epoch");
+        // Only the first take reached the IDLD tap.
+        assert_eq!(s.events.len(), 1);
+    }
+}

@@ -1,0 +1,149 @@
+//! The RRS port-event stream observed by checkers.
+//!
+//! The IDLD hardware (paper Figure 6) taps the *actual* traffic on the FL,
+//! RAT and ROB ports. Accordingly, the RRS emits an [`RrsEvent`] for every
+//! transfer that *really happens*: a suppressed write-enable produces no
+//! event (the XOR register in hardware is gated by the same enable), and a
+//! corrupted PdstID value appears corrupted in the event. Detection of bugs
+//! then arises from *imbalance between arrays*, never from privileged
+//! knowledge of the injected fault.
+
+use crate::phys::PhysReg;
+
+/// One port-level event in the register renaming subsystem.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RrsEvent {
+    /// A PdstID left the FL through its read port (pointer advanced).
+    FlRead(PhysReg),
+    /// A PdstID was written into the FL array.
+    FlWrite(PhysReg),
+    /// A PdstID was written into the RAT (rename or positive walk).
+    RatWrite(PhysReg),
+    /// The previous mapping was read out of the RAT on its eviction read
+    /// port (it is headed for a ROB entry, or is re-derived during the
+    /// positive walk).
+    RatEvictRead(PhysReg),
+    /// An evicted PdstID was written into a ROB entry at allocation.
+    RobWrite(PhysReg),
+    /// An evicted PdstID was read from the ROB at retirement for
+    /// reclamation.
+    RobRead(PhysReg),
+    /// The retirement RAT was updated at commit. (Reliable bookkeeping;
+    /// lets checkers maintain the RRAT XOR.) Under move elimination a
+    /// field is `None` when the id's retirement reference count did not
+    /// cross zero — duplicate instances are not counted (§V.E).
+    RratWrite {
+        /// Previous retirement mapping, if its last retirement reference
+        /// died.
+        old: Option<PhysReg>,
+        /// New retirement mapping, if this is its first retirement
+        /// reference.
+        new: Option<PhysReg>,
+    },
+    /// A RAT checkpoint was taken into `slot` (checkers snapshot their
+    /// RATxor/ROBxor into the matching slot, paper §V.C).
+    CkptTake {
+        /// Checkpoint slot index.
+        slot: usize,
+    },
+    /// Recovery restored the RAT from checkpoint `slot`.
+    CkptRestore {
+        /// Checkpoint slot index.
+        slot: usize,
+    },
+    /// Recovery restored the RAT from the retirement RAT (fall-back when no
+    /// checkpoint covers the flush point).
+    RratRestore,
+    /// A RAT read returned an entry whose stored parity disagrees with its
+    /// contents — the ECC/parity protection class §V.D calls orthogonal to
+    /// IDLD. Fired only when [`crate::RrsConfig::parity`] is enabled.
+    ParityAlarm,
+    /// A multi-cycle recovery began; the PdstID-invariance need not hold
+    /// until [`RrsEvent::RecoveryEnd`] (paper §V.C).
+    RecoveryStart,
+    /// Recovery completed; invariance checking resumes.
+    RecoveryEnd,
+}
+
+/// Receiver of RRS events. Checkers in `idld-core` implement this.
+pub trait EventSink {
+    /// Observes one event.
+    fn event(&mut self, ev: RrsEvent);
+}
+
+/// Discards all events.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    #[inline]
+    fn event(&mut self, _ev: RrsEvent) {}
+}
+
+/// Records all events (for tests and debugging).
+#[derive(Clone, Debug, Default)]
+pub struct RecordingSink {
+    /// The recorded events, in emission order.
+    pub events: Vec<RrsEvent>,
+}
+
+impl RecordingSink {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts recorded events matching `pred`.
+    pub fn count(&self, pred: impl Fn(&RrsEvent) -> bool) -> usize {
+        self.events.iter().filter(|e| pred(e)).count()
+    }
+}
+
+impl EventSink for RecordingSink {
+    #[inline]
+    fn event(&mut self, ev: RrsEvent) {
+        self.events.push(ev);
+    }
+}
+
+impl<S: EventSink + ?Sized> EventSink for &mut S {
+    #[inline]
+    fn event(&mut self, ev: RrsEvent) {
+        (**self).event(ev);
+    }
+}
+
+/// Fans one event stream out to a pair of sinks; nest pairs for more.
+#[derive(Debug)]
+pub struct FanoutSink<A, B>(pub A, pub B);
+
+impl<A: EventSink, B: EventSink> EventSink for FanoutSink<A, B> {
+    #[inline]
+    fn event(&mut self, ev: RrsEvent) {
+        self.0.event(ev);
+        self.1.event(ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recording_sink_counts() {
+        let mut s = RecordingSink::new();
+        s.event(RrsEvent::FlRead(PhysReg(1)));
+        s.event(RrsEvent::FlWrite(PhysReg(2)));
+        s.event(RrsEvent::FlRead(PhysReg(3)));
+        assert_eq!(s.events.len(), 3);
+        assert_eq!(s.count(|e| matches!(e, RrsEvent::FlRead(_))), 2);
+    }
+
+    #[test]
+    fn fanout_delivers_to_both() {
+        let mut f = FanoutSink(RecordingSink::new(), RecordingSink::new());
+        f.event(RrsEvent::RecoveryStart);
+        assert_eq!(f.0.events.len(), 1);
+        assert_eq!(f.1.events.len(), 1);
+    }
+}

@@ -1,0 +1,187 @@
+//! Fault-injection hooks for the RRS control signals of paper Table I.
+//!
+//! Every control-signal site in the RRS consults a [`FaultHook`] immediately
+//! before acting. The hook returns a [`Corruption`] describing which
+//! sub-signals of this single occurrence to suppress (momentary
+//! de-assertion — the paper's *Control Signal Corruption* bug model) and an
+//! optional XOR mask applied to the PdstID value being written (the paper's
+//! *PdstID Corruption* bug model).
+//!
+//! The default hook, [`NoFaults`], corrupts nothing; `idld-bugs` provides
+//! hooks that arm exactly one corruption at a chosen occurrence index.
+
+/// A control-signal site in the RRS — one cell of paper Table I.
+///
+/// Each variant corresponds to a distinct piece of control logic whose
+/// momentary failure the bug models of §III describe.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum OpSite {
+    /// FL read: pop for allocation (read-enable advances the read pointer).
+    FlPop,
+    /// FL write: reclaim at retirement or negative-walk return
+    /// (write-enable updates the array and the write pointer).
+    FlPush,
+    /// ROB write at allocation (evicted-PdstID field).
+    RobAlloc,
+    /// ROB read at retirement (read-enable advances the commit pointer).
+    RobCommitRead,
+    /// ROB recovery: move the write (tail) pointer to the offending entry+1.
+    RobTailRestore,
+    /// RHT write at rename (log of the RAT change).
+    RhtAppend,
+    /// RHT recovery: move the write (tail) pointer to the offending entry+1.
+    RhtTailRestore,
+    /// RHT positive-walk read (read-enable advances the positive pointer).
+    RhtPosWalkRead,
+    /// RHT negative-walk read (read-enable advances the negative pointer).
+    RhtNegWalkRead,
+    /// RAT write (write-enable), at rename or during the positive walk.
+    RatWrite,
+    /// RAT recovery: restore from a checkpoint.
+    RatRecover,
+    /// Checkpoint signal: copy RAT into a checkpoint slot.
+    CkptTake,
+    /// Move elimination's duplicate-marking signal (§V.E): asserted when a
+    /// second instance of a PdstID is created in the RAT without an FL
+    /// allocation. Suppression makes the write look like an ordinary
+    /// (counted) rename write — the paper's "will cause IDLD assertion".
+    MoveElimDup,
+}
+
+impl OpSite {
+    /// All sites, for census and reporting.
+    pub const ALL: [OpSite; 13] = [
+        OpSite::FlPop,
+        OpSite::FlPush,
+        OpSite::RobAlloc,
+        OpSite::RobCommitRead,
+        OpSite::RobTailRestore,
+        OpSite::RhtAppend,
+        OpSite::RhtTailRestore,
+        OpSite::RhtPosWalkRead,
+        OpSite::RhtNegWalkRead,
+        OpSite::RatWrite,
+        OpSite::RatRecover,
+        OpSite::CkptTake,
+        OpSite::MoveElimDup,
+    ];
+}
+
+/// The corruption applied to one occurrence of a control-signal site.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Corruption {
+    /// Suppress the array-update sub-signal (data not written; the slot
+    /// retains its stale contents). For read sites and single-signal sites
+    /// (RAT write, recovery, checkpoint) this suppresses the operation.
+    pub suppress_array: bool,
+    /// Suppress the pointer-update sub-signal (FIFO pointer not advanced).
+    pub suppress_ptr: bool,
+    /// XOR mask applied to the PdstID value carried by the operation
+    /// (PdstID Corruption bug model); `0` leaves the value intact.
+    pub value_xor: u16,
+}
+
+impl Corruption {
+    /// No corruption.
+    pub const NONE: Corruption = Corruption { suppress_array: false, suppress_ptr: false, value_xor: 0 };
+
+    /// True if this corruption changes anything.
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.suppress_array || self.suppress_ptr || self.value_xor != 0
+    }
+}
+
+/// Consulted by the RRS before every control-signal occurrence.
+///
+/// Implementations must be cheap: the hook is called on the hot path of
+/// every rename, commit and recovery step.
+pub trait FaultHook {
+    /// Returns the corruption (if any) for this occurrence of `site`.
+    fn on_op(&mut self, site: OpSite) -> Corruption;
+
+    /// Informs the hook of the current simulation cycle (called once per
+    /// cycle by the driving simulator). Hooks that record activation cycles
+    /// override this; the default ignores it.
+    fn begin_cycle(&mut self, cycle: u64) {
+        let _ = cycle;
+    }
+
+    /// An *at-rest* upset to apply this cycle: `(rat_entry, xor_mask)`
+    /// flips bits of a PdstID already stored in the RAT — the storage-cell
+    /// corruption class that §V.D explicitly leaves to ECC/parity schemes.
+    /// Default: none.
+    fn take_at_rest(&mut self) -> Option<(usize, u16)> {
+        None
+    }
+}
+
+/// A hook that never corrupts anything (bug-free hardware).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoFaults;
+
+impl FaultHook for NoFaults {
+    #[inline]
+    fn on_op(&mut self, _site: OpSite) -> Corruption {
+        Corruption::NONE
+    }
+}
+
+/// A hook that counts occurrences per site without corrupting anything.
+///
+/// Campaigns use a census from a golden run to arm a corruption at a
+/// uniformly random occurrence index of the targeted site.
+#[derive(Clone, Debug, Default)]
+pub struct CensusHook {
+    counts: std::collections::HashMap<OpSite, u64>,
+}
+
+impl CensusHook {
+    /// Creates an empty census.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The number of occurrences observed for `site`.
+    pub fn count(&self, site: OpSite) -> u64 {
+        self.counts.get(&site).copied().unwrap_or(0)
+    }
+}
+
+impl FaultHook for CensusHook {
+    #[inline]
+    fn on_op(&mut self, site: OpSite) -> Corruption {
+        *self.counts.entry(site).or_insert(0) += 1;
+        Corruption::NONE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_inactive() {
+        assert!(!Corruption::NONE.is_active());
+        assert!(Corruption { suppress_array: true, ..Corruption::NONE }.is_active());
+        assert!(Corruption { value_xor: 1, ..Corruption::NONE }.is_active());
+    }
+
+    #[test]
+    fn census_counts() {
+        let mut c = CensusHook::new();
+        for _ in 0..3 {
+            assert_eq!(c.on_op(OpSite::FlPop), Corruption::NONE);
+        }
+        c.on_op(OpSite::RatWrite);
+        assert_eq!(c.count(OpSite::FlPop), 3);
+        assert_eq!(c.count(OpSite::RatWrite), 1);
+        assert_eq!(c.count(OpSite::CkptTake), 0);
+    }
+
+    #[test]
+    fn all_sites_distinct() {
+        let set: std::collections::HashSet<_> = OpSite::ALL.iter().collect();
+        assert_eq!(set.len(), OpSite::ALL.len());
+    }
+}

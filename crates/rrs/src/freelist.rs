@@ -1,0 +1,263 @@
+//! The Free List: a circular FIFO of free physical register identifiers.
+
+use crate::event::{EventSink, RrsEvent};
+use crate::fault::{FaultHook, OpSite};
+use crate::phys::PhysReg;
+use crate::rrs::RrsAssert;
+
+/// The Free List (FL) of the paper: a FIFO initialized at power-on with
+/// every unallocated PdstID. Allocation pops from the head; retirement and
+/// negative-walk reclamation push at the tail.
+///
+/// Pointers are absolute sequence numbers (`slot = seq % capacity`); the
+/// occupancy implied by the pointers *is* the hardware truth, so a
+/// suppressed pointer update genuinely desynchronizes the structure, exactly
+/// like the Table-I bug models.
+#[derive(Clone, Debug)]
+pub struct FreeList {
+    slots: Vec<PhysReg>,
+    head: u64,
+    tail: u64,
+}
+
+impl FreeList {
+    /// Creates a free list holding `initial` in FIFO order with total
+    /// capacity `capacity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more initial ids are supplied than the capacity.
+    pub fn new(capacity: usize, initial: impl IntoIterator<Item = PhysReg>) -> Self {
+        // Slots start as PhysReg(0) — a never-written slot read through a
+        // stale-pointer bug yields id 0, exercising the extended-bit case.
+        let mut fl = FreeList { slots: vec![PhysReg(0); capacity], head: 0, tail: 0 };
+        for p in initial {
+            assert!(fl.len() < capacity, "free list over-filled at construction");
+            fl.slots[(fl.tail % capacity as u64) as usize] = p;
+            fl.tail += 1;
+        }
+        fl
+    }
+
+    /// Capacity in entries.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Current occupancy implied by the pointers.
+    #[inline]
+    pub fn len(&self) -> usize {
+        (self.tail - self.head) as usize
+    }
+
+    /// True if the pointers indicate an empty FIFO.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.head == self.tail
+    }
+
+    /// Pops the next free PdstID for allocation.
+    ///
+    /// Returns `None` when empty (the renamer stalls). The head-slot data is
+    /// delivered combinationally; the *read-enable* (pointer advance and the
+    /// IDLD tap, paper Figure 6) is the corruptible signal: when suppressed,
+    /// the pointer stays and no [`RrsEvent::FlRead`] is emitted, so the next
+    /// pop delivers the same id — a duplication bug.
+    pub fn pop(&mut self, hook: &mut impl FaultHook, sink: &mut impl EventSink) -> Option<PhysReg> {
+        if self.is_empty() {
+            return None;
+        }
+        let data = self.slots[(self.head % self.capacity() as u64) as usize];
+        let c = hook.on_op(OpSite::FlPop);
+        if !c.suppress_ptr && !c.suppress_array {
+            self.head += 1;
+            sink.event(RrsEvent::FlRead(data));
+        }
+        Some(data)
+    }
+
+    /// Pushes a reclaimed PdstID at the tail.
+    ///
+    /// The write-enable has two corruptible sub-signals: *update array*
+    /// (suppressed: the slot keeps its stale contents and no
+    /// [`RrsEvent::FlWrite`] fires — the id leaks) and *update write
+    /// pointer* (suppressed: the next push overwrites this slot).
+    /// A `value_xor` corruption writes (and reports) a corrupted id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RrsAssert::FlOverflow`] when the pointers indicate a full
+    /// FIFO — reachable only under injected bugs (e.g. double reclamation).
+    pub fn push(
+        &mut self,
+        p: PhysReg,
+        hook: &mut impl FaultHook,
+        sink: &mut impl EventSink,
+    ) -> Result<(), RrsAssert> {
+        if self.len() == self.capacity() {
+            return Err(RrsAssert::FlOverflow);
+        }
+        let c = hook.on_op(OpSite::FlPush);
+        let v = PhysReg(p.0 ^ c.value_xor);
+        if !c.suppress_array {
+            let cap = self.capacity() as u64;
+            self.slots[(self.tail % cap) as usize] = v;
+            sink.event(RrsEvent::FlWrite(v));
+        }
+        if !c.suppress_ptr {
+            self.tail += 1;
+        }
+        Ok(())
+    }
+
+    /// Iterates the live contents in FIFO order (head first).
+    pub fn iter(&self) -> impl Iterator<Item = PhysReg> + '_ {
+        let cap = self.capacity() as u64;
+        (self.head..self.tail).map(move |s| self.slots[(s % cap) as usize])
+    }
+
+    /// XOR of the extended encodings of the live contents.
+    pub fn content_xor(&self, bits: u32) -> u32 {
+        self.iter().fold(0, |a, p| a ^ p.extended(bits))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::RecordingSink;
+    use crate::fault::{Corruption, NoFaults};
+    use crate::testutil::OneShot;
+
+    fn fl4() -> FreeList {
+        FreeList::new(4, [PhysReg(10), PhysReg(11), PhysReg(12)])
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut fl = fl4();
+        let mut s = RecordingSink::new();
+        assert_eq!(fl.len(), 3);
+        assert_eq!(fl.pop(&mut NoFaults, &mut s), Some(PhysReg(10)));
+        assert_eq!(fl.pop(&mut NoFaults, &mut s), Some(PhysReg(11)));
+        fl.push(PhysReg(10), &mut NoFaults, &mut s).unwrap();
+        assert_eq!(fl.pop(&mut NoFaults, &mut s), Some(PhysReg(12)));
+        assert_eq!(fl.pop(&mut NoFaults, &mut s), Some(PhysReg(10)));
+        assert_eq!(fl.pop(&mut NoFaults, &mut s), None);
+    }
+
+    #[test]
+    fn events_mirror_traffic() {
+        let mut fl = fl4();
+        let mut s = RecordingSink::new();
+        fl.pop(&mut NoFaults, &mut s);
+        fl.push(PhysReg(10), &mut NoFaults, &mut s).unwrap();
+        assert_eq!(
+            s.events,
+            vec![RrsEvent::FlRead(PhysReg(10)), RrsEvent::FlWrite(PhysReg(10))]
+        );
+    }
+
+    #[test]
+    fn suppressed_read_enable_duplicates() {
+        let mut fl = fl4();
+        let mut s = RecordingSink::new();
+        let mut hook = OneShot::new(
+            OpSite::FlPop,
+            0,
+            Corruption { suppress_ptr: true, ..Corruption::NONE },
+        );
+        // First pop: data delivered, pointer stuck, no event.
+        assert_eq!(fl.pop(&mut hook, &mut s), Some(PhysReg(10)));
+        assert!(hook.fired);
+        assert_eq!(s.events.len(), 0);
+        assert_eq!(fl.len(), 3);
+        // Second pop: the same id again — duplication.
+        assert_eq!(fl.pop(&mut hook, &mut s), Some(PhysReg(10)));
+        assert_eq!(s.events, vec![RrsEvent::FlRead(PhysReg(10))]);
+    }
+
+    #[test]
+    fn suppressed_array_write_leaks() {
+        let mut fl = fl4();
+        let mut s = RecordingSink::new();
+        // Free slots 0 and 1 (popping p10 and p11), then reclaim p10
+        // normally and p11 with a suppressed array write.
+        fl.pop(&mut NoFaults, &mut s);
+        fl.pop(&mut NoFaults, &mut s);
+        let mut hook = OneShot::new(
+            OpSite::FlPush,
+            0,
+            Corruption { suppress_array: true, ..Corruption::NONE },
+        );
+        fl.push(PhysReg(10), &mut NoFaults, &mut s).unwrap();
+        fl.push(PhysReg(11), &mut hook, &mut s).unwrap(); // leaked
+        // Pointer advanced, so occupancy includes the stale slot, which
+        // still holds the p10 that originally occupied it.
+        assert_eq!(fl.len(), 3);
+        let drained: Vec<_> = (0..3).map(|_| fl.pop(&mut NoFaults, &mut s).unwrap()).collect();
+        assert_eq!(
+            drained,
+            vec![PhysReg(12), PhysReg(10), PhysReg(10)],
+            "p11 leaked; p10 duplicated via the stale slot"
+        );
+    }
+
+    #[test]
+    fn suppressed_ptr_write_overwrites() {
+        let mut fl = FreeList::new(4, [PhysReg(1)]);
+        let mut s = RecordingSink::new();
+        let mut hook = OneShot::new(
+            OpSite::FlPush,
+            0,
+            Corruption { suppress_ptr: true, ..Corruption::NONE },
+        );
+        fl.push(PhysReg(7), &mut hook, &mut s).unwrap(); // array written, ptr stuck
+        fl.push(PhysReg(8), &mut NoFaults, &mut s).unwrap(); // overwrites 7
+        assert_eq!(fl.len(), 2);
+        let drained: Vec<_> = fl.iter().collect();
+        assert_eq!(drained, vec![PhysReg(1), PhysReg(8)], "p7 leaked");
+        // Both writes hit the array, so both produced FlWrite events.
+        assert_eq!(s.count(|e| matches!(e, RrsEvent::FlWrite(_))), 2);
+    }
+
+    #[test]
+    fn value_corruption_on_push() {
+        let mut fl = FreeList::new(4, []);
+        let mut s = RecordingSink::new();
+        let mut hook =
+            OneShot::new(OpSite::FlPush, 0, Corruption { value_xor: 0b101, ..Corruption::NONE });
+        fl.push(PhysReg(0b010), &mut hook, &mut s).unwrap();
+        assert_eq!(fl.iter().next(), Some(PhysReg(0b111)));
+        assert_eq!(s.events, vec![RrsEvent::FlWrite(PhysReg(0b111))]);
+    }
+
+    #[test]
+    fn overflow_asserts() {
+        let mut fl = FreeList::new(2, [PhysReg(1), PhysReg(2)]);
+        let mut s = RecordingSink::new();
+        assert_eq!(
+            fl.push(PhysReg(3), &mut NoFaults, &mut s),
+            Err(RrsAssert::FlOverflow)
+        );
+    }
+
+    #[test]
+    fn content_xor_matches_iter() {
+        let fl = fl4();
+        let manual = PhysReg(10).extended(7) ^ PhysReg(11).extended(7) ^ PhysReg(12).extended(7);
+        assert_eq!(fl.content_xor(7), manual);
+    }
+
+    #[test]
+    fn wraps_around_capacity() {
+        let mut fl = FreeList::new(2, [PhysReg(5)]);
+        let mut s = RecordingSink::new();
+        for i in 0..10u16 {
+            let got = fl.pop(&mut NoFaults, &mut s).unwrap();
+            assert_eq!(got, if i == 0 { PhysReg(5) } else { PhysReg(100 + i - 1) });
+            fl.push(PhysReg(100 + i), &mut NoFaults, &mut s).unwrap();
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! # idld-rrs — Register Renaming Subsystem substrate
+//!
+//! A cycle-level model of the register renaming subsystem (RRS) of a modern
+//! out-of-order core with a *merged register file*, exactly as described in
+//! §II of the IDLD paper (MICRO 2022):
+//!
+//! * **Free List (FL)** — FIFO of free physical register identifiers
+//!   (PdstIDs), [`freelist::FreeList`];
+//! * **Register Alias Table (RAT)** — latest logical→physical mapping,
+//!   [`rat::Rat`];
+//! * **Reorder Buffer (ROB)** — per-instruction *evicted PdstID* field used
+//!   for reclamation at retirement, [`rob::Rob`] (the rest of a real ROB —
+//!   pc, results, exceptions — lives in the simulator, `idld-sim`);
+//! * **Register History Table (RHT)** — FIFO log of RAT changes per
+//!   instruction, [`rht::Rht`];
+//! * **Checkpoint table (CKPT)** — periodic RAT snapshots,
+//!   [`ckpt::CkptTable`], plus a retirement RAT used as the always-valid
+//!   fall-back restore point.
+//!
+//! Pipeline-flush recovery follows the paper: restore the RAT from the
+//! nearest checkpoint, *positive* RHT walk to re-apply renames up to the
+//! offending instruction, *negative* RHT walk to return wrong-path PdstIDs
+//! to the FL, and tail-pointer restores — spread over multiple cycles.
+//!
+//! Two cross-cutting facilities make this substrate the foundation for the
+//! whole reproduction:
+//!
+//! * **Fault hooks** ([`fault::FaultHook`]) — every Table-I control signal
+//!   (read-enable pointer advances, write-enable array/pointer updates,
+//!   recovery and checkpoint signals) consults a hook before acting, so the
+//!   bug models of `idld-bugs` can suppress or corrupt exactly one signal
+//!   occurrence.
+//! * **Event stream** ([`event::RrsEvent`]) — every *actual* port transfer
+//!   is reported to an [`event::EventSink`]; the IDLD checker and the
+//!   baseline checkers in `idld-core` are pure observers of this stream,
+//!   mirroring how the hardware taps the array ports (paper Figure 6).
+
+pub mod ckpt;
+pub mod config;
+pub mod event;
+pub mod fault;
+pub mod freelist;
+pub mod phys;
+pub mod rat;
+pub mod rht;
+pub mod rob;
+pub mod rrs;
+#[cfg(test)]
+pub(crate) mod testutil;
+
+pub use config::RrsConfig;
+pub use event::{EventSink, NullSink, RecordingSink, RrsEvent};
+pub use fault::{CensusHook, Corruption, FaultHook, NoFaults, OpSite};
+pub use phys::PhysReg;
+pub use rrs::{CommitOut, ContentSnapshot, Idiom, RenameOut, RenameRequest, Rrs, RrsAssert};

@@ -1,0 +1,69 @@
+//! Physical register identifiers (PdstIDs).
+
+use std::fmt;
+
+/// A physical register identifier — the *PdstID* of the paper.
+///
+/// PdstIDs are the tokens whose closed-loop circulation through FL, RAT and
+/// ROB the IDLD checker protects. The identifier is plain data; the
+/// *extended* encoding used by the XOR checker lives in
+/// [`PhysReg::extended`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PhysReg(pub u16);
+
+impl PhysReg {
+    /// The identifier's index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The *extended* encoding of the identifier for XOR accumulation:
+    /// the raw id with one extra high bit hardwired to 1.
+    ///
+    /// The paper (§V.D) notes that a plain XOR cannot see leakage or
+    /// duplication of PdstID 0 (`x ^ 0 == x`); logically extending every id
+    /// by a constant 1 bit — *not stored in the arrays, only fed to the XOR
+    /// trees* — fixes this. `bits` is the number of bits needed to encode a
+    /// raw PdstID (7 for the paper's 128 registers).
+    #[inline]
+    pub fn extended(self, bits: u32) -> u32 {
+        (self.0 as u32) | (1 << bits)
+    }
+}
+
+impl fmt::Display for PhysReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Debug for PhysReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extended_encoding_distinguishes_zero() {
+        assert_eq!(PhysReg(0).extended(7), 0b1000_0000);
+        assert_ne!(PhysReg(0).extended(7), 0);
+        assert_eq!(PhysReg(127).extended(7), 0b1111_1111);
+    }
+
+    #[test]
+    fn extended_xor_of_pair_is_nonzero() {
+        // Leaking id 0 while duplicating id 0 must still perturb the code.
+        let a = PhysReg(0).extended(7);
+        assert_ne!(a, 0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(PhysReg(42).to_string(), "p42");
+    }
+}

@@ -1,0 +1,211 @@
+//! The Register Alias Table: latest logical→physical mapping.
+
+use crate::event::{EventSink, RrsEvent};
+use crate::fault::{FaultHook, OpSite};
+use crate::phys::PhysReg;
+
+/// The Register Alias Table (RAT).
+///
+/// Source lookups are plain reads (they copy a PdstID without moving it, so
+/// they do not participate in the IDLD invariance). A *write* carries two
+/// port actions: the eviction read (the previous mapping is read out, headed
+/// for a ROB entry) and the array write itself. Following the paper's §III.B
+/// walkthrough, the eviction read port works independently of the write
+/// enable: a suppressed write still delivers the (unchanged) old mapping to
+/// the ROB.
+#[derive(Clone, Debug)]
+pub struct Rat {
+    map: Vec<PhysReg>,
+    /// Stored parity bit per entry, maintained by every legitimate write
+    /// path; an at-rest upset flips content bits *without* updating it.
+    parity: Vec<bool>,
+}
+
+fn parity_of(p: PhysReg) -> bool {
+    p.0.count_ones() % 2 == 1
+}
+
+impl Rat {
+    /// Creates a RAT with the given initial mapping.
+    pub fn new(initial: Vec<PhysReg>) -> Self {
+        let parity = initial.iter().map(|&p| parity_of(p)).collect();
+        Rat { map: initial, parity }
+    }
+
+    /// Number of entries (logical registers).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if the RAT has no entries (never the case in a real core).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Source-operand lookup (no events, no fault sites).
+    #[inline]
+    pub fn lookup(&self, arch: usize) -> PhysReg {
+        self.map[arch]
+    }
+
+    /// Renames `arch` to `new`, returning the evicted previous mapping.
+    ///
+    /// The eviction read always fires ([`RrsEvent::RatEvictRead`]); the
+    /// array write is gated by the corruptible write-enable
+    /// ([`OpSite::RatWrite`]) and may carry a corrupted PdstID value
+    /// (`value_xor` — the paper's *PdstID Corruption* bug model).
+    pub fn write(
+        &mut self,
+        arch: usize,
+        new: PhysReg,
+        hook: &mut impl FaultHook,
+        sink: &mut impl EventSink,
+    ) -> PhysReg {
+        let evicted = self.map[arch];
+        sink.event(RrsEvent::RatEvictRead(evicted));
+        let c = hook.on_op(OpSite::RatWrite);
+        if !c.suppress_array && !c.suppress_ptr {
+            let v = PhysReg(new.0 ^ c.value_xor);
+            self.set_raw(arch, v);
+            sink.event(RrsEvent::RatWrite(v));
+        }
+        evicted
+    }
+
+    /// Raw entry update with no events and no fault sites — used by the
+    /// move-elimination path, whose port actions (duplicate-marking signal,
+    /// refcounted eviction) are orchestrated by [`crate::rrs::Rrs`].
+    #[inline]
+    pub fn set_raw(&mut self, arch: usize, p: PhysReg) {
+        self.map[arch] = p;
+        self.parity[arch] = parity_of(p);
+    }
+
+    /// Restores the entire mapping (recovery; gating handled by the caller).
+    pub fn restore(&mut self, snapshot: &[PhysReg]) {
+        self.map.copy_from_slice(snapshot);
+        for (par, &p) in self.parity.iter_mut().zip(snapshot) {
+            *par = parity_of(p);
+        }
+    }
+
+    /// At-rest upset: flips bits of the stored PdstID *without* updating
+    /// the parity bit — a storage-cell corruption (§V.D's ECC/parity
+    /// territory, not IDLD's).
+    pub fn upset(&mut self, arch: usize, mask: u16) {
+        self.map[arch] = PhysReg(self.map[arch].0 ^ mask);
+    }
+
+    /// True if the stored parity of `arch` matches its contents.
+    #[inline]
+    pub fn parity_ok(&self, arch: usize) -> bool {
+        self.parity[arch] == parity_of(self.map[arch])
+    }
+
+    /// Snapshots the current mapping (checkpoint take).
+    pub fn snapshot(&self) -> Vec<PhysReg> {
+        self.map.clone()
+    }
+
+    /// Iterates the current contents.
+    pub fn iter(&self) -> impl Iterator<Item = PhysReg> + '_ {
+        self.map.iter().copied()
+    }
+
+    /// XOR of the extended encodings of the *distinct* PdstIDs currently
+    /// mapped. Distinctness matters under move elimination: IDLD's RATxor
+    /// counts each id once regardless of how many logical registers alias
+    /// it (§V.E); without duplicates the result equals a plain fold.
+    pub fn content_xor(&self, bits: u32) -> u32 {
+        let mut seen = vec![false; 1 << bits];
+        let mut acc = 0;
+        for p in self.iter() {
+            if let Some(s) = seen.get_mut(p.index()) {
+                if *s {
+                    continue;
+                }
+                *s = true;
+            }
+            acc ^= p.extended(bits);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{RecordingSink, RrsEvent};
+    use crate::fault::{Corruption, NoFaults};
+    use crate::testutil::OneShot;
+
+    fn rat4() -> Rat {
+        Rat::new((0..4).map(|i| PhysReg(i as u16)).collect())
+    }
+
+    #[test]
+    fn write_returns_evicted_and_updates() {
+        let mut rat = rat4();
+        let mut s = RecordingSink::new();
+        let e = rat.write(2, PhysReg(9), &mut NoFaults, &mut s);
+        assert_eq!(e, PhysReg(2));
+        assert_eq!(rat.lookup(2), PhysReg(9));
+        assert_eq!(
+            s.events,
+            vec![RrsEvent::RatEvictRead(PhysReg(2)), RrsEvent::RatWrite(PhysReg(9))]
+        );
+    }
+
+    #[test]
+    fn suppressed_write_keeps_old_mapping_but_evicts() {
+        // Paper Figure 2: write-enable stuck low → old mapping still copied
+        // to the ROB, new PdstID never lands in the RAT.
+        let mut rat = rat4();
+        let mut s = RecordingSink::new();
+        let mut hook = OneShot::new(
+            OpSite::RatWrite,
+            0,
+            Corruption { suppress_array: true, ..Corruption::NONE },
+        );
+        let e = rat.write(1, PhysReg(7), &mut hook, &mut s);
+        assert_eq!(e, PhysReg(1), "eviction read still delivers the old mapping");
+        assert_eq!(rat.lookup(1), PhysReg(1), "RAT keeps the stale mapping");
+        assert_eq!(s.events, vec![RrsEvent::RatEvictRead(PhysReg(1))]);
+    }
+
+    #[test]
+    fn value_corruption_writes_corrupted_id() {
+        let mut rat = rat4();
+        let mut s = RecordingSink::new();
+        let mut hook =
+            OneShot::new(OpSite::RatWrite, 0, Corruption { value_xor: 0b11, ..Corruption::NONE });
+        rat.write(0, PhysReg(0b100), &mut hook, &mut s);
+        assert_eq!(rat.lookup(0), PhysReg(0b111));
+        assert_eq!(s.events[1], RrsEvent::RatWrite(PhysReg(0b111)));
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip() {
+        let mut rat = rat4();
+        let snap = rat.snapshot();
+        let mut s = RecordingSink::new();
+        rat.write(0, PhysReg(9), &mut NoFaults, &mut s);
+        rat.write(3, PhysReg(8), &mut NoFaults, &mut s);
+        rat.restore(&snap);
+        for i in 0..4 {
+            assert_eq!(rat.lookup(i), PhysReg(i as u16));
+        }
+    }
+
+    #[test]
+    fn content_xor_tracks_writes() {
+        let mut rat = rat4();
+        let mut s = RecordingSink::new();
+        let before = rat.content_xor(7);
+        rat.write(2, PhysReg(9), &mut NoFaults, &mut s);
+        let after = rat.content_xor(7);
+        assert_eq!(before ^ after, PhysReg(2).extended(7) ^ PhysReg(9).extended(7));
+    }
+}

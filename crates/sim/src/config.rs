@@ -1,0 +1,85 @@
+//! Simulator configuration.
+
+use idld_rrs::RrsConfig;
+
+/// Out-of-order core configuration.
+///
+/// The default mirrors the paper's RRS design point (§VI.A) surrounded by a
+/// plausible mid-size backend. Fetch, rename, issue and commit widths all
+/// equal [`RrsConfig::width`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SimConfig {
+    /// The register renaming subsystem configuration (and pipeline width).
+    pub rrs: RrsConfig,
+    /// Reservation-station (issue window) entries.
+    pub rs_entries: usize,
+    /// log2 of bimodal branch-direction table entries.
+    pub bp_log2: u32,
+    /// log2 of BTB entries for indirect-jump target prediction.
+    pub btb_log2: u32,
+    /// Latency of simple ALU operations (cycles).
+    pub lat_alu: u64,
+    /// Latency of multiply/divide operations.
+    pub lat_muldiv: u64,
+    /// Latency of loads (address generation + data access).
+    pub lat_load: u64,
+    /// Latency of store address/data capture.
+    pub lat_store: u64,
+    /// Latency of branches and jumps.
+    pub lat_branch: u64,
+    /// Enable store-sets memory dependence speculation (Chrysos & Emer):
+    /// loads issue past older stores with unresolved addresses unless the
+    /// predictor says otherwise; mis-speculations flush at the load and
+    /// train the predictor. Off = conservative disambiguation.
+    pub mem_dep_speculation: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            rrs: RrsConfig::default(),
+            rs_entries: 32,
+            bp_log2: 12,
+            btb_log2: 6,
+            lat_alu: 1,
+            lat_muldiv: 4,
+            lat_load: 3,
+            lat_store: 1,
+            lat_branch: 1,
+            mem_dep_speculation: false,
+        }
+    }
+}
+
+impl SimConfig {
+    /// The default configuration at a given pipeline width (1/2/4/6/8 in
+    /// the paper's sweep).
+    pub fn with_width(width: usize) -> Self {
+        SimConfig { rrs: RrsConfig::with_width(width), ..Default::default() }
+    }
+
+    /// Pipeline width (fetch = rename = issue = commit).
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.rrs.width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_paper_design_point() {
+        let c = SimConfig::default();
+        assert_eq!(c.rrs.num_phys, 128);
+        assert_eq!(c.rrs.rob_entries, 96);
+        assert_eq!(c.width(), 4);
+    }
+
+    #[test]
+    fn with_width() {
+        assert_eq!(SimConfig::with_width(8).width(), 8);
+        assert_eq!(SimConfig::with_width(1).width(), 1);
+    }
+}

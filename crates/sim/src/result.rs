@@ -1,0 +1,111 @@
+//! Run results.
+
+use crate::stats::SimStats;
+use crate::trace::{CommitTrace, Divergence};
+use idld_rrs::{ContentSnapshot, RrsAssert};
+use std::fmt;
+
+/// An architecturally fatal event delivered at commit.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CrashCause {
+    /// An out-of-bounds data memory access.
+    MemFault {
+        /// Faulting byte address.
+        addr: u64,
+        /// Access width in bytes.
+        width: usize,
+    },
+    /// Control flow reached an invalid instruction index.
+    InvalidPc(usize),
+}
+
+impl fmt::Display for CrashCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrashCause::MemFault { addr, width } => {
+                write!(f, "{width}-byte memory fault at {addr:#x}")
+            }
+            CrashCause::InvalidPc(pc) => write!(f, "invalid pc {pc}"),
+        }
+    }
+}
+
+/// Why a simulated run stopped.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SimStop {
+    /// The program committed `Halt`.
+    Halted,
+    /// An architectural fault was delivered at commit (paper class
+    /// **Crash**).
+    Crash(CrashCause),
+    /// The hardware model hit an unserviceable internal condition (paper
+    /// class **Assert**).
+    Assert(RrsAssert),
+    /// The cycle budget was exhausted (paper class **Timeout** when the
+    /// budget is 2.5× the golden runtime).
+    CycleLimit,
+}
+
+impl fmt::Display for SimStop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimStop::Halted => f.write_str("halted"),
+            SimStop::Crash(c) => write!(f, "crash: {c}"),
+            SimStop::Assert(a) => write!(f, "assert: {a}"),
+            SimStop::CycleLimit => f.write_str("cycle limit"),
+        }
+    }
+}
+
+/// The complete outcome of one simulated run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RunResult {
+    /// Why the run stopped.
+    pub stop: SimStop,
+    /// Total cycles simulated.
+    pub cycles: u64,
+    /// Instructions committed.
+    pub committed: u64,
+    /// The program's output stream.
+    pub output: Vec<u64>,
+    /// The recorded commit trace — populated only when requested (golden
+    /// runs); empty otherwise.
+    pub trace: CommitTrace,
+    /// First divergences from the golden trace — populated only when a
+    /// golden trace was supplied.
+    pub divergence: Divergence,
+    /// Census of PdstID locations at the end of the run (the persistence
+    /// analysis input, paper Figure 4).
+    pub final_contents: ContentSnapshot,
+    /// Microarchitectural statistics of the run.
+    pub stats: SimStats,
+}
+
+impl RunResult {
+    /// True if the run terminated normally with output identical to
+    /// `golden_output`.
+    pub fn output_matches(&self, golden_output: &[u64]) -> bool {
+        self.stop == SimStop::Halted && self.output == golden_output
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stop_display() {
+        assert_eq!(SimStop::Halted.to_string(), "halted");
+        assert_eq!(
+            SimStop::Crash(CrashCause::InvalidPc(7)).to_string(),
+            "crash: invalid pc 7"
+        );
+        assert_eq!(
+            SimStop::Assert(RrsAssert::FlOverflow).to_string(),
+            "assert: free list overflow"
+        );
+        assert!(SimStop::Crash(CrashCause::MemFault { addr: 16, width: 8 })
+            .to_string()
+            .contains("0x10"));
+    }
+}

@@ -1,0 +1,1051 @@
+//! The out-of-order core simulator.
+
+use crate::config::SimConfig;
+use crate::predictor::Predictor;
+use crate::result::{CrashCause, RunResult, SimStop};
+use crate::stats::SimStats;
+use crate::trace::{CommitTrace, Divergence, TraceMonitor};
+use idld_core::CheckerSet;
+use idld_isa::{Inst, Memory, Program};
+use idld_mdp::{StoreSets, StoreTag};
+use idld_rrs::{FaultHook, Idiom, PhysReg, RenameRequest, Rrs};
+use std::collections::VecDeque;
+
+/// True for the canonical register-move encoding (`addi rd, rs, 0`),
+/// eligible for move elimination when the RRS enables it.
+fn is_register_move(inst: &Inst) -> bool {
+    matches!(inst, Inst::AluI { op: idld_isa::AluOp::Add, imm: 0, .. })
+}
+
+/// Recognizes the 0/1 idioms eliminated when the RRS enables idiom
+/// elimination: constant loads of 0/1 and the classic zeroing idioms
+/// `xor rd, rs, rs` / `sub rd, rs, rs`.
+fn idiom_of(inst: &Inst) -> Option<Idiom> {
+    use idld_isa::AluOp;
+    match *inst {
+        Inst::Li { imm: 0, .. } => Some(Idiom::Zero),
+        Inst::Li { imm: 1, .. } => Some(Idiom::One),
+        Inst::Alu { op: AluOp::Xor | AluOp::Sub, rs1, rs2, .. } if rs1 == rs2 => {
+            Some(Idiom::Zero)
+        }
+        _ => None,
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    /// Dispatched, waiting in the reservation station.
+    Waiting,
+    /// Issued; completes at the stored cycle.
+    Executing { done: u64 },
+    /// Executed; eligible for in-order commit.
+    Done,
+}
+
+#[derive(Clone, Debug)]
+struct Entry {
+    seq: u64,
+    pc: usize,
+    inst: Inst,
+    srcs: [Option<PhysReg>; 2],
+    new_pdst: Option<PhysReg>,
+    pred_next: usize,
+    /// Global branch history checkpointed at fetch (before this
+    /// instruction's own prediction shifted it).
+    bp_hist: u32,
+    status: Status,
+    /// Destination value, output value, or store data.
+    result: u64,
+    /// Memory address once computed (loads and stores).
+    addr: Option<u64>,
+    fault: Option<CrashCause>,
+    mispredict_to: Option<usize>,
+    /// Loads under memory-dependence speculation: the store (by seq) the
+    /// predictor says to wait behind.
+    wait_for_store: Option<u64>,
+    /// Loads: the store (by seq) whose data was forwarded, for violation
+    /// shadowing checks.
+    forwarded_from: Option<u64>,
+}
+
+/// A cycle-accurate out-of-order core bound to one program.
+///
+/// Create one per run; drive it with [`Simulator::run`]. See the crate docs
+/// for the pipeline model.
+#[derive(Debug)]
+pub struct Simulator<'p> {
+    prog: &'p Program,
+    cfg: SimConfig,
+    rrs: Rrs,
+    mem: Memory,
+    prf: Vec<u64>,
+    ready: Vec<bool>,
+    window: VecDeque<Entry>,
+    predictor: Predictor,
+    fetch_pc: usize,
+    fetch_enabled: bool,
+    fetch_fault: Option<usize>,
+    halt_in_flight: bool,
+    pending_flush: Option<(u64, usize)>,
+    redirect_after_recovery: Option<usize>,
+    cycle: u64,
+    output: Vec<u64>,
+    committed: u64,
+    stats: SimStats,
+    store_sets: StoreSets,
+}
+
+impl<'p> Simulator<'p> {
+    /// Creates a simulator at power-on state for `program`.
+    pub fn new(program: &'p Program, cfg: SimConfig) -> Self {
+        let rrs = Rrs::new(cfg.rrs);
+        // Architectural registers start at zero; the initial RAT maps
+        // logical i to physical i, so the whole PRF starts zeroed and ready.
+        let mut prf = vec![0u64; cfg.rrs.num_phys];
+        let ready = vec![true; cfg.rrs.num_phys];
+        if let Some((zero, one)) = cfg.rrs.pinned() {
+            prf[zero.index()] = 0;
+            prf[one.index()] = 1;
+        }
+        Simulator {
+            prog: program,
+            mem: program.build_memory(),
+            rrs,
+            prf,
+            ready,
+            window: VecDeque::with_capacity(cfg.rrs.rob_entries),
+            predictor: Predictor::new(cfg.bp_log2, cfg.btb_log2),
+            fetch_pc: 0,
+            fetch_enabled: true,
+            fetch_fault: None,
+            halt_in_flight: false,
+            pending_flush: None,
+            redirect_after_recovery: None,
+            cycle: 0,
+            output: Vec::new(),
+            committed: 0,
+            stats: SimStats::default(),
+            store_sets: StoreSets::new(512, 64),
+            cfg,
+        }
+    }
+
+    /// Window index of the in-flight instruction with sequence `seq`.
+    #[inline]
+    fn window_index(&self, seq: u64) -> Option<usize> {
+        let front = self.window.front()?.seq;
+        if seq < front {
+            return None;
+        }
+        let idx = (seq - front) as usize;
+        (idx < self.window.len()).then_some(idx)
+    }
+
+    /// Microarchitectural statistics collected so far.
+    #[inline]
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Current cycle.
+    #[inline]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// The register renaming subsystem (for inspection in tests/tools).
+    #[inline]
+    pub fn rrs(&self) -> &Rrs {
+        &self.rrs
+    }
+
+    /// Runs the program to completion (halt/crash/assert) or `max_cycles`.
+    ///
+    /// `hook` is consulted for every RRS control signal (use
+    /// [`idld_rrs::NoFaults`] for a bug-free run); `checkers` observe the
+    /// RRS event stream. When `golden` is `None` the full commit trace is
+    /// recorded in the result (this *is* a golden run); when `Some`, commits
+    /// are compared on the fly and only the first divergences are recorded.
+    pub fn run(
+        &mut self,
+        hook: &mut impl FaultHook,
+        checkers: &mut CheckerSet,
+        golden: Option<&CommitTrace>,
+        max_cycles: u64,
+    ) -> RunResult {
+        let record = golden.is_none();
+        let mut trace = CommitTrace::new();
+        let mut monitor = golden.map(TraceMonitor::new);
+        let stop = self.main_loop(hook, checkers, &mut trace, &mut monitor, record, max_cycles);
+        if stop == SimStop::Halted {
+            // The pipeline is architecturally drained: give the empty-point
+            // checkers (BV, counter) their final check.
+            checkers.end_cycle(self.cycle);
+            checkers.on_pipeline_empty(self.cycle);
+        }
+        let divergence = match monitor {
+            Some(mut m) => {
+                if stop == SimStop::Halted {
+                    m.finish(self.cycle)
+                } else {
+                    // Abnormal terminations: a short trace is only a
+                    // divergence if the golden run committed more — which it
+                    // did (it halted); mark order divergence at stop.
+                    m.finish(self.cycle)
+                }
+            }
+            None => Divergence::default(),
+        };
+        self.stats.cycles = self.cycle;
+        self.stats.committed = self.committed;
+        RunResult {
+            stop,
+            cycles: self.cycle,
+            committed: self.committed,
+            output: self.output.clone(),
+            trace,
+            divergence,
+            final_contents: self.rrs.contents(),
+            stats: self.stats,
+        }
+    }
+
+    fn main_loop(
+        &mut self,
+        hook: &mut impl FaultHook,
+        checkers: &mut CheckerSet,
+        trace: &mut CommitTrace,
+        monitor: &mut Option<TraceMonitor<'_>>,
+        record: bool,
+        max_cycles: u64,
+    ) -> SimStop {
+        loop {
+            if self.cycle >= max_cycles {
+                return SimStop::CycleLimit;
+            }
+            hook.begin_cycle(self.cycle);
+            // At-rest storage upsets (§V.D class) land silently.
+            self.rrs.apply_at_rest(hook);
+
+            // --- Recovery (freezes the rest of the pipeline) -------------
+            if self.rrs.recovery_active() {
+                self.stats.recovery_cycles += 1;
+                match self.rrs.step_recovery(hook, checkers) {
+                    Ok(true) => {
+                        if let Some(target) = self.redirect_after_recovery.take() {
+                            self.fetch_pc = target;
+                        }
+                        self.fetch_fault = None;
+                        self.halt_in_flight =
+                            self.window.iter().any(|e| matches!(e.inst, Inst::Halt));
+                        self.fetch_enabled = !self.halt_in_flight;
+                    }
+                    Ok(false) => {}
+                    Err(a) => return SimStop::Assert(a),
+                }
+                self.end_cycle(checkers);
+                continue;
+            }
+            if let Some((fseq, target)) = self.pending_flush.take() {
+                self.stats.flushes += 1;
+                self.squash_younger(fseq);
+                self.repair_branch_history(fseq);
+                self.rrs.start_recovery(fseq, hook, checkers);
+                self.redirect_after_recovery = Some(target);
+                self.fetch_enabled = false;
+                self.end_cycle(checkers);
+                continue;
+            }
+
+            // --- Commit ---------------------------------------------------
+            let mut commits = 0;
+            while commits < self.cfg.width() {
+                let Some(front) = self.window.front() else { break };
+                if front.status != Status::Done {
+                    break;
+                }
+                if let Some(f) = front.fault {
+                    return SimStop::Crash(f);
+                }
+                let (pc, inst, result, addr) =
+                    (front.pc, front.inst, front.result, front.addr);
+                if matches!(inst, Inst::Halt) {
+                    self.observe_commit(pc, trace, monitor, record);
+                    self.committed += 1;
+                    return SimStop::Halted;
+                }
+                match inst {
+                    Inst::St { .. } | Inst::Stw { .. } | Inst::Stb { .. } => {
+                        let width = inst.mem_width().expect("store width");
+                        let a = addr.expect("store executed");
+                        if let Err(e) = self.mem.store(a, width, result) {
+                            return SimStop::Crash(CrashCause::MemFault {
+                                addr: e.addr,
+                                width: e.width,
+                            });
+                        }
+                        self.stats.stores += 1;
+                    }
+                    Inst::Out { .. } => self.output.push(result),
+                    _ => {}
+                }
+                if let Err(a) = self.rrs.commit_head(hook, checkers) {
+                    return SimStop::Assert(a);
+                }
+                self.observe_commit(pc, trace, monitor, record);
+                self.committed += 1;
+                self.window.pop_front();
+                commits += 1;
+            }
+
+            // --- Writeback / complete -------------------------------------
+            for i in 0..self.window.len() {
+                if let Status::Executing { done } = self.window[i].status {
+                    if done <= self.cycle {
+                        self.complete(i);
+                    }
+                }
+            }
+
+            // --- Issue ----------------------------------------------------
+            self.issue();
+
+            // --- Fetch + rename -------------------------------------------
+            if self.fetch_enabled {
+                if let Err(a) = self.fetch_rename(hook, checkers) {
+                    return SimStop::Assert(a);
+                }
+            }
+
+            // --- End of cycle ---------------------------------------------
+            if self.window.is_empty() {
+                if let Some(pc) = self.fetch_fault {
+                    return SimStop::Crash(CrashCause::InvalidPc(pc));
+                }
+            }
+            self.end_cycle(checkers);
+        }
+    }
+
+    fn observe_commit(
+        &self,
+        pc: usize,
+        trace: &mut CommitTrace,
+        monitor: &mut Option<TraceMonitor<'_>>,
+        record: bool,
+    ) {
+        if record {
+            trace.push(pc, self.cycle);
+        }
+        if let Some(m) = monitor {
+            m.observe(pc, self.cycle);
+        }
+    }
+
+    fn end_cycle(&mut self, checkers: &mut CheckerSet) {
+        self.stats.occupancy_sum += self.window.len() as u64;
+        checkers.end_cycle(self.cycle);
+        if self.window.is_empty() && !self.rrs.recovery_active() {
+            checkers.on_pipeline_empty(self.cycle);
+        }
+        self.cycle += 1;
+    }
+
+    /// Restores the speculative global history after a flush: the offending
+    /// control instruction's checkpointed history, shifted by its actual
+    /// outcome for conditional branches.
+    fn repair_branch_history(&mut self, fseq: u64) {
+        let Some(off) = self.window.back() else { return };
+        debug_assert_eq!(off.seq, fseq);
+        match off.inst {
+            Inst::Br { target, .. } => {
+                // Resolved-mispredicted branches carry their actual target;
+                // correctly-predicted or still-unresolved ones keep their
+                // prediction (memory-violation flushes can land here).
+                let actual = off.mispredict_to.unwrap_or(off.pred_next);
+                let taken = actual == target;
+                self.predictor.repair_history(off.bp_hist, taken);
+            }
+            _ => self.predictor.set_history(off.bp_hist),
+        }
+    }
+
+    fn squash_younger(&mut self, fseq: u64) {
+        while let Some(back) = self.window.back() {
+            if back.seq > fseq {
+                self.window.pop_back();
+            } else {
+                break;
+            }
+        }
+        self.halt_in_flight = self.window.iter().any(|e| matches!(e.inst, Inst::Halt));
+        self.fetch_fault = None;
+    }
+
+    fn latency(&self, inst: &Inst) -> u64 {
+        use idld_isa::InstKind::*;
+        match inst.kind() {
+            Alu | Out => self.cfg.lat_alu,
+            MulDiv => self.cfg.lat_muldiv,
+            Load => self.cfg.lat_load,
+            Store => self.cfg.lat_store,
+            Branch | Jump | JumpInd => self.cfg.lat_branch,
+            Halt => self.cfg.lat_alu,
+        }
+    }
+
+    #[inline]
+    fn src_val(&self, e: &Entry, idx: usize) -> u64 {
+        e.srcs[idx].map(|p| self.prf[p.index()]).unwrap_or(0)
+    }
+
+    /// Completes execution of window entry `i`.
+    fn complete(&mut self, i: usize) {
+        let e = &self.window[i];
+        let (inst, pc, seq, pred_next) = (e.inst, e.pc, e.seq, e.pred_next);
+        let a = self.src_val(e, 0);
+        let b = self.src_val(e, 1);
+        let mut result = 0u64;
+        let mut addr = None;
+        let mut fault = None;
+        let mut actual_next = pc + 1;
+        match inst {
+            Inst::Alu { op, .. } => result = op.apply(a, b),
+            Inst::AluI { op, imm, .. } => result = op.apply(a, imm as u64),
+            Inst::Li { imm, .. } => result = imm as u64,
+            Inst::Ld { imm, .. } | Inst::Ldw { imm, .. } | Inst::Ldb { imm, .. } => {
+                let width = inst.mem_width().expect("load width");
+                let address = a.wrapping_add(imm as u64);
+                addr = Some(address);
+                self.stats.loads += 1;
+                match self.load_with_forwarding(i, address, width) {
+                    Ok((v, forwarded)) => {
+                        result = v;
+                        if forwarded.is_some() {
+                            self.stats.load_forwards += 1;
+                        }
+                        self.window[i].forwarded_from = forwarded;
+                    }
+                    Err(c) => {
+                        fault = Some(c);
+                        result = 0;
+                    }
+                }
+            }
+            Inst::St { imm, .. } | Inst::Stw { imm, .. } | Inst::Stb { imm, .. } => {
+                addr = Some(a.wrapping_add(imm as u64));
+                result = b; // store data captured at execute
+            }
+            Inst::Br { cond, target, .. } => {
+                self.stats.branches += 1;
+                let taken = cond.eval(a, b);
+                actual_next = if taken { target } else { pc + 1 };
+                let hist = self.window[i].bp_hist;
+                self.predictor.train_dir(pc, hist, taken);
+            }
+            Inst::Jal { target, .. } => {
+                result = (pc + 1) as u64;
+                actual_next = target;
+            }
+            Inst::Jalr { imm, .. } => {
+                self.stats.branches += 1;
+                result = (pc + 1) as u64;
+                let t = a.wrapping_add(imm as u64);
+                actual_next = t.min(usize::MAX as u64) as usize;
+                self.predictor.train_target(pc, actual_next);
+            }
+            Inst::Out { .. } => result = a,
+            Inst::Halt | Inst::Nop => {}
+        }
+
+        let e = &mut self.window[i];
+        e.result = result;
+        e.addr = addr;
+        e.fault = fault;
+        e.status = Status::Done;
+        if inst.is_control() && actual_next != pred_next {
+            self.stats.mispredicts += 1;
+            e.mispredict_to = Some(actual_next);
+            // Keep the oldest flush point; on a seq tie a branch flush wins
+            // over a memory-violation flush anchored at the same point (its
+            // redirect supersedes the wrong-path load's refetch).
+            if self.pending_flush.is_none_or(|(s, _)| seq <= s) {
+                self.pending_flush = Some((seq, actual_next));
+            }
+        }
+        if let Some(p) = self.window[i].new_pdst {
+            self.prf[p.index()] = result;
+            self.ready[p.index()] = true;
+        }
+        if self.cfg.mem_dep_speculation
+            && matches!(inst.kind(), idld_isa::InstKind::Store)
+        {
+            self.resolve_store_and_check_violations(i);
+        }
+    }
+
+    /// A store's address just resolved: release its LFST entry and flush
+    /// any younger load that already executed against an overlapping
+    /// address without being shadowed by a newer forwarding store — the
+    /// memory-order violation path of the store-sets scheme.
+    fn resolve_store_and_check_violations(&mut self, i: usize) {
+        let store = &self.window[i];
+        let (s_seq, s_pc) = (store.seq, store.pc);
+        let s_addr = store.addr.expect("store executed");
+        let s_width = store.inst.mem_width().expect("store width");
+        self.store_sets.resolve_store(s_pc as u64, StoreTag(s_seq), true);
+
+        let mut victim: Option<(u64, usize, usize)> = None; // (seq, pc, idx)
+        for j in i + 1..self.window.len() {
+            let e = &self.window[j];
+            if !matches!(e.inst.kind(), idld_isa::InstKind::Load) {
+                continue;
+            }
+            let executed = matches!(e.status, Status::Done)
+                || matches!(e.status, Status::Executing { .. });
+            let Some(laddr) = e.addr else { continue };
+            if !executed {
+                continue;
+            }
+            let lwidth = e.inst.mem_width().expect("load width");
+            let overlap = s_addr < laddr.wrapping_add(lwidth as u64)
+                && laddr < s_addr.wrapping_add(s_width as u64);
+            if !overlap {
+                continue;
+            }
+            // Shadowed by a forwarding store younger than this one?
+            if matches!(e.forwarded_from, Some(f) if f > s_seq) {
+                continue;
+            }
+            if victim.is_none_or(|(vs, _, _)| e.seq < vs) {
+                victim = Some((e.seq, e.pc, j));
+            }
+        }
+        if let Some((l_seq, l_pc, _)) = victim {
+            self.stats.mem_violations += 1;
+            self.store_sets.train_violation(l_pc as u64, s_pc as u64);
+            // Flush at the instruction before the load; refetch the load.
+            if self.pending_flush.is_none_or(|(s, _)| l_seq - 1 < s) {
+                self.pending_flush = Some((l_seq - 1, l_pc));
+            }
+        }
+    }
+
+    /// Loads with exact-match store-to-load forwarding from older in-window
+    /// stores; the issue rule guarantees no unresolved or partially
+    /// overlapping older store exists at this point.
+    fn load_with_forwarding(
+        &self,
+        i: usize,
+        addr: u64,
+        width: usize,
+    ) -> Result<(u64, Option<u64>), CrashCause> {
+        for j in (0..i).rev() {
+            let e = &self.window[j];
+            if !matches!(e.inst.kind(), idld_isa::InstKind::Store) {
+                continue;
+            }
+            if let Some(saddr) = e.addr {
+                let swidth = e.inst.mem_width().expect("store width");
+                if saddr == addr && swidth == width {
+                    let mask = if width == 8 { u64::MAX } else { (1u64 << (8 * width)) - 1 };
+                    return Ok((e.result & mask, Some(e.seq)));
+                }
+            }
+        }
+        self.mem
+            .load(addr, width)
+            .map(|v| (v, None))
+            .map_err(|e| CrashCause::MemFault { addr: e.addr, width: e.width })
+    }
+
+    /// True if window entry `i` (a load) may issue under conservative
+    /// memory disambiguation.
+    fn load_may_issue(&self, i: usize) -> bool {
+        let load = &self.window[i];
+        let laddr = self
+            .src_val(load, 0)
+            .wrapping_add(match load.inst {
+                Inst::Ld { imm, .. } | Inst::Ldw { imm, .. } | Inst::Ldb { imm, .. } => imm as u64,
+                _ => 0,
+            });
+        let lwidth = load.inst.mem_width().expect("load width");
+        let speculate = self.cfg.mem_dep_speculation;
+        // Predicted dependence (store sets): wait until that specific
+        // store's address resolves (or it is squashed / retired).
+        if speculate {
+            if let Some(dep_seq) = load.wait_for_store {
+                if let Some(j) = self.window_index(dep_seq) {
+                    if j < i && self.window[j].addr.is_none() {
+                        return false;
+                    }
+                }
+            }
+        }
+        for j in (0..i).rev() {
+            let e = &self.window[j];
+            if !matches!(e.inst.kind(), idld_isa::InstKind::Store) {
+                continue;
+            }
+            match e.addr {
+                // Conservative mode blocks on any unresolved older store;
+                // speculative mode sails past (the violation scan at the
+                // store's resolution catches mis-speculations).
+                None => {
+                    if !speculate {
+                        return false;
+                    }
+                }
+                Some(saddr) => {
+                    let swidth = e.inst.mem_width().expect("store width");
+                    if saddr == laddr && swidth == lwidth {
+                        // Exact match: forwarding possible once we execute;
+                        // the newest such store shadows anything older.
+                        return true;
+                    }
+                    let overlap = saddr < laddr.wrapping_add(lwidth as u64)
+                        && laddr < saddr.wrapping_add(swidth as u64);
+                    if overlap {
+                        return false; // partial overlap: wait for commit
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    fn issue(&mut self) {
+        let mut issued = 0;
+        let mut scanned_waiting = 0;
+        for i in 0..self.window.len() {
+            if issued >= self.cfg.width() || scanned_waiting >= self.cfg.rs_entries {
+                break;
+            }
+            if self.window[i].status != Status::Waiting {
+                continue;
+            }
+            scanned_waiting += 1;
+            let e = &self.window[i];
+            let ready = e
+                .srcs
+                .iter()
+                .flatten()
+                .all(|p| self.ready[p.index()]);
+            if !ready {
+                continue;
+            }
+            if matches!(e.inst.kind(), idld_isa::InstKind::Load) && !self.load_may_issue(i) {
+                continue;
+            }
+            let done = self.cycle + self.latency(&self.window[i].inst);
+            self.window[i].status = Status::Executing { done };
+            self.stats.issued += 1;
+            issued += 1;
+        }
+    }
+
+    /// Predicts the next pc for the instruction at `pc`, checkpointing the
+    /// global history before any prediction shift. Returns `(next, hist)`,
+    /// or `None` next for `Halt` (fetch stops behind it).
+    fn predict_next(&mut self, pc: usize, inst: &Inst) -> (Option<usize>, u32) {
+        let hist = self.predictor.history();
+        let next = match *inst {
+            Inst::Br { target, .. } => {
+                let (taken, _) = self.predictor.predict_dir(pc);
+                Some(if taken { target } else { pc + 1 })
+            }
+            Inst::Jal { target, .. } => Some(target),
+            Inst::Jalr { .. } => Some(self.predictor.predict_target(pc).unwrap_or(pc + 1)),
+            Inst::Halt => None,
+            _ => Some(pc + 1),
+        };
+        (next, hist)
+    }
+
+    fn fetch_rename(
+        &mut self,
+        hook: &mut impl FaultHook,
+        checkers: &mut CheckerSet,
+    ) -> Result<(), idld_rrs::RrsAssert> {
+        // Collect a fetch group following the predicted path.
+        let mut group: Vec<(usize, Inst, usize, u32)> = Vec::with_capacity(self.cfg.width());
+        let mut pc = self.fetch_pc;
+        for _ in 0..self.cfg.width() {
+            let Some(inst) = self.prog.fetch(pc) else {
+                self.fetch_fault = Some(pc);
+                self.fetch_enabled = false;
+                break;
+            };
+            match self.predict_next(pc, &inst) {
+                (Some(next), hist) => {
+                    group.push((pc, inst, next, hist));
+                    pc = next;
+                }
+                (None, hist) => {
+                    // Halt: fetch it, then stop fetching.
+                    group.push((pc, inst, pc + 1, hist));
+                    self.halt_in_flight = true;
+                    self.fetch_enabled = false;
+                    break;
+                }
+            }
+        }
+
+        // Trim to available resources (RS space, RRS capacity).
+        let waiting = self.window.iter().filter(|e| e.status == Status::Waiting).count();
+        let rs_free = self.cfg.rs_entries.saturating_sub(waiting);
+        let mut n = group.len().min(rs_free);
+        loop {
+            let dests = group[..n].iter().filter(|(_, i, _, _)| i.dest().is_some()).count();
+            if n == 0 || self.rrs.can_rename(n, dests) {
+                break;
+            }
+            n -= 1;
+        }
+        if n < group.len() {
+            self.stats.frontend_stalls += 1;
+            // Couldn't take the whole group: refetch the rest next cycle,
+            // unwinding the speculative history the trimmed tail shifted.
+            if let Some(&(first_pc, _, _, hist)) = group.get(n) {
+                self.fetch_pc = first_pc;
+                self.predictor.set_history(hist);
+            }
+            // A trimmed group cannot include the halt/fault stop decisions
+            // beyond position n.
+            if self.halt_in_flight
+                && !group[..n].iter().any(|(_, i, _, _)| matches!(i, Inst::Halt))
+            {
+                self.halt_in_flight = false;
+                self.fetch_enabled = true;
+            }
+            if self.fetch_fault.is_some() {
+                self.fetch_fault = None;
+                self.fetch_enabled = true;
+            }
+            group.truncate(n);
+        } else if self.fetch_enabled {
+            self.fetch_pc = pc;
+        }
+        if group.is_empty() {
+            return Ok(());
+        }
+
+        let reqs: Vec<RenameRequest> = group
+            .iter()
+            .map(|(_, inst, _, _)| RenameRequest {
+                ldst: inst.dest().map(|r| r.index()),
+                srcs: [
+                    inst.sources()[0].map(|r| r.index()),
+                    inst.sources()[1].map(|r| r.index()),
+                ],
+                is_move: is_register_move(inst),
+                idiom: idiom_of(inst),
+            })
+            .collect();
+        let outs = self.rrs.rename_group(&reqs, hook, checkers)?;
+
+        for ((pc, inst, pred_next, bp_hist), out) in group.into_iter().zip(outs) {
+            self.stats.renamed += 1;
+            if out.eliminated {
+                self.stats.eliminated_moves += 1;
+            }
+            // Store-sets dispatch interactions (speculative mode only).
+            let mut wait_for_store = None;
+            if self.cfg.mem_dep_speculation {
+                match inst.kind() {
+                    idld_isa::InstKind::Store => {
+                        let d = self.store_sets.dispatch_store(pc as u64, StoreTag(out.seq));
+                        let _ = d;
+                    }
+                    idld_isa::InstKind::Load => {
+                        wait_for_store =
+                            self.store_sets.dispatch_load(pc as u64).map(|t| t.0);
+                    }
+                    _ => {}
+                }
+            }
+            if !out.eliminated {
+                if let Some(p) = out.new_pdst {
+                    self.ready[p.index()] = false;
+                }
+            }
+            // Eliminated moves need no execution: their destination *is*
+            // the source physical register, whose readiness the original
+            // producer controls.
+            let status = if matches!(inst, Inst::Halt | Inst::Nop) || out.eliminated {
+                Status::Done
+            } else {
+                Status::Waiting
+            };
+            self.window.push_back(Entry {
+                seq: out.seq,
+                pc,
+                inst,
+                srcs: out.srcs,
+                new_pdst: out.new_pdst,
+                pred_next,
+                bp_hist,
+                status,
+                result: 0,
+                addr: None,
+                fault: None,
+                mispredict_to: None,
+                wait_for_store,
+                forwarded_from: None,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idld_isa::reg::r;
+    use idld_isa::{Asm, Emulator, StopReason};
+    use idld_rrs::NoFaults;
+
+    fn run_prog(a: Asm, width: usize) -> RunResult {
+        let p = a.finish();
+        let mut sim = Simulator::new(&p, SimConfig::with_width(width));
+        sim.run(&mut NoFaults, &mut CheckerSet::new(), None, 1_000_000)
+    }
+
+    fn check_against_emulator(a: Asm, widths: &[usize]) {
+        let p = a.finish();
+        let mut emu = Emulator::new(&p);
+        let expected = emu.run(10_000_000);
+        assert_eq!(expected.stop, StopReason::Halted, "test program must halt");
+        for &w in widths {
+            let mut sim = Simulator::new(&p, SimConfig::with_width(w));
+            let got = sim.run(&mut NoFaults, &mut CheckerSet::new(), None, 100_000_000);
+            assert_eq!(got.stop, SimStop::Halted, "width {w}");
+            assert_eq!(got.output, expected.output, "width {w}");
+            assert_eq!(got.committed, expected.steps, "width {w}");
+        }
+    }
+
+    #[test]
+    fn straight_line_arithmetic() {
+        let mut a = Asm::new();
+        a.li(r(1), 6).li(r(2), 7).mul(r(3), r(1), r(2)).out(r(3)).halt();
+        let res = run_prog(a, 4);
+        assert_eq!(res.stop, SimStop::Halted);
+        assert_eq!(res.output, vec![42]);
+        assert!(res.final_contents.is_exact_partition());
+    }
+
+    #[test]
+    fn loop_matches_emulator_at_all_widths() {
+        let mut a = Asm::new();
+        a.li(r(1), 0).li(r(2), 50);
+        a.label("loop");
+        a.add(r(1), r(1), r(2));
+        a.addi(r(2), r(2), -1);
+        a.bne(r(2), r(0), "loop");
+        a.out(r(1)).halt();
+        check_against_emulator(a, &[1, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn memory_and_forwarding_matches_emulator() {
+        let mut a = Asm::new();
+        a.li(r(10), 256); // base
+        a.li(r(1), 0);
+        a.li(r(2), 20);
+        a.label("w");
+        a.slli(r(3), r(1), 3);
+        a.add(r(3), r(3), r(10));
+        a.mul(r(4), r(1), r(1));
+        a.st(r(4), r(3), 0);
+        a.ld(r(5), r(3), 0); // immediate reload → forwarding
+        a.out(r(5));
+        a.addi(r(1), r(1), 1);
+        a.blt(r(1), r(2), "w");
+        a.halt();
+        check_against_emulator(a, &[1, 4, 8]);
+    }
+
+    #[test]
+    fn data_dependent_branches_match_emulator() {
+        // Alternating hard-to-predict branches exercise flush recovery.
+        let mut a = Asm::new();
+        a.li(r(1), 0); // i
+        a.li(r(2), 64);
+        a.li(r(5), 0); // acc
+        a.li(r(6), 1); // lfsr-ish state
+        a.label("loop");
+        a.muli(r(6), r(6), 1103515245);
+        a.addi(r(6), r(6), 12345);
+        a.srli(r(7), r(6), 16);
+        a.andi(r(7), r(7), 1);
+        a.beq(r(7), r(0), "even");
+        a.addi(r(5), r(5), 3);
+        a.j("next");
+        a.label("even");
+        a.addi(r(5), r(5), 5);
+        a.label("next");
+        a.addi(r(1), r(1), 1);
+        a.blt(r(1), r(2), "loop");
+        a.out(r(5)).halt();
+        check_against_emulator(a, &[1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn calls_and_returns_match_emulator() {
+        let mut a = Asm::new();
+        a.li(r(10), 7);
+        a.li(r(11), 0);
+        a.li(r(12), 6);
+        a.label("loop");
+        a.jal(r(1), "square");
+        a.add(r(11), r(11), r(10));
+        a.addi(r(10), r(10), -1);
+        a.addi(r(12), r(12), -1);
+        a.bne(r(12), r(0), "loop");
+        a.out(r(11)).halt();
+        a.label("square");
+        a.mul(r(10), r(10), r(10));
+        a.jalr(r(2), r(1), 0);
+        check_against_emulator(a, &[1, 4]);
+    }
+
+    #[test]
+    fn commit_trace_is_deterministic() {
+        let mut a = Asm::new();
+        a.li(r(1), 0).li(r(2), 30);
+        a.label("loop");
+        a.addi(r(1), r(1), 1);
+        a.blt(r(1), r(2), "loop");
+        a.out(r(1)).halt();
+        let p = a.finish();
+        let run = |p: &Program| {
+            let mut sim = Simulator::new(p, SimConfig::default());
+            sim.run(&mut NoFaults, &mut CheckerSet::new(), None, 100_000)
+        };
+        let r1 = run(&p);
+        let r2 = run(&p);
+        assert_eq!(r1.trace, r2.trace);
+        assert_eq!(r1.cycles, r2.cycles);
+    }
+
+    #[test]
+    fn golden_comparison_of_identical_run_shows_no_divergence() {
+        let mut a = Asm::new();
+        a.li(r(1), 5).out(r(1)).halt();
+        let p = a.finish();
+        let golden = {
+            let mut sim = Simulator::new(&p, SimConfig::default());
+            sim.run(&mut NoFaults, &mut CheckerSet::new(), None, 10_000)
+        };
+        let mut sim = Simulator::new(&p, SimConfig::default());
+        let rerun = sim.run(&mut NoFaults, &mut CheckerSet::new(), Some(&golden.trace), 10_000);
+        assert!(!rerun.divergence.any());
+    }
+
+    #[test]
+    fn memory_fault_crashes_at_commit() {
+        let mut a = Asm::new();
+        a.li(r(1), 1 << 40);
+        a.ld(r(2), r(1), 0);
+        a.halt();
+        let res = run_prog(a, 4);
+        match res.stop {
+            SimStop::Crash(CrashCause::MemFault { addr, .. }) => assert_eq!(addr, 1 << 40),
+            other => panic!("expected crash, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_path_fault_is_squashed() {
+        // A predicted-taken... actually: branch that is *not* taken but the
+        // predictor (weakly-taken at reset) predicts taken, sending fetch
+        // into a faulting path that must be squashed harmlessly.
+        let mut a = Asm::new();
+        a.li(r(1), 1);
+        a.li(r(9), 1 << 40);
+        a.beq(r(1), r(0), "poison"); // not taken, predicted taken at reset
+        a.li(r(3), 42);
+        a.out(r(3)).halt();
+        a.label("poison");
+        a.ld(r(4), r(9), 0); // would fault if committed
+        a.halt();
+        let res = run_prog(a, 4);
+        assert_eq!(res.stop, SimStop::Halted);
+        assert_eq!(res.output, vec![42]);
+        assert!(res.final_contents.is_exact_partition());
+    }
+
+    #[test]
+    fn running_off_the_end_crashes() {
+        let mut a = Asm::new();
+        a.li(r(1), 3);
+        a.nop();
+        let res = run_prog(a, 2);
+        assert!(matches!(res.stop, SimStop::Crash(CrashCause::InvalidPc(2))), "{:?}", res.stop);
+    }
+
+    #[test]
+    fn cycle_limit_reported() {
+        let mut a = Asm::new();
+        a.label("spin");
+        a.j("spin");
+        let p = a.finish();
+        let mut sim = Simulator::new(&p, SimConfig::default());
+        let res = sim.run(&mut NoFaults, &mut CheckerSet::new(), None, 500);
+        assert_eq!(res.stop, SimStop::CycleLimit);
+        assert_eq!(res.cycles, 500);
+    }
+
+    #[test]
+    fn wider_cores_are_not_slower() {
+        let mut a = Asm::new();
+        a.li(r(1), 0).li(r(2), 200);
+        a.label("loop");
+        a.addi(r(3), r(1), 5);
+        a.muli(r(4), r(3), 3);
+        a.xori(r(5), r(4), 0x55);
+        a.add(r(6), r(5), r(3));
+        a.addi(r(1), r(1), 1);
+        a.blt(r(1), r(2), "loop");
+        a.out(r(6)).halt();
+        let p = a.finish();
+        let cycles = |w: usize| {
+            let mut sim = Simulator::new(&p, SimConfig::with_width(w));
+            let res = sim.run(&mut NoFaults, &mut CheckerSet::new(), None, 1_000_000);
+            assert_eq!(res.stop, SimStop::Halted);
+            res.cycles
+        };
+        let c1 = cycles(1);
+        let c4 = cycles(4);
+        assert!(c4 < c1, "width 4 ({c4}) should beat width 1 ({c1})");
+    }
+
+    #[test]
+    fn idld_checker_stays_clean_through_real_execution() {
+        use idld_core::IdldChecker;
+        let mut a = Asm::new();
+        a.li(r(1), 0).li(r(2), 300);
+        a.label("loop");
+        a.muli(r(3), r(1), 7);
+        a.andi(r(4), r(3), 63);
+        a.beq(r(4), r(0), "skip");
+        a.add(r(5), r(5), r(4));
+        a.label("skip");
+        a.addi(r(1), r(1), 1);
+        a.blt(r(1), r(2), "loop");
+        a.out(r(5)).halt();
+        let p = a.finish();
+        let cfg = SimConfig::default();
+        let mut checkers = CheckerSet::new();
+        checkers.push(Box::new(IdldChecker::new(&cfg.rrs)));
+        let mut sim = Simulator::new(&p, cfg);
+        let res = sim.run(&mut NoFaults, &mut checkers, None, 1_000_000);
+        assert_eq!(res.stop, SimStop::Halted);
+        assert_eq!(
+            checkers.detection_of("idld"),
+            None,
+            "no false positives across thousands of cycles with flush recovery"
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! Per-run microarchitectural statistics.
+
+use std::fmt;
+
+/// Counters collected during one simulated run.
+///
+/// All counters are exact (not sampled). They serve the width-sweep
+/// analyses and give campaigns visibility into *why* masking rates differ
+/// between workloads (wrong-path volume, flush frequency, move-elimination
+/// rate).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SimStats {
+    /// Total cycles simulated.
+    pub cycles: u64,
+    /// Instructions committed.
+    pub committed: u64,
+    /// Instructions renamed (correct + wrong path).
+    pub renamed: u64,
+    /// Renamed instructions that were move-eliminated.
+    pub eliminated_moves: u64,
+    /// Instructions issued to functional units.
+    pub issued: u64,
+    /// Conditional branches resolved.
+    pub branches: u64,
+    /// Resolved control instructions that mispredicted.
+    pub mispredicts: u64,
+    /// Pipeline flushes performed (recoveries started).
+    pub flushes: u64,
+    /// Cycles spent inside multi-cycle flush recovery.
+    pub recovery_cycles: u64,
+    /// Loads executed.
+    pub loads: u64,
+    /// Loads satisfied by store-to-load forwarding.
+    pub load_forwards: u64,
+    /// Stores committed to memory.
+    pub stores: u64,
+    /// Cycles in which the front end could not rename its whole fetch
+    /// group for lack of resources (FL/ROB/RHT/RS space).
+    pub frontend_stalls: u64,
+    /// Memory-order violations (mis-speculated loads flushed and the
+    /// store-sets predictor trained).
+    pub mem_violations: u64,
+    /// Sum over cycles of in-flight window occupancy (for averages).
+    pub occupancy_sum: u64,
+}
+
+impl SimStats {
+    /// Committed instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of renamed instructions that were wrong-path (squashed).
+    pub fn wrong_path_fraction(&self) -> f64 {
+        if self.renamed == 0 {
+            0.0
+        } else {
+            (self.renamed - self.committed.min(self.renamed)) as f64 / self.renamed as f64
+        }
+    }
+
+    /// Mispredicts per 1000 committed instructions.
+    pub fn mpki(&self) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            1000.0 * self.mispredicts as f64 / self.committed as f64
+        }
+    }
+
+    /// Branch direction accuracy over resolved control instructions.
+    pub fn branch_accuracy(&self) -> f64 {
+        if self.branches == 0 {
+            1.0
+        } else {
+            1.0 - self.mispredicts as f64 / self.branches as f64
+        }
+    }
+
+    /// Mean in-flight window occupancy.
+    pub fn avg_occupancy(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.occupancy_sum as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of loads satisfied by store-to-load forwarding.
+    pub fn forward_rate(&self) -> f64 {
+        if self.loads == 0 {
+            0.0
+        } else {
+            self.load_forwards as f64 / self.loads as f64
+        }
+    }
+}
+
+impl fmt::Display for SimStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "cycles={} committed={} ipc={:.2} renamed={} wrong-path={:.1}%",
+            self.cycles,
+            self.committed,
+            self.ipc(),
+            self.renamed,
+            100.0 * self.wrong_path_fraction()
+        )?;
+        writeln!(
+            f,
+            "branches={} mispredicts={} (acc {:.1}%, {:.1} mpki) flushes={} recovery-cycles={}",
+            self.branches,
+            self.mispredicts,
+            100.0 * self.branch_accuracy(),
+            self.mpki(),
+            self.flushes,
+            self.recovery_cycles
+        )?;
+        write!(
+            f,
+            "loads={} (fwd {:.1}%) stores={} moves-eliminated={} frontend-stalls={} avg-window={:.1}",
+            self.loads,
+            100.0 * self.forward_rate(),
+            self.stores,
+            self.eliminated_moves,
+            self.frontend_stalls,
+            self.avg_occupancy()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let s = SimStats {
+            cycles: 100,
+            committed: 150,
+            renamed: 200,
+            branches: 40,
+            mispredicts: 4,
+            loads: 10,
+            load_forwards: 5,
+            occupancy_sum: 2_000,
+            ..Default::default()
+        };
+        assert!((s.ipc() - 1.5).abs() < 1e-9);
+        assert!((s.wrong_path_fraction() - 0.25).abs() < 1e-9);
+        assert!((s.mpki() - 26.666).abs() < 0.01);
+        assert!((s.branch_accuracy() - 0.9).abs() < 1e-9);
+        assert!((s.avg_occupancy() - 20.0).abs() < 1e-9);
+        assert!((s.forward_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_division_is_safe() {
+        let s = SimStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.mpki(), 0.0);
+        assert_eq!(s.branch_accuracy(), 1.0);
+        assert_eq!(s.forward_rate(), 0.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let text = SimStats { cycles: 10, committed: 5, ..Default::default() }.to_string();
+        assert!(text.contains("ipc=0.50"));
+        assert!(text.contains("flushes="));
+    }
+}

@@ -1,0 +1,190 @@
+//! Commit traces and on-the-fly divergence detection.
+//!
+//! The paper's outcome classification (§IV.A) distinguishes *order*
+//! divergence (a different instruction committed at position *i* — the
+//! Control Flow Deviation class and worse) from *timing* divergence (the
+//! same instruction committed in a different cycle — the Performance
+//! class). Storing full traces for every injected run would be wasteful, so
+//! runs compare against the golden trace incrementally and record only the
+//! first divergence of each kind.
+
+/// A recorded commit trace: the pc and cycle of every committed instruction.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct CommitTrace {
+    /// Committed pcs, in program order.
+    pub pcs: Vec<u32>,
+    /// Commit cycle of each instruction.
+    pub cycles: Vec<u64>,
+}
+
+impl CommitTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of committed instructions.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pcs.len()
+    }
+
+    /// True if nothing has committed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pcs.is_empty()
+    }
+
+    /// Appends one commit record.
+    #[inline]
+    pub fn push(&mut self, pc: usize, cycle: u64) {
+        self.pcs.push(pc as u32);
+        self.cycles.push(cycle);
+    }
+}
+
+/// First divergences from a golden trace.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Divergence {
+    /// Cycle of the first *order* divergence (different instruction
+    /// committed, or trace length mismatch at termination).
+    pub order: Option<u64>,
+    /// Cycle of the first *timing* divergence (same instruction, different
+    /// commit cycle).
+    pub timing: Option<u64>,
+}
+
+impl Divergence {
+    /// True if the commit trace deviated from golden in any way.
+    pub fn any(&self) -> bool {
+        self.order.is_some() || self.timing.is_some()
+    }
+
+    /// The earliest divergence cycle of any kind.
+    pub fn first_cycle(&self) -> Option<u64> {
+        match (self.order, self.timing) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+}
+
+/// Streams a run's commits against a golden trace, recording first
+/// divergences.
+#[derive(Clone, Debug)]
+pub struct TraceMonitor<'g> {
+    golden: &'g CommitTrace,
+    index: usize,
+    divergence: Divergence,
+}
+
+impl<'g> TraceMonitor<'g> {
+    /// Creates a monitor comparing against `golden`.
+    pub fn new(golden: &'g CommitTrace) -> Self {
+        TraceMonitor { golden, index: 0, divergence: Divergence::default() }
+    }
+
+    /// Observes one commit.
+    pub fn observe(&mut self, pc: usize, cycle: u64) {
+        let i = self.index;
+        self.index += 1;
+        if i >= self.golden.len() {
+            // Extra instructions beyond the golden run.
+            self.divergence.order.get_or_insert(cycle);
+            return;
+        }
+        if self.golden.pcs[i] as usize != pc {
+            self.divergence.order.get_or_insert(cycle);
+        } else if self.golden.cycles[i] != cycle {
+            self.divergence.timing.get_or_insert(cycle);
+        }
+    }
+
+    /// Declares the run finished at `cycle`; a short trace is an order
+    /// divergence.
+    pub fn finish(&mut self, cycle: u64) -> Divergence {
+        if self.index < self.golden.len() {
+            self.divergence.order.get_or_insert(cycle);
+        }
+        self.divergence
+    }
+
+    /// The divergences recorded so far.
+    pub fn divergence(&self) -> Divergence {
+        self.divergence
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn golden() -> CommitTrace {
+        let mut t = CommitTrace::new();
+        t.push(0, 1);
+        t.push(1, 2);
+        t.push(2, 5);
+        t
+    }
+
+    #[test]
+    fn identical_run_has_no_divergence() {
+        let g = golden();
+        let mut m = TraceMonitor::new(&g);
+        m.observe(0, 1);
+        m.observe(1, 2);
+        m.observe(2, 5);
+        let d = m.finish(6);
+        assert!(!d.any());
+        assert_eq!(d.first_cycle(), None);
+    }
+
+    #[test]
+    fn timing_divergence_detected() {
+        let g = golden();
+        let mut m = TraceMonitor::new(&g);
+        m.observe(0, 1);
+        m.observe(1, 3); // late
+        m.observe(2, 5);
+        let d = m.finish(6);
+        assert_eq!(d.timing, Some(3));
+        assert_eq!(d.order, None);
+        assert_eq!(d.first_cycle(), Some(3));
+    }
+
+    #[test]
+    fn order_divergence_detected() {
+        let g = golden();
+        let mut m = TraceMonitor::new(&g);
+        m.observe(0, 1);
+        m.observe(7, 2); // wrong instruction
+        let d = m.finish(9);
+        assert_eq!(d.order, Some(2));
+    }
+
+    #[test]
+    fn order_beats_timing_in_first_cycle() {
+        let d = Divergence { order: Some(4), timing: Some(9) };
+        assert_eq!(d.first_cycle(), Some(4));
+    }
+
+    #[test]
+    fn short_trace_is_order_divergence_at_finish() {
+        let g = golden();
+        let mut m = TraceMonitor::new(&g);
+        m.observe(0, 1);
+        let d = m.finish(100);
+        assert_eq!(d.order, Some(100));
+    }
+
+    #[test]
+    fn long_trace_is_order_divergence() {
+        let g = golden();
+        let mut m = TraceMonitor::new(&g);
+        m.observe(0, 1);
+        m.observe(1, 2);
+        m.observe(2, 5);
+        m.observe(3, 6); // extra
+        assert_eq!(m.divergence().order, Some(6));
+    }
+}

@@ -1,0 +1,172 @@
+//! `basicmath` — integer square roots and GCD sweeps.
+//!
+//! Mirrors MiBench `basicmath`: many small math kernels with short,
+//! branchy loops (bit-by-bit isqrt, Euclid's gcd) and no memory traffic —
+//! pure register-pressure on the renamer.
+
+use crate::common::Workload;
+use idld_isa::reg::r;
+use idld_isa::Asm;
+
+const N: u64 = 96;
+
+fn isqrt(v: u64) -> u64 {
+    let mut op = v;
+    let mut res = 0u64;
+    let mut one = 1u64 << 62;
+    while one > op {
+        one >>= 2;
+    }
+    while one != 0 {
+        if op >= res + one {
+            op -= res + one;
+            res = (res >> 1) + one;
+        } else {
+            res >>= 1;
+        }
+        one >>= 2;
+    }
+    res
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Native reference: running checksums of isqrt and gcd sweeps.
+pub fn reference() -> Vec<u64> {
+    reference_with(1)
+}
+
+/// Native reference at a workload scale factor.
+pub fn reference_with(factor: u32) -> Vec<u64> {
+    let mut ck_sqrt = 0u64;
+    let mut ck_gcd = 0u64;
+    for i in 1..=N * factor as u64 {
+        let v = i.wrapping_mul(2654435761).wrapping_add(12345);
+        ck_sqrt = ck_sqrt.wrapping_add(isqrt(v).wrapping_mul(i));
+        let g = gcd(v, i.wrapping_mul(7919));
+        ck_gcd ^= g.wrapping_mul(i);
+    }
+    vec![ck_sqrt, ck_gcd]
+}
+
+/// Builds the workload at the default scale.
+pub fn build() -> Workload {
+    build_with(1)
+}
+
+/// Builds the workload sweeping `96 × factor` values.
+pub fn build_with(factor: u32) -> Workload {
+    let mut a = Asm::new();
+    a.name("basicmath");
+
+    let (i, n) = (r(8), r(9));
+    let (v, ck_sqrt, ck_gcd) = (r(10), r(11), r(12));
+    let (op, res, one) = (r(13), r(14), r(15));
+    let (ga, gb) = (r(16), r(17));
+    let (t0, t1) = (r(20), r(21));
+
+    a.li(ck_sqrt, 0);
+    a.li(ck_gcd, 0);
+    a.li(n, (N * factor as u64) as i64);
+    a.li(i, 1);
+
+    a.label("sweep");
+    // v = i * 2654435761 + 12345
+    a.muli(v, i, 2654435761);
+    a.addi(v, v, 12345);
+
+    // --- isqrt(v), bit by bit ---
+    a.mv(op, v);
+    a.li(res, 0);
+    a.li(one, 1 << 62);
+    a.label("shrink");
+    a.bgeu(op, one, "sqrt_loop");
+    a.srli(one, one, 2);
+    a.bne(one, r(0), "shrink");
+    a.label("sqrt_loop");
+    a.beq(one, r(0), "sqrt_done");
+    a.add(t0, res, one);
+    a.bltu(op, t0, "sqrt_skip");
+    a.sub(op, op, t0);
+    a.srli(res, res, 1);
+    a.add(res, res, one);
+    a.j("sqrt_next");
+    a.label("sqrt_skip");
+    a.srli(res, res, 1);
+    a.label("sqrt_next");
+    a.srli(one, one, 2);
+    a.j("sqrt_loop");
+    a.label("sqrt_done");
+    a.mul(t0, res, i);
+    a.add(ck_sqrt, ck_sqrt, t0);
+
+    // --- gcd(v, i*7919), Euclid ---
+    a.mv(ga, v);
+    a.muli(gb, i, 7919);
+    a.label("gcd_loop");
+    a.beq(gb, r(0), "gcd_done");
+    a.remu(t0, ga, gb);
+    a.mv(ga, gb);
+    a.mv(gb, t0);
+    a.j("gcd_loop");
+    a.label("gcd_done");
+    a.mul(t0, ga, i);
+    a.xor(ck_gcd, ck_gcd, t0);
+
+    a.addi(i, i, 1);
+    a.slt(t1, n, i); // t1 = n < i
+    a.beq(t1, r(0), "sweep");
+
+    a.out(ck_sqrt);
+    a.out(ck_gcd);
+    a.halt();
+
+    Workload {
+        name: "basicmath",
+        program: a.finish(),
+        expected_output: reference_with(factor),
+        max_steps: 500_000 * factor as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idld_isa::{Emulator, StopReason};
+
+    #[test]
+    fn emulator_matches_native_math() {
+        let w = build();
+        let mut emu = Emulator::new(&w.program);
+        let res = emu.run(w.max_steps);
+        assert_eq!(res.stop, StopReason::Halted);
+        assert_eq!(res.output, w.expected_output);
+    }
+
+    #[test]
+    fn isqrt_is_correct() {
+        for v in [0u64, 1, 2, 3, 4, 15, 16, 17, 1 << 40, u64::MAX] {
+            let s = isqrt(v);
+            assert!(s.checked_mul(s).is_none_or(|sq| sq <= v), "v={v}");
+            assert!(
+                (s + 1).checked_mul(s + 1).is_none_or(|sq| sq > v),
+                "v={v} s={s}"
+            );
+        }
+    }
+
+    #[test]
+    fn gcd_is_correct() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(17, 5), 1);
+        assert_eq!(gcd(0, 7), 7);
+        assert_eq!(gcd(7, 0), 7);
+    }
+}

@@ -1,0 +1,141 @@
+//! `bitcount` — population counts by two methods over 128 words.
+//!
+//! Mirrors MiBench `bitcount`: very tight loops with data-dependent trip
+//! counts (Kernighan's method) plus a table-lookup variant; the two methods
+//! must agree, which doubles as an internal self-check.
+
+use crate::common::{Lcg, Workload};
+use idld_isa::reg::r;
+use idld_isa::Asm;
+
+const N: usize = 128;
+const ARR_BASE: i64 = 0x0;
+const TAB_BASE: i64 = 0x1000; // 256-entry byte popcount table
+
+fn words(factor: u32) -> Vec<u64> {
+    let mut rng = Lcg(0xb17);
+    (0..N * factor as usize).map(|_| rng.next_u64()).collect()
+}
+
+fn byte_table() -> Vec<u8> {
+    (0u16..256).map(|i| i.count_ones() as u8).collect()
+}
+
+/// Native reference: total popcount (twice — the two methods agree) and a
+/// per-word-weighted checksum.
+pub fn reference() -> Vec<u64> {
+    reference_with(1)
+}
+
+/// Native reference at a workload scale factor.
+pub fn reference_with(factor: u32) -> Vec<u64> {
+    let ws = words(factor);
+    let total: u64 = ws.iter().map(|w| w.count_ones() as u64).sum();
+    let weighted: u64 = ws
+        .iter()
+        .enumerate()
+        .map(|(i, w)| (w.count_ones() as u64).wrapping_mul(i as u64 + 1))
+        .fold(0, u64::wrapping_add);
+    vec![total, total, weighted]
+}
+
+/// Builds the workload at the default scale.
+pub fn build() -> Workload {
+    build_with(1)
+}
+
+/// Builds the workload counting `128 × factor` words.
+pub fn build_with(factor: u32) -> Workload {
+    let n = N * factor as usize;
+    let tab_base = (TAB_BASE as usize).max((n * 8).next_power_of_two()) as i64;
+    let mut a = Asm::new();
+    a.name("bitcount");
+    {
+        let mut bytes = Vec::new();
+        for w in words(factor) {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        a.data(ARR_BASE as u64, &bytes);
+        a.data(tab_base as u64, &byte_table());
+    }
+
+    let nreg = r(8);
+    let (i, total_a, total_b, weighted) = (r(10), r(11), r(12), r(13));
+    let (t0, t1, t2, t3) = (r(20), r(21), r(22), r(23));
+
+    a.li(nreg, n as i64);
+    a.li(total_a, 0);
+    a.li(total_b, 0);
+    a.li(weighted, 0);
+    a.li(i, 0);
+
+    a.label("word_loop");
+    a.slli(t0, i, 3);
+    a.ld(t1, t0, ARR_BASE); // w
+
+    // Method A: Kernighan — count iterations of w &= w-1.
+    a.mv(t2, t1);
+    a.li(t3, 0);
+    a.label("kern");
+    a.beq(t2, r(0), "kern_done");
+    a.addi(t0, t2, -1);
+    a.and(t2, t2, t0);
+    a.addi(t3, t3, 1);
+    a.j("kern");
+    a.label("kern_done");
+    a.add(total_a, total_a, t3);
+    // weighted += count * (i+1)
+    a.addi(t0, i, 1);
+    a.mul(t0, t3, t0);
+    a.add(weighted, weighted, t0);
+
+    // Method B: byte-table lookups over the 8 bytes.
+    a.li(t3, 0); // byte index
+    a.label("bytes");
+    a.slli(t0, t3, 3);
+    a.srl(t0, t1, t0); // w >> 8*b
+    a.andi(t0, t0, 0xff);
+    a.ldb(t0, t0, tab_base);
+    a.add(total_b, total_b, t0);
+    a.addi(t3, t3, 1);
+    a.li(t2, 8);
+    a.blt(t3, t2, "bytes");
+
+    a.addi(i, i, 1);
+    a.blt(i, nreg, "word_loop");
+
+    a.out(total_a);
+    a.out(total_b);
+    a.out(weighted);
+    a.halt();
+
+    Workload {
+        name: "bitcount",
+        program: a.finish(),
+        expected_output: reference_with(factor),
+        max_steps: 500_000 * factor as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idld_isa::{Emulator, StopReason};
+
+    #[test]
+    fn emulator_matches_native_popcounts() {
+        let w = build();
+        let mut emu = Emulator::new(&w.program);
+        let res = emu.run(w.max_steps);
+        assert_eq!(res.stop, StopReason::Halted);
+        assert_eq!(res.output, w.expected_output);
+    }
+
+    #[test]
+    fn both_methods_agree_in_reference() {
+        let out = reference();
+        assert_eq!(out[0], out[1]);
+        // Expected density ~50% of 128×64 bits.
+        assert!((3000..5200).contains(&out[0]), "total {}", out[0]);
+    }
+}

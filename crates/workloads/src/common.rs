@@ -1,0 +1,81 @@
+//! Shared workload plumbing: the `Workload` type and deterministic data
+//! generation.
+
+use idld_isa::Program;
+
+/// One benchmark: a program plus its native-reference expected output.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// MiBench-style name (stable; used as figure row labels).
+    pub name: &'static str,
+    /// The assembled tiny-RISC program.
+    pub program: Program,
+    /// The exact output stream a correct execution must produce, computed
+    /// by a native Rust implementation of the same algorithm.
+    pub expected_output: Vec<u64>,
+    /// Architectural step budget (comfortably above the real dynamic count).
+    pub max_steps: u64,
+}
+
+/// Deterministic 64-bit LCG used for all synthetic input data, so every
+/// workload build is bit-identical across runs and platforms.
+#[derive(Clone, Copy, Debug)]
+pub struct Lcg(pub u64);
+
+impl Lcg {
+    /// Standard multiplier/increment (Knuth MMIX).
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0
+    }
+
+    /// A byte from the high bits (better distributed than low bits).
+    pub fn next_u8(&mut self) -> u8 {
+        (self.next_u64() >> 56) as u8
+    }
+
+    /// A u32 from the high bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A value in `0..bound` (bound > 0).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lcg_is_deterministic() {
+        let mut a = Lcg(7);
+        let mut b = Lcg(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn lcg_varies() {
+        let mut a = Lcg(7);
+        let x = a.next_u64();
+        let y = a.next_u64();
+        assert_ne!(x, y);
+        let mut c = Lcg(8);
+        assert_ne!(Lcg(7).clone().next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn below_is_bounded() {
+        let mut a = Lcg(3);
+        for _ in 0..1000 {
+            assert!(a.below(17) < 17);
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! `dijkstra` — O(N²) single-source shortest paths on a 20-node graph.
+//!
+//! Mirrors MiBench `dijkstra`: nested scan loops over an adjacency matrix,
+//! compare-heavy relaxation with data-dependent updates.
+
+use crate::common::{Lcg, Workload};
+use idld_isa::reg::r;
+use idld_isa::Asm;
+
+const N: usize = 20;
+const INF: u64 = 1 << 40;
+const ADJ_BASE: i64 = 0x0; // N*N u64 weights
+const DIST_BASE: i64 = 0x4000; // N u64
+
+fn node_count(factor: u32) -> usize {
+    // O(N²) kernel: scale node count by √factor to keep dynamic
+    // instruction growth roughly linear in the factor.
+    N + (N as f64 * ((factor as f64).sqrt() - 1.0)) as usize
+}
+
+fn adjacency(factor: u32) -> Vec<u64> {
+    let n = node_count(factor);
+    let mut rng = Lcg(0xd13);
+    let mut adj = vec![INF; n * n];
+    for i in 0..n {
+        adj[i * n + i] = 0;
+        for j in 0..n {
+            if i != j && rng.below(100) < 40 {
+                adj[i * n + j] = 1 + rng.below(99);
+            }
+        }
+    }
+    adj
+}
+
+/// Native reference: dist[N-1], number of reachable nodes, and an xor
+/// checksum of all finite distances.
+pub fn reference() -> Vec<u64> {
+    reference_with(1)
+}
+
+/// Native reference at a workload scale factor.
+pub fn reference_with(factor: u32) -> Vec<u64> {
+    let n = node_count(factor);
+    let adj = adjacency(factor);
+    let mut dist = vec![INF; n];
+    let mut vis = vec![false; n];
+    dist[0] = 0;
+    for _ in 0..n {
+        let mut u = n;
+        let mut best = INF;
+        for (i, (&d, &v)) in dist.iter().zip(&vis).enumerate() {
+            if !v && d < best {
+                best = d;
+                u = i;
+            }
+        }
+        if u == n {
+            break;
+        }
+        vis[u] = true;
+        for j in 0..n {
+            let w = adj[u * n + j];
+            if w < INF && dist[u] + w < dist[j] {
+                dist[j] = dist[u] + w;
+            }
+        }
+    }
+    let reachable = dist.iter().filter(|&&d| d < INF).count() as u64;
+    let ck = dist.iter().filter(|&&d| d < INF).fold(0u64, |a, &d| a ^ d.wrapping_mul(2654435761));
+    vec![dist[n - 1], reachable, ck]
+}
+
+/// Builds the workload at the default scale.
+pub fn build() -> Workload {
+    build_with(1)
+}
+
+/// Builds the workload over a `20·√factor`-node graph.
+pub fn build_with(factor: u32) -> Workload {
+    let nn = node_count(factor);
+    // dist[] and vis[] sit above the (scaled) adjacency matrix.
+    let dist_base = (DIST_BASE as usize).max((nn * nn * 8).next_power_of_two()) as i64;
+    let vis_base = dist_base + (nn * 8).next_power_of_two() as i64;
+    let mut a = Asm::new();
+    a.name("dijkstra");
+    {
+        let mut bytes = Vec::new();
+        for w in adjacency(factor) {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        a.data(ADJ_BASE as u64, &bytes);
+    }
+
+    let inf = r(9);
+    let n = r(8);
+    let (iter, i, u, best) = (r(10), r(11), r(12), r(13));
+    let (t0, t1, t2, t3, t4) = (r(20), r(21), r(22), r(23), r(24));
+
+    a.li(inf, INF as i64);
+    a.li(n, nn as i64);
+
+    // dist[] = INF except dist[0] = 0; vis[] = 0.
+    a.li(i, 0);
+    a.label("init");
+    a.slli(t0, i, 3);
+    a.st(inf, t0, dist_base);
+    a.st(r(0), t0, vis_base);
+    a.addi(i, i, 1);
+    a.blt(i, n, "init");
+    a.st(r(0), r(0), dist_base); // dist[0] = 0
+
+    a.li(iter, 0);
+    a.label("outer");
+    // Select the unvisited node with minimal distance.
+    a.mv(best, inf);
+    a.mv(u, n); // sentinel "none"
+    a.li(i, 0);
+    a.label("select");
+    a.slli(t0, i, 3);
+    a.ld(t1, t0, vis_base);
+    a.bne(t1, r(0), "sel_next");
+    a.ld(t2, t0, dist_base);
+    a.bgeu(t2, best, "sel_next");
+    a.mv(best, t2);
+    a.mv(u, i);
+    a.label("sel_next");
+    a.addi(i, i, 1);
+    a.blt(i, n, "select");
+    a.beq(u, n, "done"); // nothing reachable left
+
+    // Visit u, relax its edges.
+    a.slli(t0, u, 3);
+    a.li(t1, 1);
+    a.st(t1, t0, vis_base);
+    a.ld(t4, t0, dist_base); // dist[u]
+    a.muli(t0, u, (nn * 8) as i64); // row base offset
+    a.li(i, 0);
+    a.label("relax");
+    a.slli(t1, i, 3);
+    a.add(t2, t0, t1);
+    a.ld(t2, t2, ADJ_BASE); // w = adj[u][j]
+    a.bgeu(t2, inf, "rel_next");
+    a.add(t2, t2, t4); // dist[u] + w
+    a.ld(t3, t1, dist_base); // dist[j]
+    a.bgeu(t2, t3, "rel_next");
+    a.st(t2, t1, dist_base);
+    a.label("rel_next");
+    a.addi(i, i, 1);
+    a.blt(i, n, "relax");
+
+    a.addi(iter, iter, 1);
+    a.blt(iter, n, "outer");
+
+    a.label("done");
+    // dist[N-1]
+    a.li(t0, ((nn - 1) * 8) as i64);
+    a.ld(t0, t0, dist_base);
+    a.out(t0);
+    // reachable count + checksum
+    a.li(t1, 0); // count
+    a.li(t2, 0); // ck
+    a.li(i, 0);
+    a.li(t4, 2654435761);
+    a.label("sum");
+    a.slli(t0, i, 3);
+    a.ld(t0, t0, dist_base);
+    a.bgeu(t0, inf, "sum_next");
+    a.addi(t1, t1, 1);
+    a.mul(t0, t0, t4);
+    a.xor(t2, t2, t0);
+    a.label("sum_next");
+    a.addi(i, i, 1);
+    a.blt(i, n, "sum");
+    a.out(t1);
+    a.out(t2);
+    a.halt();
+
+    Workload {
+        name: "dijkstra",
+        program: a.finish(),
+        expected_output: reference_with(factor),
+        max_steps: 500_000 * factor as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idld_isa::{Emulator, StopReason};
+
+    #[test]
+    fn emulator_matches_native_dijkstra() {
+        let w = build();
+        let mut emu = Emulator::new(&w.program);
+        let res = emu.run(w.max_steps);
+        assert_eq!(res.stop, StopReason::Halted);
+        assert_eq!(res.output, w.expected_output);
+    }
+
+    #[test]
+    fn graph_is_meaningfully_connected() {
+        let out = reference();
+        assert!(out[1] > N as u64 / 2, "most nodes reachable: {}", out[1]);
+        assert!(out[0] < INF, "target reachable");
+    }
+}

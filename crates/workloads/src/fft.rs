@@ -1,0 +1,185 @@
+//! `fft` — fixed-point O(N²) discrete Fourier transform, 24 points.
+//!
+//! Mirrors MiBench `fft`'s character — multiply-saturated inner loops over
+//! twiddle tables — using an exact-integer Q15 DFT so the native reference
+//! and the assembly agree bit for bit (the twiddle table is shared data;
+//! all arithmetic is integer).
+
+use crate::common::{Lcg, Workload};
+use idld_isa::reg::r;
+use idld_isa::Asm;
+
+const N: usize = 24;
+const X_BASE: i64 = 0x0; // N i64 samples
+const TW_BASE: i64 = 0x2000; // N*N pairs of (cos, sin) Q15 as i64
+const RE_BASE: i64 = 0x6000;
+const IM_BASE: i64 = 0x7000;
+
+fn point_count(factor: u32) -> usize {
+    // O(N²) kernel: scale the point count by √factor.
+    N + (N as f64 * ((factor as f64).sqrt() - 1.0)) as usize
+}
+
+fn samples(factor: u32) -> Vec<i64> {
+    let mut rng = Lcg(0xff7);
+    (0..point_count(factor))
+        .map(|_| (rng.next_u32() as i64 & 0xffff) - 0x8000)
+        .collect()
+}
+
+/// Q15 twiddles for every (k, n) product, quantized once so both sides use
+/// identical integers.
+fn twiddles(factor: u32) -> Vec<(i64, i64)> {
+    let nn = point_count(factor);
+    let mut t = Vec::with_capacity(nn * nn);
+    for k in 0..nn {
+        for n in 0..nn {
+            let ang = -2.0 * std::f64::consts::PI * (k * n % nn) as f64 / nn as f64;
+            t.push(((ang.cos() * 32767.0).round() as i64, (ang.sin() * 32767.0).round() as i64));
+        }
+    }
+    t
+}
+
+/// Native reference: xor checksums of the Q15 DFT real and imaginary
+/// outputs plus the dominant-bin magnitude proxy.
+pub fn reference() -> Vec<u64> {
+    reference_with(1)
+}
+
+/// Native reference at a workload scale factor.
+pub fn reference_with(factor: u32) -> Vec<u64> {
+    let nn = point_count(factor);
+    let x = samples(factor);
+    let tw = twiddles(factor);
+    let mut ck_re = 0u64;
+    let mut ck_im = 0u64;
+    let mut maxmag = 0i64;
+    for k in 0..nn {
+        let mut re = 0i64;
+        let mut im = 0i64;
+        for (n, &xn) in x.iter().enumerate() {
+            let (c, s) = tw[k * nn + n];
+            re = re.wrapping_add(xn.wrapping_mul(c) >> 15);
+            im = im.wrapping_add(xn.wrapping_mul(s) >> 15);
+        }
+        ck_re ^= (re as u64).wrapping_mul(k as u64 + 1);
+        ck_im ^= (im as u64).wrapping_mul(k as u64 + 1);
+        let mag = re.wrapping_mul(re).wrapping_add(im.wrapping_mul(im));
+        maxmag = maxmag.max(mag);
+    }
+    vec![ck_re, ck_im, maxmag as u64]
+}
+
+/// Builds the workload at the default scale.
+pub fn build() -> Workload {
+    build_with(1)
+}
+
+/// Builds the workload over `24·√factor` points.
+pub fn build_with(factor: u32) -> Workload {
+    let nn = point_count(factor);
+    // The twiddle table sits above the (scaled) sample array.
+    let tw_base = (TW_BASE as usize).max((nn * 8).next_power_of_two()) as i64;
+    let mut a = Asm::new();
+    a.name("fft");
+    {
+        let mut bytes = Vec::new();
+        for v in samples(factor) {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        a.data(X_BASE as u64, &bytes);
+        let mut tbytes = Vec::new();
+        for (c, s) in twiddles(factor) {
+            tbytes.extend_from_slice(&c.to_le_bytes());
+            tbytes.extend_from_slice(&s.to_le_bytes());
+        }
+        a.data(tw_base as u64, &tbytes);
+    }
+
+    let nreg = r(8);
+    let (k, n) = (r(10), r(11));
+    let (re, im) = (r(12), r(13));
+    let (ck_re, ck_im, maxmag) = (r(14), r(15), r(16));
+    let (t0, t1, t2, t3) = (r(20), r(21), r(22), r(23));
+    let rowbase = r(17);
+
+    a.li(nreg, nn as i64);
+    a.li(ck_re, 0);
+    a.li(ck_im, 0);
+    a.li(maxmag, 0);
+    a.li(k, 0);
+
+    a.label("bin");
+    a.li(re, 0);
+    a.li(im, 0);
+    a.muli(rowbase, k, (nn * 16) as i64);
+    a.li(n, 0);
+    a.label("accum");
+    a.slli(t0, n, 3);
+    a.ld(t1, t0, X_BASE); // x[n]
+    a.slli(t0, n, 4);
+    a.add(t0, t0, rowbase);
+    a.ld(t2, t0, tw_base); // cos
+    a.ld(t3, t0, tw_base + 8); // sin
+    a.mul(t2, t2, t1);
+    a.srai(t2, t2, 15);
+    a.add(re, re, t2);
+    a.mul(t3, t3, t1);
+    a.srai(t3, t3, 15);
+    a.add(im, im, t3);
+    a.addi(n, n, 1);
+    a.blt(n, nreg, "accum");
+
+    // Checksums and magnitude tracking.
+    a.addi(t0, k, 1);
+    a.mul(t1, re, t0);
+    a.xor(ck_re, ck_re, t1);
+    a.mul(t1, im, t0);
+    a.xor(ck_im, ck_im, t1);
+    a.mul(t1, re, re);
+    a.mul(t2, im, im);
+    a.add(t1, t1, t2);
+    a.bge(maxmag, t1, "no_max");
+    a.mv(maxmag, t1);
+    a.label("no_max");
+
+    a.addi(k, k, 1);
+    a.blt(k, nreg, "bin");
+
+    a.out(ck_re);
+    a.out(ck_im);
+    a.out(maxmag);
+    a.halt();
+
+    // RE/IM scratch regions are reserved in the layout for future use.
+    let _ = (RE_BASE, IM_BASE);
+
+    Workload {
+        name: "fft",
+        program: a.finish(),
+        expected_output: reference_with(factor),
+        max_steps: 500_000 * factor as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idld_isa::{Emulator, StopReason};
+
+    #[test]
+    fn emulator_matches_native_dft() {
+        let w = build();
+        let mut emu = Emulator::new(&w.program);
+        let res = emu.run(w.max_steps);
+        assert_eq!(res.stop, StopReason::Halted);
+        assert_eq!(res.output, w.expected_output);
+    }
+
+    #[test]
+    fn dft_produces_energy() {
+        let out = reference();
+        assert!(out[2] > 0, "some bin must carry energy");
+    }
+}

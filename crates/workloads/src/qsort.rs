@@ -1,0 +1,177 @@
+//! `qsort` — iterative quicksort of 128 pseudo-random keys.
+//!
+//! Mirrors MiBench `qsort`: data-dependent branches (compare/swap) and an
+//! explicit stack in memory, producing heavy, hard-to-predict control flow
+//! plus pointer-style addressing.
+
+use crate::common::{Lcg, Workload};
+use idld_isa::reg::r;
+use idld_isa::Asm;
+
+const N: usize = 128;
+const ARR_BASE: u64 = 0x0;
+const STACK_BASE: i64 = 0x8000;
+
+fn keys(factor: u32) -> Vec<u64> {
+    let mut rng = Lcg(0x9507);
+    (0..N * factor as usize).map(|_| rng.next_u64() >> 16).collect()
+}
+
+/// Native reference: sorted min/median/max plus a position-weighted
+/// checksum, which any ordering error perturbs.
+pub fn reference() -> Vec<u64> {
+    reference_with(1)
+}
+
+/// Native reference at a workload scale factor.
+pub fn reference_with(factor: u32) -> Vec<u64> {
+    let n = N * factor as usize;
+    let mut v = keys(factor);
+    v.sort_unstable();
+    let checksum = v
+        .iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, &x)| acc.wrapping_add(x.wrapping_mul(i as u64 + 1)));
+    vec![v[0], v[n / 2], v[n - 1], checksum]
+}
+
+/// Builds the workload at the default scale.
+pub fn build() -> Workload {
+    build_with(1)
+}
+
+/// Builds the workload sorting `128 × factor` keys.
+pub fn build_with(factor: u32) -> Workload {
+    let n = N * factor as usize;
+    // The explicit work stack sits above the (scaled) key array.
+    let stack_base = (STACK_BASE as usize).max((n * 8).next_power_of_two() * 2) as i64;
+    let mut a = Asm::new();
+    a.name("qsort");
+    {
+        let mut bytes = Vec::with_capacity(n * 8);
+        for k in keys(factor) {
+            bytes.extend_from_slice(&k.to_le_bytes());
+        }
+        a.data(ARR_BASE, &bytes);
+    }
+
+    // Registers: sp = r2, lo = r10, hi = r11, i = r12, j = r13,
+    // pivot = r14, temps r20..r24.
+    let sp = r(2);
+    let lo = r(10);
+    let hi = r(11);
+    let i = r(12);
+    let j = r(13);
+    let pivot = r(14);
+    let (t0, t1, t2, t3) = (r(20), r(21), r(22), r(23));
+
+    // Push the initial (lo=0, hi=N-1) range.
+    a.li(sp, stack_base);
+    a.li(t0, 0);
+    a.st(t0, sp, 0);
+    a.li(t0, (n - 1) as i64);
+    a.st(t0, sp, 8);
+    a.addi(sp, sp, 16);
+
+    a.label("work_loop");
+    // Empty stack → done.
+    a.li(t0, stack_base);
+    a.beq(sp, t0, "sorted");
+    // Pop (lo, hi).
+    a.addi(sp, sp, -16);
+    a.ld(lo, sp, 0);
+    a.ld(hi, sp, 8);
+    a.bge(lo, hi, "work_loop");
+
+    // Lomuto partition with pivot = a[hi].
+    a.slli(t0, hi, 3);
+    a.ld(pivot, t0, ARR_BASE as i64);
+    a.addi(i, lo, -1);
+    a.mv(j, lo);
+    a.label("part_loop");
+    a.bge(j, hi, "part_done");
+    a.slli(t0, j, 3);
+    a.ld(t1, t0, ARR_BASE as i64); // a[j]
+    a.bltu(pivot, t1, "no_swap");  // keep when a[j] <= pivot
+    a.addi(i, i, 1);
+    a.slli(t2, i, 3);
+    a.ld(t3, t2, ARR_BASE as i64); // a[i]
+    a.st(t1, t2, ARR_BASE as i64); // a[i] = a[j]
+    a.st(t3, t0, ARR_BASE as i64); // a[j] = old a[i]
+    a.label("no_swap");
+    a.addi(j, j, 1);
+    a.j("part_loop");
+    a.label("part_done");
+    // Swap a[i+1] and a[hi]; p = i+1.
+    a.addi(i, i, 1);
+    a.slli(t0, i, 3);
+    a.slli(t1, hi, 3);
+    a.ld(t2, t0, ARR_BASE as i64);
+    a.ld(t3, t1, ARR_BASE as i64);
+    a.st(t3, t0, ARR_BASE as i64);
+    a.st(t2, t1, ARR_BASE as i64);
+
+    // Push (lo, p-1) and (p+1, hi).
+    a.addi(t0, i, -1);
+    a.st(lo, sp, 0);
+    a.st(t0, sp, 8);
+    a.addi(sp, sp, 16);
+    a.addi(t0, i, 1);
+    a.st(t0, sp, 0);
+    a.st(hi, sp, 8);
+    a.addi(sp, sp, 16);
+    a.j("work_loop");
+
+    a.label("sorted");
+    // Emit min, median, max.
+    a.ld(t0, r(0), ARR_BASE as i64);
+    a.out(t0);
+    a.li(t1, (n as i64 / 2) * 8);
+    a.ld(t0, t1, ARR_BASE as i64);
+    a.out(t0);
+    a.li(t1, (n as i64 - 1) * 8);
+    a.ld(t0, t1, ARR_BASE as i64);
+    a.out(t0);
+    // Position-weighted checksum.
+    a.li(t0, 0); // acc
+    a.li(t1, 0); // index
+    a.li(t2, n as i64);
+    a.label("ck_loop");
+    a.slli(t3, t1, 3);
+    a.ld(t3, t3, ARR_BASE as i64);
+    a.addi(j, t1, 1);
+    a.mul(t3, t3, j);
+    a.add(t0, t0, t3);
+    a.addi(t1, t1, 1);
+    a.blt(t1, t2, "ck_loop");
+    a.out(t0);
+    a.halt();
+
+    Workload {
+        name: "qsort",
+        program: a.finish(),
+        expected_output: reference_with(factor),
+        max_steps: 2_000_000 * factor as u64 * factor as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idld_isa::{Emulator, StopReason};
+
+    #[test]
+    fn emulator_matches_native_sort() {
+        let w = build();
+        let mut emu = Emulator::new(&w.program);
+        let res = emu.run(w.max_steps);
+        assert_eq!(res.stop, StopReason::Halted);
+        assert_eq!(res.output, w.expected_output);
+    }
+
+    #[test]
+    fn reference_is_sorted_sanity() {
+        let out = reference();
+        assert!(out[0] <= out[1] && out[1] <= out[2]);
+    }
+}

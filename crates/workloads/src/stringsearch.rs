@@ -1,0 +1,224 @@
+//! `stringsearch` — Boyer–Moore–Horspool search of 4 patterns in 4 KiB of
+//! text.
+//!
+//! Mirrors MiBench `stringsearch`: shift-table construction, irregular
+//! data-dependent skip distances, and byte-granularity memory traffic.
+
+use crate::common::{Lcg, Workload};
+use idld_isa::reg::r;
+use idld_isa::Asm;
+
+const TEXT_LEN: usize = 4096;
+const TEXT_BASE: i64 = 0x0;
+const PAT_BASE: i64 = 0x2000; // 4 patterns × 16 bytes (len-padded)
+const PATTERNS: [&[u8]; 4] = [b"renaming", b"idld", b"zqx", b"register"];
+
+fn text(factor: u32) -> Vec<u8> {
+    // Lowercase letters plus planted occurrences of some patterns.
+    let len = TEXT_LEN * factor as usize;
+    let mut rng = Lcg(0x7e57);
+    let mut t: Vec<u8> = (0..len).map(|_| b'a' + (rng.below(26) as u8)).collect();
+    // Plant "renaming" and "register" a few times per 4 KiB chunk; leave
+    // "zqx" unplanted.
+    for chunk in 0..factor as usize {
+        let base = chunk * TEXT_LEN;
+        for (i, pat) in [(100usize, 0usize), (700, 0), (1500, 3), (2500, 1), (3900, 3)] {
+            let p = PATTERNS[pat];
+            t[base + i..base + i + p.len()].copy_from_slice(p);
+        }
+    }
+    t
+}
+
+fn horspool_all(text: &[u8], pat: &[u8]) -> (u64, u64) {
+    // Returns (first match index or text len, match count).
+    let m = pat.len();
+    let mut tab = [m as u64; 256];
+    for (i, &b) in pat[..m - 1].iter().enumerate() {
+        tab[b as usize] = (m - 1 - i) as u64;
+    }
+    let mut i = 0usize;
+    let mut first = text.len() as u64;
+    let mut count = 0u64;
+    while i + m <= text.len() {
+        if &text[i..i + m] == pat {
+            if count == 0 {
+                first = i as u64;
+            }
+            count += 1;
+            i += 1; // overlapping search
+        } else {
+            i += tab[text[i + m - 1] as usize] as usize;
+        }
+    }
+    (first, count)
+}
+
+/// Native reference: first index and count per pattern.
+pub fn reference() -> Vec<u64> {
+    reference_with(1)
+}
+
+/// Native reference at a workload scale factor.
+pub fn reference_with(factor: u32) -> Vec<u64> {
+    let t = text(factor);
+    let mut out = Vec::new();
+    for pat in PATTERNS {
+        let (first, count) = horspool_all(&t, pat);
+        out.push(first);
+        out.push(count);
+    }
+    out
+}
+
+/// Builds the workload at the default scale.
+pub fn build() -> Workload {
+    build_with(1)
+}
+
+/// Builds the workload over `4 KiB × factor` of text.
+pub fn build_with(factor: u32) -> Workload {
+    let text_len = TEXT_LEN * factor as usize;
+    let pat_base = (PAT_BASE as usize).max(text_len.next_power_of_two()) as i64;
+    let tab_base = pat_base + 0x1000;
+    let mut a = Asm::new();
+    a.name("stringsearch");
+    a.data(TEXT_BASE as u64, &text(factor));
+    {
+        // Pattern block: 16 bytes per pattern: [len, bytes...].
+        let mut pb = vec![0u8; PATTERNS.len() * 16];
+        for (i, p) in PATTERNS.iter().enumerate() {
+            pb[i * 16] = p.len() as u8;
+            pb[i * 16 + 1..i * 16 + 1 + p.len()].copy_from_slice(p);
+        }
+        a.data(pat_base as u64, &pb);
+    }
+
+    let tlen = r(8);
+    let (pidx, m, pbase) = (r(9), r(10), r(11));
+    let (i, first, count) = (r(12), r(13), r(14));
+    let (t0, t1, t2, t3, t4) = (r(20), r(21), r(22), r(23), r(24));
+    let c256 = r(7);
+
+    a.li(tlen, text_len as i64);
+    a.li(c256, 256);
+    a.li(pidx, 0);
+
+    a.label("pattern_loop");
+    a.slli(pbase, pidx, 4);
+    a.ldb(m, pbase, pat_base); // pattern length
+    a.addi(pbase, pbase, pat_base + 1); // &pattern[0]
+
+    // Build the shift table: tab[b] = m, then tab[pat[i]] = m-1-i.
+    a.li(t0, 0);
+    a.label("tab_init");
+    a.slli(t1, t0, 3);
+    a.st(m, t1, tab_base);
+    a.addi(t0, t0, 1);
+    a.blt(t0, c256, "tab_init");
+    a.li(t0, 0);
+    a.addi(t2, m, -1);
+    a.label("tab_fill");
+    a.bge(t0, t2, "tab_done");
+    a.add(t1, pbase, t0);
+    a.ldb(t1, t1, 0); // pat[i]
+    a.slli(t1, t1, 3);
+    a.sub(t3, t2, t0); // m-1-i
+    a.st(t3, t1, tab_base);
+    a.addi(t0, t0, 1);
+    a.j("tab_fill");
+    a.label("tab_done");
+
+    // Search.
+    a.li(i, 0);
+    a.mv(first, tlen);
+    a.li(count, 0);
+    a.sub(t4, tlen, m); // last valid start
+    a.label("scan");
+    a.blt(t4, i, "scan_done"); // while i <= tlen - m
+    // Compare text[i..i+m] with pattern.
+    a.li(t0, 0);
+    a.label("cmp");
+    a.bge(t0, m, "match");
+    a.add(t1, i, t0);
+    a.ldb(t1, t1, TEXT_BASE);
+    a.add(t2, pbase, t0);
+    a.ldb(t2, t2, 0);
+    a.bne(t1, t2, "mismatch");
+    a.addi(t0, t0, 1);
+    a.j("cmp");
+    a.label("match");
+    a.bne(count, r(0), "not_first");
+    a.mv(first, i);
+    a.label("not_first");
+    a.addi(count, count, 1);
+    a.addi(i, i, 1);
+    a.j("scan");
+    a.label("mismatch");
+    // Skip by tab[text[i+m-1]].
+    a.add(t1, i, m);
+    a.ldb(t1, t1, TEXT_BASE - 1);
+    a.slli(t1, t1, 3);
+    a.ld(t1, t1, tab_base);
+    a.add(i, i, t1);
+    a.j("scan");
+    a.label("scan_done");
+
+    a.out(first);
+    a.out(count);
+    a.addi(pidx, pidx, 1);
+    a.li(t0, PATTERNS.len() as i64);
+    a.blt(pidx, t0, "pattern_loop");
+    a.halt();
+
+    Workload {
+        name: "stringsearch",
+        program: a.finish(),
+        expected_output: reference_with(factor),
+        max_steps: 1_000_000 * factor as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idld_isa::{Emulator, StopReason};
+
+    #[test]
+    fn emulator_matches_native_search() {
+        let w = build();
+        let mut emu = Emulator::new(&w.program);
+        let res = emu.run(w.max_steps);
+        assert_eq!(res.stop, StopReason::Halted);
+        assert_eq!(res.output, w.expected_output);
+    }
+
+    #[test]
+    fn planted_patterns_are_found_and_zqx_is_not() {
+        let out = reference();
+        // renaming: ≥2 planted, idld: ≥1, zqx: unplanted (count may be 0).
+        assert!(out[1] >= 2, "renaming found {} times", out[1]);
+        assert!(out[3] >= 1, "idld found");
+        assert_eq!(out[5], 0, "zqx absent");
+        assert_eq!(out[4], TEXT_LEN as u64, "zqx 'first' sentinel");
+        assert!(out[7] >= 2, "register found");
+    }
+
+    #[test]
+    fn horspool_agrees_with_naive_search() {
+        let t = text(1);
+        for pat in PATTERNS {
+            let naive = t
+                .windows(pat.len())
+                .enumerate()
+                .filter(|(_, w)| *w == pat)
+                .map(|(i, _)| i)
+                .collect::<Vec<_>>();
+            let (first, count) = horspool_all(&t, pat);
+            assert_eq!(count as usize, naive.len(), "{pat:?}");
+            if let Some(&f) = naive.first() {
+                assert_eq!(first as usize, f, "{pat:?}");
+            }
+        }
+    }
+}

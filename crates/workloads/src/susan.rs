@@ -1,0 +1,199 @@
+//! `susan` — 3×3 weighted smoothing plus edge thresholding on a 32×32
+//! image.
+//!
+//! Mirrors MiBench `susan` (image smoothing/edge detection): 2-D address
+//! arithmetic, a load-heavy stencil inner loop, stores of the filtered
+//! output and a data-dependent threshold count.
+
+use crate::common::{Lcg, Workload};
+use idld_isa::reg::r;
+use idld_isa::Asm;
+
+const DIM: usize = 32;
+const IMG_BASE: i64 = 0x0;
+const OUT_BASE: i64 = 0x1000;
+const THRESHOLD: u64 = 128;
+/// Stencil weights, row-major (sum = 16).
+const W: [u64; 9] = [1, 2, 1, 2, 4, 2, 1, 2, 1];
+
+fn dim_of(factor: u32) -> usize {
+    // O(DIM²) stencil: scale the image side by √factor.
+    DIM + (DIM as f64 * ((factor as f64).sqrt() - 1.0)) as usize
+}
+
+fn image(factor: u32) -> Vec<u8> {
+    let d = dim_of(factor);
+    let mut rng = Lcg(0x5a5a);
+    (0..d * d).map(|_| rng.next_u8()).collect()
+}
+
+/// Native reference: filtered-image checksum, edge count, filtered corner
+/// sample.
+pub fn reference() -> Vec<u64> {
+    reference_with(1)
+}
+
+/// Native reference at a workload scale factor.
+pub fn reference_with(factor: u32) -> Vec<u64> {
+    let d = dim_of(factor);
+    let img = image(factor);
+    let mut out = vec![0u8; d * d];
+    let mut edges = 0u64;
+    for y in 1..d - 1 {
+        for x in 1..d - 1 {
+            let mut acc = 0u64;
+            for dy in 0..3 {
+                for dx in 0..3 {
+                    let pix = img[(y + dy - 1) * d + (x + dx - 1)] as u64;
+                    acc += pix * W[dy * 3 + dx];
+                }
+            }
+            let v = acc >> 4;
+            out[y * d + x] = v as u8;
+            if v >= THRESHOLD {
+                edges += 1;
+            }
+        }
+    }
+    let ck = out
+        .iter()
+        .enumerate()
+        .fold(0u64, |a, (i, &p)| a.wrapping_add((p as u64).wrapping_mul(i as u64 + 1)));
+    vec![ck, edges, out[d + 1] as u64]
+}
+
+/// Builds the workload at the default scale.
+pub fn build() -> Workload {
+    build_with(1)
+}
+
+/// Builds the workload over a `32·√factor`-pixel-square image.
+pub fn build_with(factor: u32) -> Workload {
+    let d = dim_of(factor);
+    let out_base = (OUT_BASE as usize).max((d * d).next_power_of_two()) as i64;
+    let mut a = Asm::new();
+    a.name("susan");
+    a.data(IMG_BASE as u64, &image(factor));
+
+    let dim = r(8);
+    let limit = r(9);
+    let (x, y) = (r(10), r(11));
+    let (acc, edges) = (r(12), r(13));
+    let (dx, dy) = (r(14), r(15));
+    let (t0, t1, t2) = (r(20), r(21), r(22));
+    let wreg = r(16);
+    let thr = r(17);
+    let c3 = r(18);
+
+    a.li(dim, d as i64);
+    a.li(limit, (d - 1) as i64);
+    a.li(thr, THRESHOLD as i64);
+    a.li(c3, 3);
+    a.li(edges, 0);
+
+    a.li(y, 1);
+    a.label("row");
+    a.li(x, 1);
+    a.label("col");
+    a.li(acc, 0);
+    a.li(dy, 0);
+    a.label("sy");
+    a.li(dx, 0);
+    a.label("sx");
+    // pix = img[(y+dy-1)*DIM + (x+dx-1)]
+    a.add(t0, y, dy);
+    a.addi(t0, t0, -1);
+    a.mul(t0, t0, dim);
+    a.add(t0, t0, x);
+    a.add(t0, t0, dx);
+    a.addi(t0, t0, -1);
+    a.ldb(t1, t0, IMG_BASE);
+    // weight = W[dy*3+dx] via a tiny in-register table: weights are
+    // 1,2,1,2,4,2,1,2,1 = 4 >> |stencil center distance|; compute as
+    // w = (dy==1?2:1) * (dx==1?2:1).
+    a.li(wreg, 1);
+    a.li(t2, 1);
+    a.bne(dy, t2, "wy");
+    a.li(wreg, 2);
+    a.label("wy");
+    a.bne(dx, t2, "wx");
+    a.slli(wreg, wreg, 1);
+    a.label("wx");
+    a.mul(t1, t1, wreg);
+    a.add(acc, acc, t1);
+    a.addi(dx, dx, 1);
+    a.blt(dx, c3, "sx");
+    a.addi(dy, dy, 1);
+    a.blt(dy, c3, "sy");
+
+    a.srli(acc, acc, 4);
+    // out[y*DIM+x] = acc; edges += acc >= THRESHOLD.
+    a.mul(t0, y, dim);
+    a.add(t0, t0, x);
+    a.stb(acc, t0, out_base);
+    a.bltu(acc, thr, "no_edge");
+    a.addi(edges, edges, 1);
+    a.label("no_edge");
+
+    a.addi(x, x, 1);
+    a.blt(x, limit, "col");
+    a.addi(y, y, 1);
+    a.blt(y, limit, "row");
+
+    // Checksum of the output image.
+    a.li(t0, 0); // acc
+    a.li(t1, 0); // i
+    a.li(t2, (d * d) as i64);
+    a.label("ck");
+    a.ldb(acc, t1, out_base);
+    a.addi(x, t1, 1);
+    a.mul(acc, acc, x);
+    a.add(t0, t0, acc);
+    a.addi(t1, t1, 1);
+    a.blt(t1, t2, "ck");
+    a.out(t0);
+    a.out(edges);
+    a.li(t1, (d + 1) as i64);
+    a.ldb(t1, t1, out_base);
+    a.out(t1);
+    a.halt();
+
+    Workload {
+        name: "susan",
+        program: a.finish(),
+        expected_output: reference_with(factor),
+        max_steps: 1_000_000 * factor as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idld_isa::{Emulator, StopReason};
+
+    #[test]
+    fn emulator_matches_native_stencil() {
+        let w = build();
+        let mut emu = Emulator::new(&w.program);
+        let res = emu.run(w.max_steps);
+        assert_eq!(res.stop, StopReason::Halted);
+        assert_eq!(res.output, w.expected_output);
+    }
+
+    #[test]
+    fn weights_identity() {
+        // The in-register weight trick must equal the declared stencil.
+        for dy in 0..3usize {
+            for dx in 0..3usize {
+                let w = (if dy == 1 { 2 } else { 1 }) * (if dx == 1 { 2 } else { 1 });
+                assert_eq!(w, W[dy * 3 + dx]);
+            }
+        }
+    }
+
+    #[test]
+    fn some_edges_detected() {
+        let out = reference();
+        assert!(out[1] > 0 && out[1] < ((DIM - 2) * (DIM - 2)) as u64);
+    }
+}

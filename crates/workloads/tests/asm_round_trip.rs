@@ -1,0 +1,34 @@
+//! Text-assembly round trip over the whole suite: every workload program
+//! disassembles to parseable text that reassembles to the identical
+//! instruction stream (and therefore identical behavior).
+
+use idld_isa::{disassemble, parse_asm, Emulator, StopReason};
+
+#[test]
+fn every_workload_round_trips_through_text() {
+    for w in idld_workloads::suite() {
+        let text = disassemble(&w.program);
+        let reparsed = parse_asm(&text)
+            .unwrap_or_else(|e| panic!("{}: disassembly does not reparse: {e}", w.name));
+        assert_eq!(
+            w.program.insts, reparsed.insts,
+            "{}: instruction stream changed through text",
+            w.name
+        );
+        assert_eq!(w.program.image, reparsed.image, "{}: data image changed", w.name);
+
+        let res = Emulator::new(&reparsed).run(w.max_steps);
+        assert_eq!(res.stop, StopReason::Halted, "{}", w.name);
+        assert_eq!(res.output, w.expected_output, "{}", w.name);
+    }
+}
+
+#[test]
+fn disassembly_is_stable() {
+    // disassemble(parse(disassemble(p))) == disassemble(p)
+    for w in idld_workloads::suite().into_iter().take(3) {
+        let once = disassemble(&w.program);
+        let twice = disassemble(&parse_asm(&once).expect("parses"));
+        assert_eq!(once, twice, "{}", w.name);
+    }
+}

@@ -1,0 +1,58 @@
+//! The central correctness chain of the reproduction:
+//! native Rust reference == architectural emulator == out-of-order core,
+//! for every workload, across pipeline widths, with the IDLD checker
+//! attached and silent.
+
+use idld_core::{CheckerSet, IdldChecker};
+use idld_rrs::NoFaults;
+use idld_sim::{SimConfig, SimStop, Simulator};
+
+#[test]
+fn all_workloads_match_reference_on_the_ooo_core_width4() {
+    for w in idld_workloads::suite() {
+        let cfg = SimConfig::default();
+        let mut checkers = CheckerSet::new();
+        checkers.push(Box::new(IdldChecker::new(&cfg.rrs)));
+        let mut sim = Simulator::new(&w.program, cfg);
+        let res = sim.run(&mut NoFaults, &mut checkers, None, 50_000_000);
+        assert_eq!(res.stop, SimStop::Halted, "{} did not halt", w.name);
+        assert_eq!(res.output, w.expected_output, "{} wrong output", w.name);
+        assert!(
+            res.final_contents.is_exact_partition(),
+            "{} left the RRS inconsistent",
+            w.name
+        );
+        assert_eq!(
+            checkers.detection_of("idld"),
+            None,
+            "{}: IDLD false positive",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn all_workloads_match_reference_at_width_1_and_8() {
+    for width in [1usize, 8] {
+        for w in idld_workloads::suite() {
+            let mut sim = Simulator::new(&w.program, SimConfig::with_width(width));
+            let res = sim.run(&mut NoFaults, &mut CheckerSet::new(), None, 100_000_000);
+            assert_eq!(res.stop, SimStop::Halted, "{} width {width}", w.name);
+            assert_eq!(res.output, w.expected_output, "{} width {width}", w.name);
+        }
+    }
+}
+
+#[test]
+fn golden_traces_are_reproducible() {
+    for w in idld_workloads::suite().into_iter().take(3) {
+        let run = || {
+            let mut sim = Simulator::new(&w.program, SimConfig::default());
+            sim.run(&mut NoFaults, &mut CheckerSet::new(), None, 50_000_000)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.trace, b.trace, "{}", w.name);
+        assert_eq!(a.cycles, b.cycles, "{}", w.name);
+    }
+}

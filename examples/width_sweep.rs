@@ -1,0 +1,60 @@
+//! Width sweep: run the whole workload suite at rename widths 1–8 (the
+//! paper's Table II sweep) reporting IPC, branch accuracy, wrong-path
+//! traffic and the modeled RRS + IDLD hardware cost at each width — plus
+//! the effect of enabling move elimination (§V.E).
+//!
+//! ```sh
+//! cargo run --release --example width_sweep
+//! ```
+
+use idld::core::CheckerSet;
+use idld::rrs::{NoFaults, RrsConfig};
+use idld::rtl::{table2, TechParams};
+use idld::sim::{SimConfig, SimStats, SimStop, Simulator};
+
+fn sweep(move_elim: bool) {
+    println!(
+        "{:<7} {:>8} {:>10} {:>10} {:>9} {:>11} {:>12}",
+        "width", "IPC", "br-acc", "wrongpath", "flushes", "moves-elim", "fwd-loads"
+    );
+    for &w in &[1usize, 2, 4, 6, 8] {
+        let mut cfg = SimConfig::with_width(w);
+        cfg.rrs.move_elim = move_elim;
+        let mut agg = SimStats::default();
+        for wl in idld::workloads::suite() {
+            let mut sim = Simulator::new(&wl.program, cfg);
+            let res = sim.run(&mut NoFaults, &mut CheckerSet::new(), None, 100_000_000);
+            assert_eq!(res.stop, SimStop::Halted, "{} at width {w}", wl.name);
+            assert_eq!(res.output, wl.expected_output, "{} at width {w}", wl.name);
+            let s = res.stats;
+            agg.cycles += s.cycles;
+            agg.committed += s.committed;
+            agg.renamed += s.renamed;
+            agg.branches += s.branches;
+            agg.mispredicts += s.mispredicts;
+            agg.flushes += s.flushes;
+            agg.eliminated_moves += s.eliminated_moves;
+            agg.loads += s.loads;
+            agg.load_forwards += s.load_forwards;
+        }
+        println!(
+            "{w:<7} {:>8.2} {:>9.1}% {:>9.1}% {:>9} {:>11} {:>11.1}%",
+            agg.ipc(),
+            100.0 * agg.branch_accuracy(),
+            100.0 * agg.wrong_path_fraction(),
+            agg.flushes,
+            agg.eliminated_moves,
+            100.0 * agg.forward_rate(),
+        );
+    }
+}
+
+fn main() {
+    println!("baseline RRS (no move elimination):");
+    sweep(false);
+    println!();
+    println!("with move elimination (§V.E):");
+    sweep(true);
+    println!();
+    print!("{}", table2(&RrsConfig::default(), &TechParams::default()).render());
+}

@@ -1,0 +1,56 @@
+//! # idld — reproduction of *IDLD: Instantaneous Detection of Leakage and
+//! Duplication of Identifiers used for Register Renaming* (MICRO 2022)
+//!
+//! This facade crate re-exports the whole workspace. The layers, bottom-up:
+//!
+//! * [`isa`] — the tiny-RISC ISA, assembler and golden architectural
+//!   emulator;
+//! * [`workloads`] — ten MiBench-style benchmark kernels with native Rust
+//!   reference outputs;
+//! * [`rrs`] — the register renaming subsystem (FL/RAT/ROB/RHT/CKPT) with
+//!   fault-injectable Table-I control signals and a port-event stream;
+//! * [`core`] — **the paper's contribution**: the IDLD XOR-invariance
+//!   checker, plus the bit-vector and counter baseline schemes;
+//! * [`bugs`] — the duplication/leakage/PdstID-corruption bug models and
+//!   deterministic single-activation injection;
+//! * [`sim`] — a cycle-accurate out-of-order superscalar core built on the
+//!   RRS;
+//! * [`campaign`] — golden runs, injection campaigns, outcome
+//!   classification and the analyses behind every figure;
+//! * [`mdp`] — the Store-Sets memory-dependence-predictor use case (§V.F);
+//! * [`rtl`] — the analytical area/energy model behind Table II.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use idld::core::{Checker, CheckerSet, IdldChecker};
+//! use idld::rrs::NoFaults;
+//! use idld::sim::{SimConfig, SimStop, Simulator};
+//!
+//! // Run a real workload on the out-of-order core with IDLD attached.
+//! let workload = idld::workloads::by_name("crc32").expect("in suite");
+//! let cfg = SimConfig::default();
+//! let mut checkers = CheckerSet::new();
+//! checkers.push(Box::new(IdldChecker::new(&cfg.rrs)));
+//!
+//! let mut sim = Simulator::new(&workload.program, cfg);
+//! let result = sim.run(&mut NoFaults, &mut checkers, None, 10_000_000);
+//!
+//! assert_eq!(result.stop, SimStop::Halted);
+//! assert_eq!(result.output, workload.expected_output);
+//! assert!(checkers.detection_of("idld").is_none(), "no false positives");
+//! ```
+//!
+//! See `examples/` for bug hunting, the MDP use case and width sweeps, and
+//! `crates/bench/` for the harnesses that regenerate every paper figure
+//! and table.
+
+pub use idld_bugs as bugs;
+pub use idld_campaign as campaign;
+pub use idld_core as core;
+pub use idld_isa as isa;
+pub use idld_mdp as mdp;
+pub use idld_rrs as rrs;
+pub use idld_rtl as rtl;
+pub use idld_sim as sim;
+pub use idld_workloads as workloads;

@@ -1,0 +1,129 @@
+//! Cross-crate integration tests: the full reproduction pipeline from
+//! workload assembly through bug injection to figure-level claims.
+
+use idld::bugs::BugModel;
+use idld::campaign::analysis::{DetectionFigure, MaskingFigure, PersistenceFigure};
+use idld::campaign::{Campaign, CampaignConfig, GoldenRun, OutcomeClass};
+use idld::core::{CheckerSet, IdldChecker};
+use idld::rrs::NoFaults;
+use idld::sim::{SimConfig, SimStop, Simulator};
+
+fn small_campaign(names: &[&str], runs: usize, seed: u64) -> idld::campaign::CampaignResult {
+    let cfg = CampaignConfig { runs_per_cell: runs, seed, ..Default::default() };
+    let picks: Vec<_> = idld::workloads::suite()
+        .into_iter()
+        .filter(|w| names.contains(&w.name))
+        .collect();
+    assert_eq!(picks.len(), names.len(), "all requested workloads exist");
+    Campaign::new(cfg).run(&picks)
+}
+
+/// The paper's headline (Figure 9): IDLD detects every injected bug, and
+/// traditional end-of-test checking does not.
+#[test]
+fn idld_detects_all_and_end_of_test_does_not() {
+    let res = small_campaign(&["sha", "dijkstra", "rijndael"], 8, 99);
+    let fig = DetectionFigure::build(&res);
+    let (idld, trad, trad_bv) = fig.coverage();
+    assert_eq!(idld, 100.0);
+    assert!(trad < 100.0, "some bugs must be masked from end-of-test checking");
+    assert!(trad_bv >= trad);
+    assert!(fig.idld_mean_latency < 50.0, "near-instantaneous detection");
+}
+
+/// Figure 3's ordering: leakage masks far more often than duplication.
+#[test]
+fn leakage_masks_more_than_duplication() {
+    let res = small_campaign(&["qsort", "fft", "bitcount"], 10, 4242);
+    let fig = MaskingFigure::build(&res);
+    let [dup, leak, _corr] = fig.average;
+    assert!(
+        leak > dup + 20.0,
+        "leakage ({leak:.1}%) should mask far more than duplication ({dup:.1}%)"
+    );
+}
+
+/// Figure 4: some masked bugs persist in the RRS until reset.
+#[test]
+fn some_masked_bugs_persist() {
+    let res = small_campaign(&["fft", "basicmath", "dijkstra"], 10, 77);
+    let fig = PersistenceFigure::build(&res);
+    let masked: usize = fig.rows.iter().map(|(_, _, n)| n).sum();
+    assert!(masked > 0, "campaign produced masked runs");
+    // Pure FL leaks are the canonical persisting masked bug; with leakage
+    // at a third of injections some persistence must appear.
+    assert!(fig.average > 0.0, "persistence average {:.1}%", fig.average);
+}
+
+/// IDLD detection must never precede the activation, for any model.
+#[test]
+fn detection_never_precedes_activation() {
+    let res = small_campaign(&["crc32", "susan"], 8, 5);
+    for r in &res.records {
+        let d = r.detections.idld.expect("IDLD detects everything");
+        assert!(
+            d >= r.activation_cycle,
+            "{}: detected at {d} before activation at {}",
+            r.spec,
+            r.activation_cycle
+        );
+    }
+}
+
+/// The three bug models all appear and produce distinguishable outcome
+/// mixes.
+#[test]
+fn models_produce_distinct_outcome_profiles() {
+    let res = small_campaign(&["qsort", "stringsearch"], 12, 31);
+    for model in BugModel::ALL {
+        let n = res.of_model(model).count();
+        assert_eq!(n, 2 * 12, "{model}: {n} runs");
+    }
+    // Duplication is almost never benign; pure leakage frequently is.
+    let benign = |m: BugModel| {
+        res.of_model(m).filter(|r| r.outcome == OutcomeClass::Benign).count()
+    };
+    assert!(benign(BugModel::Leakage) > benign(BugModel::Duplication));
+}
+
+/// Re-running an injected simulation with the identical spec reproduces
+/// the identical detection cycle — full determinism across the stack.
+#[test]
+fn injected_runs_are_bit_deterministic() {
+    let a = small_campaign(&["bitcount"], 6, 123);
+    let b = small_campaign(&["bitcount"], 6, 123);
+    for (x, y) in a.records.iter().zip(&b.records) {
+        assert_eq!(x.spec, y.spec);
+        assert_eq!(x.detections, y.detections);
+        assert_eq!(x.end_cycle, y.end_cycle);
+        assert_eq!(x.outcome, y.outcome);
+    }
+}
+
+/// A golden run is architecturally identical to the in-order emulator and
+/// leaves the RRS as an exact PdstID partition.
+#[test]
+fn golden_runs_are_architecturally_clean() {
+    for w in idld::workloads::suite().into_iter().take(4) {
+        let golden = GoldenRun::capture(&w, SimConfig::default());
+        let mut emu = idld::isa::Emulator::new(&w.program);
+        let emu_res = emu.run(w.max_steps);
+        assert_eq!(golden.output, emu_res.output, "{}", w.name);
+        assert_eq!(golden.trace.len() as u64, emu_res.steps, "{}", w.name);
+    }
+}
+
+/// The checkers and simulator compose through the facade crate exactly as
+/// the README quick-start shows.
+#[test]
+fn facade_quickstart_compiles_and_runs() {
+    let workload = idld::workloads::by_name("fft").expect("in suite");
+    let cfg = SimConfig::default();
+    let mut checkers = CheckerSet::new();
+    checkers.push(Box::new(IdldChecker::new(&cfg.rrs)));
+    let mut sim = Simulator::new(&workload.program, cfg);
+    let result = sim.run(&mut NoFaults, &mut checkers, None, 10_000_000);
+    assert_eq!(result.stop, SimStop::Halted);
+    assert_eq!(result.output, workload.expected_output);
+    assert!(checkers.detection_of("idld").is_none());
+}

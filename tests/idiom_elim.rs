@@ -1,0 +1,85 @@
+//! 0/1-idiom elimination (§V.E) end-to-end: hardwired zero/one registers,
+//! architectural equivalence, and IDLD compatibility — alone and combined
+//! with move elimination.
+
+use idld::core::{CheckerSet, IdldChecker};
+use idld::rrs::{CensusHook, NoFaults, OpSite};
+use idld::sim::{SimConfig, SimStop, Simulator};
+
+fn idiom_cfg(move_elim: bool) -> SimConfig {
+    let mut cfg = SimConfig::default();
+    cfg.rrs.idiom_elim = true;
+    cfg.rrs.move_elim = move_elim;
+    cfg
+}
+
+#[test]
+fn all_workloads_match_reference_with_idiom_elimination() {
+    for w in idld::workloads::suite() {
+        let cfg = idiom_cfg(false);
+        let mut checkers = CheckerSet::new();
+        checkers.push(Box::new(IdldChecker::new(&cfg.rrs)));
+        let mut sim = Simulator::new(&w.program, cfg);
+        let res = sim.run(&mut NoFaults, &mut checkers, None, 50_000_000);
+        assert_eq!(res.stop, SimStop::Halted, "{}", w.name);
+        assert_eq!(res.output, w.expected_output, "{}", w.name);
+        assert!(res.final_contents.is_exact_partition(), "{}", w.name);
+        assert_eq!(
+            checkers.detection_of("idld"),
+            None,
+            "{}: IDLD must tolerate hardwired idiom registers (§V.E)",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn both_optimizations_compose() {
+    for w in idld::workloads::suite() {
+        let cfg = idiom_cfg(true);
+        let mut checkers = CheckerSet::new();
+        checkers.push(Box::new(IdldChecker::new(&cfg.rrs)));
+        let mut sim = Simulator::new(&w.program, cfg);
+        let res = sim.run(&mut NoFaults, &mut checkers, None, 50_000_000);
+        assert_eq!(res.stop, SimStop::Halted, "{}", w.name);
+        assert_eq!(res.output, w.expected_output, "{}", w.name);
+        assert_eq!(checkers.detection_of("idld"), None, "{}", w.name);
+    }
+}
+
+#[test]
+fn idioms_are_actually_eliminated() {
+    // Workloads are full of `li rX, 0` loop initializations.
+    let w = idld::workloads::by_name("bitcount").expect("exists");
+    let census_with = |idiom: bool| {
+        let mut cfg = SimConfig::default();
+        cfg.rrs.idiom_elim = idiom;
+        let mut census = CensusHook::new();
+        let mut sim = Simulator::new(&w.program, cfg);
+        let res = sim.run(&mut census, &mut CheckerSet::new(), None, 50_000_000);
+        assert_eq!(res.stop, SimStop::Halted);
+        assert_eq!(res.output, w.expected_output);
+        (census.count(OpSite::FlPop), census.count(OpSite::MoveElimDup), res.stats)
+    };
+    let (allocs_off, dups_off, _) = census_with(false);
+    let (allocs_on, dups_on, stats_on) = census_with(true);
+    assert_eq!(dups_off, 0);
+    assert!(dups_on > 50, "idioms eliminated: {dups_on}");
+    assert!(allocs_on < allocs_off, "allocations saved: {allocs_on} vs {allocs_off}");
+    assert!(stats_on.eliminated_moves > 50);
+}
+
+#[test]
+fn hardwired_registers_never_enter_the_free_list() {
+    let w = idld::workloads::by_name("basicmath").expect("exists");
+    let cfg = idiom_cfg(true);
+    let (zero, one) = cfg.rrs.pinned().expect("pinned registers exist");
+    let mut sim = Simulator::new(&w.program, cfg);
+    let res = sim.run(&mut NoFaults, &mut CheckerSet::new(), None, 50_000_000);
+    assert_eq!(res.stop, SimStop::Halted);
+    // At the end the pinned ids are accounted exactly once (the
+    // normalization in ContentSnapshot) and everything else partitions.
+    assert!(res.final_contents.is_exact_partition());
+    assert_eq!(res.final_contents.counts[zero.index()], 1);
+    assert_eq!(res.final_contents.counts[one.index()], 1);
+}

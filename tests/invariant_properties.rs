@@ -1,0 +1,162 @@
+//! Property-based tests of the core invariants, driving the real RRS with
+//! randomized traffic shapes and bug placements.
+
+use idld::bugs::{BugModel, BugSpec, SingleShotHook};
+use idld::core::{Checker, CheckerSet, IdldChecker};
+use idld::rrs::{NoFaults, RenameRequest, Rrs, RrsConfig};
+use proptest::prelude::*;
+
+fn cfg() -> RrsConfig {
+    RrsConfig {
+        num_phys: 24,
+        num_arch: 6,
+        rob_entries: 12,
+        rht_entries: 16,
+        num_ckpts: 2,
+        ckpt_interval: 5,
+        width: 2,
+        move_elim: false,
+        idiom_elim: false,
+        parity: false,
+    }
+}
+
+/// One randomized step of RRS traffic.
+#[derive(Clone, Copy, Debug)]
+enum Step {
+    Rename { ldst: usize, src: usize },
+    RenameNoDest,
+    Commit,
+    Flush { back: u64 },
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        4 => (0usize..6, 0usize..6).prop_map(|(ldst, src)| Step::Rename { ldst, src }),
+        1 => Just(Step::RenameNoDest),
+        4 => Just(Step::Commit),
+        1 => (1u64..6).prop_map(|back| Step::Flush { back }),
+    ]
+}
+
+/// Applies a step sequence to a fresh RRS + IDLD checker pair; recoveries
+/// run to completion inline. Returns (rrs, checker, cycles).
+fn drive(steps: &[Step]) -> (Rrs, IdldChecker, u64) {
+    let c = cfg();
+    let mut rrs = Rrs::new(c);
+    let mut ck = IdldChecker::new(&c);
+    let mut cycle = 0u64;
+    for &s in steps {
+        match s {
+            Step::Rename { ldst, src } => {
+                if rrs.can_rename(1, 1) {
+                    let req =
+                        RenameRequest { ldst: Some(ldst), srcs: [Some(src), None], ..Default::default() };
+                    rrs.rename_group(&[req], &mut NoFaults, &mut ck).unwrap();
+                }
+            }
+            Step::RenameNoDest => {
+                if rrs.can_rename(1, 0) {
+                    rrs.rename_group(&[RenameRequest::default()], &mut NoFaults, &mut ck)
+                        .unwrap();
+                }
+            }
+            Step::Commit => {
+                if rrs.rob_len() > 0 {
+                    rrs.commit_head(&mut NoFaults, &mut ck).unwrap();
+                }
+            }
+            Step::Flush { back } => {
+                let inflight = rrs.renamed() - rrs.committed();
+                if inflight > 0 {
+                    let offending = rrs.renamed() - 1 - (back % inflight).min(inflight - 1);
+                    rrs.start_recovery(offending, &mut NoFaults, &mut ck);
+                    loop {
+                        let done = rrs.step_recovery(&mut NoFaults, &mut ck).unwrap();
+                        ck.end_cycle(cycle);
+                        cycle += 1;
+                        if done {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        ck.end_cycle(cycle);
+        cycle += 1;
+    }
+    (rrs, ck, cycle)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Bug-free: the XOR registers track array ground truth exactly, the
+    /// partition invariant holds, and IDLD never false-positives —
+    /// regardless of the interleaving of renames, commits and flushes.
+    #[test]
+    fn checker_tracks_ground_truth_under_random_traffic(
+        steps in prop::collection::vec(step_strategy(), 1..300)
+    ) {
+        let (rrs, ck, _) = drive(&steps);
+        prop_assert_eq!(ck.registers(), rrs.content_xors());
+        prop_assert_eq!(ck.detection(), None);
+        prop_assert!(rrs.contents().is_exact_partition());
+        prop_assert_eq!(ck.code(), ck.expected());
+    }
+
+    /// After any traffic, draining the ROB returns the RRS to an exact
+    /// partition with all non-architectural registers free.
+    #[test]
+    fn drain_restores_full_free_pool(
+        steps in prop::collection::vec(step_strategy(), 1..200)
+    ) {
+        let (mut rrs, mut ck, mut cycle) = drive(&steps);
+        while rrs.rob_len() > 0 {
+            rrs.commit_head(&mut NoFaults, &mut ck).unwrap();
+            ck.end_cycle(cycle);
+            cycle += 1;
+        }
+        prop_assert_eq!(rrs.free_regs(), 24 - 6);
+        prop_assert!(rrs.contents().is_exact_partition());
+        prop_assert_eq!(ck.detection(), None);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any campaign-class bug injected anywhere in any workload prefix is
+    /// detected by IDLD, and never before its activation.
+    #[test]
+    fn any_campaign_bug_is_detected(
+        seed in 0u64..5000,
+        model_idx in 0usize..3,
+        bench_idx in 0usize..3,
+    ) {
+        use idld::campaign::GoldenRun;
+        use idld::sim::{SimConfig, Simulator};
+        use rand::SeedableRng;
+
+        let names = ["crc32", "bitcount", "fft"];
+        let w = idld::workloads::by_name(names[bench_idx]).expect("exists");
+        let sim_cfg = SimConfig::default();
+        let golden = GoldenRun::capture(&w, sim_cfg);
+        let model = BugModel::ALL[model_idx];
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let Some(spec) =
+            BugSpec::sample(model, &golden.census, sim_cfg.rrs.pdst_bits(), &mut rng)
+        else {
+            return Ok(());
+        };
+        let mut hook = SingleShotHook::new(spec);
+        let mut checkers = CheckerSet::new();
+        checkers.push(Box::new(IdldChecker::new(&sim_cfg.rrs)));
+        let mut sim = Simulator::new(&w.program, sim_cfg);
+        let _ = sim.run(&mut hook, &mut checkers, Some(&golden.trace), golden.timeout_budget());
+        let act = hook.activation_cycle().expect("activation fires");
+        let det = checkers.detection_of("idld").expect("IDLD detects");
+        prop_assert!(det.cycle >= act);
+        prop_assert!(det.cycle - act < 1000, "latency {}", det.cycle - act);
+    }
+}

@@ -1,0 +1,117 @@
+//! Store-sets memory dependence speculation end-to-end: architectural
+//! equivalence across the workload suite, genuine violations + predictor
+//! learning on an aliasing kernel, and IDLD compatibility with the extra
+//! flush source.
+
+use idld::core::{CheckerSet, IdldChecker};
+use idld::isa::reg::r;
+use idld::isa::Asm;
+use idld::rrs::NoFaults;
+use idld::sim::{SimConfig, SimStop, Simulator};
+
+fn spec_cfg() -> SimConfig {
+    SimConfig { mem_dep_speculation: true, ..SimConfig::default() }
+}
+
+#[test]
+fn all_workloads_match_reference_with_speculation() {
+    for w in idld::workloads::suite() {
+        let cfg = spec_cfg();
+        let mut checkers = CheckerSet::new();
+        checkers.push(Box::new(IdldChecker::new(&cfg.rrs)));
+        let mut sim = Simulator::new(&w.program, cfg);
+        let res = sim.run(&mut NoFaults, &mut checkers, None, 50_000_000);
+        assert_eq!(res.stop, SimStop::Halted, "{}", w.name);
+        assert_eq!(res.output, w.expected_output, "{}", w.name);
+        assert!(res.final_contents.is_exact_partition(), "{}", w.name);
+        assert_eq!(
+            checkers.detection_of("idld"),
+            None,
+            "{}: IDLD must tolerate memory-violation flushes",
+            w.name
+        );
+    }
+}
+
+/// A kernel where a store's address depends on a long multiply chain while
+/// an immediately following load aliases it: naive speculation
+/// mis-speculates until the store-set predictor learns the pair.
+#[test]
+fn aliasing_kernel_violates_then_learns() {
+    let mut a = Asm::new();
+    a.li(r(1), 0); // i
+    a.li(r(2), 300); // trips
+    a.li(r(3), 0x100); // base
+    a.li(r(7), 0); // acc
+    a.label("loop");
+    // Store address: same slot as the load's, but behind a long multiply
+    // chain (the chain contributes zero but creates latency).
+    a.muli(r(9), r(1), 2654435761);
+    a.muli(r(9), r(9), 40503);
+    a.mul(r(9), r(9), r(9));
+    a.andi(r(10), r(9), 0); // = 0, dependent on the chain
+    a.andi(r(4), r(1), 7);
+    a.slli(r(4), r(4), 3);
+    a.add(r(4), r(4), r(3));
+    a.add(r(4), r(4), r(10)); // slow store address, value base + (i&7)*8
+    a.st(r(1), r(4), 0);
+    // Load address: the same slot, computed fast — speculation sends the
+    // load past the unresolved store.
+    a.andi(r(6), r(1), 7);
+    a.slli(r(6), r(6), 3);
+    a.add(r(6), r(6), r(3));
+    a.ld(r(5), r(6), 0); // must see the just-stored i
+    a.add(r(7), r(7), r(5));
+    a.addi(r(1), r(1), 1);
+    a.blt(r(1), r(2), "loop");
+    a.out(r(7));
+    a.halt();
+    let program = a.finish();
+
+    // Golden semantics from the in-order emulator.
+    let mut emu = idld::isa::Emulator::new(&program);
+    let expected = emu.run(1_000_000);
+
+    // Conservative configuration: correct, zero violations.
+    let mut sim = Simulator::new(&program, SimConfig::default());
+    let cons = sim.run(&mut NoFaults, &mut CheckerSet::new(), None, 10_000_000);
+    assert_eq!(cons.output, expected.output);
+    assert_eq!(cons.stats.mem_violations, 0);
+
+    // Speculative configuration: still correct, some violations, and the
+    // predictor keeps them far below the 300 aliasing pairs.
+    let mut sim = Simulator::new(&program, spec_cfg());
+    let spec = sim.run(&mut NoFaults, &mut CheckerSet::new(), None, 10_000_000);
+    assert_eq!(spec.stop, SimStop::Halted);
+    assert_eq!(spec.output, expected.output, "speculation must stay architecturally correct");
+    assert!(spec.stats.mem_violations > 0, "the kernel must actually mis-speculate");
+    assert!(
+        spec.stats.mem_violations < 100,
+        "store sets should learn the alias: {} violations for 300 pairs",
+        spec.stats.mem_violations
+    );
+}
+
+#[test]
+fn speculation_does_not_slow_down_the_suite() {
+    // Aggregate cycles must not regress vs conservative disambiguation
+    // (that is the whole point of the predictor).
+    let total = |spec: bool| -> u64 {
+        idld::workloads::suite()
+            .iter()
+            .map(|w| {
+                let cfg = SimConfig { mem_dep_speculation: spec, ..SimConfig::default() };
+                let mut sim = Simulator::new(&w.program, cfg);
+                let res = sim.run(&mut NoFaults, &mut CheckerSet::new(), None, 50_000_000);
+                assert_eq!(res.stop, SimStop::Halted);
+                res.cycles
+            })
+            .sum()
+    };
+    let conservative = total(false);
+    let speculative = total(true);
+    assert!(
+        speculative <= conservative * 101 / 100,
+        "speculation regressed: {speculative} vs {conservative}"
+    );
+}

@@ -1,0 +1,93 @@
+//! §V.D's scope delimitation, reproduced: IDLD is *not* meant to detect
+//! corruption of a PdstID already stored in an array — that is the
+//! territory of ECC/parity, which is orthogonal and combinable.
+
+use idld::bugs::AtRestHook;
+use idld::core::{CheckerSet, DetectionKind, IdldChecker, ParityChecker};
+use idld::rrs::NoFaults;
+use idld::sim::{SimConfig, SimStop, Simulator};
+
+fn cfg() -> SimConfig {
+    let mut cfg = SimConfig::default();
+    cfg.rrs.parity = true;
+    cfg
+}
+
+fn checkers(cfg: &SimConfig) -> CheckerSet {
+    let mut set = CheckerSet::new();
+    set.push(Box::new(IdldChecker::new(&cfg.rrs)));
+    set.push(Box::new(ParityChecker::new(&cfg.rrs)));
+    set
+}
+
+#[test]
+fn parity_is_silent_on_clean_runs() {
+    for w in idld::workloads::suite().into_iter().take(4) {
+        let cfg = cfg();
+        let mut set = checkers(&cfg);
+        let mut sim = Simulator::new(&w.program, cfg);
+        let res = sim.run(&mut NoFaults, &mut set, None, 50_000_000);
+        assert_eq!(res.stop, SimStop::Halted, "{}", w.name);
+        assert_eq!(res.output, w.expected_output, "{}", w.name);
+        assert_eq!(set.detection_of("parity"), None, "{}", w.name);
+        assert_eq!(set.detection_of("idld"), None, "{}", w.name);
+    }
+}
+
+#[test]
+fn at_rest_upset_caught_by_parity_no_later_than_idld() {
+    // Upset a busy register's mapping mid-run. Parity fires at the entry's
+    // next read; IDLD can only notice when the corrupted id flows through
+    // the eviction port — later, or never.
+    let w = idld::workloads::by_name("crc32").expect("exists");
+    let mut caught_parity = 0;
+    let mut caught_idld = 0;
+    for (cycle, arch) in [(500u64, 10usize), (2_000, 5), (7_000, 20), (1_200, 6)] {
+        let cfg = cfg();
+        let mut hook = AtRestHook::new(cycle, arch, 0b1);
+        let mut set = checkers(&cfg);
+        let mut sim = Simulator::new(&w.program, cfg);
+        let _ = sim.run(&mut hook, &mut set, None, 50_000_000);
+        assert!(hook.applied(), "upset delivered");
+        let parity = set.detection_of("parity");
+        let idld = set.detection_of("idld");
+        if let Some(p) = parity {
+            caught_parity += 1;
+            assert_eq!(p.kind, DetectionKind::ParityMismatch);
+            assert!(p.cycle >= cycle);
+            if let Some(i) = idld {
+                assert!(
+                    p.cycle <= i.cycle,
+                    "parity ({}) must beat IDLD ({}) on at-rest corruption",
+                    p.cycle,
+                    i.cycle
+                );
+            }
+        }
+        if idld.is_some() {
+            caught_idld += 1;
+        }
+    }
+    assert!(caught_parity >= 2, "parity should catch most upsets: {caught_parity}/4");
+    // IDLD may or may not see the eviction-time imbalance; both are valid.
+    let _ = caught_idld;
+}
+
+#[test]
+fn upset_of_dead_entry_is_missed_by_both() {
+    // The crc32 kernel never touches r29 after init: corruption there sits
+    // unread and unevicted — the "infinite validation space" of §V.D.
+    let w = idld::workloads::by_name("crc32").expect("exists");
+    let cfg = cfg();
+    let mut hook = AtRestHook::new(1_000, 29, 0b10);
+    let mut set = checkers(&cfg);
+    let mut sim = Simulator::new(&w.program, cfg);
+    let res = sim.run(&mut hook, &mut set, None, 50_000_000);
+    assert!(hook.applied());
+    assert_eq!(res.stop, SimStop::Halted);
+    assert_eq!(res.output, w.expected_output, "dead corruption is architecturally benign");
+    assert_eq!(set.detection_of("parity"), None, "never read");
+    // The final persistence census, however, still shows the damage: the
+    // original id vanished and the corrupted one appeared.
+    assert!(!res.final_contents.is_exact_partition());
+}
