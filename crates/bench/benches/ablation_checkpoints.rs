@@ -44,7 +44,7 @@ fn main() {
 
             // Injected leakage: IDLD latency distribution (deferred only by
             // recovery windows).
-            let golden = GoldenRun::capture(&w, cfg);
+            let golden = GoldenRun::capture(&w, cfg).expect("golden run halts");
             let mut rng = SmallRng::seed_from_u64(0xcafe + num_ckpts as u64 + interval);
             let mut lat_sum = 0u64;
             let mut lat_max = 0u64;

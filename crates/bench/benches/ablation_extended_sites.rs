@@ -34,7 +34,7 @@ fn main() {
         let mut detected = 0;
         let mut masked = 0;
         for w in &picks {
-            let golden = GoldenRun::capture(w, cfg.sim);
+            let golden = GoldenRun::capture(w, cfg.sim).expect("golden run halts");
             let count = golden.census.count(choice.site);
             if count == 0 {
                 continue;
@@ -53,8 +53,12 @@ fn main() {
                 let mut checkers = CheckerSet::new();
                 checkers.push(Box::new(IdldChecker::new(&cfg.sim.rrs)));
                 let mut sim = Simulator::new(&w.program, cfg.sim);
-                let res =
-                    sim.run(&mut hook, &mut checkers, Some(&golden.trace), golden.timeout_budget());
+                let res = sim.run(
+                    &mut hook,
+                    &mut checkers,
+                    Some(&golden.trace),
+                    golden.timeout_budget(),
+                );
                 if hook.activation_cycle().is_none() {
                     continue;
                 }
@@ -70,7 +74,11 @@ fn main() {
         let label = format!(
             "{:?} ({})",
             choice.site,
-            if choice.suppress_ptr { "ptr" } else { "array/signal" }
+            if choice.suppress_ptr {
+                "ptr"
+            } else {
+                "array/signal"
+            }
         );
         println!("{label:<34} {armed:>7} {activated:>9} {detected:>9} {masked:>8}");
     }

@@ -1,15 +1,17 @@
-//! Criterion micro-benchmarks (ours): simulation-throughput cost of
-//! attaching the checkers, and raw event-processing throughput of the IDLD
-//! checker itself.
+//! Micro-benchmarks (ours): simulation-throughput cost of attaching the
+//! checkers, and raw event-processing throughput of the IDLD checker
+//! itself. Plain `Instant`-based timing — no external harness, so the
+//! workspace builds offline.
 //!
 //! (In hardware IDLD is off the critical path — §VI.A reports no timing
 //! impact; this measures the *simulator's* bookkeeping cost instead, which
 //! matters for campaign scale.)
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use idld_core::{BitVectorChecker, Checker, CheckerSet, CounterChecker, IdldChecker};
 use idld_rrs::{EventSink, NoFaults, PhysReg, RrsConfig, RrsEvent};
 use idld_sim::{SimConfig, Simulator};
+use std::hint::black_box;
+use std::time::Instant;
 
 fn sim_run(checkers: &mut CheckerSet) -> u64 {
     let w = idld_workloads::by_name("crc32").expect("workload exists");
@@ -19,47 +21,53 @@ fn sim_run(checkers: &mut CheckerSet) -> u64 {
     res.cycles
 }
 
-fn bench_sim_overhead(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sim_crc32");
-    g.sample_size(10);
-    g.bench_function("no_checkers", |b| {
-        b.iter(|| black_box(sim_run(&mut CheckerSet::new())))
-    });
-    g.bench_function("idld", |b| {
-        b.iter(|| {
-            let mut set = CheckerSet::new();
-            set.push(Box::new(IdldChecker::new(&RrsConfig::default())));
-            black_box(sim_run(&mut set))
-        })
-    });
-    g.bench_function("idld_bv_counter", |b| {
-        b.iter(|| {
-            let cfg = RrsConfig::default();
-            let mut set = CheckerSet::new();
-            set.push(Box::new(IdldChecker::new(&cfg)));
-            set.push(Box::new(BitVectorChecker::new(&cfg)));
-            set.push(Box::new(CounterChecker::new(&cfg)));
-            black_box(sim_run(&mut set))
-        })
-    });
-    g.finish();
+/// Times `f` over `iters` iterations after one warm-up, reporting the mean.
+fn bench(name: &str, iters: u32, mut f: impl FnMut()) {
+    f(); // warm-up
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per = t0.elapsed() / iters;
+    println!("{name:<24} {per:>12.2?}/iter  ({iters} iters)");
 }
 
-fn bench_event_throughput(c: &mut Criterion) {
+fn bench_sim_overhead() {
+    println!("-- sim_crc32: full-workload simulation cost by checker set --");
+    bench("no_checkers", 10, || {
+        black_box(sim_run(&mut CheckerSet::new()));
+    });
+    bench("idld", 10, || {
+        let mut set = CheckerSet::new();
+        set.push(Box::new(IdldChecker::new(&RrsConfig::default())));
+        black_box(sim_run(&mut set));
+    });
+    bench("idld_bv_counter", 10, || {
+        let cfg = RrsConfig::default();
+        let mut set = CheckerSet::new();
+        set.push(Box::new(IdldChecker::new(&cfg)));
+        set.push(Box::new(BitVectorChecker::new(&cfg)));
+        set.push(Box::new(CounterChecker::new(&cfg)));
+        black_box(sim_run(&mut set));
+    });
+}
+
+fn bench_event_throughput() {
+    println!("-- idld checker: raw event-processing throughput --");
     let cfg = RrsConfig::default();
-    c.bench_function("idld_events_1k", |b| {
-        let mut ck = IdldChecker::new(&cfg);
-        b.iter(|| {
-            for i in 0..500u16 {
-                let p = PhysReg(i % 128);
-                ck.event(RrsEvent::FlRead(p));
-                ck.event(RrsEvent::FlWrite(p));
-            }
-            ck.end_cycle(black_box(0));
-            black_box(ck.detection())
-        })
+    let mut ck = IdldChecker::new(&cfg);
+    bench("idld_events_1k", 10_000, || {
+        for i in 0..500u16 {
+            let p = PhysReg(i % 128);
+            ck.event(RrsEvent::FlRead(p));
+            ck.event(RrsEvent::FlWrite(p));
+        }
+        ck.end_cycle(black_box(0));
+        black_box(ck.detection());
     });
 }
 
-criterion_group!(benches, bench_sim_overhead, bench_event_throughput);
-criterion_main!(benches);
+fn main() {
+    bench_sim_overhead();
+    bench_event_throughput();
+}

@@ -34,12 +34,16 @@ fn main() {
             }
             if let Some(h) = out.hang_op {
                 hangs += 1;
-                if out.detection_op.map_or(true, |d| h < d) {
+                if out.detection_op.is_none_or(|d| h < d) {
                     hang_first += 1;
                 }
             }
         }
-        let mean = if detected == 0 { 0.0 } else { lat_sum as f64 / detected as f64 };
+        let mean = if detected == 0 {
+            0.0
+        } else {
+            lat_sum as f64 / detected as f64
+        };
         println!(
             "{name:<16} {activated:>9} {detected:>9} {mean:>11.1} {hangs:>11} {hang_first:>9}"
         );
@@ -67,7 +71,13 @@ fn main() {
         credit_drop.check_idle();
     }
     println!("  dropped credit  → {:?}", credit_drop.detection());
-    assert!(matches!(flit_drop.detection(), Some(LinkDetection::FlitXorMismatch { .. })));
-    assert!(matches!(credit_drop.detection(), Some(LinkDetection::CreditLeak { .. })));
+    assert!(matches!(
+        flit_drop.detection(),
+        Some(LinkDetection::FlitXorMismatch { .. })
+    ));
+    assert!(matches!(
+        credit_drop.detection(),
+        Some(LinkDetection::CreditLeak { .. })
+    ));
     println!("  two closed loops, two complementary checkers (XOR vs counter).");
 }

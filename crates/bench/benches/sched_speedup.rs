@@ -1,0 +1,109 @@
+//! (ours) Campaign-scheduler speedup: the per-run work-stealing scheduler
+//! vs the old per-workload-thread layout, on the full suite.
+//!
+//! Two measurements plus a projection:
+//!
+//! 1. **baseline** — one thread per workload, each serially grinding its
+//!    `3 × runs_per_cell` injections (the pre-rewrite `Campaign::run`
+//!    layout, reconstructed from per-workload single-threaded campaigns).
+//! 2. **per-run scheduler** — the shipping `Campaign::run`.
+//! 3. A critical-path projection from the *measured* per-cell timings:
+//!    on `c` cores the baseline can never finish before its slowest
+//!    workload's serial chain, while the per-run scheduler approaches
+//!    `total_work / c` — the table prints both and their ratio so results
+//!    from a single-core container still characterize multi-core machines.
+//!
+//! ```sh
+//! IDLD_RUNS_PER_CELL=30 cargo bench -p idld-bench --bench sched_speedup
+//! ```
+
+use idld_campaign::{Campaign, CampaignConfig, CampaignResult};
+use std::time::{Duration, Instant};
+
+/// The old engine's layout: one scoped thread per workload, each running
+/// its injections strictly serially.
+fn baseline_per_workload_threads(
+    cfg: CampaignConfig,
+    suite: &[idld_workloads::Workload],
+) -> Duration {
+    let cfg = CampaignConfig { threads: 1, ..cfg };
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for w in suite {
+            let one = std::slice::from_ref(w);
+            scope.spawn(move || {
+                Campaign::new(cfg).run(one).expect("golden run");
+            });
+        }
+    });
+    t0.elapsed()
+}
+
+fn critical_path_table(res: &CampaignResult) {
+    let total: Duration = res.timings.iter().map(|c| c.total).sum();
+    let slowest_workload: Duration = res
+        .benches()
+        .iter()
+        .map(|b| {
+            res.timings
+                .iter()
+                .filter(|c| c.bench == *b)
+                .map(|c| c.total)
+                .sum()
+        })
+        .max()
+        .unwrap_or_default();
+    println!("-- critical-path projection from measured per-cell timings --");
+    println!("total serial work      {total:>10.2?}");
+    println!(
+        "slowest workload chain {slowest_workload:>10.2?}  (baseline floor on ANY core count)"
+    );
+    println!(
+        "{:>6} {:>14} {:>14} {:>8}",
+        "cores", "baseline", "per-run sched", "speedup"
+    );
+    for cores in [2u32, 4, 8, 10, 16] {
+        // Baseline: c threads but work is partitioned per workload, so the
+        // wall is the slowest chain once cores >= workloads, and at fewer
+        // cores it is bounded below by both terms.
+        let base = slowest_workload.max(total / cores.min(res.benches().len() as u32));
+        let sched = total / cores;
+        println!(
+            "{cores:>6} {base:>14.2?} {sched:>14.2?} {:>7.2}x",
+            base.as_secs_f64() / sched.as_secs_f64()
+        );
+    }
+}
+
+fn main() {
+    let mut cfg = CampaignConfig::from_env();
+    if std::env::var(idld_campaign::campaign::RUNS_PER_CELL_ENV).is_err() {
+        cfg.runs_per_cell = 30;
+    }
+    let suite = idld_workloads::suite();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "-- campaign scheduler comparison: {} workloads x 3 models x {} runs, {cores} core(s) --",
+        suite.len(),
+        cfg.runs_per_cell
+    );
+
+    let base = baseline_per_workload_threads(cfg, &suite);
+    println!("{:<28} {base:>10.2?}", "per-workload threads (old)");
+
+    let t0 = Instant::now();
+    let res = Campaign::new(cfg)
+        .run(&suite)
+        .expect("golden runs are valid");
+    let sched = t0.elapsed();
+    println!("{:<28} {sched:>10.2?}", "per-run scheduler (new)");
+    println!(
+        "measured speedup on this host: {:.2}x over {} records",
+        base.as_secs_f64() / sched.as_secs_f64(),
+        res.records.len()
+    );
+    println!();
+    critical_path_table(&res);
+}

@@ -29,11 +29,36 @@ fn main() {
     let res = idld_bench::run_standard_campaign();
 
     write(dir, "records.csv", &idld_campaign::export::to_csv(&res));
-    write(dir, "fig3_masking.txt", &MaskingFigure::build(&res).render());
-    write(dir, "fig4_persistence.txt", &PersistenceFigure::build(&res).render());
-    write(dir, "fig5_manifestation.txt", &ManifestationFigure::build(&res).render());
-    write(dir, "fig8_outcomes.txt", &OutcomeFigure::build(&res).render());
-    write(dir, "fig9_fig10_detection.txt", &DetectionFigure::build(&res).render());
+    write(
+        dir,
+        "timings.csv",
+        &idld_campaign::export::timings_csv(&res),
+    );
+    write(
+        dir,
+        "fig3_masking.txt",
+        &MaskingFigure::build(&res).render(),
+    );
+    write(
+        dir,
+        "fig4_persistence.txt",
+        &PersistenceFigure::build(&res).render(),
+    );
+    write(
+        dir,
+        "fig5_manifestation.txt",
+        &ManifestationFigure::build(&res).render(),
+    );
+    write(
+        dir,
+        "fig8_outcomes.txt",
+        &OutcomeFigure::build(&res).render(),
+    );
+    write(
+        dir,
+        "fig9_fig10_detection.txt",
+        &DetectionFigure::build(&res).render(),
+    );
     write(
         dir,
         "table2_area_energy.txt",
@@ -65,10 +90,17 @@ fn main() {
                 }
             }
         }
-        mdp.push_str(&format!("{name:<16} detected {detected}/40, load hangs {hangs}/40\n"));
+        mdp.push_str(&format!(
+            "{name:<16} detected {detected}/40, load hangs {hangs}/40\n"
+        ));
     }
     write(dir, "mdp_usecase.txt", &mdp);
 
     println!();
-    println!("done — {} injected bugs analysed; see results/ and EXPERIMENTS.md", res.records.len());
+    println!(
+        "done — {} injected bugs analysed in {:.1}s wall ({} poisoned); see results/ and EXPERIMENTS.md",
+        res.records.len(),
+        res.wall.as_secs_f64(),
+        res.poisoned().count(),
+    );
 }

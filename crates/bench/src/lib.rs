@@ -15,21 +15,26 @@
 //! | `table2_area_energy` | Table II — RRS area/energy, baseline vs IDLD |
 //! | `mdp_usecase` | §V.F — Store-Sets LFST checking policies |
 //! | `ablation_extended_sites` | (ours) XOR-invariance coverage edges |
-//! | `checker_overhead` | (ours) Criterion: simulation-speed cost of checkers |
+//! | `checker_overhead` | (ours) simulation-speed cost of checkers |
+//! | `sched_speedup` | (ours) per-run scheduler vs per-workload threads |
 //!
-//! Scale the campaigns with `IDLD_RUNS_PER_CELL` (paper scale: 1000) and
-//! `IDLD_SEED`.
+//! Scale the campaigns with `IDLD_RUNS_PER_CELL` (paper scale: 1000),
+//! `IDLD_SEED`, and `IDLD_CAMPAIGN_THREADS` (scheduler workers; the
+//! record stream is identical for any value).
 
-use idld_campaign::{Campaign, CampaignConfig, CampaignResult};
+use idld_campaign::{Campaign, CampaignConfig, CampaignResult, StderrProgress};
 
-/// Runs the standard full-suite campaign at env-controlled scale.
+/// Runs the standard full-suite campaign at env-controlled scale, with
+/// throttled stderr progress (runs/s, per-outcome tallies, ETA).
 ///
 /// The default `runs_per_cell` for bench targets is 12 (10 workloads × 3
 /// models × 12 ≈ 360 runs, tens of seconds); set `IDLD_RUNS_PER_CELL=1000`
-/// to match the paper's 30 000-run campaign.
+/// to match the paper's 30 000-run campaign, and `IDLD_CAMPAIGN_THREADS`
+/// to pin the scheduler's worker count (default: one per core; the record
+/// stream is identical for any value).
 pub fn run_standard_campaign() -> CampaignResult {
     let mut cfg = CampaignConfig::from_env();
-    if std::env::var("IDLD_RUNS_PER_CELL").is_err() {
+    if std::env::var(idld_campaign::campaign::RUNS_PER_CELL_ENV).is_err() {
         cfg.runs_per_cell = 12;
     }
     let scale: u32 = std::env::var("IDLD_WORKLOAD_SCALE")
@@ -43,7 +48,9 @@ pub fn run_standard_campaign() -> CampaignResult {
         cfg.runs_per_cell,
         cfg.seed
     );
-    Campaign::new(cfg).run(&suite)
+    Campaign::new(cfg)
+        .run_with_progress(&suite, &StderrProgress::new())
+        .unwrap_or_else(|e| panic!("campaign baseline invalid: {e}"))
 }
 
 /// Prints a banner naming the regenerated artifact.

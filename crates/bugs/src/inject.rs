@@ -93,7 +93,12 @@ pub struct SingleShotHook {
 impl SingleShotHook {
     /// Arms `spec`.
     pub fn new(spec: BugSpec) -> Self {
-        SingleShotHook { spec, seen: 0, cycle: 0, activation: None }
+        SingleShotHook {
+            spec,
+            seen: 0,
+            cycle: 0,
+            activation: None,
+        }
     }
 
     /// The armed spec.
@@ -150,7 +155,13 @@ pub struct AtRestHook {
 impl AtRestHook {
     /// Arms an upset of `arch` with `mask` at `cycle`.
     pub fn new(cycle: u64, arch: usize, mask: u16) -> Self {
-        AtRestHook { cycle, arch, mask, cur: 0, applied: false }
+        AtRestHook {
+            cycle,
+            arch,
+            mask,
+            cur: 0,
+            applied: false,
+        }
     }
 
     /// True once the upset has been delivered.
@@ -211,7 +222,10 @@ mod tests {
                 other => panic!("unexpected site {other:?}"),
             }
         }
-        assert!(fl > 140, "sampling should be proportional to counts, got {fl}/200");
+        assert!(
+            fl > 140,
+            "sampling should be proportional to counts, got {fl}/200"
+        );
     }
 
     #[test]
@@ -237,17 +251,26 @@ mod tests {
         let spec = BugSpec {
             site: OpSite::FlPop,
             occurrence: 2,
-            corruption: Corruption { suppress_ptr: true, ..Corruption::NONE },
+            corruption: Corruption {
+                suppress_ptr: true,
+                ..Corruption::NONE
+            },
             model: BugModel::Duplication,
         };
         let mut hook = SingleShotHook::new(spec);
         hook.begin_cycle(10);
         assert!(!hook.on_op(OpSite::FlPop).is_active());
-        assert!(!hook.on_op(OpSite::RatWrite).is_active(), "other sites untouched");
+        assert!(
+            !hook.on_op(OpSite::RatWrite).is_active(),
+            "other sites untouched"
+        );
         hook.begin_cycle(11);
         assert!(!hook.on_op(OpSite::FlPop).is_active());
         hook.begin_cycle(12);
-        assert!(hook.on_op(OpSite::FlPop).is_active(), "third occurrence fires");
+        assert!(
+            hook.on_op(OpSite::FlPop).is_active(),
+            "third occurrence fires"
+        );
         assert_eq!(hook.activation_cycle(), Some(12));
         hook.begin_cycle(13);
         assert!(!hook.on_op(OpSite::FlPop).is_active(), "single shot only");
@@ -258,7 +281,10 @@ mod tests {
         let spec = BugSpec {
             site: OpSite::RatWrite,
             occurrence: 9,
-            corruption: Corruption { value_xor: 0b100, ..Corruption::NONE },
+            corruption: Corruption {
+                value_xor: 0b100,
+                ..Corruption::NONE
+            },
             model: BugModel::PdstCorruption,
         };
         let s = spec.to_string();

@@ -20,8 +20,11 @@ pub enum BugModel {
 
 impl BugModel {
     /// All three campaign classes.
-    pub const ALL: [BugModel; 3] =
-        [BugModel::Duplication, BugModel::Leakage, BugModel::PdstCorruption];
+    pub const ALL: [BugModel; 3] = [
+        BugModel::Duplication,
+        BugModel::Leakage,
+        BugModel::PdstCorruption,
+    ];
 
     /// Human-readable label used in figure output.
     pub fn label(self) -> &'static str {
@@ -36,7 +39,11 @@ impl BugModel {
     pub fn sites(self) -> &'static [SiteChoice] {
         match self {
             BugModel::Duplication => &[
-                SiteChoice { site: OpSite::FlPop, suppress_array: false, suppress_ptr: true },
+                SiteChoice {
+                    site: OpSite::FlPop,
+                    suppress_array: false,
+                    suppress_ptr: true,
+                },
                 SiteChoice {
                     site: OpSite::RobCommitRead,
                     suppress_array: false,
@@ -51,9 +58,21 @@ impl BugModel {
             // RHT write-enables (a dropped RHT log entry only leaks when a
             // later recovery walks across it).
             BugModel::Leakage => &[
-                SiteChoice { site: OpSite::RatWrite, suppress_array: true, suppress_ptr: false },
-                SiteChoice { site: OpSite::FlPush, suppress_array: true, suppress_ptr: true },
-                SiteChoice { site: OpSite::RobAlloc, suppress_array: true, suppress_ptr: false },
+                SiteChoice {
+                    site: OpSite::RatWrite,
+                    suppress_array: true,
+                    suppress_ptr: false,
+                },
+                SiteChoice {
+                    site: OpSite::FlPush,
+                    suppress_array: true,
+                    suppress_ptr: true,
+                },
+                SiteChoice {
+                    site: OpSite::RobAlloc,
+                    suppress_array: true,
+                    suppress_ptr: false,
+                },
             ],
             BugModel::PdstCorruption => &[SiteChoice {
                 site: OpSite::RatWrite,
@@ -70,15 +89,51 @@ impl BugModel {
     pub const EXTENDED_SITES: [SiteChoice; 9] = [
         // Stale-slot FL leak: array write dropped but the pointer advances,
         // so a stale id later re-enters circulation (leak + duplication).
-        SiteChoice { site: OpSite::FlPush, suppress_array: true, suppress_ptr: false },
-        SiteChoice { site: OpSite::FlPush, suppress_array: false, suppress_ptr: true },
-        SiteChoice { site: OpSite::RobAlloc, suppress_array: false, suppress_ptr: true },
-        SiteChoice { site: OpSite::RhtAppend, suppress_array: true, suppress_ptr: false },
-        SiteChoice { site: OpSite::RhtAppend, suppress_array: false, suppress_ptr: true },
-        SiteChoice { site: OpSite::RobTailRestore, suppress_array: true, suppress_ptr: false },
-        SiteChoice { site: OpSite::RhtTailRestore, suppress_array: true, suppress_ptr: false },
-        SiteChoice { site: OpSite::RatRecover, suppress_array: true, suppress_ptr: false },
-        SiteChoice { site: OpSite::CkptTake, suppress_array: true, suppress_ptr: false },
+        SiteChoice {
+            site: OpSite::FlPush,
+            suppress_array: true,
+            suppress_ptr: false,
+        },
+        SiteChoice {
+            site: OpSite::FlPush,
+            suppress_array: false,
+            suppress_ptr: true,
+        },
+        SiteChoice {
+            site: OpSite::RobAlloc,
+            suppress_array: false,
+            suppress_ptr: true,
+        },
+        SiteChoice {
+            site: OpSite::RhtAppend,
+            suppress_array: true,
+            suppress_ptr: false,
+        },
+        SiteChoice {
+            site: OpSite::RhtAppend,
+            suppress_array: false,
+            suppress_ptr: true,
+        },
+        SiteChoice {
+            site: OpSite::RobTailRestore,
+            suppress_array: true,
+            suppress_ptr: false,
+        },
+        SiteChoice {
+            site: OpSite::RhtTailRestore,
+            suppress_array: true,
+            suppress_ptr: false,
+        },
+        SiteChoice {
+            site: OpSite::RatRecover,
+            suppress_array: true,
+            suppress_ptr: false,
+        },
+        SiteChoice {
+            site: OpSite::CkptTake,
+            suppress_array: true,
+            suppress_ptr: false,
+        },
     ];
 }
 
@@ -119,12 +174,19 @@ mod tests {
 
     #[test]
     fn classes_map_to_expected_signals() {
-        let dup_sites: Vec<_> = BugModel::Duplication.sites().iter().map(|s| s.site).collect();
+        let dup_sites: Vec<_> = BugModel::Duplication
+            .sites()
+            .iter()
+            .map(|s| s.site)
+            .collect();
         assert_eq!(dup_sites, vec![OpSite::FlPop, OpSite::RobCommitRead]);
         assert!(BugModel::Duplication.sites().iter().all(|s| s.suppress_ptr));
 
         let leak_sites: Vec<_> = BugModel::Leakage.sites().iter().map(|s| s.site).collect();
-        assert_eq!(leak_sites, vec![OpSite::RatWrite, OpSite::FlPush, OpSite::RobAlloc]);
+        assert_eq!(
+            leak_sites,
+            vec![OpSite::RatWrite, OpSite::FlPush, OpSite::RobAlloc]
+        );
         assert!(BugModel::Leakage.sites().iter().all(|s| s.suppress_array));
 
         assert_eq!(BugModel::PdstCorruption.sites().len(), 1);

@@ -66,7 +66,11 @@ impl MaskingFigure {
             BugModel::ALL[2].label()
         );
         for (bench, p, _) in &self.rows {
-            let _ = writeln!(s, "{bench:<14} {:>13.1}% {:>13.1}% {:>17.1}%", p[0], p[1], p[2]);
+            let _ = writeln!(
+                s,
+                "{bench:<14} {:>13.1}% {:>13.1}% {:>17.1}%",
+                p[0], p[1], p[2]
+            );
         }
         let a = self.average;
         let _ = writeln!(
@@ -94,20 +98,28 @@ impl PersistenceFigure {
         let mut tot = 0usize;
         let mut totp = 0usize;
         for bench in res.benches() {
-            let masked: Vec<&RunRecord> =
-                res.of_bench(bench).filter(|r| r.outcome.is_masked()).collect();
+            let masked: Vec<&RunRecord> = res
+                .of_bench(bench)
+                .filter(|r| r.outcome.is_masked())
+                .collect();
             let persist = masked.iter().filter(|r| r.persists).count();
             rows.push((bench.to_string(), pct(persist, masked.len()), masked.len()));
             tot += masked.len();
             totp += persist;
         }
-        PersistenceFigure { rows, average: pct(totp, tot) }
+        PersistenceFigure {
+            rows,
+            average: pct(totp, tot),
+        }
     }
 
     /// Renders the figure.
     pub fn render(&self) -> String {
         let mut s = String::new();
-        let _ = writeln!(s, "Figure 4 — Masked bugs whose effects persist until reset (%)");
+        let _ = writeln!(
+            s,
+            "Figure 4 — Masked bugs whose effects persist until reset (%)"
+        );
         let _ = writeln!(s, "{:<14} {:>10} {:>9}", "benchmark", "persist%", "masked");
         for (bench, p, n) in &self.rows {
             let _ = writeln!(s, "{bench:<14} {p:>9.1}% {n:>9}");
@@ -133,7 +145,16 @@ pub struct ManifestationFigure {
 impl ManifestationFigure {
     /// Builds the figure from campaign records.
     pub fn build(res: &CampaignResult) -> Self {
-        let bucket_tops = [10, 100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000];
+        let bucket_tops = [
+            10,
+            100,
+            1_000,
+            10_000,
+            100_000,
+            1_000_000,
+            10_000_000,
+            100_000_000,
+        ];
         let mut fig = ManifestationFigure {
             bucket_tops,
             non_masked: [0; 8],
@@ -189,7 +210,7 @@ impl ManifestationFigure {
 #[derive(Clone, Debug)]
 pub struct OutcomeFigure {
     /// `(bench, counts per OutcomeClass::ALL order)`.
-    pub rows: Vec<(String, [usize; 7])>,
+    pub rows: Vec<(String, [usize; OutcomeClass::COUNT])>,
 }
 
 impl OutcomeFigure {
@@ -197,16 +218,12 @@ impl OutcomeFigure {
     pub fn build(res: &CampaignResult) -> Self {
         let mut rows = Vec::new();
         for bench in res.benches() {
-            let mut counts = [0usize; 7];
+            let mut counts = [0usize; OutcomeClass::COUNT];
             for r in res
                 .of_bench(bench)
                 .filter(|r| r.model != BugModel::PdstCorruption)
             {
-                let idx = OutcomeClass::ALL
-                    .iter()
-                    .position(|c| *c == r.outcome)
-                    .expect("class in ALL");
-                counts[idx] += 1;
+                counts[r.outcome.index()] += 1;
             }
             rows.push((bench.to_string(), counts));
         }
@@ -301,9 +318,17 @@ impl DetectionFigure {
             traditional_plus_bv: tp_bv,
             bv,
             bv_first,
-            idld_mean_latency: if idld == 0 { 0.0 } else { idld_lat_sum as f64 / idld as f64 },
+            idld_mean_latency: if idld == 0 {
+                0.0
+            } else {
+                idld_lat_sum as f64 / idld as f64
+            },
             idld_max_latency: idld_max,
-            bv_mean_latency: if bv == 0 { 0.0 } else { bv_lat_sum as f64 / bv as f64 },
+            bv_mean_latency: if bv == 0 {
+                0.0
+            } else {
+                bv_lat_sum as f64 / bv as f64
+            },
         }
     }
 
@@ -321,7 +346,11 @@ impl DetectionFigure {
         let (i, t, tb) = self.coverage();
         let mut s = String::new();
         let _ = writeln!(s, "Figure 9 — Bug detection capability");
-        let _ = writeln!(s, "  IDLD:                      {i:>6.1}%  ({}/{})", self.idld, self.total);
+        let _ = writeln!(
+            s,
+            "  IDLD:                      {i:>6.1}%  ({}/{})",
+            self.idld, self.total
+        );
         let _ = writeln!(
             s,
             "  Traditional end-of-test:   {t:>6.1}%  ({}/{})",
@@ -334,7 +363,11 @@ impl DetectionFigure {
         );
         let _ = writeln!(s);
         let _ = writeln!(s, "Figure 10 — Adding the bit-vector (BV) scheme");
-        let _ = writeln!(s, "  Traditional + BV:          {tb:>6.1}%  ({}/{})", self.traditional_plus_bv, self.total);
+        let _ = writeln!(
+            s,
+            "  Traditional + BV:          {tb:>6.1}%  ({}/{})",
+            self.traditional_plus_bv, self.total
+        );
         let _ = writeln!(
             s,
             "  BV detects at all:         {:>6.1}%  ({}/{})",
@@ -358,12 +391,18 @@ mod tests {
     use crate::campaign::{Campaign, CampaignConfig};
 
     fn result() -> CampaignResult {
-        let cfg = CampaignConfig { runs_per_cell: 5, seed: 7, ..Default::default() };
+        let cfg = CampaignConfig {
+            runs_per_cell: 5,
+            seed: 7,
+            ..Default::default()
+        };
         let picks: Vec<_> = idld_workloads::suite()
             .into_iter()
             .filter(|w| w.name == "bitcount" || w.name == "crc32")
             .collect();
-        Campaign::new(cfg).run(&picks)
+        Campaign::new(cfg)
+            .run(&picks)
+            .expect("golden runs are valid")
     }
 
     #[test]

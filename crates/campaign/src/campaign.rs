@@ -1,6 +1,34 @@
 //! The campaign driver: golden runs, injection runs, record collection.
+//!
+//! # Scheduler
+//!
+//! [`Campaign::run`] drains a pre-built list of individual
+//! `(workload, model, k)` run jobs through a shared atomic job index —
+//! work-stealing at run granularity, so `min(threads, jobs)` workers stay
+//! busy until the very last job, instead of one thread per workload idling
+//! behind the slowest workload. Golden runs are captured once per workload
+//! and shared read-only across workers via `Arc`.
+//!
+//! # Determinism
+//!
+//! Every job's RNG derives from `(seed, bench, model, k)` only, the job
+//! list is sampled up front on the scheduling thread, and records are
+//! written back by original job index — so the record order *and content*
+//! are identical to a sequential run of the same seed, for any worker
+//! count ([`export::to_csv`](crate::export::to_csv) output is
+//! byte-identical between 1-thread and N-thread runs).
+//!
+//! # Panic isolation
+//!
+//! Each injected run executes under `catch_unwind`; a panicking run
+//! becomes a poisoned record ([`OutcomeClass::Anomalous`], with the panic
+//! message in [`RunRecord::poisoned`]) instead of aborting the campaign.
+//! While a campaign runs, a process-wide panic hook suppresses backtrace
+//! spam from campaign workers only; other threads' panics still report
+//! through the previously installed hook.
 
 use crate::classify::{classify, manifestation_cycle, OutcomeClass};
+use crate::progress::{CampaignProgress, NullProgress, ProgressState};
 use idld_bugs::{BugModel, BugSpec, SingleShotHook};
 use idld_core::{BitVectorChecker, CheckerSet, CounterChecker, IdldChecker};
 use idld_rrs::CensusHook;
@@ -8,8 +36,21 @@ use idld_sim::{CommitTrace, SimConfig, Simulator};
 use idld_workloads::Workload;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::cell::Cell;
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Environment variable: injection runs per (workload × model) cell.
+pub const RUNS_PER_CELL_ENV: &str = "IDLD_RUNS_PER_CELL";
+/// Environment variable: master campaign seed.
+pub const SEED_ENV: &str = "IDLD_SEED";
+/// Environment variable: scheduler worker threads (0 or unset = one per
+/// available core).
+pub const THREADS_ENV: &str = "IDLD_CAMPAIGN_THREADS";
 
 /// Campaign parameters.
 #[derive(Clone, Copy, Debug)]
@@ -22,27 +63,71 @@ pub struct CampaignConfig {
     pub runs_per_cell: usize,
     /// Master seed; every run's RNG derives deterministically from it.
     pub seed: u64,
+    /// Scheduler worker threads; `0` means one per available core. The
+    /// record stream is identical for every value (see module docs).
+    pub threads: usize,
+    /// Test instrumentation: make the worker executing this job index
+    /// panic deliberately, to exercise panic isolation. Not for normal
+    /// use.
+    #[doc(hidden)]
+    pub sabotage_job: Option<usize>,
 }
 
 impl Default for CampaignConfig {
     fn default() -> Self {
-        CampaignConfig { sim: SimConfig::default(), runs_per_cell: 30, seed: 0x1d1d }
+        CampaignConfig {
+            sim: SimConfig::default(),
+            runs_per_cell: 30,
+            seed: 0x1d1d,
+            threads: 0,
+            sabotage_job: None,
+        }
     }
 }
 
 impl CampaignConfig {
-    /// Reads `IDLD_RUNS_PER_CELL` and `IDLD_SEED` from the environment,
-    /// falling back to the defaults — the hook the bench harnesses use to
-    /// scale toward the paper's 1 000 runs per cell.
-    pub fn from_env() -> Self {
+    /// Reads [`RUNS_PER_CELL_ENV`], [`SEED_ENV`] and [`THREADS_ENV`] from
+    /// the environment, falling back to the defaults — the hook the bench
+    /// harnesses use to scale toward the paper's 1 000 runs per cell.
+    ///
+    /// # Errors
+    ///
+    /// A set-but-malformed variable is an error, not a silent fallback: a
+    /// typo in `IDLD_RUNS_PER_CELL` must not quietly degrade a 1 000-run
+    /// campaign to the 30-run default.
+    pub fn try_from_env() -> Result<Self, String> {
+        fn parse<T: std::str::FromStr>(name: &str) -> Result<Option<T>, String>
+        where
+            T::Err: std::fmt::Display,
+        {
+            match std::env::var(name) {
+                Ok(raw) => raw
+                    .trim()
+                    .parse()
+                    .map(Some)
+                    .map_err(|e| format!("{name}={raw:?} is invalid: {e}")),
+                Err(std::env::VarError::NotPresent) => Ok(None),
+                Err(e) => Err(format!("{name} is unreadable: {e}")),
+            }
+        }
         let mut cfg = CampaignConfig::default();
-        if let Some(n) = std::env::var("IDLD_RUNS_PER_CELL").ok().and_then(|v| v.parse().ok()) {
+        if let Some(n) = parse(RUNS_PER_CELL_ENV)? {
             cfg.runs_per_cell = n;
         }
-        if let Some(s) = std::env::var("IDLD_SEED").ok().and_then(|v| v.parse().ok()) {
+        if let Some(s) = parse(SEED_ENV)? {
             cfg.seed = s;
         }
-        cfg
+        if let Some(t) = parse(THREADS_ENV)? {
+            cfg.threads = t;
+        }
+        Ok(cfg)
+    }
+
+    /// [`CampaignConfig::try_from_env`], panicking with the offending
+    /// variable on malformed input (a campaign silently run at the wrong
+    /// scale is worse than no campaign).
+    pub fn from_env() -> Self {
+        Self::try_from_env().unwrap_or_else(|e| panic!("campaign environment: {e}"))
     }
 }
 
@@ -61,36 +146,79 @@ pub struct GoldenRun {
     pub census: CensusHook,
 }
 
+/// Why a golden (bug-free) run is unusable as a campaign baseline.
+///
+/// Either failure invalidates every injection against that workload, so
+/// the campaign surfaces the workload and cause instead of aborting the
+/// process from inside a worker thread.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum GoldenRunError {
+    /// The workload did not halt cleanly (crash/assert/cycle-limit).
+    DidNotHalt {
+        /// Workload name.
+        workload: &'static str,
+        /// How the run actually stopped.
+        stop: idld_sim::SimStop,
+    },
+    /// The workload halted but its output deviates from the native
+    /// reference.
+    OutputMismatch {
+        /// Workload name.
+        workload: &'static str,
+    },
+}
+
+impl std::fmt::Display for GoldenRunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GoldenRunError::DidNotHalt { workload, stop } => {
+                write!(
+                    f,
+                    "golden run of {workload} did not halt (stopped with {stop:?})"
+                )
+            }
+            GoldenRunError::OutputMismatch { workload } => {
+                write!(
+                    f,
+                    "golden run of {workload} deviates from the native reference"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for GoldenRunError {}
+
 impl GoldenRun {
     /// Executes the golden run for `workload`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the workload does not halt cleanly or its output deviates
-    /// from the native reference — that would invalidate the whole
-    /// campaign.
-    pub fn capture(workload: &Workload, sim_cfg: SimConfig) -> GoldenRun {
+    /// Returns [`GoldenRunError`] if the workload does not halt cleanly or
+    /// its output deviates from the native reference — that would
+    /// invalidate the whole campaign.
+    pub fn capture(workload: &Workload, sim_cfg: SimConfig) -> Result<GoldenRun, GoldenRunError> {
         let mut census = CensusHook::new();
         let mut sim = Simulator::new(&workload.program, sim_cfg);
         let res = sim.run(&mut census, &mut CheckerSet::new(), None, 500_000_000);
-        assert_eq!(
-            res.stop,
-            idld_sim::SimStop::Halted,
-            "golden run of {} did not halt",
-            workload.name
-        );
-        assert_eq!(
-            res.output, workload.expected_output,
-            "golden run of {} deviates from the native reference",
-            workload.name
-        );
-        GoldenRun {
+        if res.stop != idld_sim::SimStop::Halted {
+            return Err(GoldenRunError::DidNotHalt {
+                workload: workload.name,
+                stop: res.stop,
+            });
+        }
+        if res.output != workload.expected_output {
+            return Err(GoldenRunError::OutputMismatch {
+                workload: workload.name,
+            });
+        }
+        Ok(GoldenRun {
             workload: workload.clone(),
             trace: res.trace,
             cycles: res.cycles,
             output: res.output,
             census,
-        }
+        })
     }
 
     /// The injected-run cycle budget: 2.5× the golden cycles (paper's
@@ -120,20 +248,24 @@ pub struct RunRecord {
     pub model: BugModel,
     /// The exact injected bug.
     pub spec: BugSpec,
-    /// Cycle of activation (always present: specs are sampled from the
-    /// golden census, and the run is identical to golden until activation).
+    /// Cycle of activation (always present for completed runs: specs are
+    /// sampled from the golden census, and the run is identical to golden
+    /// until activation). `0` for poisoned runs.
     pub activation_cycle: u64,
     /// Outcome class.
     pub outcome: OutcomeClass,
     /// First cycle the bug showed any evidence, if ever.
     pub manifestation_cycle: Option<u64>,
-    /// The run finished at this cycle.
+    /// The run finished at this cycle (`0` for poisoned runs).
     pub end_cycle: u64,
     /// Masked runs whose PdstID damage survives program termination
     /// (paper Fig. 4).
     pub persists: bool,
     /// Checker detections (absolute cycles).
     pub detections: Detections,
+    /// The panic message, when this run panicked inside the simulator and
+    /// the scheduler isolated it ([`OutcomeClass::Anomalous`]).
+    pub poisoned: Option<String>,
 }
 
 impl RunRecord {
@@ -145,7 +277,9 @@ impl RunRecord {
 
     /// IDLD detection latency in cycles.
     pub fn idld_latency(&self) -> Option<u64> {
-        self.detections.idld.map(|c| c.saturating_sub(self.activation_cycle))
+        self.detections
+            .idld
+            .map(|c| c.saturating_sub(self.activation_cycle))
     }
 
     /// True if traditional end-of-test checking flags this run (only
@@ -153,13 +287,51 @@ impl RunRecord {
     pub fn eot_detects(&self) -> bool {
         !self.outcome.is_masked()
     }
+
+    /// The poisoned record for a run whose simulation panicked.
+    fn poisoned(bench: &'static str, spec: BugSpec, message: String) -> RunRecord {
+        RunRecord {
+            bench,
+            model: spec.model,
+            spec,
+            activation_cycle: 0,
+            outcome: OutcomeClass::Anomalous,
+            manifestation_cycle: None,
+            end_cycle: 0,
+            persists: false,
+            detections: Detections::default(),
+            poisoned: Some(message),
+        }
+    }
+}
+
+/// Wall-clock spent in one (workload × model) cell, summed over its runs.
+#[derive(Clone, Copy, Debug)]
+pub struct CellTiming {
+    /// Workload name.
+    pub bench: &'static str,
+    /// Bug model.
+    pub model: BugModel,
+    /// Completed runs in the cell (including poisoned).
+    pub runs: usize,
+    /// Poisoned runs in the cell.
+    pub poisoned: usize,
+    /// Summed per-run wall-clock (CPU-side cost of the cell; runs execute
+    /// concurrently, so cells can sum to more than the campaign wall).
+    pub total: Duration,
 }
 
 /// All records of one campaign.
 #[derive(Clone, Debug, Default)]
 pub struct CampaignResult {
-    /// Every injected run's record.
+    /// Every injected run's record, in deterministic
+    /// workload-major/model/run order.
     pub records: Vec<RunRecord>,
+    /// Per-cell wall-clock timing, in the same cell order. Timing is a
+    /// measurement, not part of the deterministic record stream.
+    pub timings: Vec<CellTiming>,
+    /// End-to-end campaign wall-clock (goldens + scheduling + runs).
+    pub wall: Duration,
 }
 
 impl CampaignResult {
@@ -182,6 +354,93 @@ impl CampaignResult {
             }
         }
         v
+    }
+
+    /// Records whose run panicked and was isolated by the scheduler.
+    pub fn poisoned(&self) -> impl Iterator<Item = &'_ RunRecord> + '_ {
+        self.records.iter().filter(|r| r.poisoned.is_some())
+    }
+}
+
+/// One scheduled injection run: an index into the golden-run table plus
+/// the fully sampled bug spec.
+#[derive(Clone, Copy, Debug)]
+struct Job {
+    workload: usize,
+    spec: BugSpec,
+}
+
+thread_local! {
+    /// Set on campaign worker threads so the process-wide panic hook can
+    /// suppress backtrace spam for isolated (caught) run panics only.
+    static SUPPRESS_PANIC_OUTPUT: Cell<bool> = const { Cell::new(false) };
+}
+
+type PrevHook = Arc<Box<dyn Fn(&panic::PanicHookInfo<'_>) + Send + Sync + 'static>>;
+
+struct SilencerState {
+    depth: usize,
+    prev: Option<PrevHook>,
+}
+
+static SILENCER: Mutex<SilencerState> = Mutex::new(SilencerState {
+    depth: 0,
+    prev: None,
+});
+
+/// RAII guard for the campaign panic hook: the first concurrent campaign
+/// installs a hook that swallows panics from campaign workers (they are
+/// caught and recorded as poisoned) and forwards everything else to the
+/// previously installed hook; the last campaign restores forwarding.
+struct PanicSilencer;
+
+impl PanicSilencer {
+    fn install() -> PanicSilencer {
+        let mut st = SILENCER.lock().unwrap_or_else(|e| e.into_inner());
+        if st.depth == 0 {
+            st.prev = Some(Arc::new(panic::take_hook()));
+            panic::set_hook(Box::new(|info| {
+                if SUPPRESS_PANIC_OUTPUT.get() {
+                    return;
+                }
+                let prev = SILENCER
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .prev
+                    .clone();
+                if let Some(prev) = prev {
+                    prev(info);
+                }
+            }));
+        }
+        st.depth += 1;
+        PanicSilencer
+    }
+}
+
+impl Drop for PanicSilencer {
+    fn drop(&mut self) {
+        let mut st = SILENCER.lock().unwrap_or_else(|e| e.into_inner());
+        st.depth -= 1;
+        if st.depth == 0 {
+            if let Some(prev) = st.prev.take() {
+                // Keep forwarding through the Arc — the original boxed hook
+                // cannot be moved back out if a panic is concurrently
+                // reading it.
+                panic::set_hook(Box::new(move |info| prev(info)));
+            }
+        }
+    }
+}
+
+/// Renders a caught panic payload as a short message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -211,6 +470,18 @@ impl Campaign {
 
     /// Runs one injection against a golden run.
     pub fn run_one(&self, golden: &GoldenRun, spec: BugSpec) -> RunRecord {
+        self.run_one_interruptible(golden, spec, None)
+    }
+
+    /// [`Campaign::run_one`] with an optional cooperative interrupt flag:
+    /// when it becomes true the simulation stops at the next budget check
+    /// (within ~1 k cycles) and classifies as it stands.
+    pub fn run_one_interruptible(
+        &self,
+        golden: &GoldenRun,
+        spec: BugSpec,
+        interrupt: Option<&AtomicBool>,
+    ) -> RunRecord {
         let mut hook = SingleShotHook::new(spec);
         let mut checkers = CheckerSet::new();
         checkers.push(Box::new(IdldChecker::new(&self.cfg.sim.rrs)));
@@ -218,7 +489,13 @@ impl Campaign {
         checkers.push(Box::new(CounterChecker::new(&self.cfg.sim.rrs)));
 
         let mut sim = Simulator::new(&golden.workload.program, self.cfg.sim);
-        let res = sim.run(&mut hook, &mut checkers, Some(&golden.trace), golden.timeout_budget());
+        let res = sim.run_with_interrupt(
+            &mut hook,
+            &mut checkers,
+            Some(&golden.trace),
+            golden.timeout_budget(),
+            interrupt,
+        );
 
         let outcome = classify(&res, &golden.output);
         let activation_cycle = hook
@@ -239,44 +516,202 @@ impl Campaign {
                 bv: checkers.detection_of("bv").map(|d| d.cycle),
                 counter: checkers.detection_of("counter").map(|d| d.cycle),
             },
+            poisoned: None,
         }
     }
 
-    /// Runs one workload's full cell block (all models × runs).
-    fn run_workload(&self, w: &Workload) -> Vec<RunRecord> {
-        let golden = GoldenRun::capture(w, self.cfg.sim);
-        let bits = self.cfg.sim.rrs.pdst_bits();
-        let mut records = Vec::new();
-        for model in BugModel::ALL {
-            for k in 0..self.cfg.runs_per_cell {
-                let mut rng = self.run_rng(w.name, model, k);
-                let Some(spec) = BugSpec::sample(model, &golden.census, bits, &mut rng) else {
-                    continue;
-                };
-                records.push(self.run_one(&golden, spec));
+    /// Executes job `index` under panic isolation.
+    fn execute_job(
+        &self,
+        index: usize,
+        golden: &GoldenRun,
+        spec: BugSpec,
+        interrupt: Option<&AtomicBool>,
+    ) -> RunRecord {
+        let sabotage = self.cfg.sabotage_job == Some(index);
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+            if sabotage {
+                panic!("deliberately sabotaged run (test instrumentation)");
+            }
+            self.run_one_interruptible(golden, spec, interrupt)
+        }));
+        match outcome {
+            Ok(rec) => rec,
+            Err(payload) => {
+                RunRecord::poisoned(golden.workload.name, spec, panic_message(&*payload))
             }
         }
-        records
+    }
+
+    /// The scheduler's worker-thread count for `jobs` pending jobs.
+    fn worker_count(&self, jobs: usize) -> usize {
+        let hw = if self.cfg.threads > 0 {
+            self.cfg.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        };
+        hw.min(jobs).max(1)
     }
 
     /// Runs the full campaign over `workloads` (paper protocol: for every
     /// workload, `runs_per_cell` runs of each of the three bug models).
     ///
-    /// Workloads run on parallel threads; the record order (and every
-    /// record's content) is identical to a sequential run, so results stay
-    /// bit-deterministic under a seed.
-    pub fn run(&self, workloads: &[Workload]) -> CampaignResult {
-        let mut result = CampaignResult::default();
-        std::thread::scope(|scope| {
+    /// See the module docs for the scheduler's determinism and panic-
+    /// isolation guarantees.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`GoldenRunError`] if any workload's golden run
+    /// is unusable — the campaign for that suite would be meaningless.
+    pub fn run(&self, workloads: &[Workload]) -> Result<CampaignResult, GoldenRunError> {
+        self.run_with_progress(workloads, &NullProgress)
+    }
+
+    /// [`Campaign::run`] with a progress observer (see
+    /// [`CampaignProgress`]).
+    pub fn run_with_progress(
+        &self,
+        workloads: &[Workload],
+        progress: &dyn CampaignProgress,
+    ) -> Result<CampaignResult, GoldenRunError> {
+        self.run_inner(workloads, progress, None)
+    }
+
+    /// [`Campaign::run_with_progress`] with a cooperative cancel flag:
+    /// setting it stops workers from starting new runs and interrupts
+    /// in-flight simulations at their next budget check. The result then
+    /// holds the records completed so far (still in deterministic order).
+    pub fn run_cancellable(
+        &self,
+        workloads: &[Workload],
+        progress: &dyn CampaignProgress,
+        cancel: &AtomicBool,
+    ) -> Result<CampaignResult, GoldenRunError> {
+        self.run_inner(workloads, progress, Some(cancel))
+    }
+
+    fn run_inner(
+        &self,
+        workloads: &[Workload],
+        progress: &dyn CampaignProgress,
+        cancel: Option<&AtomicBool>,
+    ) -> Result<CampaignResult, GoldenRunError> {
+        let t0 = Instant::now();
+
+        // Golden runs: once per workload, in parallel, shared read-only
+        // with every worker afterwards.
+        let captured: Vec<Result<GoldenRun, GoldenRunError>> = std::thread::scope(|scope| {
             let handles: Vec<_> = workloads
                 .iter()
-                .map(|w| scope.spawn(move || self.run_workload(w)))
+                .map(|w| scope.spawn(move || GoldenRun::capture(w, self.cfg.sim)))
                 .collect();
-            for h in handles {
-                result.records.extend(h.join().expect("campaign worker panicked"));
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join()
+                        .expect("golden capture returns errors, never panics")
+                })
+                .collect()
+        });
+        let mut goldens = Vec::with_capacity(captured.len());
+        for g in captured {
+            let g = g?;
+            progress.on_golden(g.workload.name, g.cycles);
+            goldens.push(g);
+        }
+        let goldens = Arc::new(goldens);
+
+        // The job list, sampled up front in deterministic sequential order
+        // (workload-major, then model, then run index).
+        let bits = self.cfg.sim.rrs.pdst_bits();
+        let mut jobs =
+            Vec::with_capacity(goldens.len() * BugModel::ALL.len() * self.cfg.runs_per_cell);
+        for (wi, golden) in goldens.iter().enumerate() {
+            for model in BugModel::ALL {
+                for k in 0..self.cfg.runs_per_cell {
+                    let mut rng = self.run_rng(golden.workload.name, model, k);
+                    if let Some(spec) = BugSpec::sample(model, &golden.census, bits, &mut rng) {
+                        jobs.push(Job { workload: wi, spec });
+                    }
+                }
+            }
+        }
+
+        let total = jobs.len();
+        let state = ProgressState::new(total);
+        let next = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<(RunRecord, Duration)>>> =
+            Mutex::new((0..total).map(|_| None).collect());
+        let _silencer = PanicSilencer::install();
+
+        let workers = self.worker_count(total);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let goldens = Arc::clone(&goldens);
+                let jobs = &jobs;
+                let next = &next;
+                let slots = &slots;
+                let state = &state;
+                scope.spawn(move || {
+                    SUPPRESS_PANIC_OUTPUT.set(true);
+                    loop {
+                        if cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
+                            break;
+                        }
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= total {
+                            break;
+                        }
+                        let job = jobs[i];
+                        let started = Instant::now();
+                        let rec = self.execute_job(i, &goldens[job.workload], job.spec, cancel);
+                        let elapsed = started.elapsed();
+                        state.complete(rec.outcome, rec.poisoned.is_some());
+                        slots.lock().unwrap_or_else(|e| e.into_inner())[i] = Some((rec, elapsed));
+                        progress.on_run(&state.snapshot());
+                    }
+                    SUPPRESS_PANIC_OUTPUT.set(false);
+                });
             }
         });
-        result
+
+        // Write-back by original job index keeps the stream bit-identical
+        // to a sequential run; cancelled (never-started) slots are simply
+        // absent.
+        let slots = slots.into_inner().unwrap_or_else(|e| e.into_inner());
+        let mut records = Vec::with_capacity(total);
+        let mut timings: Vec<CellTiming> = Vec::new();
+        for (rec, elapsed) in slots.into_iter().flatten() {
+            let cell = match timings
+                .iter_mut()
+                .find(|c| c.bench == rec.bench && c.model == rec.model)
+            {
+                Some(c) => c,
+                None => {
+                    timings.push(CellTiming {
+                        bench: rec.bench,
+                        model: rec.model,
+                        runs: 0,
+                        poisoned: 0,
+                        total: Duration::ZERO,
+                    });
+                    timings.last_mut().expect("just pushed")
+                }
+            };
+            cell.runs += 1;
+            cell.poisoned += usize::from(rec.poisoned.is_some());
+            cell.total += elapsed;
+            records.push(rec);
+        }
+
+        progress.on_finish(&state.snapshot());
+        Ok(CampaignResult {
+            records,
+            timings,
+            wall: t0.elapsed(),
+        })
     }
 }
 
@@ -284,14 +719,25 @@ impl Campaign {
 mod tests {
     use super::*;
 
-    fn mini_campaign() -> CampaignResult {
-        let cfg = CampaignConfig { runs_per_cell: 4, seed: 42, ..Default::default() };
-        let suite = idld_workloads::suite();
-        let picks: Vec<Workload> = suite
+    fn mini_cfg() -> CampaignConfig {
+        CampaignConfig {
+            runs_per_cell: 4,
+            seed: 42,
+            ..Default::default()
+        }
+    }
+
+    fn picks() -> Vec<Workload> {
+        idld_workloads::suite()
             .into_iter()
             .filter(|w| w.name == "crc32" || w.name == "basicmath")
-            .collect();
-        Campaign::new(cfg).run(&picks)
+            .collect()
+    }
+
+    fn mini_campaign() -> CampaignResult {
+        Campaign::new(mini_cfg())
+            .run(&picks())
+            .expect("golden runs are valid")
     }
 
     #[test]
@@ -339,9 +785,112 @@ mod tests {
     }
 
     #[test]
+    fn parallel_matches_single_thread_byte_for_byte() {
+        let seq = Campaign::new(CampaignConfig {
+            threads: 1,
+            ..mini_cfg()
+        })
+        .run(&picks())
+        .expect("sequential run");
+        let par = Campaign::new(CampaignConfig {
+            threads: 8,
+            ..mini_cfg()
+        })
+        .run(&picks())
+        .expect("parallel run");
+        assert_eq!(
+            crate::export::to_csv(&seq),
+            crate::export::to_csv(&par),
+            "CSV must be byte-identical between 1-thread and 8-thread runs"
+        );
+    }
+
+    #[test]
+    fn sabotaged_run_is_poisoned_not_fatal() {
+        let baseline = Campaign::new(CampaignConfig {
+            threads: 2,
+            ..mini_cfg()
+        })
+        .run(&picks())
+        .expect("baseline");
+        let sab = 5;
+        let res = Campaign::new(CampaignConfig {
+            threads: 2,
+            sabotage_job: Some(sab),
+            ..mini_cfg()
+        })
+        .run(&picks())
+        .expect("campaign must survive a panicking run");
+
+        assert_eq!(res.records.len(), baseline.records.len());
+        assert_eq!(res.poisoned().count(), 1, "exactly one poisoned record");
+        let poisoned = &res.records[sab];
+        assert_eq!(poisoned.outcome, OutcomeClass::Anomalous);
+        assert!(
+            poisoned.poisoned.as_deref().unwrap().contains("sabotaged"),
+            "panic message preserved: {:?}",
+            poisoned.poisoned
+        );
+        for (i, (got, want)) in res.records.iter().zip(&baseline.records).enumerate() {
+            if i == sab {
+                continue;
+            }
+            assert_eq!(got.spec, want.spec, "record {i}");
+            assert_eq!(got.outcome, want.outcome, "record {i}");
+            assert_eq!(got.detections, want.detections, "record {i}");
+        }
+    }
+
+    #[test]
+    fn cancel_stops_early_with_partial_deterministic_prefix_content() {
+        let cancel = AtomicBool::new(true); // pre-cancelled: no runs start
+        let res = Campaign::new(mini_cfg())
+            .run_cancellable(&picks(), &NullProgress, &cancel)
+            .expect("goldens still captured");
+        assert!(
+            res.records.is_empty(),
+            "pre-cancelled campaign runs nothing"
+        );
+    }
+
+    #[test]
+    fn timings_cover_all_cells() {
+        let res = mini_campaign();
+        assert_eq!(res.timings.len(), 2 * 3, "2 workloads × 3 models");
+        assert_eq!(
+            res.timings.iter().map(|c| c.runs).sum::<usize>(),
+            res.records.len()
+        );
+        assert!(res.wall > Duration::ZERO);
+    }
+
+    #[test]
+    fn from_env_rejects_malformed_values() {
+        // Env mutation: run the three scenarios in one test to avoid
+        // parallel-test interference on the shared process environment.
+        let run = |k: &str, v: &str| {
+            std::env::set_var(k, v);
+            let r = CampaignConfig::try_from_env();
+            std::env::remove_var(k);
+            r
+        };
+        assert!(
+            run(RUNS_PER_CELL_ENV, "1OOO").is_err(),
+            "typo'd digits must not default"
+        );
+        assert!(
+            run(SEED_ENV, "0x1d1d").is_err(),
+            "hex is not accepted by u64 parse"
+        );
+        assert!(run(THREADS_ENV, "many").is_err());
+        let ok = run(RUNS_PER_CELL_ENV, " 1000 ").expect("trimmed digits parse");
+        assert_eq!(ok.runs_per_cell, 1000);
+    }
+
+    #[test]
     fn golden_capture_sanity() {
         let w = idld_workloads::by_name("bitcount").expect("exists");
-        let g = GoldenRun::capture(&w, SimConfig::default());
+        let g = GoldenRun::capture(&w, SimConfig::default()).expect("golden run halts");
         assert!(g.cycles > 1000);
         assert_eq!(g.output, w.expected_output);
         assert!(g.census.count(idld_rrs::OpSite::FlPop) > 100);

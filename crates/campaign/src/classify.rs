@@ -20,11 +20,15 @@ pub enum OutcomeClass {
     Assert,
     /// An architectural fault (memory/control) was delivered at commit.
     Crash,
+    /// The simulator itself panicked during the run (a harness defect, not
+    /// a paper outcome). The campaign records the run as poisoned instead
+    /// of aborting; see `RunRecord::poisoned` for the panic message.
+    Anomalous,
 }
 
 impl OutcomeClass {
     /// All classes, in reporting order.
-    pub const ALL: [OutcomeClass; 7] = [
+    pub const ALL: [OutcomeClass; 8] = [
         OutcomeClass::Benign,
         OutcomeClass::Performance,
         OutcomeClass::ControlFlowDeviation,
@@ -32,7 +36,19 @@ impl OutcomeClass {
         OutcomeClass::Timeout,
         OutcomeClass::Assert,
         OutcomeClass::Crash,
+        OutcomeClass::Anomalous,
     ];
+
+    /// Number of classes (`ALL.len()`), for per-class tally arrays.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Index of this class within [`OutcomeClass::ALL`].
+    pub fn index(self) -> usize {
+        Self::ALL
+            .iter()
+            .position(|c| *c == self)
+            .expect("class in ALL")
+    }
 
     /// Short label used in tables.
     pub fn label(self) -> &'static str {
@@ -44,6 +60,7 @@ impl OutcomeClass {
             OutcomeClass::Timeout => "Timeout",
             OutcomeClass::Assert => "Assert",
             OutcomeClass::Crash => "Crash",
+            OutcomeClass::Anomalous => "Anomalous",
         }
     }
 
@@ -105,6 +122,8 @@ pub fn manifestation_cycle(result: &RunResult, class: OutcomeClass) -> Option<u6
         OutcomeClass::Timeout | OutcomeClass::Assert | OutcomeClass::Crash => {
             result.divergence.first_cycle().or(Some(result.cycles))
         }
+        // Poisoned runs never came back with a usable result.
+        OutcomeClass::Anomalous => None,
     }
 }
 
@@ -139,7 +158,10 @@ mod tests {
 
     #[test]
     fn performance() {
-        let d = Divergence { order: None, timing: Some(40) };
+        let d = Divergence {
+            order: None,
+            timing: Some(40),
+        };
         let r = result(SimStop::Halted, vec![1], d);
         let c = classify(&r, &[1]);
         assert_eq!(c, OutcomeClass::Performance);
@@ -149,14 +171,20 @@ mod tests {
 
     #[test]
     fn cfd() {
-        let d = Divergence { order: Some(30), timing: Some(25) };
+        let d = Divergence {
+            order: Some(30),
+            timing: Some(25),
+        };
         let r = result(SimStop::Halted, vec![1], d);
         assert_eq!(classify(&r, &[1]), OutcomeClass::ControlFlowDeviation);
     }
 
     #[test]
     fn sdc_beats_divergence_class() {
-        let d = Divergence { order: Some(30), timing: None };
+        let d = Divergence {
+            order: Some(30),
+            timing: None,
+        };
         let r = result(SimStop::Halted, vec![2], d);
         let c = classify(&r, &[1]);
         assert_eq!(c, OutcomeClass::Sdc);
@@ -167,12 +195,19 @@ mod tests {
     #[test]
     fn abnormal_terminations() {
         assert_eq!(
-            classify(&result(SimStop::CycleLimit, vec![], Divergence::default()), &[1]),
+            classify(
+                &result(SimStop::CycleLimit, vec![], Divergence::default()),
+                &[1]
+            ),
             OutcomeClass::Timeout
         );
         assert_eq!(
             classify(
-                &result(SimStop::Assert(RrsAssert::FlOverflow), vec![], Divergence::default()),
+                &result(
+                    SimStop::Assert(RrsAssert::FlOverflow),
+                    vec![],
+                    Divergence::default()
+                ),
                 &[1]
             ),
             OutcomeClass::Assert
@@ -184,6 +219,10 @@ mod tests {
         );
         let c = classify(&r, &[1]);
         assert_eq!(c, OutcomeClass::Crash);
-        assert_eq!(manifestation_cycle(&r, c), Some(100), "falls back to stop cycle");
+        assert_eq!(
+            manifestation_cycle(&r, c),
+            Some(100),
+            "falls back to stop cycle"
+        );
     }
 }

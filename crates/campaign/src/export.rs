@@ -10,16 +10,22 @@ use std::fmt::Write as _;
 
 /// The CSV header for [`record_row`] rows.
 pub const CSV_HEADER: &str = "bench,model,site,occurrence,activation_cycle,outcome,masked,\
-persists,manifestation_cycle,end_cycle,idld_cycle,bv_cycle,counter_cycle,eot_detects";
+persists,manifestation_cycle,end_cycle,idld_cycle,bv_cycle,counter_cycle,eot_detects,poisoned";
 
 fn opt(v: Option<u64>) -> String {
     v.map(|x| x.to_string()).unwrap_or_default()
 }
 
+/// Flattens a panic message into a single CSV-safe field (commas and
+/// newlines become `;`).
+fn csv_safe(msg: &str) -> String {
+    msg.replace(['\n', '\r'], "; ").replace(',', ";")
+}
+
 /// Renders one record as a CSV row (no trailing newline).
 pub fn record_row(r: &RunRecord) -> String {
     format!(
-        "{},{},{:?},{},{},{},{},{},{},{},{},{},{},{}",
+        "{},{},{:?},{},{},{},{},{},{},{},{},{},{},{},{}",
         r.bench,
         r.model.label().replace(' ', "_"),
         r.spec.site,
@@ -34,6 +40,7 @@ pub fn record_row(r: &RunRecord) -> String {
         opt(r.detections.bv),
         opt(r.detections.counter),
         r.eot_detects(),
+        r.poisoned.as_deref().map(csv_safe).unwrap_or_default(),
     )
 }
 
@@ -47,18 +54,64 @@ pub fn to_csv(res: &CampaignResult) -> String {
     s
 }
 
+/// The CSV header for [`timings_csv`] rows.
+pub const TIMINGS_HEADER: &str = "bench,model,runs,poisoned,cell_wall_us";
+
+/// Renders the campaign's per-cell wall-clock timing as CSV, with a final
+/// `TOTAL` row carrying the end-to-end campaign wall-clock (which is less
+/// than the cell sum when runs execute in parallel).
+pub fn timings_csv(res: &CampaignResult) -> String {
+    let mut s = String::with_capacity(64 + res.timings.len() * 48);
+    let _ = writeln!(s, "{TIMINGS_HEADER}");
+    for c in &res.timings {
+        let _ = writeln!(
+            s,
+            "{},{},{},{},{}",
+            c.bench,
+            c.model.label().replace(' ', "_"),
+            c.runs,
+            c.poisoned,
+            c.total.as_micros(),
+        );
+    }
+    let runs: usize = res.timings.iter().map(|c| c.runs).sum();
+    let poisoned: usize = res.timings.iter().map(|c| c.poisoned).sum();
+    let _ = writeln!(s, "TOTAL,,{},{},{}", runs, poisoned, res.wall.as_micros());
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::campaign::{Campaign, CampaignConfig};
 
     fn tiny() -> CampaignResult {
-        let cfg = CampaignConfig { runs_per_cell: 2, seed: 3, ..Default::default() };
+        let cfg = CampaignConfig {
+            runs_per_cell: 2,
+            seed: 3,
+            ..Default::default()
+        };
         let picks: Vec<_> = idld_workloads::suite()
             .into_iter()
             .filter(|w| w.name == "crc32")
             .collect();
-        Campaign::new(cfg).run(&picks)
+        Campaign::new(cfg)
+            .run(&picks)
+            .expect("golden runs are valid")
+    }
+
+    #[test]
+    fn timings_csv_shape() {
+        let res = tiny();
+        let csv = timings_csv(&res);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], TIMINGS_HEADER);
+        assert_eq!(
+            lines.len(),
+            1 + res.timings.len() + 1,
+            "header + cells + TOTAL"
+        );
+        assert!(lines.last().unwrap().starts_with("TOTAL,"));
     }
 
     #[test]

@@ -23,6 +23,10 @@ pub mod analysis;
 pub mod campaign;
 pub mod classify;
 pub mod export;
+pub mod progress;
 
-pub use campaign::{Campaign, CampaignConfig, CampaignResult, GoldenRun, RunRecord};
+pub use campaign::{
+    Campaign, CampaignConfig, CampaignResult, CellTiming, GoldenRun, GoldenRunError, RunRecord,
+};
 pub use classify::{classify, OutcomeClass};
+pub use progress::{CampaignProgress, NullProgress, ProgressSnapshot, StderrProgress};

@@ -1,0 +1,239 @@
+//! Campaign observability: a progress trait the scheduler drives, plus a
+//! throttled stderr reporter for interactive/bench use.
+//!
+//! The scheduler calls the reporter from its worker threads, so
+//! implementations must be [`Sync`]; the built-in [`StderrProgress`]
+//! throttles itself to at most a couple of lines per second regardless of
+//! how many runs per second the workers complete.
+
+use crate::classify::OutcomeClass;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// A point-in-time view of a running campaign.
+#[derive(Clone, Debug)]
+pub struct ProgressSnapshot {
+    /// Injected runs completed so far.
+    pub completed: usize,
+    /// Total injected runs scheduled.
+    pub total: usize,
+    /// Wall-clock time since the scheduler started its workers.
+    pub elapsed: Duration,
+    /// Completed runs per wall-clock second.
+    pub runs_per_sec: f64,
+    /// Estimated wall-clock time remaining at the current rate.
+    pub eta: Duration,
+    /// Per-outcome tallies, indexed by [`OutcomeClass::ALL`] order.
+    pub outcomes: [usize; OutcomeClass::COUNT],
+    /// Runs recorded as poisoned (worker panic isolated by the scheduler).
+    pub poisoned: usize,
+}
+
+impl ProgressSnapshot {
+    /// The tally for one outcome class.
+    pub fn outcome_count(&self, class: OutcomeClass) -> usize {
+        self.outcomes[class.index()]
+    }
+
+    /// Completed runs that the paper's Masked super-class covers.
+    pub fn masked(&self) -> usize {
+        OutcomeClass::ALL
+            .iter()
+            .filter(|c| c.is_masked())
+            .map(|c| self.outcomes[c.index()])
+            .sum()
+    }
+}
+
+/// Observer of campaign execution. All methods have empty defaults, so an
+/// implementation only overrides what it reports. Called concurrently from
+/// worker threads.
+pub trait CampaignProgress: Sync {
+    /// A workload's golden run was captured (`cycles` golden cycles).
+    fn on_golden(&self, _workload: &'static str, _cycles: u64) {}
+
+    /// One injected run completed (including poisoned runs).
+    fn on_run(&self, _snapshot: &ProgressSnapshot) {}
+
+    /// The campaign finished; `snapshot.completed == snapshot.total`.
+    fn on_finish(&self, _snapshot: &ProgressSnapshot) {}
+}
+
+/// Reports nothing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullProgress;
+
+impl CampaignProgress for NullProgress {}
+
+/// Shared tally state the scheduler updates from worker threads.
+#[derive(Debug)]
+pub(crate) struct ProgressState {
+    start: Instant,
+    total: usize,
+    completed: AtomicUsize,
+    outcomes: [AtomicUsize; OutcomeClass::COUNT],
+    poisoned: AtomicUsize,
+}
+
+impl ProgressState {
+    pub(crate) fn new(total: usize) -> Self {
+        ProgressState {
+            start: Instant::now(),
+            total,
+            completed: AtomicUsize::new(0),
+            outcomes: std::array::from_fn(|_| AtomicUsize::new(0)),
+            poisoned: AtomicUsize::new(0),
+        }
+    }
+
+    /// Tallies one finished run.
+    pub(crate) fn complete(&self, outcome: OutcomeClass, poisoned: bool) {
+        self.outcomes[outcome.index()].fetch_add(1, Ordering::Relaxed);
+        if poisoned {
+            self.poisoned.fetch_add(1, Ordering::Relaxed);
+        }
+        self.completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> ProgressSnapshot {
+        let completed = self.completed.load(Ordering::Relaxed);
+        let elapsed = self.start.elapsed();
+        let secs = elapsed.as_secs_f64();
+        let runs_per_sec = if secs > 0.0 {
+            completed as f64 / secs
+        } else {
+            0.0
+        };
+        let remaining = self.total.saturating_sub(completed);
+        let eta = if runs_per_sec > 0.0 {
+            Duration::from_secs_f64(remaining as f64 / runs_per_sec)
+        } else {
+            Duration::ZERO
+        };
+        ProgressSnapshot {
+            completed,
+            total: self.total,
+            elapsed,
+            runs_per_sec,
+            eta,
+            outcomes: std::array::from_fn(|i| self.outcomes[i].load(Ordering::Relaxed)),
+            poisoned: self.poisoned.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A throttled stderr reporter: golden-run lines, a progress line at most
+/// every `period`, and a final per-outcome summary.
+#[derive(Debug)]
+pub struct StderrProgress {
+    period: Duration,
+    last: Mutex<Option<Instant>>,
+}
+
+impl StderrProgress {
+    /// A reporter printing at most one progress line per second.
+    pub fn new() -> Self {
+        Self::with_period(Duration::from_secs(1))
+    }
+
+    /// A reporter printing at most one progress line per `period`.
+    pub fn with_period(period: Duration) -> Self {
+        StderrProgress {
+            period,
+            last: Mutex::new(None),
+        }
+    }
+
+    fn tally_line(s: &ProgressSnapshot) -> String {
+        let mut parts: Vec<String> = OutcomeClass::ALL
+            .iter()
+            .filter(|c| s.outcome_count(**c) > 0)
+            .map(|c| format!("{}={}", c.label(), s.outcome_count(*c)))
+            .collect();
+        if s.poisoned > 0 {
+            parts.push(format!("poisoned={}", s.poisoned));
+        }
+        parts.join(" ")
+    }
+}
+
+impl Default for StderrProgress {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CampaignProgress for StderrProgress {
+    fn on_golden(&self, workload: &'static str, cycles: u64) {
+        eprintln!("[campaign] golden {workload}: {cycles} cycles");
+    }
+
+    fn on_run(&self, s: &ProgressSnapshot) {
+        let mut last = self.last.lock().unwrap_or_else(|e| e.into_inner());
+        let due = last.is_none_or(|t| t.elapsed() >= self.period);
+        if !due && s.completed != s.total {
+            return;
+        }
+        *last = Some(Instant::now());
+        drop(last);
+        eprintln!(
+            "[campaign] {}/{} runs ({:.0}/s, ETA {:.0}s) {}",
+            s.completed,
+            s.total,
+            s.runs_per_sec,
+            s.eta.as_secs_f64(),
+            Self::tally_line(s),
+        );
+    }
+
+    fn on_finish(&self, s: &ProgressSnapshot) {
+        eprintln!(
+            "[campaign] done: {} runs in {:.1}s ({:.0}/s) {}",
+            s.completed,
+            s.elapsed.as_secs_f64(),
+            s.runs_per_sec,
+            Self::tally_line(s),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_tallies_and_snapshots() {
+        let st = ProgressState::new(10);
+        st.complete(OutcomeClass::Benign, false);
+        st.complete(OutcomeClass::Sdc, false);
+        st.complete(OutcomeClass::Anomalous, true);
+        let s = st.snapshot();
+        assert_eq!(s.completed, 3);
+        assert_eq!(s.total, 10);
+        assert_eq!(s.outcome_count(OutcomeClass::Benign), 1);
+        assert_eq!(s.outcome_count(OutcomeClass::Sdc), 1);
+        assert_eq!(s.outcome_count(OutcomeClass::Anomalous), 1);
+        assert_eq!(s.poisoned, 1);
+        assert_eq!(s.masked(), 1);
+    }
+
+    #[test]
+    fn stderr_reporter_throttles_without_panicking() {
+        let p = StderrProgress::with_period(Duration::from_secs(3600));
+        let st = ProgressState::new(2);
+        st.complete(OutcomeClass::Benign, false);
+        p.on_run(&st.snapshot()); // first call prints
+        st.complete(OutcomeClass::Benign, false);
+        p.on_run(&st.snapshot()); // completed == total → prints despite throttle
+        p.on_finish(&st.snapshot());
+    }
+
+    #[test]
+    fn null_progress_is_a_no_op() {
+        let st = ProgressState::new(1);
+        st.complete(OutcomeClass::Crash, false);
+        NullProgress.on_run(&st.snapshot());
+        NullProgress.on_finish(&st.snapshot());
+    }
+}

@@ -92,7 +92,10 @@ impl Checker for BitVectorChecker {
 
     fn on_pipeline_empty(&mut self, cycle: u64) {
         if self.detection.is_none() && self.free_count() != self.expected_free {
-            self.detection = Some(Detection { cycle, kind: DetectionKind::FreeCountMismatch });
+            self.detection = Some(Detection {
+                cycle,
+                kind: DetectionKind::FreeCountMismatch,
+            });
         }
     }
 
@@ -166,7 +169,10 @@ mod tests {
         // An id is allocated but never returns: the vector shows 11 free.
         bv.event(RrsEvent::FlRead(PhysReg(4)));
         bv.end_cycle(0);
-        assert!(bv.detection().is_none(), "BV cannot see the leak continuously");
+        assert!(
+            bv.detection().is_none(),
+            "BV cannot see the leak continuously"
+        );
         bv.on_pipeline_empty(50);
         let d = bv.detection().unwrap();
         assert_eq!(d.kind, DetectionKind::FreeCountMismatch);

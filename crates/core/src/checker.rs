@@ -112,12 +112,18 @@ impl CheckerSet {
 
     /// First detection per checker, as `(name, detection)` pairs.
     pub fn detections(&self) -> Vec<(&'static str, Option<Detection>)> {
-        self.checkers.iter().map(|c| (c.name(), c.detection())).collect()
+        self.checkers
+            .iter()
+            .map(|c| (c.name(), c.detection()))
+            .collect()
     }
 
     /// First detection of the checker called `name`.
     pub fn detection_of(&self, name: &str) -> Option<Detection> {
-        self.checkers.iter().find(|c| c.name() == name).and_then(|c| c.detection())
+        self.checkers
+            .iter()
+            .find(|c| c.name() == name)
+            .and_then(|c| c.detection())
     }
 }
 
@@ -132,7 +138,10 @@ impl EventSink for CheckerSet {
 impl fmt::Debug for CheckerSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("CheckerSet")
-            .field("checkers", &self.checkers.iter().map(|c| c.name()).collect::<Vec<_>>())
+            .field(
+                "checkers",
+                &self.checkers.iter().map(|c| c.name()).collect::<Vec<_>>(),
+            )
             .finish()
     }
 }
@@ -157,7 +166,10 @@ mod tests {
 
     #[test]
     fn detection_kind_display() {
-        assert_eq!(DetectionKind::XorInvariance.to_string(), "xor invariance violation");
+        assert_eq!(
+            DetectionKind::XorInvariance.to_string(),
+            "xor invariance violation"
+        );
         assert_eq!(DetectionKind::DoubleFree.to_string(), "double free");
     }
 }

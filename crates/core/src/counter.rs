@@ -65,7 +65,10 @@ impl Checker for CounterChecker {
 
     fn on_pipeline_empty(&mut self, cycle: u64) {
         if self.detection.is_none() && self.free != self.expected_free {
-            self.detection = Some(Detection { cycle, kind: DetectionKind::FreeCountMismatch });
+            self.detection = Some(Detection {
+                cycle,
+                kind: DetectionKind::FreeCountMismatch,
+            });
         }
     }
 
@@ -86,7 +89,11 @@ mod tests {
     use idld_rrs::PhysReg;
 
     fn cfg() -> RrsConfig {
-        RrsConfig { num_phys: 16, num_arch: 4, ..RrsConfig::default() }
+        RrsConfig {
+            num_phys: 16,
+            num_arch: 4,
+            ..RrsConfig::default()
+        }
     }
 
     #[test]
@@ -107,7 +114,10 @@ mod tests {
         c.end_cycle(0);
         assert!(c.detection().is_none());
         c.on_pipeline_empty(8);
-        assert_eq!(c.detection().unwrap().kind, DetectionKind::FreeCountMismatch);
+        assert_eq!(
+            c.detection().unwrap().kind,
+            DetectionKind::FreeCountMismatch
+        );
     }
 
     #[test]

@@ -66,8 +66,7 @@ impl IdldChecker {
     pub fn new(cfg: &RrsConfig) -> Self {
         let bits = cfg.pdst_bits();
         let flx = cfg.initial_free().fold(0, |a, p| a ^ p.extended(bits));
-        let ratx =
-            (0..cfg.num_arch).fold(0, |a, i| a ^ cfg.initial_rat(i).extended(bits));
+        let ratx = (0..cfg.num_arch).fold(0, |a, i| a ^ cfg.initial_rat(i).extended(bits));
         IdldChecker {
             bits,
             total: cfg.total_xor(),
@@ -143,7 +142,10 @@ impl EventSink for IdldChecker {
                 }
             }
             RrsEvent::CkptTake { slot } => {
-                self.ckpt[slot] = Some(XorCkpt { ratx: self.ratx, robx: self.robx });
+                self.ckpt[slot] = Some(XorCkpt {
+                    ratx: self.ratx,
+                    robx: self.robx,
+                });
             }
             RrsEvent::CkptRestore { slot } => {
                 if let Some(x) = self.ckpt[slot] {
@@ -179,7 +181,10 @@ impl Checker for IdldChecker {
             return;
         }
         if self.code() != self.total {
-            self.detection = Some(Detection { cycle, kind: DetectionKind::XorInvariance });
+            self.detection = Some(Detection {
+                cycle,
+                kind: DetectionKind::XorInvariance,
+            });
         }
     }
 
@@ -206,9 +211,7 @@ impl Checker for IdldChecker {
 mod tests {
     use super::*;
     use crate::testutil::OneShot;
-    use idld_rrs::{
-        Corruption, FaultHook, NoFaults, OpSite, PhysReg, RenameRequest, Rrs,
-    };
+    use idld_rrs::{Corruption, FaultHook, NoFaults, OpSite, PhysReg, RenameRequest, Rrs};
 
     fn cfg() -> RrsConfig {
         RrsConfig {
@@ -226,7 +229,11 @@ mod tests {
     }
 
     fn dest(l: usize) -> RenameRequest {
-        RenameRequest { ldst: Some(l), srcs: [None, None], ..Default::default() }
+        RenameRequest {
+            ldst: Some(l),
+            srcs: [None, None],
+            ..Default::default()
+        }
     }
 
     /// Drives realistic traffic with periodic flush recovery; `hook` decides
@@ -238,8 +245,12 @@ mod tests {
         let mut cycle = 0u64;
         for round in 0..rounds {
             if rrs.can_rename(2, 2) {
-                rrs.rename_group(&[dest((round % 4) as usize), dest(((round + 1) % 4) as usize)], hook, &mut ck)
-                    .unwrap();
+                rrs.rename_group(
+                    &[dest((round % 4) as usize), dest(((round + 1) % 4) as usize)],
+                    hook,
+                    &mut ck,
+                )
+                .unwrap();
             }
             if rrs.rob_len() > 4 {
                 rrs.commit_head(hook, &mut ck).unwrap();
@@ -276,7 +287,10 @@ mod tests {
     fn bug_free_no_false_positives_long_run() {
         let (_, ck, cycles) = drive(&mut NoFaults, 300);
         assert!(cycles > 300);
-        assert!(ck.detection().is_none(), "IDLD must not false-positive (§V.D)");
+        assert!(
+            ck.detection().is_none(),
+            "IDLD must not false-positive (§V.D)"
+        );
     }
 
     #[test]
@@ -285,14 +299,21 @@ mod tests {
         let mut hook = OneShot::new(
             OpSite::RatWrite,
             5,
-            Corruption { suppress_array: true, ..Corruption::NONE },
+            Corruption {
+                suppress_array: true,
+                ..Corruption::NONE
+            },
         );
         let (_, ck, _) = drive(&mut hook, 10);
         assert!(hook.fired);
         let d = ck.detection().expect("leakage must be detected");
         assert_eq!(d.kind, DetectionKind::XorInvariance);
         // Fired in round 2-3 → detected at that cycle (instantaneous).
-        assert!(d.cycle <= 4, "detection cycle {} not instantaneous", d.cycle);
+        assert!(
+            d.cycle <= 4,
+            "detection cycle {} not instantaneous",
+            d.cycle
+        );
     }
 
     #[test]
@@ -300,7 +321,10 @@ mod tests {
         let mut hook = OneShot::new(
             OpSite::FlPop,
             4,
-            Corruption { suppress_ptr: true, ..Corruption::NONE },
+            Corruption {
+                suppress_ptr: true,
+                ..Corruption::NONE
+            },
         );
         let (_, ck, _) = drive(&mut hook, 10);
         assert!(hook.fired);
@@ -312,7 +336,10 @@ mod tests {
         let mut hook = OneShot::new(
             OpSite::RobCommitRead,
             2,
-            Corruption { suppress_ptr: true, ..Corruption::NONE },
+            Corruption {
+                suppress_ptr: true,
+                ..Corruption::NONE
+            },
         );
         let (_, ck, _) = drive(&mut hook, 20);
         assert!(hook.fired);
@@ -324,7 +351,10 @@ mod tests {
         let mut hook = OneShot::new(
             OpSite::RobAlloc,
             6,
-            Corruption { suppress_array: true, ..Corruption::NONE },
+            Corruption {
+                suppress_array: true,
+                ..Corruption::NONE
+            },
         );
         let (_, ck, _) = drive(&mut hook, 20);
         assert!(hook.fired);
@@ -336,7 +366,10 @@ mod tests {
         let mut hook = OneShot::new(
             OpSite::FlPush,
             3,
-            Corruption { suppress_array: true, ..Corruption::NONE },
+            Corruption {
+                suppress_array: true,
+                ..Corruption::NONE
+            },
         );
         let (_, ck, _) = drive(&mut hook, 30);
         assert!(hook.fired);
@@ -348,11 +381,17 @@ mod tests {
         let mut hook = OneShot::new(
             OpSite::RatWrite,
             7,
-            Corruption { value_xor: 0b101, ..Corruption::NONE },
+            Corruption {
+                value_xor: 0b101,
+                ..Corruption::NONE
+            },
         );
         let (_, ck, _) = drive(&mut hook, 20);
         assert!(hook.fired);
-        assert!(ck.detection().is_some(), "PdstID corruption must be detected");
+        assert!(
+            ck.detection().is_some(),
+            "PdstID corruption must be detected"
+        );
     }
 
     #[test]
@@ -411,7 +450,10 @@ mod tests {
         let mut hook = OneShot::new(
             OpSite::RatWrite,
             2,
-            Corruption { suppress_array: true, ..Corruption::NONE },
+            Corruption {
+                suppress_array: true,
+                ..Corruption::NONE
+            },
         );
         let (_, mut ck, _) = drive(&mut hook, 10);
         assert!(ck.detection().is_some());

@@ -23,7 +23,10 @@ impl ParityChecker {
     /// Creates a checker (the config is unused today but kept for parity
     /// with the other checker constructors).
     pub fn new(_cfg: &RrsConfig) -> Self {
-        ParityChecker { detection: None, pending: false }
+        ParityChecker {
+            detection: None,
+            pending: false,
+        }
     }
 }
 
@@ -42,7 +45,10 @@ impl Checker for ParityChecker {
 
     fn end_cycle(&mut self, cycle: u64) {
         if self.detection.is_none() && self.pending {
-            self.detection = Some(Detection { cycle, kind: DetectionKind::ParityMismatch });
+            self.detection = Some(Detection {
+                cycle,
+                kind: DetectionKind::ParityMismatch,
+            });
         }
         self.pending = false;
     }

@@ -50,7 +50,10 @@ pub struct Asm {
 impl Asm {
     /// Creates an empty assembler with the default 1 MiB memory size.
     pub fn new() -> Self {
-        Asm { mem_size: DEFAULT_MEM_SIZE, ..Default::default() }
+        Asm {
+            mem_size: DEFAULT_MEM_SIZE,
+            ..Default::default()
+        }
     }
 
     /// Sets the program name used in experiment reports.
@@ -111,7 +114,10 @@ impl Asm {
     }
 
     fn push_target(&mut self, inst: Inst, label: &str) -> &mut Self {
-        self.fixups.push(Fixup::Target { at: self.insts.len(), label: label.to_string() });
+        self.fixups.push(Fixup::Target {
+            at: self.insts.len(),
+            label: label.to_string(),
+        });
         self.push(inst)
     }
 
@@ -119,94 +125,204 @@ impl Asm {
 
     /// `rd = rs1 + rs2`.
     pub fn add(&mut self, rd: ArchReg, rs1: ArchReg, rs2: ArchReg) -> &mut Self {
-        self.push(Inst::Alu { op: AluOp::Add, rd, rs1, rs2 })
+        self.push(Inst::Alu {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            rs2,
+        })
     }
     /// `rd = rs1 - rs2`.
     pub fn sub(&mut self, rd: ArchReg, rs1: ArchReg, rs2: ArchReg) -> &mut Self {
-        self.push(Inst::Alu { op: AluOp::Sub, rd, rs1, rs2 })
+        self.push(Inst::Alu {
+            op: AluOp::Sub,
+            rd,
+            rs1,
+            rs2,
+        })
     }
     /// `rd = rs1 * rs2`.
     pub fn mul(&mut self, rd: ArchReg, rs1: ArchReg, rs2: ArchReg) -> &mut Self {
-        self.push(Inst::Alu { op: AluOp::Mul, rd, rs1, rs2 })
+        self.push(Inst::Alu {
+            op: AluOp::Mul,
+            rd,
+            rs1,
+            rs2,
+        })
     }
     /// `rd = rs1 / rs2` (unsigned; x/0 = all-ones).
     pub fn divu(&mut self, rd: ArchReg, rs1: ArchReg, rs2: ArchReg) -> &mut Self {
-        self.push(Inst::Alu { op: AluOp::Divu, rd, rs1, rs2 })
+        self.push(Inst::Alu {
+            op: AluOp::Divu,
+            rd,
+            rs1,
+            rs2,
+        })
     }
     /// `rd = rs1 % rs2` (unsigned; x%0 = x).
     pub fn remu(&mut self, rd: ArchReg, rs1: ArchReg, rs2: ArchReg) -> &mut Self {
-        self.push(Inst::Alu { op: AluOp::Remu, rd, rs1, rs2 })
+        self.push(Inst::Alu {
+            op: AluOp::Remu,
+            rd,
+            rs1,
+            rs2,
+        })
     }
     /// `rd = rs1 & rs2`.
     pub fn and(&mut self, rd: ArchReg, rs1: ArchReg, rs2: ArchReg) -> &mut Self {
-        self.push(Inst::Alu { op: AluOp::And, rd, rs1, rs2 })
+        self.push(Inst::Alu {
+            op: AluOp::And,
+            rd,
+            rs1,
+            rs2,
+        })
     }
     /// `rd = rs1 | rs2`.
     pub fn or(&mut self, rd: ArchReg, rs1: ArchReg, rs2: ArchReg) -> &mut Self {
-        self.push(Inst::Alu { op: AluOp::Or, rd, rs1, rs2 })
+        self.push(Inst::Alu {
+            op: AluOp::Or,
+            rd,
+            rs1,
+            rs2,
+        })
     }
     /// `rd = rs1 ^ rs2`.
     pub fn xor(&mut self, rd: ArchReg, rs1: ArchReg, rs2: ArchReg) -> &mut Self {
-        self.push(Inst::Alu { op: AluOp::Xor, rd, rs1, rs2 })
+        self.push(Inst::Alu {
+            op: AluOp::Xor,
+            rd,
+            rs1,
+            rs2,
+        })
     }
     /// `rd = rs1 << rs2`.
     pub fn sll(&mut self, rd: ArchReg, rs1: ArchReg, rs2: ArchReg) -> &mut Self {
-        self.push(Inst::Alu { op: AluOp::Sll, rd, rs1, rs2 })
+        self.push(Inst::Alu {
+            op: AluOp::Sll,
+            rd,
+            rs1,
+            rs2,
+        })
     }
     /// `rd = rs1 >> rs2` (logical).
     pub fn srl(&mut self, rd: ArchReg, rs1: ArchReg, rs2: ArchReg) -> &mut Self {
-        self.push(Inst::Alu { op: AluOp::Srl, rd, rs1, rs2 })
+        self.push(Inst::Alu {
+            op: AluOp::Srl,
+            rd,
+            rs1,
+            rs2,
+        })
     }
     /// `rd = rs1 >> rs2` (arithmetic).
     pub fn sra(&mut self, rd: ArchReg, rs1: ArchReg, rs2: ArchReg) -> &mut Self {
-        self.push(Inst::Alu { op: AluOp::Sra, rd, rs1, rs2 })
+        self.push(Inst::Alu {
+            op: AluOp::Sra,
+            rd,
+            rs1,
+            rs2,
+        })
     }
     /// `rd = (rs1 < rs2)` signed.
     pub fn slt(&mut self, rd: ArchReg, rs1: ArchReg, rs2: ArchReg) -> &mut Self {
-        self.push(Inst::Alu { op: AluOp::Slt, rd, rs1, rs2 })
+        self.push(Inst::Alu {
+            op: AluOp::Slt,
+            rd,
+            rs1,
+            rs2,
+        })
     }
     /// `rd = (rs1 < rs2)` unsigned.
     pub fn sltu(&mut self, rd: ArchReg, rs1: ArchReg, rs2: ArchReg) -> &mut Self {
-        self.push(Inst::Alu { op: AluOp::Sltu, rd, rs1, rs2 })
+        self.push(Inst::Alu {
+            op: AluOp::Sltu,
+            rd,
+            rs1,
+            rs2,
+        })
     }
 
     // --- ALU immediate forms ------------------------------------------------
 
     /// `rd = rs1 + imm`.
     pub fn addi(&mut self, rd: ArchReg, rs1: ArchReg, imm: i64) -> &mut Self {
-        self.push(Inst::AluI { op: AluOp::Add, rd, rs1, imm })
+        self.push(Inst::AluI {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            imm,
+        })
     }
     /// `rd = rs1 & imm`.
     pub fn andi(&mut self, rd: ArchReg, rs1: ArchReg, imm: i64) -> &mut Self {
-        self.push(Inst::AluI { op: AluOp::And, rd, rs1, imm })
+        self.push(Inst::AluI {
+            op: AluOp::And,
+            rd,
+            rs1,
+            imm,
+        })
     }
     /// `rd = rs1 | imm`.
     pub fn ori(&mut self, rd: ArchReg, rs1: ArchReg, imm: i64) -> &mut Self {
-        self.push(Inst::AluI { op: AluOp::Or, rd, rs1, imm })
+        self.push(Inst::AluI {
+            op: AluOp::Or,
+            rd,
+            rs1,
+            imm,
+        })
     }
     /// `rd = rs1 ^ imm`.
     pub fn xori(&mut self, rd: ArchReg, rs1: ArchReg, imm: i64) -> &mut Self {
-        self.push(Inst::AluI { op: AluOp::Xor, rd, rs1, imm })
+        self.push(Inst::AluI {
+            op: AluOp::Xor,
+            rd,
+            rs1,
+            imm,
+        })
     }
     /// `rd = rs1 << imm`.
     pub fn slli(&mut self, rd: ArchReg, rs1: ArchReg, imm: i64) -> &mut Self {
-        self.push(Inst::AluI { op: AluOp::Sll, rd, rs1, imm })
+        self.push(Inst::AluI {
+            op: AluOp::Sll,
+            rd,
+            rs1,
+            imm,
+        })
     }
     /// `rd = rs1 >> imm` (logical).
     pub fn srli(&mut self, rd: ArchReg, rs1: ArchReg, imm: i64) -> &mut Self {
-        self.push(Inst::AluI { op: AluOp::Srl, rd, rs1, imm })
+        self.push(Inst::AluI {
+            op: AluOp::Srl,
+            rd,
+            rs1,
+            imm,
+        })
     }
     /// `rd = rs1 >> imm` (arithmetic).
     pub fn srai(&mut self, rd: ArchReg, rs1: ArchReg, imm: i64) -> &mut Self {
-        self.push(Inst::AluI { op: AluOp::Sra, rd, rs1, imm })
+        self.push(Inst::AluI {
+            op: AluOp::Sra,
+            rd,
+            rs1,
+            imm,
+        })
     }
     /// `rd = (rs1 < imm)` signed.
     pub fn slti(&mut self, rd: ArchReg, rs1: ArchReg, imm: i64) -> &mut Self {
-        self.push(Inst::AluI { op: AluOp::Slt, rd, rs1, imm })
+        self.push(Inst::AluI {
+            op: AluOp::Slt,
+            rd,
+            rs1,
+            imm,
+        })
     }
     /// `rd = rs1 * imm`.
     pub fn muli(&mut self, rd: ArchReg, rs1: ArchReg, imm: i64) -> &mut Self {
-        self.push(Inst::AluI { op: AluOp::Mul, rd, rs1, imm })
+        self.push(Inst::AluI {
+            op: AluOp::Mul,
+            rd,
+            rs1,
+            imm,
+        })
     }
 
     // --- Immediates and moves -----------------------------------------------
@@ -221,7 +337,10 @@ impl Asm {
     }
     /// `rd =` instruction index of `label` (for indirect jumps).
     pub fn la(&mut self, rd: ArchReg, label: &str) -> &mut Self {
-        self.fixups.push(Fixup::LiPc { at: self.insts.len(), label: label.to_string() });
+        self.fixups.push(Fixup::LiPc {
+            at: self.insts.len(),
+            label: label.to_string(),
+        });
         self.push(Inst::Li { rd, imm: 0 })
     }
 
@@ -256,27 +375,75 @@ impl Asm {
 
     /// Branch to `label` if `rs1 == rs2`.
     pub fn beq(&mut self, rs1: ArchReg, rs2: ArchReg, label: &str) -> &mut Self {
-        self.push_target(Inst::Br { cond: BrCond::Eq, rs1, rs2, target: 0 }, label)
+        self.push_target(
+            Inst::Br {
+                cond: BrCond::Eq,
+                rs1,
+                rs2,
+                target: 0,
+            },
+            label,
+        )
     }
     /// Branch to `label` if `rs1 != rs2`.
     pub fn bne(&mut self, rs1: ArchReg, rs2: ArchReg, label: &str) -> &mut Self {
-        self.push_target(Inst::Br { cond: BrCond::Ne, rs1, rs2, target: 0 }, label)
+        self.push_target(
+            Inst::Br {
+                cond: BrCond::Ne,
+                rs1,
+                rs2,
+                target: 0,
+            },
+            label,
+        )
     }
     /// Branch to `label` if `rs1 < rs2` (signed).
     pub fn blt(&mut self, rs1: ArchReg, rs2: ArchReg, label: &str) -> &mut Self {
-        self.push_target(Inst::Br { cond: BrCond::Lt, rs1, rs2, target: 0 }, label)
+        self.push_target(
+            Inst::Br {
+                cond: BrCond::Lt,
+                rs1,
+                rs2,
+                target: 0,
+            },
+            label,
+        )
     }
     /// Branch to `label` if `rs1 >= rs2` (signed).
     pub fn bge(&mut self, rs1: ArchReg, rs2: ArchReg, label: &str) -> &mut Self {
-        self.push_target(Inst::Br { cond: BrCond::Ge, rs1, rs2, target: 0 }, label)
+        self.push_target(
+            Inst::Br {
+                cond: BrCond::Ge,
+                rs1,
+                rs2,
+                target: 0,
+            },
+            label,
+        )
     }
     /// Branch to `label` if `rs1 < rs2` (unsigned).
     pub fn bltu(&mut self, rs1: ArchReg, rs2: ArchReg, label: &str) -> &mut Self {
-        self.push_target(Inst::Br { cond: BrCond::Ltu, rs1, rs2, target: 0 }, label)
+        self.push_target(
+            Inst::Br {
+                cond: BrCond::Ltu,
+                rs1,
+                rs2,
+                target: 0,
+            },
+            label,
+        )
     }
     /// Branch to `label` if `rs1 >= rs2` (unsigned).
     pub fn bgeu(&mut self, rs1: ArchReg, rs2: ArchReg, label: &str) -> &mut Self {
-        self.push_target(Inst::Br { cond: BrCond::Geu, rs1, rs2, target: 0 }, label)
+        self.push_target(
+            Inst::Br {
+                cond: BrCond::Geu,
+                rs1,
+                rs2,
+                target: 0,
+            },
+            label,
+        )
     }
     /// Unconditional jump to `label`, link in `rd`.
     pub fn jal(&mut self, rd: ArchReg, label: &str) -> &mut Self {
@@ -315,7 +482,14 @@ impl Asm {
     ///
     /// Panics if any referenced label was never defined.
     pub fn finish(self) -> Program {
-        let Asm { mut insts, labels, fixups, image, mem_size, name } = self;
+        let Asm {
+            mut insts,
+            labels,
+            fixups,
+            image,
+            mem_size,
+            name,
+        } = self;
         for fixup in fixups {
             match fixup {
                 Fixup::Target { at, label } => {
@@ -338,7 +512,12 @@ impl Asm {
                 }
             }
         }
-        Program { insts, image, mem_size, name }
+        Program {
+            insts,
+            image,
+            mem_size,
+            name,
+        }
     }
 }
 

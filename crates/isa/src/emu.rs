@@ -156,14 +156,21 @@ impl Emulator {
                     Err(e) => return StepOutcome::Fault(e.into()),
                 }
             }
-            Inst::St { rs1, rs2, imm } | Inst::Stw { rs1, rs2, imm } | Inst::Stb { rs1, rs2, imm } => {
+            Inst::St { rs1, rs2, imm }
+            | Inst::Stw { rs1, rs2, imm }
+            | Inst::Stb { rs1, rs2, imm } => {
                 let width = inst.mem_width().expect("store has a width");
                 let addr = self.regs[rs1.index()].wrapping_add(imm as u64);
                 if let Err(e) = self.mem.store(addr, width, self.regs[rs2.index()]) {
                     return StepOutcome::Fault(e.into());
                 }
             }
-            Inst::Br { cond, rs1, rs2, target } => {
+            Inst::Br {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
                 if cond.eval(self.regs[rs1.index()], self.regs[rs2.index()]) {
                     next_pc = target;
                 }
@@ -200,7 +207,11 @@ impl Emulator {
                 StepOutcome::Fault(f) => break StopReason::Fault(f),
             }
         };
-        EmuResult { stop, output: self.output.clone(), steps: self.steps }
+        EmuResult {
+            stop,
+            output: self.output.clone(),
+            steps: self.steps,
+        }
     }
 }
 

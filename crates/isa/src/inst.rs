@@ -110,9 +110,19 @@ impl BrCond {
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Inst {
     /// `rd = op(rs1, rs2)`.
-    Alu { op: AluOp, rd: ArchReg, rs1: ArchReg, rs2: ArchReg },
+    Alu {
+        op: AluOp,
+        rd: ArchReg,
+        rs1: ArchReg,
+        rs2: ArchReg,
+    },
     /// `rd = op(rs1, imm)`.
-    AluI { op: AluOp, rd: ArchReg, rs1: ArchReg, imm: i64 },
+    AluI {
+        op: AluOp,
+        rd: ArchReg,
+        rs1: ArchReg,
+        imm: i64,
+    },
     /// `rd = imm` (full 64-bit immediate load).
     Li { rd: ArchReg, imm: i64 },
     /// `rd = mem64[rs1 + imm]`.
@@ -122,13 +132,30 @@ pub enum Inst {
     /// `rd = zext(mem8[rs1 + imm])`.
     Ldb { rd: ArchReg, rs1: ArchReg, imm: i64 },
     /// `mem64[rs1 + imm] = rs2`.
-    St { rs1: ArchReg, rs2: ArchReg, imm: i64 },
+    St {
+        rs1: ArchReg,
+        rs2: ArchReg,
+        imm: i64,
+    },
     /// `mem32[rs1 + imm] = rs2[31:0]`.
-    Stw { rs1: ArchReg, rs2: ArchReg, imm: i64 },
+    Stw {
+        rs1: ArchReg,
+        rs2: ArchReg,
+        imm: i64,
+    },
     /// `mem8[rs1 + imm] = rs2[7:0]`.
-    Stb { rs1: ArchReg, rs2: ArchReg, imm: i64 },
+    Stb {
+        rs1: ArchReg,
+        rs2: ArchReg,
+        imm: i64,
+    },
     /// Conditional branch to instruction index `target`.
-    Br { cond: BrCond, rs1: ArchReg, rs2: ArchReg, target: usize },
+    Br {
+        cond: BrCond,
+        rs1: ArchReg,
+        rs2: ArchReg,
+        target: usize,
+    },
     /// Unconditional jump to `target`; `rd =` return pc (pc+1).
     Jal { rd: ArchReg, target: usize },
     /// Indirect jump to instruction index `rs1 + imm`; `rd = pc + 1`.
@@ -195,9 +222,9 @@ impl Inst {
             Inst::Ld { rs1, .. } | Inst::Ldw { rs1, .. } | Inst::Ldb { rs1, .. } => {
                 [Some(rs1), None]
             }
-            Inst::St { rs1, rs2, .. }
-            | Inst::Stw { rs1, rs2, .. }
-            | Inst::Stb { rs1, rs2, .. } => [Some(rs1), Some(rs2)],
+            Inst::St { rs1, rs2, .. } | Inst::Stw { rs1, rs2, .. } | Inst::Stb { rs1, rs2, .. } => {
+                [Some(rs1), Some(rs2)]
+            }
             Inst::Br { rs1, rs2, .. } => [Some(rs1), Some(rs2)],
             Inst::Jal { .. } => [None, None],
             Inst::Jalr { rs1, .. } => [Some(rs1), None],
@@ -261,7 +288,12 @@ impl fmt::Display for Inst {
             Inst::St { rs1, rs2, imm } => write!(f, "st {rs2}, {imm}({rs1})"),
             Inst::Stw { rs1, rs2, imm } => write!(f, "stw {rs2}, {imm}({rs1})"),
             Inst::Stb { rs1, rs2, imm } => write!(f, "stb {rs2}, {imm}({rs1})"),
-            Inst::Br { cond, rs1, rs2, target } => {
+            Inst::Br {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
                 write!(f, "b{cond:?} {rs1}, {rs2}, @{target}")
             }
             Inst::Jal { rd, target } => write!(f, "jal {rd}, @{target}"),
@@ -306,15 +338,27 @@ mod tests {
 
     #[test]
     fn dest_and_sources() {
-        let i = Inst::Alu { op: AluOp::Add, rd: r(1), rs1: r(2), rs2: r(3) };
+        let i = Inst::Alu {
+            op: AluOp::Add,
+            rd: r(1),
+            rs1: r(2),
+            rs2: r(3),
+        };
         assert_eq!(i.dest(), Some(r(1)));
         assert_eq!(i.sources(), [Some(r(2)), Some(r(3))]);
 
-        let st = Inst::St { rs1: r(4), rs2: r(5), imm: 8 };
+        let st = Inst::St {
+            rs1: r(4),
+            rs2: r(5),
+            imm: 8,
+        };
         assert_eq!(st.dest(), None);
         assert_eq!(st.sources(), [Some(r(4)), Some(r(5))]);
 
-        let jal = Inst::Jal { rd: r(1), target: 0 };
+        let jal = Inst::Jal {
+            rd: r(1),
+            target: 0,
+        };
         assert_eq!(jal.dest(), Some(r(1)));
         assert_eq!(jal.sources(), [None, None]);
     }
@@ -323,29 +367,82 @@ mod tests {
     fn kinds() {
         assert_eq!(Inst::Li { rd: r(0), imm: 0 }.kind(), InstKind::Alu);
         assert_eq!(
-            Inst::Alu { op: AluOp::Mul, rd: r(0), rs1: r(0), rs2: r(0) }.kind(),
+            Inst::Alu {
+                op: AluOp::Mul,
+                rd: r(0),
+                rs1: r(0),
+                rs2: r(0)
+            }
+            .kind(),
             InstKind::MulDiv
         );
-        assert_eq!(Inst::Ld { rd: r(0), rs1: r(0), imm: 0 }.kind(), InstKind::Load);
+        assert_eq!(
+            Inst::Ld {
+                rd: r(0),
+                rs1: r(0),
+                imm: 0
+            }
+            .kind(),
+            InstKind::Load
+        );
         assert_eq!(Inst::Halt.kind(), InstKind::Halt);
-        assert!(Inst::Jalr { rd: r(0), rs1: r(0), imm: 0 }.is_control());
+        assert!(Inst::Jalr {
+            rd: r(0),
+            rs1: r(0),
+            imm: 0
+        }
+        .is_control());
         assert!(!Inst::Nop.is_control());
     }
 
     #[test]
     fn mem_widths() {
-        assert_eq!(Inst::Ld { rd: r(0), rs1: r(0), imm: 0 }.mem_width(), Some(8));
-        assert_eq!(Inst::Stw { rs1: r(0), rs2: r(0), imm: 0 }.mem_width(), Some(4));
-        assert_eq!(Inst::Ldb { rd: r(0), rs1: r(0), imm: 0 }.mem_width(), Some(1));
+        assert_eq!(
+            Inst::Ld {
+                rd: r(0),
+                rs1: r(0),
+                imm: 0
+            }
+            .mem_width(),
+            Some(8)
+        );
+        assert_eq!(
+            Inst::Stw {
+                rs1: r(0),
+                rs2: r(0),
+                imm: 0
+            }
+            .mem_width(),
+            Some(4)
+        );
+        assert_eq!(
+            Inst::Ldb {
+                rd: r(0),
+                rs1: r(0),
+                imm: 0
+            }
+            .mem_width(),
+            Some(1)
+        );
         assert_eq!(Inst::Nop.mem_width(), None);
     }
 
     #[test]
     fn display_is_nonempty() {
         let insts = [
-            Inst::Alu { op: AluOp::Add, rd: r(1), rs1: r(2), rs2: r(3) },
+            Inst::Alu {
+                op: AluOp::Add,
+                rd: r(1),
+                rs1: r(2),
+                rs2: r(3),
+            },
             Inst::Li { rd: r(1), imm: -7 },
-            Inst::Br { cond: BrCond::Eq, rs1: r(1), rs2: r(2), target: 9 },
+            Inst::Br {
+                cond: BrCond::Eq,
+                rs1: r(1),
+                rs2: r(2),
+                target: 9,
+            },
             Inst::Halt,
         ];
         for i in &insts {

@@ -16,7 +16,11 @@ pub struct MemFault {
 
 impl fmt::Display for MemFault {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "memory fault: {}-byte access at {:#x}", self.width, self.addr)
+        write!(
+            f,
+            "memory fault: {}-byte access at {:#x}",
+            self.width, self.addr
+        )
     }
 }
 
@@ -35,7 +39,9 @@ pub struct Memory {
 impl Memory {
     /// Creates a zero-initialized memory of `size` bytes.
     pub fn new(size: usize) -> Self {
-        Memory { bytes: vec![0; size] }
+        Memory {
+            bytes: vec![0; size],
+        }
     }
 
     /// The memory size in bytes.
@@ -47,7 +53,9 @@ impl Memory {
     #[inline]
     fn check(&self, addr: u64, width: usize) -> Result<usize, MemFault> {
         let a = addr as usize;
-        if (addr as usize as u64) == addr && a.checked_add(width).is_some_and(|end| end <= self.bytes.len())
+        if (addr as usize as u64) == addr
+            && a.checked_add(width)
+                .is_some_and(|end| end <= self.bytes.len())
         {
             Ok(a)
         } else {
@@ -147,7 +155,10 @@ mod tests {
         let m = Memory::new(16);
         assert_eq!(m.load(16, 1), Err(MemFault { addr: 16, width: 1 }));
         assert_eq!(m.load(9, 8), Err(MemFault { addr: 9, width: 8 }));
-        assert!(m.load(u64::MAX, 8).is_err(), "address wraparound must fault");
+        assert!(
+            m.load(u64::MAX, 8).is_err(),
+            "address wraparound must fault"
+        );
         assert!(m.load(u64::MAX - 3, 8).is_err());
     }
 
@@ -168,7 +179,10 @@ mod tests {
 
     #[test]
     fn fault_display() {
-        let f = MemFault { addr: 0x20, width: 4 };
+        let f = MemFault {
+            addr: 0x20,
+            width: 4,
+        };
         assert_eq!(f.to_string(), "memory fault: 4-byte access at 0x20");
     }
 }

@@ -52,7 +52,10 @@ impl fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 fn err(line: usize, message: impl Into<String>) -> ParseError {
-    ParseError { line, message: message.into() }
+    ParseError {
+        line,
+        message: message.into(),
+    }
 }
 
 fn parse_reg(tok: &str, line: usize) -> Result<ArchReg, ParseError> {
@@ -76,7 +79,8 @@ fn parse_imm(tok: &str, line: usize) -> Result<i64, ParseError> {
             .or_else(|_| u64::from_str_radix(hex, 16).map(|v| v as i64))
             .map_err(|_| err(line, format!("bad immediate `{tok}`")))?
     } else {
-        body.parse::<i64>().map_err(|_| err(line, format!("bad immediate `{tok}`")))?
+        body.parse::<i64>()
+            .map_err(|_| err(line, format!("bad immediate `{tok}`")))?
     };
     Ok(if neg { -value } else { value })
 }
@@ -89,7 +93,11 @@ fn parse_mem_operand(tok: &str, line: usize) -> Result<(i64, ArchReg), ParseErro
     if !tok.ends_with(')') {
         return Err(err(line, format!("unterminated memory operand `{tok}`")));
     }
-    let imm = if open == 0 { 0 } else { parse_imm(&tok[..open], line)? };
+    let imm = if open == 0 {
+        0
+    } else {
+        parse_imm(&tok[..open], line)?
+    };
     let reg = parse_reg(&tok[open + 1..tok.len() - 1], line)?;
     Ok((imm, reg))
 }
@@ -189,7 +197,10 @@ pub fn parse_asm(source: &str) -> Result<Program, ParseError> {
             if nops == n {
                 Ok(())
             } else {
-                Err(err(line, format!("`{mnemonic}` takes {n} operands, got {nops}")))
+                Err(err(
+                    line,
+                    format!("`{mnemonic}` takes {n} operands, got {nops}"),
+                ))
             }
         };
 
@@ -255,7 +266,11 @@ pub fn parse_asm(source: &str) -> Result<Program, ParseError> {
             }
         } else if let Some(&(_, cond)) = BRANCHES.iter().find(|(m, _)| *m == mnemonic) {
             want(3)?;
-            fixups.push(PendingTarget { at: insts.len(), label: operands[2].clone(), line });
+            fixups.push(PendingTarget {
+                at: insts.len(),
+                label: operands[2].clone(),
+                line,
+            });
             Inst::Br {
                 cond,
                 rs1: parse_reg(&operands[0], line)?,
@@ -307,7 +322,10 @@ pub fn parse_asm(source: &str) -> Result<Program, ParseError> {
                         label: operands[1].clone(),
                         line,
                     });
-                    Inst::Jal { rd: parse_reg(&operands[0], line)?, target: 0 }
+                    Inst::Jal {
+                        rd: parse_reg(&operands[0], line)?,
+                        target: 0,
+                    }
                 }
                 "j" => {
                     want(1)?;
@@ -317,7 +335,12 @@ pub fn parse_asm(source: &str) -> Result<Program, ParseError> {
                         line,
                     });
                     let zero = ArchReg::new(0);
-                    Inst::Br { cond: BrCond::Eq, rs1: zero, rs2: zero, target: 0 }
+                    Inst::Br {
+                        cond: BrCond::Eq,
+                        rs1: zero,
+                        rs2: zero,
+                        target: 0,
+                    }
                 }
                 "jalr" => {
                     want(3)?;
@@ -329,7 +352,9 @@ pub fn parse_asm(source: &str) -> Result<Program, ParseError> {
                 }
                 "out" => {
                     want(1)?;
-                    Inst::Out { rs1: parse_reg(&operands[0], line)? }
+                    Inst::Out {
+                        rs1: parse_reg(&operands[0], line)?,
+                    }
                 }
                 "halt" => {
                     want(0)?;
@@ -362,7 +387,12 @@ pub fn parse_asm(source: &str) -> Result<Program, ParseError> {
         }
     }
 
-    Ok(Program { insts, image, mem_size, name })
+    Ok(Program {
+        insts,
+        image,
+        mem_size,
+        name,
+    })
 }
 
 /// Disassembles a program into parseable text, with generated labels
@@ -416,8 +446,17 @@ pub fn disassemble(program: &Program) -> String {
             Inst::St { rs1, rs2, imm } => format!("st {rs2}, {imm}({rs1})"),
             Inst::Stw { rs1, rs2, imm } => format!("stw {rs2}, {imm}({rs1})"),
             Inst::Stb { rs1, rs2, imm } => format!("stb {rs2}, {imm}({rs1})"),
-            Inst::Br { cond, rs1, rs2, target } => {
-                let m = BRANCHES.iter().find(|(_, c)| *c == cond).expect("known cond").0;
+            Inst::Br {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
+                let m = BRANCHES
+                    .iter()
+                    .find(|(_, c)| *c == cond)
+                    .expect("known cond")
+                    .0;
                 format!("{m} {rs1}, {rs2}, {}", label_of(target))
             }
             Inst::Jal { rd, target } => format!("jal {rd}, {}", label_of(target)),
@@ -482,10 +521,21 @@ mod tests {
     #[test]
     fn memory_operand_forms() {
         let p = parse_asm("ld r1, (r2)\nst r1, -8(r3)\nhalt").expect("parses");
-        assert_eq!(p.insts[0], Inst::Ld { rd: ArchReg::new(1), rs1: ArchReg::new(2), imm: 0 });
+        assert_eq!(
+            p.insts[0],
+            Inst::Ld {
+                rd: ArchReg::new(1),
+                rs1: ArchReg::new(2),
+                imm: 0
+            }
+        );
         assert_eq!(
             p.insts[1],
-            Inst::St { rs1: ArchReg::new(3), rs2: ArchReg::new(1), imm: -8 }
+            Inst::St {
+                rs1: ArchReg::new(3),
+                rs2: ArchReg::new(1),
+                imm: -8
+            }
         );
     }
 
@@ -508,19 +558,26 @@ mod tests {
     #[test]
     fn numeric_branch_targets_allowed() {
         let p = parse_asm("nop\nbeq r0, r0, 0\nhalt").expect("parses");
-        assert_eq!(p.insts[1], Inst::Br {
-            cond: BrCond::Eq,
-            rs1: ArchReg::new(0),
-            rs2: ArchReg::new(0),
-            target: 0
-        });
+        assert_eq!(
+            p.insts[1],
+            Inst::Br {
+                cond: BrCond::Eq,
+                rs1: ArchReg::new(0),
+                rs2: ArchReg::new(0),
+                target: 0
+            }
+        );
     }
 
     #[test]
     fn disassemble_then_reparse_is_identity() {
         // Round-trip every workload program through text.
         {
-            let w = crate::asm::Asm::new().li(ArchReg::new(1), 7).out(ArchReg::new(1)).halt().clone();
+            let w = crate::asm::Asm::new()
+                .li(ArchReg::new(1), 7)
+                .out(ArchReg::new(1))
+                .halt()
+                .clone();
             let p = w.finish();
             let text = disassemble(&p);
             let q = parse_asm(&text).expect("reparses");
@@ -534,7 +591,12 @@ mod tests {
         assert_eq!(p.insts.len(), 2);
         assert_eq!(
             p.insts[1],
-            Inst::Br { cond: BrCond::Eq, rs1: ArchReg::new(0), rs2: ArchReg::new(0), target: 0 }
+            Inst::Br {
+                cond: BrCond::Eq,
+                rs1: ArchReg::new(0),
+                rs2: ArchReg::new(0),
+                target: 0
+            }
         );
     }
 }

@@ -24,7 +24,12 @@ pub struct Program {
 impl Program {
     /// Creates a program from raw instructions with an empty data image.
     pub fn from_insts(insts: Vec<Inst>) -> Self {
-        Program { insts, image: Vec::new(), mem_size: DEFAULT_MEM_SIZE, name: String::new() }
+        Program {
+            insts,
+            image: Vec::new(),
+            mem_size: DEFAULT_MEM_SIZE,
+            name: String::new(),
+        }
     }
 
     /// Number of static instructions.

@@ -24,7 +24,10 @@ impl ArchReg {
     /// Panics if `index >= NUM_ARCH_REGS`.
     #[inline]
     pub fn new(index: usize) -> Self {
-        assert!(index < NUM_ARCH_REGS, "architectural register out of range: {index}");
+        assert!(
+            index < NUM_ARCH_REGS,
+            "architectural register out of range: {index}"
+        );
         ArchReg(index as u8)
     }
 

@@ -77,7 +77,8 @@ impl MdpIdld {
             self.cur_window_xor ^= x;
             self.cur_window_count += 1;
             if self.cur_window_count == interval {
-                self.windows.push((self.cur_window_xor, self.cur_window_count));
+                self.windows
+                    .push((self.cur_window_xor, self.cur_window_count));
                 self.cur_window_xor = 0;
                 self.cur_window_count = 0;
             }
@@ -183,7 +184,10 @@ mod tests {
         let mut c = MdpIdld::new(CheckPolicy::SqEmpty);
         c.on_insert(StoreTag(0));
         c.on_sq_empty();
-        assert!(c.detection().is_some(), "extended bit makes tag 0 countable");
+        assert!(
+            c.detection().is_some(),
+            "extended bit makes tag 0 countable"
+        );
     }
 
     #[test]

@@ -153,8 +153,7 @@ impl MdpPipeline {
                 // A load waits on its set's last fetched store; if that
                 // store departed, the load hangs (paper §V.F).
                 if let Some(dep) = st.ss.dispatch_load(pc) {
-                    let gone = st.departed.contains(&dep)
-                        && !sq.iter().any(|&(_, t)| t == dep);
+                    let gone = st.departed.contains(&dep) && !sq.iter().any(|&(_, t)| t == dep);
                     if gone && st.outcome.hang_op.is_none() {
                         st.outcome.hang_op = Some(op);
                     }
@@ -197,7 +196,10 @@ mod tests {
     use super::*;
 
     fn run(policy: CheckPolicy, inject: Option<u64>) -> DriverOutcome {
-        let cfg = DriverConfig { inject_removal_drop_at: inject, ..Default::default() };
+        let cfg = DriverConfig {
+            inject_removal_drop_at: inject,
+            ..Default::default()
+        };
         MdpPipeline::new(cfg).run(policy)
     }
 
@@ -262,7 +264,10 @@ mod tests {
                 }
             }
         }
-        assert!(activated >= 15, "most injections should activate: {activated}/20");
+        assert!(
+            activated >= 15,
+            "most injections should activate: {activated}/20"
+        );
         assert!(
             detected * 2 > activated,
             "majority detected: {detected}/{activated}"

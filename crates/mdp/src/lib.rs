@@ -30,6 +30,6 @@ pub mod link;
 pub mod predictor;
 
 pub use checker::{CheckPolicy, MdpDetection, MdpIdld};
-pub use link::{CreditLink, LinkDetection};
 pub use driver::{DriverConfig, DriverOutcome, MdpPipeline};
+pub use link::{CreditLink, LinkDetection};
 pub use predictor::{StoreSets, StoreTag};

@@ -158,11 +158,14 @@ mod tests {
         let mut link = CreditLink::new(4);
         link.send(7, true);
         link.send(8, false); // lost on the wire
-        // The lost flit also leaks its credit, but the XOR check fires
-        // first at the idle point — identifying *what* went wrong, not just
-        // that a credit is missing.
+                             // The lost flit also leaks its credit, but the XOR check fires
+                             // first at the idle point — identifying *what* went wrong, not just
+                             // that a credit is missing.
         drain(&mut link);
-        assert!(matches!(link.detection(), Some(LinkDetection::FlitXorMismatch { .. })));
+        assert!(matches!(
+            link.detection(),
+            Some(LinkDetection::FlitXorMismatch { .. })
+        ));
     }
 
     #[test]
@@ -185,7 +188,10 @@ mod tests {
         link.send(0, false); // drop flit id 0
         drain(&mut link);
         assert!(
-            matches!(link.detection(), Some(LinkDetection::FlitXorMismatch { .. })),
+            matches!(
+                link.detection(),
+                Some(LinkDetection::FlitXorMismatch { .. })
+            ),
             "the extended bit makes flit 0 countable"
         );
     }
@@ -204,6 +210,9 @@ mod tests {
         }
         assert_eq!(sent, 3, "link starves after the credit pool drains");
         link.check_idle();
-        assert!(matches!(link.detection(), Some(LinkDetection::CreditLeak { .. })));
+        assert!(matches!(
+            link.detection(),
+            Some(LinkDetection::CreditLeak { .. })
+        ));
     }
 }

@@ -51,12 +51,20 @@ impl StoreSets {
     /// overwrite (paper §V.F).
     pub fn dispatch_store(&mut self, pc: u64, tag: StoreTag) -> StoreDispatch {
         let Some(ssid) = self.ssid_of(pc) else {
-            return StoreDispatch { depends_on: None, inserted: false, displaced: None };
+            return StoreDispatch {
+                depends_on: None,
+                inserted: false,
+                displaced: None,
+            };
         };
         let slot = self.lfst_index(ssid);
         let displaced = self.lfst[slot].take();
         self.lfst[slot] = Some(tag);
-        StoreDispatch { depends_on: displaced, inserted: true, displaced }
+        StoreDispatch {
+            depends_on: displaced,
+            inserted: true,
+            displaced,
+        }
     }
 
     /// Dispatch of the load at `pc`: returns the store the load must wait
@@ -74,11 +82,10 @@ impl StoreSets {
     pub fn resolve_store(&mut self, pc: u64, tag: StoreTag, removal_enable: bool) -> bool {
         let Some(ssid) = self.ssid_of(pc) else { return false };
         let slot = self.lfst_index(ssid);
-        if self.lfst[slot] == Some(tag)
-            && removal_enable {
-                self.lfst[slot] = None;
-                return true;
-            }
+        if self.lfst[slot] == Some(tag) && removal_enable {
+            self.lfst[slot] = None;
+            return true;
+        }
         false
     }
 
@@ -165,7 +172,10 @@ mod tests {
         let mut ss = StoreSets::new(64, 16);
         ss.train_violation(100, 200);
         ss.dispatch_store(200, StoreTag(7));
-        assert!(!ss.resolve_store(200, StoreTag(7), false), "removal dropped");
+        assert!(
+            !ss.resolve_store(200, StoreTag(7), false),
+            "removal dropped"
+        );
         // The departed store still poisons the set: a load would wait on
         // tag 7 forever (paper: "a load may cause execution to hang").
         assert_eq!(ss.dispatch_load(100), Some(StoreTag(7)));
@@ -178,7 +188,11 @@ mod tests {
         ss.dispatch_store(200, StoreTag(1));
         let d = ss.dispatch_store(200, StoreTag(2));
         assert_eq!(d.displaced, Some(StoreTag(1)), "removed by overwrite");
-        assert_eq!(d.depends_on, Some(StoreTag(1)), "orders behind the older instance");
+        assert_eq!(
+            d.depends_on,
+            Some(StoreTag(1)),
+            "orders behind the older instance"
+        );
         assert_eq!(ss.dispatch_load(100), Some(StoreTag(2)));
     }
 
@@ -188,7 +202,10 @@ mod tests {
         ss.train_violation(100, 200);
         ss.dispatch_store(200, StoreTag(1));
         ss.dispatch_store(200, StoreTag(2));
-        assert!(!ss.resolve_store(200, StoreTag(1), true), "already displaced");
+        assert!(
+            !ss.resolve_store(200, StoreTag(1), true),
+            "already displaced"
+        );
         assert_eq!(ss.lfst_occupancy(), 1);
     }
 

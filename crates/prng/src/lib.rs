@@ -1,0 +1,231 @@
+//! # idld-prng — vendored deterministic PRNG
+//!
+//! A hermetic, dependency-free stand-in for the subset of the `rand 0.8`
+//! API this workspace uses. The workspace maps the dependency name `rand`
+//! onto this crate (see the root `Cargo.toml`), so call sites keep the
+//! idiomatic `use rand::Rng;` / `SmallRng::seed_from_u64(..)` spelling
+//! while builds stay fully offline.
+//!
+//! Campaign reproducibility only requires that the *same binary* produce
+//! the same stream for the same seed — not that the stream match crates.io
+//! `rand`. [`rngs::SmallRng`] is xoshiro256++ (the same family upstream
+//! `SmallRng` uses on 64-bit targets), seeded through SplitMix64.
+
+use core::ops::Range;
+
+/// Low-level uniform word generation.
+pub trait RngCore {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly distributed bits (upper half of
+    /// [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types that can be sampled uniformly from a half-open `Range`.
+pub trait SampleUniform: Copy {
+    /// Samples uniformly from `range`. Panics if the range is empty.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(
+                    range.start < range.end,
+                    "gen_range: empty range {}..{}",
+                    range.start,
+                    range.end
+                );
+                let span = (range.end as u64).wrapping_sub(range.start as u64);
+                // Lemire multiply-shift with rejection: exactly uniform.
+                let mut x = rng.next_u64();
+                let mut m = (x as u128) * (span as u128);
+                let mut lo = m as u64;
+                if lo < span {
+                    let t = span.wrapping_neg() % span;
+                    while lo < t {
+                        x = rng.next_u64();
+                        m = (x as u128) * (span as u128);
+                        lo = m as u64;
+                    }
+                }
+                range.start + ((m >> 64) as u64) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_uniform_signed {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(
+                    range.start < range.end,
+                    "gen_range: empty range {}..{}",
+                    range.start,
+                    range.end
+                );
+                let span = (range.end as i64).wrapping_sub(range.start as i64) as u64;
+                let off = u64::sample_range(rng, 0..span);
+                range.start.wrapping_add(off as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_signed!(i8, i16, i32, i64, isize);
+
+/// High-level sampling helpers (the `rand::Rng` façade).
+pub trait Rng: RngCore {
+    /// Uniform sample from a half-open range.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(self, range)
+    }
+
+    /// A Bernoulli draw with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p={p} out of range");
+        // 53 uniform mantissa bits, exact for p expressible at that scale.
+        ((self.next_u64() >> 11) as f64) < p * (1u64 << 53) as f64
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Deterministically expands `seed` into a full generator state.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// xoshiro256++ — small, fast, and statistically strong; the same
+    /// algorithm family upstream `rand`'s 64-bit `SmallRng` uses.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut st = seed;
+            let mut s = [0u64; 4];
+            for w in &mut s {
+                *w = splitmix64(&mut st);
+            }
+            // An all-zero state would be a fixed point; SplitMix64 cannot
+            // produce four zero outputs in a row, but guard anyway.
+            if s == [0; 4] {
+                s[0] = 0x1d1d;
+            }
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.s;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s = [s0, s1, s2, s3];
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            self.s = s;
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "streams should be uncorrelated, {same}/64 equal");
+    }
+
+    #[test]
+    fn gen_range_is_in_bounds_and_covers() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.gen_range(0u64..10);
+            assert!(v < 10);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+        for _ in 0..1000 {
+            let v = rng.gen_range(5usize..8);
+            assert!((5..8).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut rng = SmallRng::seed_from_u64(99);
+        let mut counts = [0u32; 4];
+        for _ in 0..4000 {
+            counts[rng.gen_range(0usize..4)] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "skewed histogram {counts:?}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        let heads = (0..2000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((800..1200).contains(&heads), "p=0.5 gave {heads}/2000");
+    }
+}

@@ -136,9 +136,19 @@ mod tests {
     #[test]
     fn rotation_and_find() {
         let mut t = CkptTable::new(2, 2, 8);
-        assert_eq!(t.take(&snap(1), &[1; 8], 0, &mut NoFaults, &mut NullSink), 0);
-        assert_eq!(t.take(&snap(2), &[1; 8], 24, &mut NoFaults, &mut NullSink), 1);
-        assert_eq!(t.take(&snap(3), &[1; 8], 48, &mut NoFaults, &mut NullSink), 0, "rotates");
+        assert_eq!(
+            t.take(&snap(1), &[1; 8], 0, &mut NoFaults, &mut NullSink),
+            0
+        );
+        assert_eq!(
+            t.take(&snap(2), &[1; 8], 24, &mut NoFaults, &mut NullSink),
+            1
+        );
+        assert_eq!(
+            t.take(&snap(3), &[1; 8], 48, &mut NoFaults, &mut NullSink),
+            0,
+            "rotates"
+        );
         // Newest ≤ 50 is seq 48 in slot 0.
         assert_eq!(t.find(50, 0), Some(0));
         // For a flush point before 48, only slot 1 (seq 24) qualifies.
@@ -165,7 +175,10 @@ mod tests {
         let mut hook = OneShot::new(
             OpSite::CkptTake,
             0,
-            Corruption { suppress_array: true, ..Corruption::NONE },
+            Corruption {
+                suppress_array: true,
+                ..Corruption::NONE
+            },
         );
         t.take(&snap(9), &[1; 8], 24, &mut hook, &mut s);
         let slot = t.slot(0);

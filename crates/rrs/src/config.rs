@@ -59,7 +59,10 @@ impl Default for RrsConfig {
 impl RrsConfig {
     /// The default configuration at a given rename width.
     pub fn with_width(width: usize) -> Self {
-        RrsConfig { width, ..Default::default() }
+        RrsConfig {
+            width,
+            ..Default::default()
+        }
     }
 
     /// Bits needed to encode a raw PdstID.
@@ -95,7 +98,11 @@ impl RrsConfig {
     /// `num_arch..num_phys` (minus the hardwired idiom registers, when
     /// enabled), in ascending order.
     pub fn initial_free(&self) -> impl Iterator<Item = PhysReg> + '_ {
-        let top = if self.idiom_elim { self.num_phys - 2 } else { self.num_phys };
+        let top = if self.idiom_elim {
+            self.num_phys - 2
+        } else {
+            self.num_phys
+        };
         (self.num_arch..top).map(|i| PhysReg(i as u16))
     }
 
@@ -107,7 +114,11 @@ impl RrsConfig {
     /// the check as "equals zero".
     pub fn total_xor(&self) -> u32 {
         let bits = self.pdst_bits();
-        let top = if self.idiom_elim { self.num_phys - 2 } else { self.num_phys };
+        let top = if self.idiom_elim {
+            self.num_phys - 2
+        } else {
+            self.num_phys
+        };
         (0..top).fold(0, |acc, i| acc ^ PhysReg(i as u16).extended(bits))
     }
 
@@ -155,9 +166,30 @@ mod tests {
 
     #[test]
     fn pdst_bits_for_sizes() {
-        assert_eq!(RrsConfig { num_phys: 64, ..Default::default() }.pdst_bits(), 6);
-        assert_eq!(RrsConfig { num_phys: 65, ..Default::default() }.pdst_bits(), 7);
-        assert_eq!(RrsConfig { num_phys: 256, ..Default::default() }.pdst_bits(), 8);
+        assert_eq!(
+            RrsConfig {
+                num_phys: 64,
+                ..Default::default()
+            }
+            .pdst_bits(),
+            6
+        );
+        assert_eq!(
+            RrsConfig {
+                num_phys: 65,
+                ..Default::default()
+            }
+            .pdst_bits(),
+            7
+        );
+        assert_eq!(
+            RrsConfig {
+                num_phys: 256,
+                ..Default::default()
+            }
+            .pdst_bits(),
+            8
+        );
     }
 
     #[test]
@@ -186,6 +218,10 @@ mod tests {
     #[test]
     #[should_panic]
     fn undersized_rht_rejected() {
-        RrsConfig { rht_entries: 8, ..Default::default() }.validate();
+        RrsConfig {
+            rht_entries: 8,
+            ..Default::default()
+        }
+        .validate();
     }
 }

@@ -83,7 +83,11 @@ pub struct Corruption {
 
 impl Corruption {
     /// No corruption.
-    pub const NONE: Corruption = Corruption { suppress_array: false, suppress_ptr: false, value_xor: 0 };
+    pub const NONE: Corruption = Corruption {
+        suppress_array: false,
+        suppress_ptr: false,
+        value_xor: 0,
+    };
 
     /// True if this corruption changes anything.
     #[inline]
@@ -163,8 +167,16 @@ mod tests {
     #[test]
     fn none_is_inactive() {
         assert!(!Corruption::NONE.is_active());
-        assert!(Corruption { suppress_array: true, ..Corruption::NONE }.is_active());
-        assert!(Corruption { value_xor: 1, ..Corruption::NONE }.is_active());
+        assert!(Corruption {
+            suppress_array: true,
+            ..Corruption::NONE
+        }
+        .is_active());
+        assert!(Corruption {
+            value_xor: 1,
+            ..Corruption::NONE
+        }
+        .is_active());
     }
 
     #[test]

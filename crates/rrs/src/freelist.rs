@@ -30,7 +30,11 @@ impl FreeList {
     pub fn new(capacity: usize, initial: impl IntoIterator<Item = PhysReg>) -> Self {
         // Slots start as PhysReg(0) — a never-written slot read through a
         // stale-pointer bug yields id 0, exercising the extended-bit case.
-        let mut fl = FreeList { slots: vec![PhysReg(0); capacity], head: 0, tail: 0 };
+        let mut fl = FreeList {
+            slots: vec![PhysReg(0); capacity],
+            head: 0,
+            tail: 0,
+        };
         for p in initial {
             assert!(fl.len() < capacity, "free list over-filled at construction");
             fl.slots[(fl.tail % capacity as u64) as usize] = p;
@@ -155,7 +159,10 @@ mod tests {
         fl.push(PhysReg(10), &mut NoFaults, &mut s).unwrap();
         assert_eq!(
             s.events,
-            vec![RrsEvent::FlRead(PhysReg(10)), RrsEvent::FlWrite(PhysReg(10))]
+            vec![
+                RrsEvent::FlRead(PhysReg(10)),
+                RrsEvent::FlWrite(PhysReg(10))
+            ]
         );
     }
 
@@ -166,7 +173,10 @@ mod tests {
         let mut hook = OneShot::new(
             OpSite::FlPop,
             0,
-            Corruption { suppress_ptr: true, ..Corruption::NONE },
+            Corruption {
+                suppress_ptr: true,
+                ..Corruption::NONE
+            },
         );
         // First pop: data delivered, pointer stuck, no event.
         assert_eq!(fl.pop(&mut hook, &mut s), Some(PhysReg(10)));
@@ -189,14 +199,19 @@ mod tests {
         let mut hook = OneShot::new(
             OpSite::FlPush,
             0,
-            Corruption { suppress_array: true, ..Corruption::NONE },
+            Corruption {
+                suppress_array: true,
+                ..Corruption::NONE
+            },
         );
         fl.push(PhysReg(10), &mut NoFaults, &mut s).unwrap();
         fl.push(PhysReg(11), &mut hook, &mut s).unwrap(); // leaked
-        // Pointer advanced, so occupancy includes the stale slot, which
-        // still holds the p10 that originally occupied it.
+                                                          // Pointer advanced, so occupancy includes the stale slot, which
+                                                          // still holds the p10 that originally occupied it.
         assert_eq!(fl.len(), 3);
-        let drained: Vec<_> = (0..3).map(|_| fl.pop(&mut NoFaults, &mut s).unwrap()).collect();
+        let drained: Vec<_> = (0..3)
+            .map(|_| fl.pop(&mut NoFaults, &mut s).unwrap())
+            .collect();
         assert_eq!(
             drained,
             vec![PhysReg(12), PhysReg(10), PhysReg(10)],
@@ -211,7 +226,10 @@ mod tests {
         let mut hook = OneShot::new(
             OpSite::FlPush,
             0,
-            Corruption { suppress_ptr: true, ..Corruption::NONE },
+            Corruption {
+                suppress_ptr: true,
+                ..Corruption::NONE
+            },
         );
         fl.push(PhysReg(7), &mut hook, &mut s).unwrap(); // array written, ptr stuck
         fl.push(PhysReg(8), &mut NoFaults, &mut s).unwrap(); // overwrites 7
@@ -226,8 +244,14 @@ mod tests {
     fn value_corruption_on_push() {
         let mut fl = FreeList::new(4, []);
         let mut s = RecordingSink::new();
-        let mut hook =
-            OneShot::new(OpSite::FlPush, 0, Corruption { value_xor: 0b101, ..Corruption::NONE });
+        let mut hook = OneShot::new(
+            OpSite::FlPush,
+            0,
+            Corruption {
+                value_xor: 0b101,
+                ..Corruption::NONE
+            },
+        );
         fl.push(PhysReg(0b010), &mut hook, &mut s).unwrap();
         assert_eq!(fl.iter().next(), Some(PhysReg(0b111)));
         assert_eq!(s.events, vec![RrsEvent::FlWrite(PhysReg(0b111))]);
@@ -256,7 +280,14 @@ mod tests {
         let mut s = RecordingSink::new();
         for i in 0..10u16 {
             let got = fl.pop(&mut NoFaults, &mut s).unwrap();
-            assert_eq!(got, if i == 0 { PhysReg(5) } else { PhysReg(100 + i - 1) });
+            assert_eq!(
+                got,
+                if i == 0 {
+                    PhysReg(5)
+                } else {
+                    PhysReg(100 + i - 1)
+                }
+            );
             fl.push(PhysReg(100 + i), &mut NoFaults, &mut s).unwrap();
         }
     }

@@ -29,7 +29,10 @@ impl Rat {
     /// Creates a RAT with the given initial mapping.
     pub fn new(initial: Vec<PhysReg>) -> Self {
         let parity = initial.iter().map(|&p| parity_of(p)).collect();
-        Rat { map: initial, parity }
+        Rat {
+            map: initial,
+            parity,
+        }
     }
 
     /// Number of entries (logical registers).
@@ -154,7 +157,10 @@ mod tests {
         assert_eq!(rat.lookup(2), PhysReg(9));
         assert_eq!(
             s.events,
-            vec![RrsEvent::RatEvictRead(PhysReg(2)), RrsEvent::RatWrite(PhysReg(9))]
+            vec![
+                RrsEvent::RatEvictRead(PhysReg(2)),
+                RrsEvent::RatWrite(PhysReg(9))
+            ]
         );
     }
 
@@ -167,10 +173,17 @@ mod tests {
         let mut hook = OneShot::new(
             OpSite::RatWrite,
             0,
-            Corruption { suppress_array: true, ..Corruption::NONE },
+            Corruption {
+                suppress_array: true,
+                ..Corruption::NONE
+            },
         );
         let e = rat.write(1, PhysReg(7), &mut hook, &mut s);
-        assert_eq!(e, PhysReg(1), "eviction read still delivers the old mapping");
+        assert_eq!(
+            e,
+            PhysReg(1),
+            "eviction read still delivers the old mapping"
+        );
         assert_eq!(rat.lookup(1), PhysReg(1), "RAT keeps the stale mapping");
         assert_eq!(s.events, vec![RrsEvent::RatEvictRead(PhysReg(1))]);
     }
@@ -179,8 +192,14 @@ mod tests {
     fn value_corruption_writes_corrupted_id() {
         let mut rat = rat4();
         let mut s = RecordingSink::new();
-        let mut hook =
-            OneShot::new(OpSite::RatWrite, 0, Corruption { value_xor: 0b11, ..Corruption::NONE });
+        let mut hook = OneShot::new(
+            OpSite::RatWrite,
+            0,
+            Corruption {
+                value_xor: 0b11,
+                ..Corruption::NONE
+            },
+        );
         rat.write(0, PhysReg(0b100), &mut hook, &mut s);
         assert_eq!(rat.lookup(0), PhysReg(0b111));
         assert_eq!(s.events[1], RrsEvent::RatWrite(PhysReg(0b111)));
@@ -206,6 +225,9 @@ mod tests {
         let before = rat.content_xor(7);
         rat.write(2, PhysReg(9), &mut NoFaults, &mut s);
         let after = rat.content_xor(7);
-        assert_eq!(before ^ after, PhysReg(2).extended(7) ^ PhysReg(9).extended(7));
+        assert_eq!(
+            before ^ after,
+            PhysReg(2).extended(7) ^ PhysReg(9).extended(7)
+        );
     }
 }

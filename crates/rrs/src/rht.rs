@@ -22,8 +22,12 @@ pub struct RhtEntry {
 
 impl RhtEntry {
     /// Entry for an instruction without a register destination.
-    pub const NO_DEST: RhtEntry =
-        RhtEntry { has_dest: false, arch: 0, new_pdst: PhysReg(0), is_move: false };
+    pub const NO_DEST: RhtEntry = RhtEntry {
+        has_dest: false,
+        arch: 0,
+        new_pdst: PhysReg(0),
+        is_move: false,
+    };
 }
 
 /// The Register History Table.
@@ -43,7 +47,11 @@ pub struct Rht {
 impl Rht {
     /// Creates an empty RHT with `capacity` entries.
     pub fn new(capacity: usize) -> Self {
-        Rht { slots: vec![RhtEntry::NO_DEST; capacity], head: 0, tail: 0 }
+        Rht {
+            slots: vec![RhtEntry::NO_DEST; capacity],
+            head: 0,
+            tail: 0,
+        }
     }
 
     /// Capacity in entries.
@@ -135,7 +143,12 @@ mod tests {
     use crate::testutil::OneShot;
 
     fn entry(arch: usize, p: u16) -> RhtEntry {
-        RhtEntry { has_dest: true, arch, new_pdst: PhysReg(p), is_move: false }
+        RhtEntry {
+            has_dest: true,
+            arch,
+            new_pdst: PhysReg(p),
+            is_move: false,
+        }
     }
 
     #[test]
@@ -155,7 +168,10 @@ mod tests {
         let mut rht = Rht::new(2);
         rht.append(entry(0, 1), &mut NoFaults).unwrap();
         rht.append(entry(0, 2), &mut NoFaults).unwrap();
-        assert_eq!(rht.append(entry(0, 3), &mut NoFaults), Err(RrsAssert::RhtOverflow));
+        assert_eq!(
+            rht.append(entry(0, 3), &mut NoFaults),
+            Err(RrsAssert::RhtOverflow)
+        );
         rht.advance_head_to(1);
         rht.append(entry(0, 3), &mut NoFaults).unwrap();
         assert_eq!(rht.read_at(2), entry(0, 3));
@@ -168,7 +184,10 @@ mod tests {
         let mut hook = OneShot::new(
             OpSite::RhtAppend,
             0,
-            Corruption { suppress_array: true, ..Corruption::NONE },
+            Corruption {
+                suppress_array: true,
+                ..Corruption::NONE
+            },
         );
         rht.append(entry(2, 11), &mut hook).unwrap();
         // Slot 1 was never written: logs "no destination" — the walk will
@@ -183,7 +202,10 @@ mod tests {
         let mut hook = OneShot::new(
             OpSite::RhtAppend,
             0,
-            Corruption { suppress_ptr: true, ..Corruption::NONE },
+            Corruption {
+                suppress_ptr: true,
+                ..Corruption::NONE
+            },
         );
         rht.append(entry(1, 10), &mut hook).unwrap();
         rht.append(entry(2, 11), &mut NoFaults).unwrap();
@@ -196,8 +218,14 @@ mod tests {
     #[test]
     fn value_corruption_logs_wrong_pdst() {
         let mut rht = Rht::new(4);
-        let mut hook =
-            OneShot::new(OpSite::RhtAppend, 0, Corruption { value_xor: 1, ..Corruption::NONE });
+        let mut hook = OneShot::new(
+            OpSite::RhtAppend,
+            0,
+            Corruption {
+                value_xor: 1,
+                ..Corruption::NONE
+            },
+        );
         rht.append(entry(1, 0b10), &mut hook).unwrap();
         assert_eq!(rht.read_at(0).new_pdst, PhysReg(0b11));
     }

@@ -27,7 +27,11 @@ pub struct RobMeta {
 
 impl RobMeta {
     /// Metadata for an instruction without a register destination.
-    pub const NO_DEST: RobMeta = RobMeta { has_dest: false, arch: 0, new_pdst: PhysReg(0) };
+    pub const NO_DEST: RobMeta = RobMeta {
+        has_dest: false,
+        arch: 0,
+        new_pdst: PhysReg(0),
+    };
 }
 
 /// The outcome of reading the ROB head at retirement.
@@ -154,7 +158,11 @@ impl Rob {
         let cap = self.capacity() as u64;
         let slot = (self.head % cap) as usize;
         let meta = self.meta[slot];
-        let reclaimed = if meta.has_dest { self.slots[slot] } else { None };
+        let reclaimed = if meta.has_dest {
+            self.slots[slot]
+        } else {
+            None
+        };
         // As at allocation, the corruptible read-enable belongs to the
         // PdstID datapath: only id-carrying retirements consult the hook.
         if let Some(v) = reclaimed {
@@ -220,16 +228,23 @@ mod tests {
     use crate::testutil::OneShot;
 
     fn dest_meta(arch: usize, new: u16) -> RobMeta {
-        RobMeta { has_dest: true, arch, new_pdst: PhysReg(new) }
+        RobMeta {
+            has_dest: true,
+            arch,
+            new_pdst: PhysReg(new),
+        }
     }
 
     #[test]
     fn fifo_commit_order() {
         let mut rob = Rob::new(4);
         let mut s = RecordingSink::new();
-        rob.alloc(dest_meta(1, 10), Some(PhysReg(1)), &mut NoFaults, &mut s).unwrap();
-        rob.alloc(RobMeta::NO_DEST, None, &mut NoFaults, &mut s).unwrap();
-        rob.alloc(dest_meta(2, 11), Some(PhysReg(2)), &mut NoFaults, &mut s).unwrap();
+        rob.alloc(dest_meta(1, 10), Some(PhysReg(1)), &mut NoFaults, &mut s)
+            .unwrap();
+        rob.alloc(RobMeta::NO_DEST, None, &mut NoFaults, &mut s)
+            .unwrap();
+        rob.alloc(dest_meta(2, 11), Some(PhysReg(2)), &mut NoFaults, &mut s)
+            .unwrap();
         assert_eq!(rob.len(), 3);
 
         let c1 = rob.commit_head(&mut NoFaults, &mut s).unwrap();
@@ -239,20 +254,28 @@ mod tests {
         let c3 = rob.commit_head(&mut NoFaults, &mut s).unwrap();
         assert_eq!(c3.reclaimed, Some(PhysReg(2)));
         assert!(rob.is_empty());
-        assert_eq!(rob.commit_head(&mut NoFaults, &mut s), Err(RrsAssert::RobUnderflow));
+        assert_eq!(
+            rob.commit_head(&mut NoFaults, &mut s),
+            Err(RrsAssert::RobUnderflow)
+        );
     }
 
     #[test]
     fn events_for_dest_entries_only() {
         let mut rob = Rob::new(4);
         let mut s = RecordingSink::new();
-        rob.alloc(dest_meta(1, 10), Some(PhysReg(5)), &mut NoFaults, &mut s).unwrap();
-        rob.alloc(RobMeta::NO_DEST, None, &mut NoFaults, &mut s).unwrap();
+        rob.alloc(dest_meta(1, 10), Some(PhysReg(5)), &mut NoFaults, &mut s)
+            .unwrap();
+        rob.alloc(RobMeta::NO_DEST, None, &mut NoFaults, &mut s)
+            .unwrap();
         rob.commit_head(&mut NoFaults, &mut s).unwrap();
         rob.commit_head(&mut NoFaults, &mut s).unwrap();
         assert_eq!(
             s.events,
-            vec![RrsEvent::RobWrite(PhysReg(5)), RrsEvent::RobRead(PhysReg(5))]
+            vec![
+                RrsEvent::RobWrite(PhysReg(5)),
+                RrsEvent::RobRead(PhysReg(5))
+            ]
         );
     }
 
@@ -266,13 +289,20 @@ mod tests {
         let mut hook = OneShot::new(
             OpSite::RobAlloc,
             0,
-            Corruption { suppress_array: true, ..Corruption::NONE },
+            Corruption {
+                suppress_array: true,
+                ..Corruption::NONE
+            },
         );
-        rob.alloc(dest_meta(3, 2), Some(PhysReg(77)), &mut hook, &mut s).unwrap();
+        rob.alloc(dest_meta(3, 2), Some(PhysReg(77)), &mut hook, &mut s)
+            .unwrap();
         assert_eq!(rob.iter_live().count(), 0, "slot invalid");
         let c = rob.commit_head(&mut NoFaults, &mut s).unwrap();
         assert_eq!(c.reclaimed, None, "p77 leaked: nothing to reclaim");
-        assert!(c.meta.has_dest, "metadata still knows the instruction had a dest");
+        assert!(
+            c.meta.has_dest,
+            "metadata still knows the instruction had a dest"
+        );
         assert_eq!(s.count(|e| matches!(e, RrsEvent::RobRead(_))), 0);
     }
 
@@ -280,17 +310,26 @@ mod tests {
     fn suppressed_commit_read_duplicates() {
         let mut rob = Rob::new(4);
         let mut s = RecordingSink::new();
-        rob.alloc(dest_meta(0, 1), Some(PhysReg(8)), &mut NoFaults, &mut s).unwrap();
-        rob.alloc(dest_meta(0, 2), Some(PhysReg(9)), &mut NoFaults, &mut s).unwrap();
+        rob.alloc(dest_meta(0, 1), Some(PhysReg(8)), &mut NoFaults, &mut s)
+            .unwrap();
+        rob.alloc(dest_meta(0, 2), Some(PhysReg(9)), &mut NoFaults, &mut s)
+            .unwrap();
         let mut hook = OneShot::new(
             OpSite::RobCommitRead,
             0,
-            Corruption { suppress_ptr: true, ..Corruption::NONE },
+            Corruption {
+                suppress_ptr: true,
+                ..Corruption::NONE
+            },
         );
         let c1 = rob.commit_head(&mut hook, &mut s).unwrap();
         let c2 = rob.commit_head(&mut hook, &mut s).unwrap();
         assert_eq!(c1.reclaimed, Some(PhysReg(8)));
-        assert_eq!(c2.reclaimed, Some(PhysReg(8)), "same entry re-read: duplication");
+        assert_eq!(
+            c2.reclaimed,
+            Some(PhysReg(8)),
+            "same entry re-read: duplication"
+        );
         // Only the second (pointer-advancing) read emitted an event.
         assert_eq!(s.count(|e| matches!(e, RrsEvent::RobRead(_))), 1);
     }
@@ -300,7 +339,8 @@ mod tests {
         let mut rob = Rob::new(8);
         let mut s = RecordingSink::new();
         for i in 0..5u16 {
-            rob.alloc(dest_meta(0, i), Some(PhysReg(i)), &mut NoFaults, &mut s).unwrap();
+            rob.alloc(dest_meta(0, i), Some(PhysReg(i)), &mut NoFaults, &mut s)
+                .unwrap();
         }
         rob.restore_tail(2, &mut NoFaults).unwrap();
         assert_eq!(rob.len(), 2);
@@ -313,31 +353,44 @@ mod tests {
         let mut rob = Rob::new(8);
         let mut s = RecordingSink::new();
         for i in 0..5u16 {
-            rob.alloc(dest_meta(0, i), Some(PhysReg(i)), &mut NoFaults, &mut s).unwrap();
+            rob.alloc(dest_meta(0, i), Some(PhysReg(i)), &mut NoFaults, &mut s)
+                .unwrap();
         }
         let mut hook = OneShot::new(
             OpSite::RobTailRestore,
             0,
-            Corruption { suppress_array: true, ..Corruption::NONE },
+            Corruption {
+                suppress_array: true,
+                ..Corruption::NONE
+            },
         );
         rob.restore_tail(2, &mut hook).unwrap();
-        assert_eq!(rob.len(), 5, "zombie entries survive the suppressed restore");
+        assert_eq!(
+            rob.len(),
+            5,
+            "zombie entries survive the suppressed restore"
+        );
     }
 
     #[test]
     fn restore_below_head_is_recovery_broken() {
         let mut rob = Rob::new(4);
         let mut s = RecordingSink::new();
-        rob.alloc(dest_meta(0, 1), Some(PhysReg(1)), &mut NoFaults, &mut s).unwrap();
+        rob.alloc(dest_meta(0, 1), Some(PhysReg(1)), &mut NoFaults, &mut s)
+            .unwrap();
         rob.commit_head(&mut NoFaults, &mut s).unwrap();
-        assert_eq!(rob.restore_tail(0, &mut NoFaults), Err(RrsAssert::RecoveryBroken));
+        assert_eq!(
+            rob.restore_tail(0, &mut NoFaults),
+            Err(RrsAssert::RecoveryBroken)
+        );
     }
 
     #[test]
     fn overflow_asserts() {
         let mut rob = Rob::new(1);
         let mut s = RecordingSink::new();
-        rob.alloc(RobMeta::NO_DEST, None, &mut NoFaults, &mut s).unwrap();
+        rob.alloc(RobMeta::NO_DEST, None, &mut NoFaults, &mut s)
+            .unwrap();
         assert_eq!(
             rob.alloc(RobMeta::NO_DEST, None, &mut NoFaults, &mut s),
             Err(RrsAssert::RobOverflow)
@@ -348,9 +401,15 @@ mod tests {
     fn content_xor_counts_live_dests() {
         let mut rob = Rob::new(4);
         let mut s = RecordingSink::new();
-        rob.alloc(dest_meta(0, 1), Some(PhysReg(3)), &mut NoFaults, &mut s).unwrap();
-        rob.alloc(RobMeta::NO_DEST, None, &mut NoFaults, &mut s).unwrap();
-        rob.alloc(dest_meta(0, 2), Some(PhysReg(4)), &mut NoFaults, &mut s).unwrap();
-        assert_eq!(rob.content_xor(7), PhysReg(3).extended(7) ^ PhysReg(4).extended(7));
+        rob.alloc(dest_meta(0, 1), Some(PhysReg(3)), &mut NoFaults, &mut s)
+            .unwrap();
+        rob.alloc(RobMeta::NO_DEST, None, &mut NoFaults, &mut s)
+            .unwrap();
+        rob.alloc(dest_meta(0, 2), Some(PhysReg(4)), &mut NoFaults, &mut s)
+            .unwrap();
+        assert_eq!(
+            rob.content_xor(7),
+            PhysReg(3).extended(7) ^ PhysReg(4).extended(7)
+        );
     }
 }

@@ -302,7 +302,8 @@ impl Rrs {
         // Checkpoint cadence: snapshot the RAT state *before* renaming every
         // `ckpt_interval`-th allocation.
         if seq.is_multiple_of(self.cfg.ckpt_interval) {
-            self.ckpts.take(&self.rat.snapshot(), &self.refcount, seq, hook, sink);
+            self.ckpts
+                .take(&self.rat.snapshot(), &self.refcount, seq, hook, sink);
         }
         if self.cfg.idiom_elim {
             if let (Some(ldst), Some(idiom)) = (req.ldst, req.idiom) {
@@ -329,14 +330,23 @@ impl Rrs {
             self.refcount[p.index()] = 1;
             let evicted = self.rat_write_port(ldst, p, true, hook, sink);
             self.rob.alloc(
-                RobMeta { has_dest: true, arch: ldst, new_pdst: p },
+                RobMeta {
+                    has_dest: true,
+                    arch: ldst,
+                    new_pdst: p,
+                },
                 evicted,
                 hook,
                 sink,
             )?;
             (
                 Some(p),
-                RhtEntry { has_dest: true, arch: ldst, new_pdst: p, is_move: false },
+                RhtEntry {
+                    has_dest: true,
+                    arch: ldst,
+                    new_pdst: p,
+                    is_move: false,
+                },
             )
         } else {
             self.rob.alloc(RobMeta::NO_DEST, None, hook, sink)?;
@@ -344,7 +354,12 @@ impl Rrs {
         };
         self.rht.append(rht_entry, hook)?;
         self.renamed += 1;
-        Ok(RenameOut { seq, srcs, new_pdst, eliminated: false })
+        Ok(RenameOut {
+            seq,
+            srcs,
+            new_pdst,
+            eliminated: false,
+        })
     }
 
     /// Aliasing rename shared by move elimination and 0/1-idiom
@@ -369,15 +384,31 @@ impl Rrs {
         }
         let evicted = self.rat_write_port(ldst, p, !dup_ok, hook, sink);
         self.rob.alloc(
-            RobMeta { has_dest: true, arch: ldst, new_pdst: p },
+            RobMeta {
+                has_dest: true,
+                arch: ldst,
+                new_pdst: p,
+            },
             evicted,
             hook,
             sink,
         )?;
-        self.rht
-            .append(RhtEntry { has_dest: true, arch: ldst, new_pdst: p, is_move: true }, hook)?;
+        self.rht.append(
+            RhtEntry {
+                has_dest: true,
+                arch: ldst,
+                new_pdst: p,
+                is_move: true,
+            },
+            hook,
+        )?;
         self.renamed += 1;
-        Ok(RenameOut { seq, srcs: [Some(p), None], new_pdst: Some(p), eliminated: true })
+        Ok(RenameOut {
+            seq,
+            srcs: [Some(p), None],
+            new_pdst: Some(p),
+            eliminated: true,
+        })
     }
 
     /// A RAT read through a parity-protected port: emits
@@ -467,12 +498,17 @@ impl Rrs {
                     new_out = Some(newp);
                 }
                 self.rrat[c.meta.arch] = newp;
-                sink.event(RrsEvent::RratWrite { old: old_out, new: new_out });
+                sink.event(RrsEvent::RratWrite {
+                    old: old_out,
+                    new: new_out,
+                });
             }
         }
         self.committed += 1;
         self.rht.advance_head_to(self.committed);
-        Ok(CommitOut { reclaimed: c.reclaimed })
+        Ok(CommitOut {
+            reclaimed: c.reclaimed,
+        })
     }
 
     /// Begins recovery from a flush caused by the instruction with sequence
@@ -570,7 +606,8 @@ impl Rrs {
                         if dup_ok {
                             self.refcount[entry.new_pdst.index()] += 1;
                         }
-                        let _ = self.rat_write_port(entry.arch, entry.new_pdst, !dup_ok, hook, sink);
+                        let _ =
+                            self.rat_write_port(entry.arch, entry.new_pdst, !dup_ok, hook, sink);
                     } else {
                         self.refcount[entry.new_pdst.index()] = 1;
                         let _ = self.rat_write_port(entry.arch, entry.new_pdst, true, hook, sink);
@@ -712,7 +749,11 @@ mod tests {
     }
 
     fn dest(ldst: usize) -> RenameRequest {
-        RenameRequest { ldst: Some(ldst), srcs: [None, None], ..Default::default() }
+        RenameRequest {
+            ldst: Some(ldst),
+            srcs: [None, None],
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -734,7 +775,14 @@ mod tests {
         // First writes r0, second reads r0: must see the new mapping.
         let outs = rrs
             .rename_group(
-                &[dest(0), RenameRequest { ldst: Some(1), srcs: [Some(0), None], ..Default::default() }],
+                &[
+                    dest(0),
+                    RenameRequest {
+                        ldst: Some(1),
+                        srcs: [Some(0), None],
+                        ..Default::default()
+                    },
+                ],
                 &mut NoFaults,
                 &mut NullSink,
             )
@@ -746,7 +794,8 @@ mod tests {
     fn same_ldst_chain_flows_to_rob() {
         let mut rrs = Rrs::new(small_cfg());
         let mut sink = RecordingSink::new();
-        rrs.rename_group(&[dest(2), dest(2)], &mut NoFaults, &mut sink).unwrap();
+        rrs.rename_group(&[dest(2), dest(2)], &mut NoFaults, &mut sink)
+            .unwrap();
         // p2 (initial) evicted to first entry, p4 (first alloc) to second.
         let rob_writes: Vec<_> = sink
             .events
@@ -763,7 +812,8 @@ mod tests {
     #[test]
     fn commit_reclaims_and_updates_rrat() {
         let mut rrs = Rrs::new(small_cfg());
-        rrs.rename_group(&[dest(0)], &mut NoFaults, &mut NullSink).unwrap();
+        rrs.rename_group(&[dest(0)], &mut NoFaults, &mut NullSink)
+            .unwrap();
         let free_before = rrs.free_regs();
         let c = rrs.commit_head(&mut NoFaults, &mut NullSink).unwrap();
         assert_eq!(c.reclaimed, Some(PhysReg(0)), "initial mapping reclaimed");
@@ -776,7 +826,8 @@ mod tests {
     fn invariant_partition_holds_through_traffic() {
         let mut rrs = Rrs::new(small_cfg());
         for i in 0..20 {
-            rrs.rename_group(&[dest(i % 4)], &mut NoFaults, &mut NullSink).unwrap();
+            rrs.rename_group(&[dest(i % 4)], &mut NoFaults, &mut NullSink)
+                .unwrap();
             rrs.commit_head(&mut NoFaults, &mut NullSink).unwrap();
             assert!(rrs.contents().is_exact_partition(), "iteration {i}");
         }
@@ -791,17 +842,31 @@ mod tests {
     fn recovery_restores_rat_and_fl() {
         let mut rrs = Rrs::new(small_cfg());
         // Rename 3 instructions; flush after the first.
-        rrs.rename_group(&[dest(0), dest(1)], &mut NoFaults, &mut NullSink).unwrap();
-        rrs.rename_group(&[dest(0)], &mut NoFaults, &mut NullSink).unwrap();
+        rrs.rename_group(&[dest(0), dest(1)], &mut NoFaults, &mut NullSink)
+            .unwrap();
+        rrs.rename_group(&[dest(0)], &mut NoFaults, &mut NullSink)
+            .unwrap();
         let map_after_first = rrs.rat_lookup(0);
         assert_ne!(map_after_first, rrs.rat_lookup(1), "sanity");
         let free_before_flush = rrs.free_regs();
 
         run_recovery(&mut rrs, 0, &mut NullSink);
 
-        assert_eq!(rrs.rat_lookup(0), PhysReg(4), "mapping of instruction 0 restored");
-        assert_eq!(rrs.rat_lookup(1), PhysReg(1), "wrong-path mapping rolled back");
-        assert_eq!(rrs.free_regs(), free_before_flush + 2, "two wrong-path ids returned");
+        assert_eq!(
+            rrs.rat_lookup(0),
+            PhysReg(4),
+            "mapping of instruction 0 restored"
+        );
+        assert_eq!(
+            rrs.rat_lookup(1),
+            PhysReg(1),
+            "wrong-path mapping rolled back"
+        );
+        assert_eq!(
+            rrs.free_regs(),
+            free_before_flush + 2,
+            "two wrong-path ids returned"
+        );
         assert_eq!(rrs.renamed(), 1);
         assert_eq!(rrs.rob_len(), 1);
         assert!(rrs.contents().is_exact_partition());
@@ -820,7 +885,8 @@ mod tests {
         let mut rrs = Rrs::new(cfg);
         let mut sink = RecordingSink::new();
         for _ in 0..5 {
-            rrs.rename_group(&[dest(0)], &mut NoFaults, &mut sink).unwrap();
+            rrs.rename_group(&[dest(0)], &mut NoFaults, &mut sink)
+                .unwrap();
         }
         // Only checkpoint alive is at seq 4; flush at 1 needs RRAT.
         rrs.start_recovery(1, &mut NoFaults, &mut sink);
@@ -834,7 +900,8 @@ mod tests {
     fn recovery_spreads_over_cycles() {
         let mut rrs = Rrs::new(small_cfg());
         for _ in 0..4 {
-            rrs.rename_group(&[dest(0), dest(1)], &mut NoFaults, &mut NullSink).unwrap();
+            rrs.rename_group(&[dest(0), dest(1)], &mut NoFaults, &mut NullSink)
+                .unwrap();
         }
         rrs.start_recovery(0, &mut NoFaults, &mut NullSink);
         let mut cycles = 0;
@@ -843,7 +910,10 @@ mod tests {
             assert!(cycles < 100);
         }
         // 1 pos entry + 7 neg entries at width 2, plus a tail-restore cycle.
-        assert!(cycles >= 4, "recovery took {cycles} extra cycles — must be multi-cycle");
+        assert!(
+            cycles >= 4,
+            "recovery took {cycles} extra cycles — must be multi-cycle"
+        );
         assert!(rrs.contents().is_exact_partition());
     }
 
@@ -853,8 +923,12 @@ mod tests {
         // Interleave renames, commits and a flush; partition must hold at
         // every quiescent point.
         for round in 0..4u64 {
-            rrs.rename_group(&[dest((round % 4) as usize), dest(((round + 1) % 4) as usize)], &mut NoFaults, &mut NullSink)
-                .unwrap();
+            rrs.rename_group(
+                &[dest((round % 4) as usize), dest(((round + 1) % 4) as usize)],
+                &mut NoFaults,
+                &mut NullSink,
+            )
+            .unwrap();
             if round % 2 == 1 {
                 rrs.commit_head(&mut NoFaults, &mut NullSink).unwrap();
             }
@@ -877,7 +951,8 @@ mod tests {
         let (mut flx, mut ratx, mut robx) = rrs.content_xors();
         let mut sink = RecordingSink::new();
         for i in 0..10 {
-            rrs.rename_group(&[dest(i % 4)], &mut NoFaults, &mut sink).unwrap();
+            rrs.rename_group(&[dest(i % 4)], &mut NoFaults, &mut sink)
+                .unwrap();
             if i >= 2 {
                 rrs.commit_head(&mut NoFaults, &mut sink).unwrap();
             }
@@ -897,7 +972,8 @@ mod tests {
     #[should_panic(expected = "not in flight")]
     fn recovery_of_retired_instruction_panics() {
         let mut rrs = Rrs::new(small_cfg());
-        rrs.rename_group(&[dest(0)], &mut NoFaults, &mut NullSink).unwrap();
+        rrs.rename_group(&[dest(0)], &mut NoFaults, &mut NullSink)
+            .unwrap();
         rrs.commit_head(&mut NoFaults, &mut NullSink).unwrap();
         rrs.start_recovery(0, &mut NoFaults, &mut NullSink);
     }
@@ -908,7 +984,8 @@ mod tests {
         assert!(rrs.can_rename(2, 2));
         // Exhaust the ROB.
         for _ in 0..4 {
-            rrs.rename_group(&[dest(0), dest(1)], &mut NoFaults, &mut NullSink).unwrap();
+            rrs.rename_group(&[dest(0), dest(1)], &mut NoFaults, &mut NullSink)
+                .unwrap();
         }
         assert_eq!(rrs.rob_len(), 8);
         assert!(!rrs.can_rename(1, 0));
@@ -917,20 +994,34 @@ mod tests {
     // --- Move elimination (§V.E) -------------------------------------------
 
     fn move_cfg() -> RrsConfig {
-        RrsConfig { move_elim: true, ..small_cfg() }
+        RrsConfig {
+            move_elim: true,
+            ..small_cfg()
+        }
     }
 
     fn mv(ldst: usize, lsrc: usize) -> RenameRequest {
-        RenameRequest { ldst: Some(ldst), srcs: [Some(lsrc), None], is_move: true, idiom: None }
+        RenameRequest {
+            ldst: Some(ldst),
+            srcs: [Some(lsrc), None],
+            is_move: true,
+            idiom: None,
+        }
     }
 
     #[test]
     fn move_aliases_without_allocating() {
         let mut rrs = Rrs::new(move_cfg());
         let free = rrs.free_regs();
-        let outs = rrs.rename_group(&[mv(1, 0)], &mut NoFaults, &mut NullSink).unwrap();
+        let outs = rrs
+            .rename_group(&[mv(1, 0)], &mut NoFaults, &mut NullSink)
+            .unwrap();
         assert!(outs[0].eliminated);
-        assert_eq!(outs[0].new_pdst, Some(PhysReg(0)), "aliased to the source's id");
+        assert_eq!(
+            outs[0].new_pdst,
+            Some(PhysReg(0)),
+            "aliased to the source's id"
+        );
         assert_eq!(rrs.free_regs(), free, "no FL allocation");
         assert_eq!(rrs.rat_lookup(1), rrs.rat_lookup(0));
     }
@@ -939,7 +1030,9 @@ mod tests {
     fn move_is_ignored_when_optimization_disabled() {
         let mut rrs = Rrs::new(small_cfg());
         let free = rrs.free_regs();
-        let outs = rrs.rename_group(&[mv(1, 0)], &mut NoFaults, &mut NullSink).unwrap();
+        let outs = rrs
+            .rename_group(&[mv(1, 0)], &mut NoFaults, &mut NullSink)
+            .unwrap();
         assert!(!outs[0].eliminated);
         assert_eq!(rrs.free_regs(), free - 1, "ordinary allocation happened");
     }
@@ -949,14 +1042,17 @@ mod tests {
         let mut rrs = Rrs::new(move_cfg());
         let mut sink = RecordingSink::new();
         // r1 aliases r0's id (p0); then both get remapped.
-        rrs.rename_group(&[mv(1, 0)], &mut NoFaults, &mut sink).unwrap();
-        rrs.rename_group(&[dest(0)], &mut NoFaults, &mut sink).unwrap(); // evicts p0 (alias lives)
+        rrs.rename_group(&[mv(1, 0)], &mut NoFaults, &mut sink)
+            .unwrap();
+        rrs.rename_group(&[dest(0)], &mut NoFaults, &mut sink)
+            .unwrap(); // evicts p0 (alias lives)
         assert_eq!(
             sink.count(|e| matches!(e, RrsEvent::RobWrite(p) if *p == PhysReg(0))),
             0,
             "first eviction of the aliased id reclaims nothing"
         );
-        rrs.rename_group(&[dest(1)], &mut NoFaults, &mut sink).unwrap(); // last reference dies
+        rrs.rename_group(&[dest(1)], &mut NoFaults, &mut sink)
+            .unwrap(); // last reference dies
         assert_eq!(
             sink.count(|e| matches!(e, RrsEvent::RobWrite(p) if *p == PhysReg(0))),
             1,
@@ -1015,14 +1111,17 @@ mod tests {
 
     #[test]
     fn suppressed_dup_signal_breaks_the_invariance_instantly() {
-        use crate::testutil::OneShot;
         use crate::fault::Corruption;
+        use crate::testutil::OneShot;
         let mut rrs = Rrs::new(move_cfg());
         let mut sink = RecordingSink::new();
         let mut hook = OneShot::new(
             OpSite::MoveElimDup,
             0,
-            Corruption { suppress_array: true, ..Corruption::NONE },
+            Corruption {
+                suppress_array: true,
+                ..Corruption::NONE
+            },
         );
         rrs.rename_group(&[mv(1, 0)], &mut hook, &mut sink).unwrap();
         assert!(hook.fired);
@@ -1035,7 +1134,8 @@ mod tests {
     #[test]
     fn self_move_is_harmless() {
         let mut rrs = Rrs::new(move_cfg());
-        rrs.rename_group(&[mv(2, 2)], &mut NoFaults, &mut NullSink).unwrap();
+        rrs.rename_group(&[mv(2, 2)], &mut NoFaults, &mut NullSink)
+            .unwrap();
         assert_eq!(rrs.rat_lookup(2), PhysReg(2));
         while rrs.rob_len() > 0 {
             rrs.commit_head(&mut NoFaults, &mut NullSink).unwrap();

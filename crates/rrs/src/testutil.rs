@@ -23,7 +23,13 @@ pub struct OneShot {
 impl OneShot {
     /// Creates a hook corrupting occurrence `at` of `site`.
     pub fn new(site: OpSite, at: u64, corruption: Corruption) -> Self {
-        OneShot { site, at, corruption, seen: 0, fired: false }
+        OneShot {
+            site,
+            at,
+            corruption,
+            seen: 0,
+            fired: false,
+        }
     }
 }
 

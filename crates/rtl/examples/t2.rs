@@ -1,4 +1,7 @@
 fn main() {
-    let t = idld_rtl::table2(&idld_rrs::RrsConfig::default(), &idld_rtl::TechParams::default());
+    let t = idld_rtl::table2(
+        &idld_rrs::RrsConfig::default(),
+        &idld_rtl::TechParams::default(),
+    );
     print!("{}", t.render());
 }

@@ -24,14 +24,12 @@ impl ScmGeometry {
     /// Cell area (µm²) before synthesis-efficiency calibration.
     pub fn area(&self, t: &TechParams) -> f64 {
         let storage = (self.entries * self.bits) as f64 * t.ff_area;
-        let wports = (self.bits * self.write_ports) as f64
-            * t.wport_bit_area
-            * self.entries as f64
-            / 8.0; // write network amortized over 8-entry groups
+        let wports =
+            (self.bits * self.write_ports) as f64 * t.wport_bit_area * self.entries as f64 / 8.0; // write network amortized over 8-entry groups
         let rports =
             (self.bits * self.read_ports) as f64 * t.rport_bit_area * (self.entries as f64).log2();
-        let decode = (self.entries * (self.read_ports + self.write_ports)) as f64
-            * t.decoder_entry_area;
+        let decode =
+            (self.entries * (self.read_ports + self.write_ports)) as f64 * t.decoder_entry_area;
         storage + wports + rports + decode
     }
 
@@ -124,7 +122,11 @@ impl RrsGeometry {
         // older slot in the group: ~3·W·(W-1)/2 comparators, plus the
         // priority-mux chains for same-Ldst collapse (~W²).
         let rename_comparators = 3 * w * w.saturating_sub(1) / 2 + w * w;
-        RrsGeometry { arrays, width, rename_comparators }
+        RrsGeometry {
+            arrays,
+            width,
+            rename_comparators,
+        }
     }
 
     /// Baseline RRS area (µm², uncalibrated).

@@ -95,7 +95,10 @@ pub fn table2(cfg: &RrsConfig, tech: &TechParams) -> Table2 {
     // §VI.B: renaming ≈ 4 % of a 2-way OoO core; the 2-wide overhead maps
     // the RRS-local increment to core level.
     let two_wide = rows[1].area_overhead_pct;
-    Table2 { rows, core_level_pct: 4.0 * two_wide / 100.0 }
+    Table2 {
+        rows,
+        core_level_pct: 4.0 * two_wide / 100.0,
+    }
 }
 
 impl Table2 {

@@ -55,7 +55,10 @@ impl SimConfig {
     /// The default configuration at a given pipeline width (1/2/4/6/8 in
     /// the paper's sweep).
     pub fn with_width(width: usize) -> Self {
-        SimConfig { rrs: RrsConfig::with_width(width), ..Default::default() }
+        SimConfig {
+            rrs: RrsConfig::with_width(width),
+            ..Default::default()
+        }
     }
 
     /// Pipeline width (fetch = rename = issue = commit).

@@ -170,7 +170,7 @@ mod tests {
             let (t, h) = {
                 let mut q = p.clone();
                 q.ghist = 0;
-                
+
                 q.predict_dir(1)
             };
             let _ = h;

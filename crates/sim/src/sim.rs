@@ -14,7 +14,14 @@ use std::collections::VecDeque;
 /// True for the canonical register-move encoding (`addi rd, rs, 0`),
 /// eligible for move elimination when the RRS enables it.
 fn is_register_move(inst: &Inst) -> bool {
-    matches!(inst, Inst::AluI { op: idld_isa::AluOp::Add, imm: 0, .. })
+    matches!(
+        inst,
+        Inst::AluI {
+            op: idld_isa::AluOp::Add,
+            imm: 0,
+            ..
+        }
+    )
 }
 
 /// Recognizes the 0/1 idioms eliminated when the RRS enables idiom
@@ -25,9 +32,12 @@ fn idiom_of(inst: &Inst) -> Option<Idiom> {
     match *inst {
         Inst::Li { imm: 0, .. } => Some(Idiom::Zero),
         Inst::Li { imm: 1, .. } => Some(Idiom::One),
-        Inst::Alu { op: AluOp::Xor | AluOp::Sub, rs1, rs2, .. } if rs1 == rs2 => {
-            Some(Idiom::Zero)
-        }
+        Inst::Alu {
+            op: AluOp::Xor | AluOp::Sub,
+            rs1,
+            rs2,
+            ..
+        } if rs1 == rs2 => Some(Idiom::Zero),
         _ => None,
     }
 }
@@ -173,10 +183,34 @@ impl<'p> Simulator<'p> {
         golden: Option<&CommitTrace>,
         max_cycles: u64,
     ) -> RunResult {
+        self.run_with_interrupt(hook, checkers, golden, max_cycles, None)
+    }
+
+    /// [`Simulator::run`] with a cooperative interrupt: when `interrupt`
+    /// becomes true the run stops with [`SimStop::CycleLimit`] at the next
+    /// budget check. The flag is polled once every 1024 cycles alongside
+    /// the existing budget comparison, so the cost on the hot loop is nil
+    /// and the response latency is ~1 k simulated cycles.
+    pub fn run_with_interrupt(
+        &mut self,
+        hook: &mut impl FaultHook,
+        checkers: &mut CheckerSet,
+        golden: Option<&CommitTrace>,
+        max_cycles: u64,
+        interrupt: Option<&std::sync::atomic::AtomicBool>,
+    ) -> RunResult {
         let record = golden.is_none();
         let mut trace = CommitTrace::new();
         let mut monitor = golden.map(TraceMonitor::new);
-        let stop = self.main_loop(hook, checkers, &mut trace, &mut monitor, record, max_cycles);
+        let stop = self.main_loop(
+            hook,
+            checkers,
+            &mut trace,
+            &mut monitor,
+            record,
+            max_cycles,
+            interrupt,
+        );
         if stop == SimStop::Halted {
             // The pipeline is architecturally drained: give the empty-point
             // checkers (BV, counter) their final check.
@@ -210,6 +244,7 @@ impl<'p> Simulator<'p> {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn main_loop(
         &mut self,
         hook: &mut impl FaultHook,
@@ -218,10 +253,18 @@ impl<'p> Simulator<'p> {
         monitor: &mut Option<TraceMonitor<'_>>,
         record: bool,
         max_cycles: u64,
+        interrupt: Option<&std::sync::atomic::AtomicBool>,
     ) -> SimStop {
         loop {
             if self.cycle >= max_cycles {
                 return SimStop::CycleLimit;
+            }
+            if self.cycle & 0x3ff == 0 {
+                if let Some(flag) = interrupt {
+                    if flag.load(std::sync::atomic::Ordering::Relaxed) {
+                        return SimStop::CycleLimit;
+                    }
+                }
             }
             hook.begin_cycle(self.cycle);
             // At-rest storage upsets (§V.D class) land silently.
@@ -267,8 +310,7 @@ impl<'p> Simulator<'p> {
                 if let Some(f) = front.fault {
                     return SimStop::Crash(f);
                 }
-                let (pc, inst, result, addr) =
-                    (front.pc, front.inst, front.result, front.addr);
+                let (pc, inst, result, addr) = (front.pc, front.inst, front.result, front.addr);
                 if matches!(inst, Inst::Halt) {
                     self.observe_commit(pc, trace, monitor, record);
                     self.committed += 1;
@@ -477,9 +519,7 @@ impl<'p> Simulator<'p> {
             self.prf[p.index()] = result;
             self.ready[p.index()] = true;
         }
-        if self.cfg.mem_dep_speculation
-            && matches!(inst.kind(), idld_isa::InstKind::Store)
-        {
+        if self.cfg.mem_dep_speculation && matches!(inst.kind(), idld_isa::InstKind::Store) {
             self.resolve_store_and_check_violations(i);
         }
     }
@@ -493,7 +533,8 @@ impl<'p> Simulator<'p> {
         let (s_seq, s_pc) = (store.seq, store.pc);
         let s_addr = store.addr.expect("store executed");
         let s_width = store.inst.mem_width().expect("store width");
-        self.store_sets.resolve_store(s_pc as u64, StoreTag(s_seq), true);
+        self.store_sets
+            .resolve_store(s_pc as u64, StoreTag(s_seq), true);
 
         let mut victim: Option<(u64, usize, usize)> = None; // (seq, pc, idx)
         for j in i + 1..self.window.len() {
@@ -501,8 +542,8 @@ impl<'p> Simulator<'p> {
             if !matches!(e.inst.kind(), idld_isa::InstKind::Load) {
                 continue;
             }
-            let executed = matches!(e.status, Status::Done)
-                || matches!(e.status, Status::Executing { .. });
+            let executed =
+                matches!(e.status, Status::Done) || matches!(e.status, Status::Executing { .. });
             let Some(laddr) = e.addr else { continue };
             if !executed {
                 continue;
@@ -548,7 +589,11 @@ impl<'p> Simulator<'p> {
             if let Some(saddr) = e.addr {
                 let swidth = e.inst.mem_width().expect("store width");
                 if saddr == addr && swidth == width {
-                    let mask = if width == 8 { u64::MAX } else { (1u64 << (8 * width)) - 1 };
+                    let mask = if width == 8 {
+                        u64::MAX
+                    } else {
+                        (1u64 << (8 * width)) - 1
+                    };
                     return Ok((e.result & mask, Some(e.seq)));
                 }
             }
@@ -556,19 +601,20 @@ impl<'p> Simulator<'p> {
         self.mem
             .load(addr, width)
             .map(|v| (v, None))
-            .map_err(|e| CrashCause::MemFault { addr: e.addr, width: e.width })
+            .map_err(|e| CrashCause::MemFault {
+                addr: e.addr,
+                width: e.width,
+            })
     }
 
     /// True if window entry `i` (a load) may issue under conservative
     /// memory disambiguation.
     fn load_may_issue(&self, i: usize) -> bool {
         let load = &self.window[i];
-        let laddr = self
-            .src_val(load, 0)
-            .wrapping_add(match load.inst {
-                Inst::Ld { imm, .. } | Inst::Ldw { imm, .. } | Inst::Ldb { imm, .. } => imm as u64,
-                _ => 0,
-            });
+        let laddr = self.src_val(load, 0).wrapping_add(match load.inst {
+            Inst::Ld { imm, .. } | Inst::Ldw { imm, .. } | Inst::Ldb { imm, .. } => imm as u64,
+            _ => 0,
+        });
         let lwidth = load.inst.mem_width().expect("load width");
         let speculate = self.cfg.mem_dep_speculation;
         // Predicted dependence (store sets): wait until that specific
@@ -626,11 +672,7 @@ impl<'p> Simulator<'p> {
             }
             scanned_waiting += 1;
             let e = &self.window[i];
-            let ready = e
-                .srcs
-                .iter()
-                .flatten()
-                .all(|p| self.ready[p.index()]);
+            let ready = e.srcs.iter().flatten().all(|p| self.ready[p.index()]);
             if !ready {
                 continue;
             }
@@ -692,11 +734,18 @@ impl<'p> Simulator<'p> {
         }
 
         // Trim to available resources (RS space, RRS capacity).
-        let waiting = self.window.iter().filter(|e| e.status == Status::Waiting).count();
+        let waiting = self
+            .window
+            .iter()
+            .filter(|e| e.status == Status::Waiting)
+            .count();
         let rs_free = self.cfg.rs_entries.saturating_sub(waiting);
         let mut n = group.len().min(rs_free);
         loop {
-            let dests = group[..n].iter().filter(|(_, i, _, _)| i.dest().is_some()).count();
+            let dests = group[..n]
+                .iter()
+                .filter(|(_, i, _, _)| i.dest().is_some())
+                .count();
             if n == 0 || self.rrs.can_rename(n, dests) {
                 break;
             }
@@ -713,7 +762,9 @@ impl<'p> Simulator<'p> {
             // A trimmed group cannot include the halt/fault stop decisions
             // beyond position n.
             if self.halt_in_flight
-                && !group[..n].iter().any(|(_, i, _, _)| matches!(i, Inst::Halt))
+                && !group[..n]
+                    .iter()
+                    .any(|(_, i, _, _)| matches!(i, Inst::Halt))
             {
                 self.halt_in_flight = false;
                 self.fetch_enabled = true;
@@ -758,8 +809,7 @@ impl<'p> Simulator<'p> {
                         let _ = d;
                     }
                     idld_isa::InstKind::Load => {
-                        wait_for_store =
-                            self.store_sets.dispatch_load(pc as u64).map(|t| t.0);
+                        wait_for_store = self.store_sets.dispatch_load(pc as u64).map(|t| t.0);
                     }
                     _ => {}
                 }
@@ -828,7 +878,11 @@ mod tests {
     #[test]
     fn straight_line_arithmetic() {
         let mut a = Asm::new();
-        a.li(r(1), 6).li(r(2), 7).mul(r(3), r(1), r(2)).out(r(3)).halt();
+        a.li(r(1), 6)
+            .li(r(2), 7)
+            .mul(r(3), r(1), r(2))
+            .out(r(3))
+            .halt();
         let res = run_prog(a, 4);
         assert_eq!(res.stop, SimStop::Halted);
         assert_eq!(res.output, vec![42]);
@@ -939,7 +993,12 @@ mod tests {
             sim.run(&mut NoFaults, &mut CheckerSet::new(), None, 10_000)
         };
         let mut sim = Simulator::new(&p, SimConfig::default());
-        let rerun = sim.run(&mut NoFaults, &mut CheckerSet::new(), Some(&golden.trace), 10_000);
+        let rerun = sim.run(
+            &mut NoFaults,
+            &mut CheckerSet::new(),
+            Some(&golden.trace),
+            10_000,
+        );
         assert!(!rerun.divergence.any());
     }
 
@@ -982,7 +1041,11 @@ mod tests {
         a.li(r(1), 3);
         a.nop();
         let res = run_prog(a, 2);
-        assert!(matches!(res.stop, SimStop::Crash(CrashCause::InvalidPc(2))), "{:?}", res.stop);
+        assert!(
+            matches!(res.stop, SimStop::Crash(CrashCause::InvalidPc(2))),
+            "{:?}",
+            res.stop
+        );
     }
 
     #[test]

@@ -170,7 +170,12 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let text = SimStats { cycles: 10, committed: 5, ..Default::default() }.to_string();
+        let text = SimStats {
+            cycles: 10,
+            committed: 5,
+            ..Default::default()
+        }
+        .to_string();
         assert!(text.contains("ipc=0.50"));
         assert!(text.contains("flushes="));
     }

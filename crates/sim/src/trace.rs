@@ -81,7 +81,11 @@ pub struct TraceMonitor<'g> {
 impl<'g> TraceMonitor<'g> {
     /// Creates a monitor comparing against `golden`.
     pub fn new(golden: &'g CommitTrace) -> Self {
-        TraceMonitor { golden, index: 0, divergence: Divergence::default() }
+        TraceMonitor {
+            golden,
+            index: 0,
+            divergence: Divergence::default(),
+        }
     }
 
     /// Observes one commit.
@@ -164,7 +168,10 @@ mod tests {
 
     #[test]
     fn order_beats_timing_in_first_cycle() {
-        let d = Divergence { order: Some(4), timing: Some(9) };
+        let d = Divergence {
+            order: Some(4),
+            timing: Some(9),
+        };
         assert_eq!(d.first_cycle(), Some(4));
     }
 

@@ -15,7 +15,9 @@ const POLY: u32 = 0xEDB88320;
 
 fn buffer(factor: u32) -> Vec<u8> {
     let mut rng = Lcg(0xc2c);
-    (0..BUF_LEN * factor as usize).map(|_| rng.next_u8()).collect()
+    (0..BUF_LEN * factor as usize)
+        .map(|_| rng.next_u8())
+        .collect()
 }
 
 fn table() -> Vec<u32> {

@@ -67,7 +67,10 @@ pub fn reference_with(factor: u32) -> Vec<u64> {
         }
     }
     let reachable = dist.iter().filter(|&&d| d < INF).count() as u64;
-    let ck = dist.iter().filter(|&&d| d < INF).fold(0u64, |a, &d| a ^ d.wrapping_mul(2654435761));
+    let ck = dist
+        .iter()
+        .filter(|&&d| d < INF)
+        .fold(0u64, |a, &d| a ^ d.wrapping_mul(2654435761));
     vec![dist[n - 1], reachable, ck]
 }
 

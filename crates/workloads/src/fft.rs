@@ -35,7 +35,10 @@ fn twiddles(factor: u32) -> Vec<(i64, i64)> {
     for k in 0..nn {
         for n in 0..nn {
             let ang = -2.0 * std::f64::consts::PI * (k * n % nn) as f64 / nn as f64;
-            t.push(((ang.cos() * 32767.0).round() as i64, (ang.sin() * 32767.0).round() as i64));
+            t.push((
+                (ang.cos() * 32767.0).round() as i64,
+                (ang.sin() * 32767.0).round() as i64,
+            ));
         }
     }
     t

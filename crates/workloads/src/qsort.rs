@@ -14,7 +14,9 @@ const STACK_BASE: i64 = 0x8000;
 
 fn keys(factor: u32) -> Vec<u64> {
     let mut rng = Lcg(0x9507);
-    (0..N * factor as usize).map(|_| rng.next_u64() >> 16).collect()
+    (0..N * factor as usize)
+        .map(|_| rng.next_u64() >> 16)
+        .collect()
 }
 
 /// Native reference: sorted min/median/max plus a position-weighted
@@ -28,10 +30,9 @@ pub fn reference_with(factor: u32) -> Vec<u64> {
     let n = N * factor as usize;
     let mut v = keys(factor);
     v.sort_unstable();
-    let checksum = v
-        .iter()
-        .enumerate()
-        .fold(0u64, |acc, (i, &x)| acc.wrapping_add(x.wrapping_mul(i as u64 + 1)));
+    let checksum = v.iter().enumerate().fold(0u64, |acc, (i, &x)| {
+        acc.wrapping_add(x.wrapping_mul(i as u64 + 1))
+    });
     vec![v[0], v[n / 2], v[n - 1], checksum]
 }
 
@@ -92,7 +93,7 @@ pub fn build_with(factor: u32) -> Workload {
     a.bge(j, hi, "part_done");
     a.slli(t0, j, 3);
     a.ld(t1, t0, ARR_BASE as i64); // a[j]
-    a.bltu(pivot, t1, "no_swap");  // keep when a[j] <= pivot
+    a.bltu(pivot, t1, "no_swap"); // keep when a[j] <= pivot
     a.addi(i, i, 1);
     a.slli(t2, i, 3);
     a.ld(t3, t2, ARR_BASE as i64); // a[i]

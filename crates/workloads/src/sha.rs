@@ -19,7 +19,9 @@ const K: [u32; 4] = [0x5A827999, 0x6ED9EBA1, 0x8F1BBCDC, 0xCA62C1D6];
 
 fn message(factor: u32) -> Vec<u8> {
     let mut rng = Lcg(0x5a);
-    (0..NBLOCKS * factor as usize * 64).map(|_| rng.next_u8()).collect()
+    (0..NBLOCKS * factor as usize * 64)
+        .map(|_| rng.next_u8())
+        .collect()
 }
 
 /// Native reference: the same (little-endian, unpadded) SHA-1 compression.
@@ -40,8 +42,13 @@ pub fn reference_with(factor: u32) -> Vec<u64> {
             let x = (w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16]) as u32;
             w[t] = x.rotate_left(1) as u64;
         }
-        let (mut a, mut b, mut c, mut d, mut e) =
-            (h[0] as u32, h[1] as u32, h[2] as u32, h[3] as u32, h[4] as u32);
+        let (mut a, mut b, mut c, mut d, mut e) = (
+            h[0] as u32,
+            h[1] as u32,
+            h[2] as u32,
+            h[3] as u32,
+            h[4] as u32,
+        );
         for (t, &wt) in w.iter().enumerate() {
             let (f, k) = match t / 20 {
                 0 => (d ^ (b & (c ^ d)), K[0]),
@@ -98,7 +105,13 @@ pub fn build_with(factor: u32) -> Workload {
     a.li(wbase, W_BASE);
     a.li(c16, 16);
     a.li(c80, 80);
-    for (reg, iv) in [(h0, IV[0]), (h1, IV[1]), (h2, IV[2]), (h3, IV[3]), (h4, IV[4])] {
+    for (reg, iv) in [
+        (h0, IV[0]),
+        (h1, IV[1]),
+        (h2, IV[2]),
+        (h3, IV[3]),
+        (h4, IV[4]),
+    ] {
         a.li(reg, iv as i64);
     }
     a.li(block, 0);

@@ -22,7 +22,13 @@ fn text(factor: u32) -> Vec<u8> {
     // "zqx" unplanted.
     for chunk in 0..factor as usize {
         let base = chunk * TEXT_LEN;
-        for (i, pat) in [(100usize, 0usize), (700, 0), (1500, 3), (2500, 1), (3900, 3)] {
+        for (i, pat) in [
+            (100usize, 0usize),
+            (700, 0),
+            (1500, 3),
+            (2500, 1),
+            (3900, 3),
+        ] {
             let p = PATTERNS[pat];
             t[base + i..base + i + p.len()].copy_from_slice(p);
         }
@@ -136,7 +142,7 @@ pub fn build_with(factor: u32) -> Workload {
     a.sub(t4, tlen, m); // last valid start
     a.label("scan");
     a.blt(t4, i, "scan_done"); // while i <= tlen - m
-    // Compare text[i..i+m] with pattern.
+                               // Compare text[i..i+m] with pattern.
     a.li(t0, 0);
     a.label("cmp");
     a.bge(t0, m, "match");

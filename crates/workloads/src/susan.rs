@@ -55,10 +55,9 @@ pub fn reference_with(factor: u32) -> Vec<u64> {
             }
         }
     }
-    let ck = out
-        .iter()
-        .enumerate()
-        .fold(0u64, |a, (i, &p)| a.wrapping_add((p as u64).wrapping_mul(i as u64 + 1)));
+    let ck = out.iter().enumerate().fold(0u64, |a, (i, &p)| {
+        a.wrapping_add((p as u64).wrapping_mul(i as u64 + 1))
+    });
     vec![ck, edges, out[d + 1] as u64]
 }
 

@@ -15,7 +15,11 @@ fn every_workload_round_trips_through_text() {
             "{}: instruction stream changed through text",
             w.name
         );
-        assert_eq!(w.program.image, reparsed.image, "{}: data image changed", w.name);
+        assert_eq!(
+            w.program.image, reparsed.image,
+            "{}: data image changed",
+            w.name
+        );
 
         let res = Emulator::new(&reparsed).run(w.max_steps);
         assert_eq!(res.stop, StopReason::Halted, "{}", w.name);

@@ -10,7 +10,11 @@ use idld::campaign::analysis::{DetectionFigure, MaskingFigure};
 use idld::campaign::{Campaign, CampaignConfig};
 
 fn main() {
-    let cfg = CampaignConfig { runs_per_cell: 25, seed: 0xbeef, ..Default::default() };
+    let cfg = CampaignConfig {
+        runs_per_cell: 25,
+        seed: 0xbeef,
+        ..Default::default()
+    };
     let picks: Vec<_> = idld::workloads::suite()
         .into_iter()
         .filter(|w| matches!(w.name, "qsort" | "crc32"))
@@ -20,7 +24,9 @@ fn main() {
         picks.len(),
         cfg.runs_per_cell
     );
-    let res = Campaign::new(cfg).run(&picks);
+    let res = Campaign::new(cfg)
+        .run(&picks)
+        .expect("golden runs are valid");
 
     println!();
     print!("{}", MaskingFigure::build(&res).render());

@@ -24,7 +24,10 @@ fn main() {
         ("sq-empty      ", CheckPolicy::SqEmpty),
         ("checkpointed-8", CheckPolicy::Checkpointed { interval: 8 }),
     ] {
-        let cfg = DriverConfig { inject_removal_drop_at: Some(120), ..Default::default() };
+        let cfg = DriverConfig {
+            inject_removal_drop_at: Some(120),
+            ..Default::default()
+        };
         let out = MdpPipeline::new(cfg).run(policy);
         println!(
             "  {name}: activated@{:?}  idld-detect@{:?}  load-hang@{:?}",

@@ -34,22 +34,36 @@ fn main() {
     let clean = sim.run(&mut NoFaults, &mut checkers, None, 1_000_000);
     assert_eq!(clean.stop, SimStop::Halted);
     println!("bug-free run:    output = {:?}", clean.output);
-    println!("                 {} instructions in {} cycles", clean.committed, clean.cycles);
-    println!("                 IDLD detection: {:?}", checkers.detection_of("idld"));
+    println!(
+        "                 {} instructions in {} cycles",
+        clean.committed, clean.cycles
+    );
+    println!(
+        "                 IDLD detection: {:?}",
+        checkers.detection_of("idld")
+    );
 
     // 3. Inject the paper's walkthrough bug: the RAT write-enable stuck low
     //    for one rename (§III.B, Figure 2) — a leakage + duplication.
     let spec = BugSpec {
         site: OpSite::RatWrite,
         occurrence: 150,
-        corruption: Corruption { suppress_array: true, ..Corruption::NONE },
+        corruption: Corruption {
+            suppress_array: true,
+            ..Corruption::NONE
+        },
         model: BugModel::Leakage,
     };
     let mut hook = idld::bugs::SingleShotHook::new(spec);
     let mut checkers = CheckerSet::new();
     checkers.push(Box::new(IdldChecker::new(&cfg.rrs)));
     let mut sim = Simulator::new(&program, cfg);
-    let buggy = sim.run(&mut hook, &mut checkers, Some(&clean.trace), clean.cycles * 5 / 2);
+    let buggy = sim.run(
+        &mut hook,
+        &mut checkers,
+        Some(&clean.trace),
+        clean.cycles * 5 / 2,
+    );
 
     let activation = hook.activation_cycle().expect("bug activated");
     let detection = checkers.detection_of("idld").expect("IDLD caught it");
@@ -64,6 +78,10 @@ fn main() {
     println!(
         "                 architectural outcome: {} (output {})",
         buggy.stop,
-        if buggy.output == clean.output { "unchanged" } else { "CORRUPTED" }
+        if buggy.output == clean.output {
+            "unchanged"
+        } else {
+            "CORRUPTED"
+        }
     );
 }

@@ -56,5 +56,8 @@ fn main() {
     println!("with move elimination (§V.E):");
     sweep(true);
     println!();
-    print!("{}", table2(&RrsConfig::default(), &TechParams::default()).render());
+    print!(
+        "{}",
+        table2(&RrsConfig::default(), &TechParams::default()).render()
+    );
 }

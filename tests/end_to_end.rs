@@ -9,13 +9,19 @@ use idld::rrs::NoFaults;
 use idld::sim::{SimConfig, SimStop, Simulator};
 
 fn small_campaign(names: &[&str], runs: usize, seed: u64) -> idld::campaign::CampaignResult {
-    let cfg = CampaignConfig { runs_per_cell: runs, seed, ..Default::default() };
+    let cfg = CampaignConfig {
+        runs_per_cell: runs,
+        seed,
+        ..Default::default()
+    };
     let picks: Vec<_> = idld::workloads::suite()
         .into_iter()
         .filter(|w| names.contains(&w.name))
         .collect();
     assert_eq!(picks.len(), names.len(), "all requested workloads exist");
-    Campaign::new(cfg).run(&picks)
+    Campaign::new(cfg)
+        .run(&picks)
+        .expect("golden runs are valid")
 }
 
 /// The paper's headline (Figure 9): IDLD detects every injected bug, and
@@ -26,7 +32,10 @@ fn idld_detects_all_and_end_of_test_does_not() {
     let fig = DetectionFigure::build(&res);
     let (idld, trad, trad_bv) = fig.coverage();
     assert_eq!(idld, 100.0);
-    assert!(trad < 100.0, "some bugs must be masked from end-of-test checking");
+    assert!(
+        trad < 100.0,
+        "some bugs must be masked from end-of-test checking"
+    );
     assert!(trad_bv >= trad);
     assert!(fig.idld_mean_latency < 50.0, "near-instantaneous detection");
 }
@@ -81,7 +90,9 @@ fn models_produce_distinct_outcome_profiles() {
     }
     // Duplication is almost never benign; pure leakage frequently is.
     let benign = |m: BugModel| {
-        res.of_model(m).filter(|r| r.outcome == OutcomeClass::Benign).count()
+        res.of_model(m)
+            .filter(|r| r.outcome == OutcomeClass::Benign)
+            .count()
     };
     assert!(benign(BugModel::Leakage) > benign(BugModel::Duplication));
 }
@@ -105,7 +116,7 @@ fn injected_runs_are_bit_deterministic() {
 #[test]
 fn golden_runs_are_architecturally_clean() {
     for w in idld::workloads::suite().into_iter().take(4) {
-        let golden = GoldenRun::capture(&w, SimConfig::default());
+        let golden = GoldenRun::capture(&w, SimConfig::default()).expect("golden run halts");
         let mut emu = idld::isa::Emulator::new(&w.program);
         let emu_res = emu.run(w.max_steps);
         assert_eq!(golden.output, emu_res.output, "{}", w.name);

@@ -59,13 +59,20 @@ fn idioms_are_actually_eliminated() {
         let res = sim.run(&mut census, &mut CheckerSet::new(), None, 50_000_000);
         assert_eq!(res.stop, SimStop::Halted);
         assert_eq!(res.output, w.expected_output);
-        (census.count(OpSite::FlPop), census.count(OpSite::MoveElimDup), res.stats)
+        (
+            census.count(OpSite::FlPop),
+            census.count(OpSite::MoveElimDup),
+            res.stats,
+        )
     };
     let (allocs_off, dups_off, _) = census_with(false);
     let (allocs_on, dups_on, stats_on) = census_with(true);
     assert_eq!(dups_off, 0);
     assert!(dups_on > 50, "idioms eliminated: {dups_on}");
-    assert!(allocs_on < allocs_off, "allocations saved: {allocs_on} vs {allocs_off}");
+    assert!(
+        allocs_on < allocs_off,
+        "allocations saved: {allocs_on} vs {allocs_off}"
+    );
     assert!(stats_on.eliminated_moves > 50);
 }
 

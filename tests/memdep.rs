@@ -10,7 +10,10 @@ use idld::rrs::NoFaults;
 use idld::sim::{SimConfig, SimStop, Simulator};
 
 fn spec_cfg() -> SimConfig {
-    SimConfig { mem_dep_speculation: true, ..SimConfig::default() }
+    SimConfig {
+        mem_dep_speculation: true,
+        ..SimConfig::default()
+    }
 }
 
 #[test]
@@ -83,8 +86,14 @@ fn aliasing_kernel_violates_then_learns() {
     let mut sim = Simulator::new(&program, spec_cfg());
     let spec = sim.run(&mut NoFaults, &mut CheckerSet::new(), None, 10_000_000);
     assert_eq!(spec.stop, SimStop::Halted);
-    assert_eq!(spec.output, expected.output, "speculation must stay architecturally correct");
-    assert!(spec.stats.mem_violations > 0, "the kernel must actually mis-speculate");
+    assert_eq!(
+        spec.output, expected.output,
+        "speculation must stay architecturally correct"
+    );
+    assert!(
+        spec.stats.mem_violations > 0,
+        "the kernel must actually mis-speculate"
+    );
     assert!(
         spec.stats.mem_violations < 100,
         "store sets should learn the alias: {} violations for 300 pairs",
@@ -100,7 +109,10 @@ fn speculation_does_not_slow_down_the_suite() {
         idld::workloads::suite()
             .iter()
             .map(|w| {
-                let cfg = SimConfig { mem_dep_speculation: spec, ..SimConfig::default() };
+                let cfg = SimConfig {
+                    mem_dep_speculation: spec,
+                    ..SimConfig::default()
+                };
                 let mut sim = Simulator::new(&w.program, cfg);
                 let res = sim.run(&mut NoFaults, &mut CheckerSet::new(), None, 50_000_000);
                 assert_eq!(res.stop, SimStop::Halted);

@@ -44,12 +44,18 @@ fn elimination_actually_happens_and_saves_allocations() {
         let mut sim = Simulator::new(&w.program, cfg);
         let res = sim.run(&mut census, &mut CheckerSet::new(), None, 50_000_000);
         assert_eq!(res.stop, SimStop::Halted);
-        (census.count(OpSite::FlPop), census.count(OpSite::MoveElimDup))
+        (
+            census.count(OpSite::FlPop),
+            census.count(OpSite::MoveElimDup),
+        )
     };
     let (allocs_off, dups_off) = count_allocs(false);
     let (allocs_on, dups_on) = count_allocs(true);
     assert_eq!(dups_off, 0);
-    assert!(dups_on > 500, "sha's register rotation eliminates: {dups_on}");
+    assert!(
+        dups_on > 500,
+        "sha's register rotation eliminates: {dups_on}"
+    );
     assert!(
         allocs_on + dups_on >= allocs_off && allocs_on < allocs_off,
         "eliminated moves save FL allocations: {allocs_on} vs {allocs_off}"
@@ -67,7 +73,10 @@ fn suppressed_dup_signal_is_detected_instantly() {
         let spec = BugSpec {
             site: OpSite::MoveElimDup,
             occurrence,
-            corruption: Corruption { suppress_array: true, ..Corruption::NONE },
+            corruption: Corruption {
+                suppress_array: true,
+                ..Corruption::NONE
+            },
             model: BugModel::Leakage,
         };
         let mut hook = SingleShotHook::new(spec);

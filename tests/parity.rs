@@ -68,7 +68,10 @@ fn at_rest_upset_caught_by_parity_no_later_than_idld() {
             caught_idld += 1;
         }
     }
-    assert!(caught_parity >= 2, "parity should catch most upsets: {caught_parity}/4");
+    assert!(
+        caught_parity >= 2,
+        "parity should catch most upsets: {caught_parity}/4"
+    );
     // IDLD may or may not see the eviction-time imbalance; both are valid.
     let _ = caught_idld;
 }
@@ -85,7 +88,10 @@ fn upset_of_dead_entry_is_missed_by_both() {
     let res = sim.run(&mut hook, &mut set, None, 50_000_000);
     assert!(hook.applied());
     assert_eq!(res.stop, SimStop::Halted);
-    assert_eq!(res.output, w.expected_output, "dead corruption is architecturally benign");
+    assert_eq!(
+        res.output, w.expected_output,
+        "dead corruption is architecturally benign"
+    );
     assert_eq!(set.detection_of("parity"), None, "never read");
     // The final persistence census, however, still shows the damage: the
     // original id vanished and the corrupted one appeared.
