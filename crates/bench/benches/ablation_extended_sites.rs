@@ -20,7 +20,7 @@ fn main() {
     let campaign = Campaign::new(cfg);
     let picks: Vec<_> = idld_workloads::suite()
         .into_iter()
-        .filter(|w| matches!(w.name, "crc32" | "qsort" | "dijkstra"))
+        .filter(|w| matches!(w.name.as_str(), "crc32" | "qsort" | "dijkstra"))
         .collect();
     let runs = 8usize;
     println!(

@@ -156,7 +156,7 @@ pub enum GoldenRunError {
     /// The workload did not halt cleanly (crash/assert/cycle-limit).
     DidNotHalt {
         /// Workload name.
-        workload: &'static str,
+        workload: String,
         /// How the run actually stopped.
         stop: idld_sim::SimStop,
     },
@@ -164,7 +164,7 @@ pub enum GoldenRunError {
     /// reference.
     OutputMismatch {
         /// Workload name.
-        workload: &'static str,
+        workload: String,
     },
 }
 
@@ -203,13 +203,13 @@ impl GoldenRun {
         let res = sim.run(&mut census, &mut CheckerSet::new(), None, 500_000_000);
         if res.stop != idld_sim::SimStop::Halted {
             return Err(GoldenRunError::DidNotHalt {
-                workload: workload.name,
+                workload: workload.name.clone(),
                 stop: res.stop,
             });
         }
         if res.output != workload.expected_output {
             return Err(GoldenRunError::OutputMismatch {
-                workload: workload.name,
+                workload: workload.name.clone(),
             });
         }
         Ok(GoldenRun {
@@ -243,7 +243,7 @@ pub struct Detections {
 #[derive(Clone, Debug)]
 pub struct RunRecord {
     /// Workload name.
-    pub bench: &'static str,
+    pub bench: String,
     /// Bug-model class.
     pub model: BugModel,
     /// The exact injected bug.
@@ -289,9 +289,9 @@ impl RunRecord {
     }
 
     /// The poisoned record for a run whose simulation panicked.
-    fn poisoned(bench: &'static str, spec: BugSpec, message: String) -> RunRecord {
+    pub fn poisoned(bench: &str, spec: BugSpec, message: String) -> RunRecord {
         RunRecord {
-            bench,
+            bench: bench.to_string(),
             model: spec.model,
             spec,
             activation_cycle: 0,
@@ -306,10 +306,10 @@ impl RunRecord {
 }
 
 /// Wall-clock spent in one (workload × model) cell, summed over its runs.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct CellTiming {
     /// Workload name.
-    pub bench: &'static str,
+    pub bench: String,
     /// Bug model.
     pub model: BugModel,
     /// Completed runs in the cell (including poisoned).
@@ -346,11 +346,11 @@ impl CampaignResult {
     }
 
     /// The distinct benchmark names, in first-seen order.
-    pub fn benches(&self) -> Vec<&'static str> {
-        let mut v = Vec::new();
+    pub fn benches(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = Vec::new();
         for r in &self.records {
-            if !v.contains(&r.bench) {
-                v.push(r.bench);
+            if !v.contains(&r.bench.as_str()) {
+                v.push(&r.bench);
             }
         }
         v
@@ -503,7 +503,7 @@ impl Campaign {
             .expect("sampled activation must fire (identical prefix to golden)");
         let persists = outcome.is_masked() && !res.final_contents.is_exact_partition();
         RunRecord {
-            bench: golden.workload.name,
+            bench: golden.workload.name.clone(),
             model: spec.model,
             spec,
             activation_cycle,
@@ -538,7 +538,7 @@ impl Campaign {
         match outcome {
             Ok(rec) => rec,
             Err(payload) => {
-                RunRecord::poisoned(golden.workload.name, spec, panic_message(&*payload))
+                RunRecord::poisoned(&golden.workload.name, spec, panic_message(&*payload))
             }
         }
     }
@@ -618,7 +618,7 @@ impl Campaign {
         let mut goldens = Vec::with_capacity(captured.len());
         for g in captured {
             let g = g?;
-            progress.on_golden(g.workload.name, g.cycles);
+            progress.on_golden(&g.workload.name, g.cycles);
             goldens.push(g);
         }
         let goldens = Arc::new(goldens);
@@ -631,7 +631,7 @@ impl Campaign {
         for (wi, golden) in goldens.iter().enumerate() {
             for model in BugModel::ALL {
                 for k in 0..self.cfg.runs_per_cell {
-                    let mut rng = self.run_rng(golden.workload.name, model, k);
+                    let mut rng = self.run_rng(&golden.workload.name, model, k);
                     if let Some(spec) = BugSpec::sample(model, &golden.census, bits, &mut rng) {
                         jobs.push(Job { workload: wi, spec });
                     }
@@ -691,7 +691,7 @@ impl Campaign {
                 Some(c) => c,
                 None => {
                     timings.push(CellTiming {
-                        bench: rec.bench,
+                        bench: rec.bench.clone(),
                         model: rec.model,
                         runs: 0,
                         poisoned: 0,

@@ -51,7 +51,7 @@ impl ProgressSnapshot {
 /// worker threads.
 pub trait CampaignProgress: Sync {
     /// A workload's golden run was captured (`cycles` golden cycles).
-    fn on_golden(&self, _workload: &'static str, _cycles: u64) {}
+    fn on_golden(&self, _workload: &str, _cycles: u64) {}
 
     /// One injected run completed (including poisoned runs).
     fn on_run(&self, _snapshot: &ProgressSnapshot) {}
@@ -165,7 +165,7 @@ impl Default for StderrProgress {
 }
 
 impl CampaignProgress for StderrProgress {
-    fn on_golden(&self, workload: &'static str, cycles: u64) {
+    fn on_golden(&self, workload: &str, cycles: u64) {
         eprintln!("[campaign] golden {workload}: {cycles} cycles");
     }
 

@@ -1,0 +1,546 @@
+//! Random tiny-RISC program generation.
+//!
+//! Generated programs are *structurally valid* and *termination-guaranteed*
+//! by a register discipline rather than by post-hoc filtering:
+//!
+//! * a handful of **reserved registers** (loop counters, call links, the
+//!   safe data base) are never written by random body code, so counted
+//!   loops always count down and calls always return;
+//! * all data-dependent branches jump **forward only**; the only backward
+//!   edges are the counted-loop back edges;
+//! * calls form a DAG by depth (code at call depth *d* only calls
+//!   functions at depth *d + 1*), bottoming out at
+//!   [`GenConfig::call_depth`], and function bodies are loop-free so they
+//!   can never clobber a live loop counter of their caller;
+//! * a dynamic-cost ledger bounds the worst-case architectural step count
+//!   (every emitted instruction is charged at the product of enclosing
+//!   trip counts), so the emulator's step budget is a hard generator
+//!   invariant, not a hope.
+//!
+//! Within that skeleton, everything else is adversarial: wild address
+//! registers that may fault, wrong-path "poison blocks" behind
+//! always-taken branches (never architecturally executed, freely executed
+//! speculatively), zero/one idioms and register moves to trigger the
+//! renamer's elimination paths, and dense unpredictable branching.
+
+use idld_isa::reg::{r, ArchReg};
+use idld_isa::{Asm, Program};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// First byte of the always-mapped data window `SAFE_BASE..SAFE_BASE+SAFE_LEN`.
+pub const SAFE_BASE: u64 = 0x1_0000;
+/// Size of the safe data window in bytes.
+pub const SAFE_LEN: u64 = 4096;
+/// Worst-case architectural steps of any generated program (ledger bound).
+pub const MAX_DYNAMIC_STEPS: u64 = 150_000;
+
+/// Loop counters for nesting depths 0, 1, 2 (reserved registers).
+const LOOP_CTR: [usize; 3] = [25, 26, 27];
+/// Call link registers for call depths 0, 1, 2 (reserved registers).
+const LINK: [usize; 3] = [28, 29, 30];
+/// Holds [`SAFE_BASE`] for guaranteed-in-bounds memory traffic (reserved).
+const SAFE_BASE_REG: usize = 31;
+/// Dynamic-cost cap charged for a call to a function at each depth index
+/// (a function's own budget covers its calls to the next depth).
+const FN_COST: [u64; 3] = [3600, 1200, 400];
+
+/// Tunable shape knobs for one generated program.
+///
+/// All probabilities are per body slot. [`GenConfig::sample`] draws a
+/// diverse configuration from a seeded RNG so a long fuzzing run sweeps
+/// the knob space instead of hovering around one program shape.
+#[derive(Clone, Copy, Debug)]
+pub struct GenConfig {
+    /// Straight-line body instructions in the main block (before loops,
+    /// branch shadows and functions multiply the static count).
+    pub body_len: usize,
+    /// Probability a body slot is a control-flow construct (forward
+    /// branch, counted loop or call).
+    pub branch_density: f64,
+    /// Probability a body slot is a load or store.
+    pub mem_density: f64,
+    /// Among memory slots, the fraction that are stores.
+    pub store_ratio: f64,
+    /// Probability a memory slot addresses through an arbitrary (possibly
+    /// faulting) register instead of the safe data base.
+    pub wild_mem: f64,
+    /// Scratch registers available to random code (`r1..=r<reg_pool>`);
+    /// small pools maximize renaming pressure via hot reuse.
+    pub reg_pool: usize,
+    /// Maximum counted-loop nesting depth (0..=3).
+    pub loop_depth: usize,
+    /// Maximum trip count of each counted loop.
+    pub loop_trip_max: u64,
+    /// Maximum call nesting depth (0..=3); calls checkpoint the RAT, so
+    /// depth converts directly into checkpoint pressure.
+    pub call_depth: usize,
+    /// Probability a branch is an always-taken jump over a wrong-path
+    /// "poison block" (wild loads / fault bombs that execute only
+    /// speculatively).
+    pub wrong_path: f64,
+    /// Probability a body slot publishes a register to the output stream.
+    pub out_density: f64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            body_len: 48,
+            branch_density: 0.2,
+            mem_density: 0.25,
+            store_ratio: 0.4,
+            wild_mem: 0.1,
+            reg_pool: 12,
+            loop_depth: 2,
+            loop_trip_max: 5,
+            call_depth: 2,
+            wrong_path: 0.25,
+            out_density: 0.1,
+        }
+    }
+}
+
+impl GenConfig {
+    /// Draws a configuration spanning the interesting corners of the knob
+    /// space (tiny hot register pools, branch-saturated bodies, deep
+    /// nests, memory-free ALU storms, ...).
+    pub fn sample(rng: &mut SmallRng) -> GenConfig {
+        GenConfig {
+            body_len: rng.gen_range(4usize..96),
+            branch_density: rng.gen_range(0u32..40) as f64 / 100.0,
+            mem_density: rng.gen_range(0u32..50) as f64 / 100.0,
+            store_ratio: rng.gen_range(0u32..90) as f64 / 100.0,
+            wild_mem: rng.gen_range(0u32..25) as f64 / 100.0,
+            reg_pool: rng.gen_range(3usize..24),
+            loop_depth: rng.gen_range(0usize..4),
+            loop_trip_max: rng.gen_range(1u64..7),
+            call_depth: rng.gen_range(0usize..4),
+            wrong_path: rng.gen_range(0u32..50) as f64 / 100.0,
+            out_density: rng.gen_range(0u32..20) as f64 / 100.0,
+        }
+    }
+}
+
+/// The generator: owns the assembler, the RNG, the label supply and the
+/// dynamic-cost ledger while one program is being emitted.
+struct Gen<'r> {
+    a: Asm,
+    rng: &'r mut SmallRng,
+    cfg: GenConfig,
+    next_label: usize,
+    /// Function labels per call depth (index 0 = functions called from the
+    /// main body).
+    funcs: Vec<Vec<String>>,
+    /// Remaining dynamic-step budget of the block being emitted.
+    dyn_left: u64,
+    /// Product of the enclosing counted-loop trip counts: the cost of one
+    /// emitted instruction in worst-case architectural steps.
+    mult: u64,
+    /// Current structural nesting depth (loops + forward-branch shadow
+    /// blocks). Bounded by [`MAX_NEST`] so generation recursion stays
+    /// shallow enough for a default 2 MiB test-thread stack.
+    nest: usize,
+}
+
+/// Structural nesting bound for [`Gen::branch_or_structure`]. The ledger
+/// alone admits forward-branch nests hundreds of levels deep (each level
+/// costs only a branch), which is a stack overflow in debug builds.
+const MAX_NEST: usize = 24;
+
+impl Gen<'_> {
+    fn fresh_label(&mut self, stem: &str) -> String {
+        self.next_label += 1;
+        format!("{stem}_{}", self.next_label)
+    }
+
+    /// Charges `insts` emitted instructions against the ledger; returns
+    /// false (and charges nothing) if the budget cannot afford them.
+    fn charge(&mut self, insts: u64) -> bool {
+        let cost = insts.saturating_mul(self.mult);
+        if cost > self.dyn_left {
+            return false;
+        }
+        self.dyn_left -= cost;
+        true
+    }
+
+    /// A random scratch register (never a reserved one).
+    fn scratch(&mut self) -> ArchReg {
+        r(self
+            .rng
+            .gen_range(1usize..self.cfg.reg_pool.clamp(1, 23) + 1))
+    }
+
+    /// A random *readable* register: usually scratch, occasionally a
+    /// reserved register (reading those is harmless and mixes long-lived
+    /// values into the dataflow).
+    fn readable(&mut self) -> ArchReg {
+        if self.rng.gen_bool(0.12) {
+            let reserved = [
+                0,
+                LOOP_CTR[0],
+                LOOP_CTR[1],
+                LOOP_CTR[2],
+                LINK[0],
+                LINK[1],
+                LINK[2],
+                SAFE_BASE_REG,
+            ];
+            r(reserved[self.rng.gen_range(0usize..reserved.len())])
+        } else {
+            self.scratch()
+        }
+    }
+
+    /// A random immediate with a bias toward the special values the
+    /// renamer treats specially (0/1 idioms) and toward small numbers.
+    fn imm(&mut self) -> i64 {
+        match self.rng.gen_range(0u32..8) {
+            0 => 0,
+            1 => 1,
+            2 => -1,
+            3..=5 => self.rng.gen_range(-512i64..512),
+            6 => self.rng.gen_range(i32::MIN as i64..i32::MAX as i64),
+            _ => self.rng.gen_range(i64::MIN..i64::MAX),
+        }
+    }
+
+    /// One straight-line instruction (no control flow). Costs one ledger
+    /// instruction, pre-charged by the caller.
+    fn straight_line(&mut self) {
+        use idld_isa::AluOp::*;
+        let rd = self.scratch();
+        let rs1 = self.readable();
+        let rs2 = self.readable();
+        let ops = [
+            Add, Sub, Mul, Divu, Remu, And, Or, Xor, Sll, Srl, Sra, Slt, Sltu,
+        ];
+        if self.rng.gen_bool(self.cfg.mem_density) {
+            self.memory_op(rd, rs1, rs2);
+        } else if self.rng.gen_bool(self.cfg.out_density) {
+            self.a.out(rs1);
+        } else {
+            match self.rng.gen_range(0u32..10) {
+                // Register move: canonical move-elimination candidate.
+                0 => {
+                    self.a.mv(rd, rs1);
+                }
+                // Zeroing idiom: idiom-elimination candidate.
+                1 => {
+                    self.a.xor(rd, rs1, rs1);
+                }
+                2 => {
+                    let imm = self.imm();
+                    self.a.li(rd, imm);
+                }
+                3..=5 => {
+                    let op = ops[self.rng.gen_range(0usize..ops.len())];
+                    let imm = self.imm();
+                    self.a.alui(op, rd, rs1, imm);
+                }
+                _ => {
+                    let op = ops[self.rng.gen_range(0usize..ops.len())];
+                    self.a.alu(op, rd, rs1, rs2);
+                }
+            }
+        }
+    }
+
+    /// A load or store, safe-based or wild-addressed.
+    fn memory_op(&mut self, rd: ArchReg, rs1: ArchReg, rs2: ArchReg) {
+        let wild = self.rng.gen_bool(self.cfg.wild_mem);
+        let (base, off) = if wild {
+            (rs1, self.rng.gen_range(-64i64..64))
+        } else {
+            (
+                r(SAFE_BASE_REG),
+                self.rng.gen_range(0i64..(SAFE_LEN as i64 - 8)),
+            )
+        };
+        let store = self.rng.gen_bool(self.cfg.store_ratio);
+        let width = [1usize, 4, 8][self.rng.gen_range(0usize..3)];
+        match (store, width) {
+            (false, 1) => self.a.ldb(rd, base, off),
+            (false, 4) => self.a.ldw(rd, base, off),
+            (false, _) => self.a.ld(rd, base, off),
+            (true, 1) => self.a.stb(rs2, base, off),
+            (true, 4) => self.a.stw(rs2, base, off),
+            (true, _) => self.a.st(rs2, base, off),
+        };
+    }
+
+    /// Two instructions that *may* fault: placed architecturally (a legal
+    /// early stop) or inside wrong-path shadows (speculation stress).
+    fn fault_bomb(&mut self) {
+        let rd = self.scratch();
+        if self.rng.gen_bool(0.5) {
+            // Guaranteed-wild load far beyond any memory size.
+            let addr = (1u64 << 40) | self.rng.gen_range(0u64..1 << 20);
+            self.a.li(rd, addr as i64);
+            let rd2 = self.scratch();
+            self.a.ld(rd2, rd, 0);
+        } else {
+            // Indirect jump to a guaranteed-invalid instruction index.
+            // (A *random* jalr target could land backwards and loop
+            // forever; a huge one deterministically faults.)
+            let target = (1u64 << 32) | self.rng.gen_range(0u64..1 << 16);
+            self.a.li(rd, target as i64);
+            let link = self.scratch();
+            self.a.jalr(link, rd, 0);
+        }
+    }
+
+    /// One block of up to `len` body slots at the given loop/call depth.
+    /// Stops early when the dynamic-cost ledger runs dry.
+    fn block(&mut self, len: usize, loop_depth: usize, call_depth: usize) {
+        for _ in 0..len {
+            if self.dyn_left < self.mult.saturating_mul(2) {
+                break;
+            }
+            if self.rng.gen_bool(self.cfg.branch_density) {
+                self.branch_or_structure(loop_depth, call_depth);
+            } else if self.charge(1) {
+                self.straight_line();
+            }
+        }
+    }
+
+    /// A control-flow construct: forward branch (possibly over a poison
+    /// block), counted loop, or call — whatever the remaining depth and
+    /// budget allow.
+    fn branch_or_structure(&mut self, loop_depth: usize, call_depth: usize) {
+        if self.nest >= MAX_NEST {
+            if self.charge(1) {
+                self.straight_line();
+            }
+            return;
+        }
+        self.nest += 1;
+        let can_loop = loop_depth < self.cfg.loop_depth.min(LOOP_CTR.len());
+        let can_call =
+            call_depth < self.cfg.call_depth.min(LINK.len()) && !self.funcs[call_depth].is_empty();
+        match self.rng.gen_range(0u32..4) {
+            0 if can_loop => self.counted_loop(loop_depth, call_depth),
+            1 if can_call && self.charge(FN_COST[call_depth] + 1) => {
+                let pick = self.rng.gen_range(0usize..self.funcs[call_depth].len());
+                let f = self.funcs[call_depth][pick].clone();
+                self.a.jal(r(LINK[call_depth]), &f);
+            }
+            _ => self.forward_branch(loop_depth, call_depth),
+        }
+        self.nest -= 1;
+    }
+
+    /// `li ctr, trips; top: body; ctr -= 1; bne ctr, r0, top`.
+    fn counted_loop(&mut self, loop_depth: usize, call_depth: usize) {
+        let trips = self.rng.gen_range(1u64..self.cfg.loop_trip_max + 1);
+        // The skeleton costs 1 (li) + 2 per iteration (addi + bne); bail
+        // out to a plain slot when even an empty loop is unaffordable.
+        if !self.charge(1)
+            || !{
+                let saved = self.mult;
+                self.mult = saved.saturating_mul(trips);
+                let ok = self.charge(2);
+                if !ok {
+                    self.mult = saved;
+                }
+                ok
+            }
+        {
+            if self.charge(1) {
+                self.straight_line();
+            }
+            return;
+        }
+        let ctr = r(LOOP_CTR[loop_depth]);
+        let top = self.fresh_label("loop");
+        self.a.li(ctr, trips as i64);
+        self.a.label(&top);
+        let len = self.rng.gen_range(1usize..8);
+        self.block(len, loop_depth + 1, call_depth);
+        self.a.addi(ctr, ctr, -1);
+        self.a.bne(ctr, r(0), &top);
+        self.mult /= trips.max(1);
+    }
+
+    /// A forward conditional branch over a short shadow block. With
+    /// probability [`GenConfig::wrong_path`] the branch is always taken
+    /// (`beq rs, rs`) and the shadow is a poison block — wild loads and
+    /// fault bombs that only ever execute speculatively.
+    fn forward_branch(&mut self, loop_depth: usize, call_depth: usize) {
+        use idld_isa::BrCond::*;
+        if !self.charge(1) {
+            return;
+        }
+        let skip = self.fresh_label("skip");
+        let poison = self.rng.gen_bool(self.cfg.wrong_path);
+        if poison {
+            let rs = self.readable();
+            self.a.beq(rs, rs, &skip);
+            let len = self.rng.gen_range(1usize..5);
+            for _ in 0..len {
+                // Architecturally skipped, but charged anyway: the charge
+                // is a conservative over-count, and wrong-path blocks stay
+                // short.
+                if !self.charge(2) {
+                    break;
+                }
+                if self.rng.gen_bool(0.4) {
+                    self.fault_bomb();
+                } else {
+                    self.straight_line();
+                }
+            }
+        } else {
+            let conds = [Eq, Ne, Lt, Ge, Ltu, Geu];
+            let cond = conds[self.rng.gen_range(0usize..conds.len())];
+            let rs1 = self.readable();
+            let rs2 = self.readable();
+            self.a.br(cond, rs1, rs2, &skip);
+            let len = self.rng.gen_range(1usize..6);
+            self.block(len, loop_depth, call_depth);
+        }
+        self.a.label(&skip);
+    }
+
+    /// Emits the body of one function with depth index `d` (it is called
+    /// through `LINK[d]` and may call depth `d + 1` functions). Function
+    /// bodies are loop-free — a loop here would clobber a caller's live
+    /// loop counter — and run on their own dynamic budget, which is what a
+    /// call site is charged.
+    fn function(&mut self, label: &str, d: usize) {
+        let saved = (self.dyn_left, self.mult);
+        // Reserve the return jalr plus slack for the deepest call chain.
+        self.dyn_left = FN_COST[d].saturating_sub(4);
+        self.mult = 1;
+        self.a.label(label);
+        let len = self.rng.gen_range(2usize..16);
+        self.block(len, LOOP_CTR.len(), d + 1);
+        let rd = self.scratch();
+        self.a.jalr(rd, r(LINK[d]), 0);
+        (self.dyn_left, self.mult) = saved;
+    }
+}
+
+/// Generates one structurally valid, termination-guaranteed program from
+/// `cfg` and the given RNG. Identical `(cfg, rng state)` → identical
+/// program, bit for bit; the worst-case architectural step count is below
+/// [`MAX_DYNAMIC_STEPS`].
+pub fn generate(cfg: &GenConfig, rng: &mut SmallRng) -> Program {
+    let mut g = Gen {
+        a: Asm::new(),
+        rng,
+        cfg: *cfg,
+        next_label: 0,
+        funcs: Vec::new(),
+        dyn_left: MAX_DYNAMIC_STEPS - 64, // prologue + epilogue headroom
+        mult: 1,
+        nest: 0,
+    };
+
+    // Plan the function labels up front so call sites can reference them
+    // before the bodies are emitted (forward fixups resolve them).
+    let depth = cfg.call_depth.min(LINK.len());
+    for d in 0..depth {
+        let n = g.rng.gen_range(1usize..3);
+        let labels = (0..n).map(|i| format!("fn_d{d}_{i}")).collect();
+        g.funcs.push(labels);
+    }
+    g.funcs.resize(LINK.len(), Vec::new());
+
+    // Seed data so early loads observe non-zero values.
+    let words: Vec<u64> = (0..(SAFE_LEN / 8))
+        .map(|_| g.rng.gen_range(0u64..u64::MAX))
+        .collect();
+    g.a.data_u64(SAFE_BASE, &words);
+
+    // Reserved-register prologue.
+    g.a.li(r(SAFE_BASE_REG), SAFE_BASE as i64);
+    // Give a few scratch registers interesting starting values.
+    for i in 1..=cfg.reg_pool.clamp(1, 23).min(6) {
+        let imm = g.imm();
+        g.a.li(r(i), imm);
+    }
+
+    // Main body.
+    g.block(cfg.body_len, 0, 0);
+
+    // Epilogue: publish every scratch register so silent architectural
+    // differences become output differences, then halt.
+    for i in 1..=cfg.reg_pool.clamp(1, 23) {
+        g.a.out(r(i));
+    }
+    g.a.halt();
+
+    // Function bodies, laid out after the halt.
+    for d in 0..depth {
+        for label in g.funcs[d].clone() {
+            g.function(&label, d);
+        }
+    }
+
+    g.a.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idld_isa::{Emulator, StopReason};
+    use rand::SeedableRng;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for seed in 0..20u64 {
+            let mut r1 = SmallRng::seed_from_u64(seed);
+            let mut r2 = SmallRng::seed_from_u64(seed);
+            let c1 = GenConfig::sample(&mut r1);
+            let c2 = GenConfig::sample(&mut r2);
+            let p1 = generate(&c1, &mut r1);
+            let p2 = generate(&c2, &mut r2);
+            assert_eq!(p1.insts, p2.insts, "seed {seed}");
+            assert_eq!(p1.image, p2.image, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn generated_programs_terminate_within_the_ledger_bound() {
+        // The termination guarantee is structural; StepLimit would mean a
+        // generator bug (e.g. a backward data-dependent branch or a
+        // mischarged loop nest).
+        for seed in 0..60u64 {
+            let mut rng = SmallRng::seed_from_u64(0x9e37 ^ seed);
+            let cfg = GenConfig::sample(&mut rng);
+            let p = generate(&cfg, &mut rng);
+            let res = Emulator::new(&p).run(MAX_DYNAMIC_STEPS);
+            assert_ne!(
+                res.stop,
+                StopReason::StepLimit,
+                "seed {seed} exceeded the ledger bound ({cfg:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn knobs_change_the_program_shape() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let small = GenConfig {
+            body_len: 4,
+            branch_density: 0.0,
+            loop_depth: 0,
+            call_depth: 0,
+            ..GenConfig::default()
+        };
+        let p_small = generate(&small, &mut rng);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let big = GenConfig {
+            body_len: 90,
+            branch_density: 0.3,
+            loop_depth: 3,
+            call_depth: 3,
+            ..GenConfig::default()
+        };
+        let p_big = generate(&big, &mut rng);
+        assert!(p_big.insts.len() > p_small.insts.len() * 2);
+    }
+}

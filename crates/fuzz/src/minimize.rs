@@ -1,0 +1,156 @@
+//! Delta-debugging minimization of failing programs.
+//!
+//! Classic ddmin over the instruction list: repeatedly try to delete
+//! chunks of instructions (halving the chunk size when no deletion
+//! survives), keeping a candidate only when the caller's predicate still
+//! reports the failure. Branch and call targets are remapped across each
+//! deletion so candidates stay structurally valid; a deletion is allowed
+//! to change the program's semantics arbitrarily — the predicate is the
+//! sole arbiter of "still interesting".
+
+use idld_isa::{Inst, Program};
+
+/// Upper bound on predicate evaluations per [`minimize`] call, so
+//  pathological predicates cannot stall a fuzzing session.
+const MAX_PROBES: usize = 2_000;
+
+/// Returns `program` with instruction indices `start..end` removed and
+/// every branch/jump target remapped onto the surviving indices (a target
+/// inside the hole lands on the first instruction after it).
+pub fn remove_range(program: &Program, start: usize, end: usize) -> Program {
+    let removed = end - start;
+    let remap = |t: usize| -> usize {
+        if t < start {
+            t
+        } else if t >= end {
+            t - removed
+        } else {
+            start
+        }
+    };
+    let mut out = program.clone();
+    out.insts = program
+        .insts
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i < start || *i >= end)
+        .map(|(_, inst)| match *inst {
+            Inst::Br {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => Inst::Br {
+                cond,
+                rs1,
+                rs2,
+                target: remap(target),
+            },
+            Inst::Jal { rd, target } => Inst::Jal {
+                rd,
+                target: remap(target),
+            },
+            other => other,
+        })
+        .collect();
+    out
+}
+
+/// Minimizes `program` under `still_fails`: returns the smallest program
+/// found (by instruction count) for which the predicate holds. The
+/// predicate is assumed true for `program` itself and is re-evaluated for
+/// every candidate; the search is deterministic and bounded by an
+/// internal probe budget.
+pub fn minimize<F: FnMut(&Program) -> bool>(program: &Program, mut still_fails: F) -> Program {
+    let mut cur = program.clone();
+    let mut probes = 0usize;
+    // Chunk size starts at half the program and halves on every sterile
+    // sweep; one pass at chunk size 1 finishes the reduction.
+    let mut chunk = (cur.insts.len() / 2).max(1);
+    loop {
+        let mut improved = false;
+        let mut start = 0;
+        while start < cur.insts.len() {
+            if probes >= MAX_PROBES {
+                return cur;
+            }
+            let end = (start + chunk).min(cur.insts.len());
+            let candidate = remove_range(&cur, start, end);
+            probes += 1;
+            if !candidate.insts.is_empty() && still_fails(&candidate) {
+                cur = candidate;
+                improved = true;
+                // The window now holds fresh content; retry at the same
+                // position.
+            } else {
+                start = end;
+            }
+        }
+        if improved {
+            continue;
+        }
+        if chunk == 1 {
+            return cur;
+        }
+        chunk = (chunk / 2).max(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idld_isa::reg::r;
+    use idld_isa::Asm;
+
+    /// A program with one load-bearing instruction (`out r5`) buried in
+    /// noise; the predicate is "still emits 77".
+    fn needle_program() -> Program {
+        let mut a = Asm::new();
+        for i in 1..5 {
+            a.li(r(i), i as i64);
+        }
+        a.li(r(5), 77);
+        for i in 1..5 {
+            a.addi(r(i), r(i), 1);
+        }
+        a.out(r(5));
+        a.halt();
+        a.finish()
+    }
+
+    fn emits_77(p: &Program) -> bool {
+        let res = idld_isa::Emulator::new(p).run(10_000);
+        res.output.contains(&77)
+    }
+
+    #[test]
+    fn minimization_strips_noise_but_keeps_the_needle() {
+        let p = needle_program();
+        assert!(emits_77(&p));
+        let m = minimize(&p, emits_77);
+        assert!(emits_77(&m));
+        // li + out (+ possibly halt) survive; all the noise goes.
+        assert!(m.insts.len() <= 3, "got {:?}", m.insts);
+    }
+
+    #[test]
+    fn branch_targets_are_remapped_across_deletions() {
+        let mut a = Asm::new();
+        a.li(r(1), 5);
+        a.li(r(2), 0); // deletable noise
+        a.j("end");
+        a.li(r(3), 9); // skipped by the jump
+        a.label("end");
+        a.out(r(1));
+        a.halt();
+        let p = a.finish();
+        let pred = |q: &Program| {
+            let res = idld_isa::Emulator::new(q).run(1_000);
+            res.output == vec![5]
+        };
+        assert!(pred(&p));
+        let m = minimize(&p, pred);
+        assert!(pred(&m));
+        assert!(m.insts.len() < p.insts.len());
+    }
+}

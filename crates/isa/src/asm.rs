@@ -121,6 +121,31 @@ impl Asm {
         self.push(inst)
     }
 
+    // --- Generic forms (program generators) ---------------------------------
+
+    /// `rd = rs1 <op> rs2` for any [`AluOp`].
+    pub fn alu(&mut self, op: AluOp, rd: ArchReg, rs1: ArchReg, rs2: ArchReg) -> &mut Self {
+        self.push(Inst::Alu { op, rd, rs1, rs2 })
+    }
+
+    /// `rd = rs1 <op> imm` for any [`AluOp`].
+    pub fn alui(&mut self, op: AluOp, rd: ArchReg, rs1: ArchReg, imm: i64) -> &mut Self {
+        self.push(Inst::AluI { op, rd, rs1, imm })
+    }
+
+    /// Branch to `label` on any [`BrCond`].
+    pub fn br(&mut self, cond: BrCond, rs1: ArchReg, rs2: ArchReg, label: &str) -> &mut Self {
+        self.push_target(
+            Inst::Br {
+                cond,
+                rs1,
+                rs2,
+                target: 0,
+            },
+            label,
+        )
+    }
+
     // --- ALU register forms -------------------------------------------------
 
     /// `rd = rs1 + rs2`.

@@ -74,15 +74,24 @@ fn parse_imm(tok: &str, line: usize) -> Result<i64, ParseError> {
         Some(rest) => (true, rest),
         None => (false, tok),
     };
-    let value = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
-        i64::from_str_radix(hex, 16)
-            .or_else(|_| u64::from_str_radix(hex, 16).map(|v| v as i64))
-            .map_err(|_| err(line, format!("bad immediate `{tok}`")))?
+    let magnitude = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).map_err(|_| err(line, format!("bad immediate `{tok}`")))?
     } else {
-        body.parse::<i64>()
+        body.parse::<u64>()
             .map_err(|_| err(line, format!("bad immediate `{tok}`")))?
     };
-    Ok(if neg { -value } else { value })
+    // Positive magnitudes up to u64::MAX are accepted as the i64 bit
+    // pattern (so `0xffff_ffff_ffff_ffff` works); negative ones up to
+    // 2^63, so `-9223372036854775808` (i64::MIN) round-trips without the
+    // negation overflowing.
+    if neg {
+        if magnitude > 1u64 << 63 {
+            return Err(err(line, format!("immediate out of range `{tok}`")));
+        }
+        Ok((magnitude as i64).wrapping_neg())
+    } else {
+        Ok(magnitude as i64)
+    }
 }
 
 /// Splits `imm(reg)` memory-operand syntax.
@@ -118,9 +127,12 @@ const ALU_R: [(&str, AluOp); 13] = [
     ("sltu", AluOp::Sltu),
 ];
 
-const ALU_I: [(&str, AluOp); 10] = [
+const ALU_I: [(&str, AluOp); 13] = [
     ("addi", AluOp::Add),
+    ("subi", AluOp::Sub),
     ("muli", AluOp::Mul),
+    ("divui", AluOp::Divu),
+    ("remui", AluOp::Remu),
     ("andi", AluOp::And),
     ("ori", AluOp::Or),
     ("xori", AluOp::Xor),
@@ -583,6 +595,54 @@ mod tests {
             let q = parse_asm(&text).expect("reparses");
             assert_eq!(p.insts, q.insts);
         }
+    }
+
+    #[test]
+    fn alu_immediate_mnemonics_round_trip() {
+        // Fuzz regression: `subi`, `divui` and `remui` were missing from
+        // the mnemonic table, so disassembling an `AluI` carrying those
+        // ops panicked and the emitted text could not be reparsed.
+        for op in [AluOp::Sub, AluOp::Divu, AluOp::Remu] {
+            let p = Program::from_insts(vec![Inst::AluI {
+                op,
+                rd: ArchReg::new(1),
+                rs1: ArchReg::new(2),
+                imm: -3,
+            }]);
+            let text = disassemble(&p);
+            let q = parse_asm(&text).expect("reparses");
+            assert_eq!(p.insts, q.insts, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn extreme_immediates_round_trip() {
+        // Fuzz regression: `-9223372036854775808` (i64::MIN) was rejected
+        // because the magnitude was parsed into i64 before negation, and
+        // the hex spelling would have panicked on `-i64::MIN`.
+        for (src, want) in [
+            ("li r1, -9223372036854775808", i64::MIN),
+            ("li r1, -0x8000000000000000", i64::MIN),
+            ("li r1, 9223372036854775807", i64::MAX),
+            ("li r1, 0xffffffffffffffff", -1),
+        ] {
+            let p = parse_asm(src).expect(src);
+            assert_eq!(
+                p.insts[0],
+                Inst::Li {
+                    rd: ArchReg::new(1),
+                    imm: want
+                },
+                "{src}"
+            );
+        }
+        // One past i64::MIN must be a diagnostic, not a panic.
+        let e = parse_asm("li r1, -9223372036854775809").unwrap_err();
+        assert!(e.message.contains("out of range") || e.message.contains("immediate"));
+        // Round-trip i64::MIN through the disassembler too.
+        let p = parse_asm("li r1, -9223372036854775808").unwrap();
+        let q = parse_asm(&disassemble(&p)).expect("reparses");
+        assert_eq!(p.insts, q.insts);
     }
 
     #[test]

@@ -52,6 +52,18 @@ enum Status {
     Done,
 }
 
+/// What a completing load gets back from the memory system.
+#[derive(Clone, Copy, Debug)]
+enum LoadOutcome {
+    /// The loaded value, plus the forwarding store's seq if one supplied it.
+    Value(u64, Option<u64>),
+    /// A resolved older store partially overlaps: the load must re-issue
+    /// after that store commits.
+    Replay,
+    /// The access faults.
+    Fault(CrashCause),
+}
+
 #[derive(Clone, Debug)]
 struct Entry {
     seq: u64,
@@ -167,6 +179,22 @@ impl<'p> Simulator<'p> {
     #[inline]
     pub fn rrs(&self) -> &Rrs {
         &self.rrs
+    }
+
+    /// The committed (architectural) value of logical register `arch`,
+    /// read through the retirement RAT. Meaningful once the pipeline has
+    /// drained (after [`Simulator::run`] returns); differential oracles
+    /// compare this against the golden emulator's register file.
+    #[inline]
+    pub fn arch_reg(&self, arch: usize) -> u64 {
+        self.prf[self.rrs.rrat_lookup(arch).index()]
+    }
+
+    /// The data memory (stores are applied at commit, so after a run this
+    /// is the architectural memory state).
+    #[inline]
+    pub fn mem(&self) -> &Memory {
+        &self.mem
     }
 
     /// Runs the program to completion (halt/crash/assert) or `max_cycles`.
@@ -458,21 +486,31 @@ impl<'p> Simulator<'p> {
             Inst::Ld { imm, .. } | Inst::Ldw { imm, .. } | Inst::Ldb { imm, .. } => {
                 let width = inst.mem_width().expect("load width");
                 let address = a.wrapping_add(imm as u64);
-                addr = Some(address);
-                self.stats.loads += 1;
                 match self.load_with_forwarding(i, address, width) {
-                    Ok((v, forwarded)) => {
+                    LoadOutcome::Replay => {
+                        // An older store resolved to a partially overlapping
+                        // address while this load was in flight. Exact-match
+                        // forwarding cannot supply the merged bytes, so send
+                        // the load back to the scheduler: the issue rule
+                        // holds it until the store commits its bytes.
+                        self.stats.load_replays += 1;
+                        self.window[i].status = Status::Waiting;
+                        return;
+                    }
+                    LoadOutcome::Value(v, forwarded) => {
                         result = v;
                         if forwarded.is_some() {
                             self.stats.load_forwards += 1;
                         }
                         self.window[i].forwarded_from = forwarded;
                     }
-                    Err(c) => {
+                    LoadOutcome::Fault(c) => {
                         fault = Some(c);
                         result = 0;
                     }
                 }
+                addr = Some(address);
+                self.stats.loads += 1;
             }
             Inst::St { imm, .. } | Inst::Stw { imm, .. } | Inst::Stb { imm, .. } => {
                 addr = Some(a.wrapping_add(imm as u64));
@@ -573,14 +611,16 @@ impl<'p> Simulator<'p> {
     }
 
     /// Loads with exact-match store-to-load forwarding from older in-window
-    /// stores; the issue rule guarantees no unresolved or partially
-    /// overlapping older store exists at this point.
-    fn load_with_forwarding(
-        &self,
-        i: usize,
-        addr: u64,
-        width: usize,
-    ) -> Result<(u64, Option<u64>), CrashCause> {
+    /// stores, scanning youngest-first so the nearest exact match shadows
+    /// anything older.
+    ///
+    /// The issue rule refuses to *issue* a load past a store already
+    /// resolved to a partially overlapping address, but with memory
+    /// dependence speculation a store may resolve to one while the load is
+    /// in flight (the violation scan cannot see such a load: its address
+    /// is recorded only here, at completion). That case returns
+    /// [`LoadOutcome::Replay`] instead of stale memory bytes.
+    fn load_with_forwarding(&self, i: usize, addr: u64, width: usize) -> LoadOutcome {
         for j in (0..i).rev() {
             let e = &self.window[j];
             if !matches!(e.inst.kind(), idld_isa::InstKind::Store) {
@@ -594,17 +634,22 @@ impl<'p> Simulator<'p> {
                     } else {
                         (1u64 << (8 * width)) - 1
                     };
-                    return Ok((e.result & mask, Some(e.seq)));
+                    return LoadOutcome::Value(e.result & mask, Some(e.seq));
+                }
+                let overlap = saddr < addr.wrapping_add(width as u64)
+                    && addr < saddr.wrapping_add(swidth as u64);
+                if overlap {
+                    return LoadOutcome::Replay;
                 }
             }
         }
-        self.mem
-            .load(addr, width)
-            .map(|v| (v, None))
-            .map_err(|e| CrashCause::MemFault {
+        match self.mem.load(addr, width) {
+            Ok(v) => LoadOutcome::Value(v, None),
+            Err(e) => LoadOutcome::Fault(CrashCause::MemFault {
                 addr: e.addr,
                 width: e.width,
-            })
+            }),
+        }
     }
 
     /// True if window entry `i` (a load) may issue under conservative
@@ -918,6 +963,38 @@ mod tests {
         a.blt(r(1), r(2), "w");
         a.halt();
         check_against_emulator(a, &[1, 4, 8]);
+    }
+
+    #[test]
+    fn partially_overlapping_store_under_speculative_load_replays() {
+        // Minimized from fuzz seed 0xcafebabe iter 09805: with memory
+        // dependence speculation on, the 4-byte load at 88 issues past the
+        // unresolved 8-byte store at 89; the store then resolves to a
+        // partially overlapping address while the load is still in flight,
+        // where the violation scan cannot see it (its address is recorded
+        // only at completion). The load must replay after the store
+        // commits instead of completing with stale memory bytes.
+        let mut a = Asm::new();
+        a.li(r(5), 415);
+        a.ldb(r(21), r(31), 2851); // keeps the load port busy a cycle
+        a.st(r(5), r(31), 89);
+        a.ldw(r(6), r(31), 88);
+        a.out(r(6));
+        a.halt();
+        let p = a.finish();
+        let mut emu = Emulator::new(&p);
+        let expected = emu.run(10_000);
+        assert_eq!(expected.stop, StopReason::Halted);
+        for w in [1, 2, 4, 8] {
+            for spec in [false, true] {
+                let mut cfg = SimConfig::with_width(w);
+                cfg.mem_dep_speculation = spec;
+                let mut sim = Simulator::new(&p, cfg);
+                let got = sim.run(&mut NoFaults, &mut CheckerSet::new(), None, 100_000);
+                assert_eq!(got.stop, SimStop::Halted, "width {w} spec {spec}");
+                assert_eq!(got.output, expected.output, "width {w} spec {spec}");
+            }
+        }
     }
 
     #[test]

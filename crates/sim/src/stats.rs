@@ -32,6 +32,9 @@ pub struct SimStats {
     pub loads: u64,
     /// Loads satisfied by store-to-load forwarding.
     pub load_forwards: u64,
+    /// Loads replayed because an older store resolved to a partially
+    /// overlapping address while the load was in flight.
+    pub load_replays: u64,
     /// Stores committed to memory.
     pub stores: u64,
     /// Cycles in which the front end could not rename its whole fetch

@@ -1,13 +1,19 @@
 //! Shared workload plumbing: the `Workload` type and deterministic data
 //! generation.
 
-use idld_isa::Program;
+use idld_isa::{Emulator, Program, StopReason};
 
 /// One benchmark: a program plus its native-reference expected output.
+///
+/// The ten MiBench-style kernels build these statically, but any program —
+/// fuzz-generated, hand-assembled, or parsed from `.asm` — can become a
+/// first-class workload via [`Workload::from_program`] or
+/// [`Workload::capture`] and flow through the same golden-run and campaign
+/// machinery.
 #[derive(Clone, Debug)]
 pub struct Workload {
-    /// MiBench-style name (stable; used as figure row labels).
-    pub name: &'static str,
+    /// Name (stable; used as figure row labels and corpus file stems).
+    pub name: String,
     /// The assembled tiny-RISC program.
     pub program: Program,
     /// The exact output stream a correct execution must produce, computed
@@ -15,6 +21,76 @@ pub struct Workload {
     pub expected_output: Vec<u64>,
     /// Architectural step budget (comfortably above the real dynamic count).
     pub max_steps: u64,
+}
+
+/// Why a program cannot be wrapped as a [`Workload`] by
+/// [`Workload::capture`]: its reference (emulator) run did not halt.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CaptureError {
+    /// The name the workload would have had.
+    pub name: String,
+    /// How the emulator run actually stopped.
+    pub stop: StopReason,
+}
+
+impl std::fmt::Display for CaptureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "reference run of {} did not halt (stopped with {:?})",
+            self.name, self.stop
+        )
+    }
+}
+
+impl std::error::Error for CaptureError {}
+
+impl Workload {
+    /// Wraps an arbitrary program as a workload with a known expected
+    /// output. The step budget is sized generously from the program's
+    /// static length so campaigns never clip a legitimate run.
+    pub fn from_program(
+        name: impl Into<String>,
+        program: Program,
+        expected_output: Vec<u64>,
+    ) -> Workload {
+        Workload {
+            name: name.into(),
+            program,
+            expected_output,
+            max_steps: 4_000_000,
+        }
+    }
+
+    /// Wraps an arbitrary program as a workload, capturing the expected
+    /// output by running the architectural emulator for up to `max_steps`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CaptureError`] when the reference run faults or exhausts
+    /// `max_steps` — such a program has no well-defined expected output
+    /// stream and cannot serve as a campaign baseline.
+    pub fn capture(
+        name: impl Into<String>,
+        program: Program,
+        max_steps: u64,
+    ) -> Result<Workload, CaptureError> {
+        let name = name.into();
+        let mut emu = Emulator::new(&program);
+        let res = emu.run(max_steps);
+        if res.stop != StopReason::Halted {
+            return Err(CaptureError {
+                name,
+                stop: res.stop,
+            });
+        }
+        Ok(Workload {
+            name,
+            program,
+            expected_output: res.output,
+            max_steps,
+        })
+    }
 }
 
 /// Deterministic 64-bit LCG used for all synthetic input data, so every
@@ -51,6 +127,49 @@ impl Lcg {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use idld_isa::emu::EmuFault;
+    use idld_isa::reg::r;
+    use idld_isa::Asm;
+
+    #[test]
+    fn from_program_wraps_any_program() {
+        let mut a = Asm::new();
+        a.li(r(3), 41);
+        a.addi(r(3), r(3), 1);
+        a.out(r(3));
+        a.halt();
+        let w = Workload::from_program("tiny", a.finish(), vec![42]);
+        assert_eq!(w.name, "tiny");
+        assert_eq!(w.expected_output, vec![42]);
+        let mut emu = Emulator::new(&w.program);
+        let res = emu.run(w.max_steps);
+        assert_eq!(res.stop, StopReason::Halted);
+        assert_eq!(res.output, w.expected_output);
+    }
+
+    #[test]
+    fn capture_records_the_emulator_output() {
+        let mut a = Asm::new();
+        a.li(r(1), 7);
+        a.out(r(1));
+        a.out(r(1));
+        a.halt();
+        let w = Workload::capture("twice", a.finish(), 1_000).expect("halts");
+        assert_eq!(w.expected_output, vec![7, 7]);
+        assert_eq!(w.max_steps, 1_000);
+    }
+
+    #[test]
+    fn capture_rejects_non_halting_programs() {
+        let mut a = Asm::new();
+        a.li(r(1), u64::MAX as i64); // wild address
+        a.ld(r(2), r(1), 0);
+        a.halt();
+        let err = Workload::capture("faulty", a.finish(), 1_000).expect_err("faults");
+        assert_eq!(err.name, "faulty");
+        assert!(matches!(err.stop, StopReason::Fault(EmuFault::Mem(_))));
+        assert!(err.to_string().contains("faulty"));
+    }
 
     #[test]
     fn lcg_is_deterministic() {

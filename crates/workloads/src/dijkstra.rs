@@ -180,7 +180,7 @@ pub fn build_with(factor: u32) -> Workload {
     a.halt();
 
     Workload {
-        name: "dijkstra",
+        name: "dijkstra".into(),
         program: a.finish(),
         expected_output: reference_with(factor),
         max_steps: 500_000 * factor as u64,

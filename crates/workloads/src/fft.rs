@@ -159,7 +159,7 @@ pub fn build_with(factor: u32) -> Workload {
     let _ = (RE_BASE, IM_BASE);
 
     Workload {
-        name: "fft",
+        name: "fft".into(),
         program: a.finish(),
         expected_output: reference_with(factor),
         max_steps: 500_000 * factor as u64,

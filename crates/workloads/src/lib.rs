@@ -53,7 +53,7 @@ pub mod sha;
 pub mod stringsearch;
 pub mod susan;
 
-pub use common::Workload;
+pub use common::{CaptureError, Workload};
 
 /// The full ten-benchmark suite in a stable order, at the default scale.
 pub fn suite() -> Vec<Workload> {
@@ -96,7 +96,7 @@ mod tests {
     fn suite_has_ten_named_workloads() {
         let s = super::suite();
         assert_eq!(s.len(), 10);
-        let names: Vec<_> = s.iter().map(|w| w.name).collect();
+        let names: Vec<_> = s.iter().map(|w| w.name.as_str()).collect();
         assert!(names.contains(&"sha") && names.contains(&"qsort"));
         let set: std::collections::HashSet<_> = names.iter().collect();
         assert_eq!(set.len(), 10, "names unique");

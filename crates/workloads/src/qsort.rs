@@ -149,7 +149,7 @@ pub fn build_with(factor: u32) -> Workload {
     a.halt();
 
     Workload {
-        name: "qsort",
+        name: "qsort".into(),
         program: a.finish(),
         expected_output: reference_with(factor),
         max_steps: 2_000_000 * factor as u64 * factor as u64,

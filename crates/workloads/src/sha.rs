@@ -229,7 +229,7 @@ pub fn build_with(factor: u32) -> Workload {
     a.halt();
 
     Workload {
-        name: "sha",
+        name: "sha".into(),
         program: a.finish(),
         expected_output: reference_with(factor),
         max_steps: 2_000_000 * factor as u64,

@@ -178,7 +178,7 @@ pub fn build_with(factor: u32) -> Workload {
     a.halt();
 
     Workload {
-        name: "stringsearch",
+        name: "stringsearch".into(),
         program: a.finish(),
         expected_output: reference_with(factor),
         max_steps: 1_000_000 * factor as u64,

@@ -158,7 +158,7 @@ pub fn build_with(factor: u32) -> Workload {
     a.halt();
 
     Workload {
-        name: "susan",
+        name: "susan".into(),
         program: a.finish(),
         expected_output: reference_with(factor),
         max_steps: 1_000_000 * factor as u64,

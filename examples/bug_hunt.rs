@@ -17,7 +17,7 @@ fn main() {
     };
     let picks: Vec<_> = idld::workloads::suite()
         .into_iter()
-        .filter(|w| matches!(w.name, "qsort" | "crc32"))
+        .filter(|w| matches!(w.name.as_str(), "qsort" | "crc32"))
         .collect();
     println!(
         "hunting: {} workloads × 3 bug models × {} runs each...",

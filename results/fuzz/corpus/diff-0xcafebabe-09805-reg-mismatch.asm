@@ -1,0 +1,15 @@
+; Minimized differential-fuzz find: with memory dependence speculation on,
+; the 4-byte load at 88 issued past the unresolved 8-byte store at 89; the
+; store then resolved to a partially overlapping address while the load was
+; in flight, where the violation scan could not see it, and the load
+; completed with stale memory bytes (r6 = 0 instead of 0x19f00).
+; Fixed by replaying in-flight loads when an older store resolves to a
+; partial overlap (crates/sim/src/sim.rs, LoadOutcome::Replay).
+; Regression test: idld-sim partially_overlapping_store_under_speculative_load_replays
+.name diff-0xcafebabe-09805
+    li r5, 415
+    ldb r21, 2851(r31)
+    st r5, 89(r31)
+    ldw r6, 88(r31)
+    out r6
+    halt

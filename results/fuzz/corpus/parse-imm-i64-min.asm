@@ -1,0 +1,10 @@
+; Minimized corpus-save find: the immediate parser negated an i64 magnitude,
+; so `-9223372036854775808` (i64::MIN, emitted by the generator's extreme-
+; immediate bias) failed to reparse and the hex spelling would have panicked
+; on negation overflow.
+; Fixed in crates/isa/src/parse.rs (u64 magnitude + range check + wrapping_neg).
+; Regression test: idld-isa extreme_immediates_round_trip
+.name parse-imm-i64-min
+    li r1, -9223372036854775808
+    out r1
+    halt

@@ -1,0 +1,12 @@
+; Minimized corpus-save find: `subi`, `divui` and `remui` were missing from
+; the assembler's ALU-immediate mnemonic table, so disassembling a generated
+; program carrying AluI{Sub|Divu|Remu} panicked ("known op") while writing a
+; corpus entry, and this file could not be reparsed.
+; Fixed in crates/isa/src/parse.rs (mnemonic table extended to all 13 ops).
+; Regression test: idld-isa alu_immediate_mnemonics_round_trip
+.name parse-subi
+    subi r1, r2, -3
+    divui r3, r1, 7
+    remui r4, r1, 7
+    out r4
+    halt

@@ -17,6 +17,9 @@
 //!   RRS;
 //! * [`campaign`] — golden runs, injection campaigns, outcome
 //!   classification and the analyses behind every figure;
+//! * [`fuzz`] — the seeded differential-fuzzing subsystem: random-program
+//!   generator, emulator-vs-core lockstep oracle, checker-soundness
+//!   fuzzer, minimizer and the `fuzz` CLI;
 //! * [`mdp`] — the Store-Sets memory-dependence-predictor use case (§V.F);
 //! * [`rtl`] — the analytical area/energy model behind Table II.
 //!
@@ -48,6 +51,7 @@
 pub use idld_bugs as bugs;
 pub use idld_campaign as campaign;
 pub use idld_core as core;
+pub use idld_fuzz as fuzz;
 pub use idld_isa as isa;
 pub use idld_mdp as mdp;
 pub use idld_rrs as rrs;

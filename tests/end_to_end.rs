@@ -16,7 +16,7 @@ fn small_campaign(names: &[&str], runs: usize, seed: u64) -> idld::campaign::Cam
     };
     let picks: Vec<_> = idld::workloads::suite()
         .into_iter()
-        .filter(|w| names.contains(&w.name))
+        .filter(|w| names.contains(&w.name.as_str()))
         .collect();
     assert_eq!(picks.len(), names.len(), "all requested workloads exist");
     Campaign::new(cfg)
