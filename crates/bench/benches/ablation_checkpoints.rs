@@ -35,7 +35,7 @@ fn main() {
             let mut sim = Simulator::new(&w.program, cfg);
             let res = sim.run(&mut NoFaults, &mut checkers, None, 100_000_000);
             let stats = res.stats;
-            let (_ck_restores, rrat_restores) = counts.get();
+            let rrat_restores = counts.1.load(std::sync::atomic::Ordering::Relaxed);
             let rec_per_flush = if stats.flushes == 0 {
                 0.0
             } else {

@@ -1,0 +1,100 @@
+//! (ours) Snapshot-and-fork campaign execution vs cold per-run simulation.
+//!
+//! An injected run replays the golden run bit-for-bit until its bug
+//! activates; with activations uniform over the trace, a cold campaign
+//! spends about half of every run re-simulating a prefix the golden run
+//! already produced. The snapshot engine captures golden state at a
+//! stride of cycles and forks each injection from the last snapshot
+//! before its trigger, so that prefix is paid once per workload instead
+//! of once per run.
+//!
+//! Two measurements of the same full-suite campaign:
+//!
+//! 1. **cold** — `IDLD_SNAPSHOT=0` semantics: every run from power-on.
+//! 2. **forked** — the shipping default: runs fork from the snapshot
+//!    cache.
+//!
+//! The exported CSVs are asserted byte-identical before any number is
+//! reported, and the measurements land in `BENCH_campaign.json`
+//! (override the path with `IDLD_BENCH_JSON`).
+//!
+//! ```sh
+//! IDLD_RUNS_PER_CELL=30 cargo bench -p idld-bench --bench snapshot_speedup
+//! ```
+
+use idld_campaign::{export, Campaign, CampaignConfig};
+
+fn main() {
+    idld_bench::banner("Snapshot-and-fork campaign speedup");
+    let mut cfg = CampaignConfig::from_env();
+    if std::env::var(idld_campaign::campaign::RUNS_PER_CELL_ENV).is_err() {
+        cfg.runs_per_cell = 30;
+    }
+    let suite = idld_workloads::suite();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "-- {} workloads x 3 models x {} runs, {cores} core(s), seed {} --",
+        suite.len(),
+        cfg.runs_per_cell,
+        cfg.seed
+    );
+
+    let cold_res = Campaign::new(CampaignConfig {
+        snapshot: false,
+        ..cfg
+    })
+    .run(&suite)
+    .expect("cold campaign");
+    println!(
+        "{:<30} {:>10.2?}  ({:.1} runs/s)",
+        "cold (every run from cycle 0)",
+        cold_res.wall,
+        cold_res.records.len() as f64 / cold_res.wall.as_secs_f64()
+    );
+
+    let snap_res = Campaign::new(CampaignConfig {
+        snapshot: true,
+        ..cfg
+    })
+    .run(&suite)
+    .expect("snapshot campaign");
+    println!(
+        "{:<30} {:>10.2?}  ({:.1} runs/s)",
+        "forked (snapshot cache)",
+        snap_res.wall,
+        snap_res.records.len() as f64 / snap_res.wall.as_secs_f64()
+    );
+
+    assert_eq!(
+        export::to_csv(&cold_res),
+        export::to_csv(&snap_res),
+        "snapshot execution must not change a single record byte"
+    );
+    println!("record streams byte-identical: yes");
+
+    let st = snap_res.snapshot_stats;
+    println!(
+        "snapshot cache: {} snapshots, {:.0}% hit rate, {:.1}M golden cycles skipped",
+        st.captured,
+        100.0 * st.hit_rate(),
+        st.skipped_cycles as f64 / 1e6
+    );
+    let speedup = cold_res.wall.as_secs_f64() / snap_res.wall.as_secs_f64();
+    println!(
+        "measured speedup on this host: {speedup:.2}x over {} records",
+        snap_res.records.len()
+    );
+
+    match idld_bench::write_campaign_bench_json(
+        &[
+            ("suite_snapshot_off", &cold_res),
+            ("suite_snapshot_on", &snap_res),
+        ],
+        Some(speedup),
+    ) {
+        Ok(path) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write BENCH_campaign.json: {e}"),
+    }
+}

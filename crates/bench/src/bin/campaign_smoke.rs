@@ -1,0 +1,40 @@
+//! CI equivalence smoke: runs a small fixed-seed campaign and writes the
+//! exported record CSV to the path given as the first argument (default
+//! `records.csv`).
+//!
+//! CI runs this twice — `IDLD_SNAPSHOT=0` and `IDLD_SNAPSHOT=1` — and
+//! diffs the two files byte-for-byte: snapshot-and-fork execution must
+//! change wall-clock only, never a record. All the usual campaign
+//! environment knobs (`IDLD_RUNS_PER_CELL`, `IDLD_SEED`,
+//! `IDLD_CAMPAIGN_THREADS`, `IDLD_SNAPSHOT_STRIDE`, `IDLD_SNAPSHOT_MAX`)
+//! apply.
+
+use idld_campaign::{export, Campaign, CampaignConfig};
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "records.csv".to_string());
+    let mut cfg = CampaignConfig::from_env();
+    if std::env::var(idld_campaign::campaign::RUNS_PER_CELL_ENV).is_err() {
+        cfg.runs_per_cell = 4;
+    }
+    let suite: Vec<_> = idld_workloads::suite()
+        .into_iter()
+        .filter(|w| matches!(w.name.as_str(), "crc32" | "basicmath" | "bitcount"))
+        .collect();
+    let res = Campaign::new(cfg)
+        .run(&suite)
+        .unwrap_or_else(|e| panic!("campaign baseline invalid: {e}"));
+    std::fs::write(&path, export::to_csv(&res))
+        .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    let st = res.snapshot_stats;
+    eprintln!(
+        "campaign_smoke: {} records -> {path} (snapshot={}, {} forked / {} cold, {} snapshots)",
+        res.records.len(),
+        cfg.snapshot,
+        st.forked_runs,
+        st.cold_runs,
+        st.captured,
+    );
+}

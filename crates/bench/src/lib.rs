@@ -17,10 +17,13 @@
 //! | `ablation_extended_sites` | (ours) XOR-invariance coverage edges |
 //! | `checker_overhead` | (ours) simulation-speed cost of checkers |
 //! | `sched_speedup` | (ours) per-run scheduler vs per-workload threads |
+//! | `snapshot_speedup` | (ours) snapshot-and-fork vs cold campaign runs |
 //!
 //! Scale the campaigns with `IDLD_RUNS_PER_CELL` (paper scale: 1000),
 //! `IDLD_SEED`, and `IDLD_CAMPAIGN_THREADS` (scheduler workers; the
-//! record stream is identical for any value).
+//! record stream is identical for any value). `IDLD_SNAPSHOT=0` disables
+//! snapshot-and-fork execution (same records, slower); `snapshot_speedup`
+//! writes its measurements to `BENCH_campaign.json`.
 
 use idld_campaign::{Campaign, CampaignConfig, CampaignResult, StderrProgress};
 
@@ -60,30 +63,130 @@ pub fn banner(what: &str) {
     println!("==================================================================");
 }
 
+/// Environment variable: output path for [`write_campaign_bench_json`]
+/// (default `BENCH_campaign.json` in the current directory).
+pub const BENCH_JSON_ENV: &str = "IDLD_BENCH_JSON";
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Renders campaign measurements as the machine-readable
+/// `BENCH_campaign.json` payload: wall-clock and runs/sec per campaign,
+/// snapshot hit rate, and the per-workload wall-clock breakdown.
+/// Hand-rolled writer — the workspace deliberately has no JSON dependency.
+pub fn campaign_bench_json(entries: &[(&str, &CampaignResult)], speedup: Option<f64>) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"host_cores\": {},\n",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    ));
+    out.push_str("  \"campaigns\": [\n");
+    for (i, (name, res)) in entries.iter().enumerate() {
+        let wall = res.wall.as_secs_f64();
+        let runs = res.records.len();
+        let runs_per_sec = if wall > 0.0 { runs as f64 / wall } else { 0.0 };
+        let st = res.snapshot_stats;
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", json_escape(name)));
+        out.push_str(&format!("      \"wall_secs\": {wall:.6},\n"));
+        out.push_str(&format!("      \"runs\": {runs},\n"));
+        out.push_str(&format!("      \"runs_per_sec\": {runs_per_sec:.3},\n"));
+        out.push_str(&format!(
+            "      \"snapshot_hit_rate\": {:.6},\n",
+            st.hit_rate()
+        ));
+        out.push_str(&format!("      \"forked_runs\": {},\n", st.forked_runs));
+        out.push_str(&format!("      \"cold_runs\": {},\n", st.cold_runs));
+        out.push_str(&format!(
+            "      \"skipped_cycles\": {},\n",
+            st.skipped_cycles
+        ));
+        out.push_str(&format!("      \"snapshots_captured\": {},\n", st.captured));
+        out.push_str("      \"workloads\": [\n");
+        let benches = res.benches();
+        for (j, b) in benches.iter().enumerate() {
+            let secs: f64 = res
+                .timings
+                .iter()
+                .filter(|c| c.bench == *b)
+                .map(|c| c.total.as_secs_f64())
+                .sum();
+            out.push_str(&format!(
+                "        {{\"name\": \"{}\", \"work_secs\": {secs:.6}}}{}\n",
+                json_escape(b),
+                if j + 1 < benches.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("      ]\n");
+        out.push_str(&format!(
+            "    }}{}\n",
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]");
+    if let Some(s) = speedup {
+        out.push_str(&format!(",\n  \"snapshot_speedup\": {s:.3}"));
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// Writes [`campaign_bench_json`] to [`BENCH_JSON_ENV`] (default
+/// `BENCH_campaign.json`) and returns the path written.
+pub fn write_campaign_bench_json(
+    entries: &[(&str, &CampaignResult)],
+    speedup: Option<f64>,
+) -> std::io::Result<String> {
+    let path = std::env::var(BENCH_JSON_ENV).unwrap_or_else(|_| "BENCH_campaign.json".to_string());
+    std::fs::write(&path, campaign_bench_json(entries, speedup))?;
+    Ok(path)
+}
+
+/// Shared handles to a [`RestoreTally`]'s counters:
+/// `(checkpoint restores, retirement-RAT restores)`.
+pub type RestoreCounts =
+    std::sync::Arc<(std::sync::atomic::AtomicU64, std::sync::atomic::AtomicU64)>;
+
 /// A checker-shaped event tally: counts recovery-restore events so benches
 /// can see how often flushes hit a checkpoint vs the retirement-RAT
-/// fall-back. The counters live behind an `Rc` so the bench keeps a handle
-/// after boxing the tally into a `CheckerSet`.
+/// fall-back. The counters live behind an `Arc` (checkers must be
+/// `Send + Sync` so snapshots can cross campaign worker threads) and the
+/// bench keeps a handle after boxing the tally into a `CheckerSet`.
 #[derive(Clone, Debug, Default)]
 pub struct RestoreTally {
-    counts: std::rc::Rc<std::cell::Cell<(u64, u64)>>,
+    counts: RestoreCounts,
 }
 
 impl RestoreTally {
     /// Creates a tally and a shared handle to its counters.
-    pub fn new() -> (Self, std::rc::Rc<std::cell::Cell<(u64, u64)>>) {
+    pub fn new() -> (Self, RestoreCounts) {
         let t = RestoreTally::default();
         let h = t.counts.clone();
         (t, h)
     }
 }
 
+use std::sync::atomic::Ordering::Relaxed;
+
 impl idld_rrs::EventSink for RestoreTally {
     fn event(&mut self, ev: idld_rrs::RrsEvent) {
-        let (ck, rr) = self.counts.get();
         match ev {
-            idld_rrs::RrsEvent::CkptRestore { .. } => self.counts.set((ck + 1, rr)),
-            idld_rrs::RrsEvent::RratRestore => self.counts.set((ck, rr + 1)),
+            idld_rrs::RrsEvent::CkptRestore { .. } => {
+                self.counts.0.fetch_add(1, Relaxed);
+            }
+            idld_rrs::RrsEvent::RratRestore => {
+                self.counts.1.fetch_add(1, Relaxed);
+            }
             _ => {}
         }
     }
@@ -99,14 +202,54 @@ impl idld_core::Checker for RestoreTally {
         None
     }
     fn reset(&mut self) {
-        self.counts.set((0, 0));
+        self.counts.0.store(0, Relaxed);
+        self.counts.1.store(0, Relaxed);
+    }
+    fn clone_box(&self) -> Box<dyn idld_core::Checker> {
+        Box::new(self.clone())
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::{Campaign, CampaignConfig};
+
     #[test]
     fn banner_prints() {
         super::banner("smoke");
+    }
+
+    #[test]
+    fn campaign_json_is_well_formed() {
+        let cfg = CampaignConfig {
+            runs_per_cell: 2,
+            seed: 7,
+            ..CampaignConfig::default()
+        };
+        let suite: Vec<_> = idld_workloads::suite()
+            .into_iter()
+            .filter(|w| w.name == "crc32")
+            .collect();
+        let res = Campaign::new(cfg).run(&suite).expect("mini campaign");
+        let json = super::campaign_bench_json(&[("smoke", &res)], Some(2.5));
+        for needle in [
+            "\"name\": \"smoke\"",
+            "\"wall_secs\":",
+            "\"runs\": 6",
+            "\"runs_per_sec\":",
+            "\"snapshot_hit_rate\":",
+            "\"snapshot_speedup\": 2.500",
+            "\"workloads\": [",
+            "\"name\": \"crc32\"",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+        // Balanced braces/brackets — the closest well-formedness check
+        // without a JSON parser in the workspace.
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            let o = json.matches(open).count();
+            let c = json.matches(close).count();
+            assert_eq!(o, c, "unbalanced {open}{close}:\n{json}");
+        }
     }
 }

@@ -88,16 +88,34 @@ pub struct SingleShotHook {
     seen: u64,
     cycle: u64,
     activation: Option<u64>,
+    /// Cycle the run resumed at (snapshot forks): no occurrence of the
+    /// site can fire before it, so it is the trigger lower bound.
+    resumed_at: u64,
 }
 
 impl SingleShotHook {
-    /// Arms `spec`.
+    /// Arms `spec` for a run starting from power-on.
     pub fn new(spec: BugSpec) -> Self {
+        Self::resumed(spec, 0, 0)
+    }
+
+    /// Arms `spec` for a run resumed from a mid-run snapshot that had
+    /// already passed `seen` occurrences of the spec's site by `cycle`.
+    /// The caller must pick a snapshot with `seen <= spec.occurrence`
+    /// (asserted): a later one would have skipped past the trigger.
+    pub fn resumed(spec: BugSpec, seen: u64, cycle: u64) -> Self {
+        assert!(
+            seen <= spec.occurrence,
+            "snapshot already past occurrence {} of {:?} (saw {seen})",
+            spec.occurrence,
+            spec.site,
+        );
         SingleShotHook {
             spec,
-            seen: 0,
-            cycle: 0,
+            seen,
+            cycle,
             activation: None,
+            resumed_at: cycle,
         }
     }
 
@@ -132,6 +150,10 @@ impl FaultHook for SingleShotHook {
 
     fn begin_cycle(&mut self, cycle: u64) {
         self.cycle = cycle;
+    }
+
+    fn earliest_trigger(&self) -> u64 {
+        self.resumed_at
     }
 }
 
@@ -186,6 +208,20 @@ impl FaultHook for AtRestHook {
         } else {
             None
         }
+    }
+
+    fn earliest_trigger(&self) -> u64 {
+        if self.applied {
+            u64::MAX
+        } else {
+            self.cycle
+        }
+    }
+
+    // Cycle-triggered: the simulator must keep ticking cycle by cycle
+    // until the upset lands, even through an otherwise dead pipeline.
+    fn quiescent(&self) -> bool {
+        self.applied
     }
 }
 
@@ -274,6 +310,49 @@ mod tests {
         assert_eq!(hook.activation_cycle(), Some(12));
         hook.begin_cycle(13);
         assert!(!hook.on_op(OpSite::FlPop).is_active(), "single shot only");
+    }
+
+    #[test]
+    fn resumed_hook_fires_at_the_same_occurrence() {
+        let spec = BugSpec {
+            site: OpSite::FlPop,
+            occurrence: 5,
+            corruption: Corruption {
+                suppress_ptr: true,
+                ..Corruption::NONE
+            },
+            model: BugModel::Duplication,
+        };
+        // A snapshot taken at cycle 100 had already passed 3 FlPops.
+        let mut hook = SingleShotHook::resumed(spec, 3, 100);
+        assert_eq!(hook.earliest_trigger(), 100);
+        hook.begin_cycle(100);
+        assert!(!hook.on_op(OpSite::FlPop).is_active()); // occurrence 3
+        assert!(!hook.on_op(OpSite::FlPop).is_active()); // occurrence 4
+        hook.begin_cycle(101);
+        assert!(hook.on_op(OpSite::FlPop).is_active(), "occurrence 5 fires");
+        assert_eq!(hook.activation_cycle(), Some(101));
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot already past occurrence")]
+    fn resuming_past_the_trigger_is_rejected() {
+        let spec = BugSpec {
+            site: OpSite::FlPop,
+            occurrence: 2,
+            corruption: Corruption::NONE,
+            model: BugModel::Duplication,
+        };
+        let _ = SingleShotHook::resumed(spec, 3, 100);
+    }
+
+    #[test]
+    fn at_rest_hook_reports_its_arming_cycle() {
+        let mut hook = AtRestHook::new(250, 4, 0b10);
+        assert_eq!(hook.earliest_trigger(), 250);
+        hook.begin_cycle(250);
+        assert!(hook.take_at_rest().is_some());
+        assert_eq!(hook.earliest_trigger(), u64::MAX, "spent hooks never fire");
     }
 
     #[test]

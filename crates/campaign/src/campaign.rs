@@ -9,6 +9,22 @@
 //! behind the slowest workload. Golden runs are captured once per workload
 //! and shared read-only across workers via `Arc`.
 //!
+//! # Snapshot-and-fork execution
+//!
+//! An injected run is bit-identical to the golden run until its bug
+//! activates, so simulating that prefix thousands of times is pure waste.
+//! With [`CampaignConfig::snapshot`] on (the default), the golden capture
+//! also snapshots full simulator + checker state at a stride of cycles
+//! (bounded per workload by [`CampaignConfig::snapshot_max`] via
+//! deterministic stride-doubling thinning), each snapshot tagged with the
+//! control-signal census at its cycle. Every injection then forks from
+//! the latest snapshot that has not yet passed its target occurrence,
+//! re-arming the hook with the snapshot's census count. Jobs are
+//! *executed* in (workload, resume-cycle) order for cache locality, but
+//! records are written back by original index, so the record stream —
+//! and the exported CSV — is byte-identical with snapshots on or off
+//! (`IDLD_SNAPSHOT=0/1`), at any worker count.
+//!
 //! # Determinism
 //!
 //! Every job's RNG derives from `(seed, bench, model, k)` only, the job
@@ -32,7 +48,7 @@ use crate::progress::{CampaignProgress, NullProgress, ProgressState};
 use idld_bugs::{BugModel, BugSpec, SingleShotHook};
 use idld_core::{BitVectorChecker, CheckerSet, CounterChecker, IdldChecker};
 use idld_rrs::CensusHook;
-use idld_sim::{CommitTrace, SimConfig, Simulator};
+use idld_sim::{CommitTrace, SimConfig, SimSnapshot, Simulator};
 use idld_workloads::Workload;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -51,6 +67,15 @@ pub const SEED_ENV: &str = "IDLD_SEED";
 /// Environment variable: scheduler worker threads (0 or unset = one per
 /// available core).
 pub const THREADS_ENV: &str = "IDLD_CAMPAIGN_THREADS";
+/// Environment variable: snapshot-and-fork execution, `1` (default) or
+/// `0`. The record stream is byte-identical either way; `0` exists for
+/// equivalence checking and perf comparison.
+pub const SNAPSHOT_ENV: &str = "IDLD_SNAPSHOT";
+/// Environment variable: golden-run snapshot capture stride in cycles
+/// (`0` or unset = automatic).
+pub const SNAPSHOT_STRIDE_ENV: &str = "IDLD_SNAPSHOT_STRIDE";
+/// Environment variable: maximum retained snapshots per workload.
+pub const SNAPSHOT_MAX_ENV: &str = "IDLD_SNAPSHOT_MAX";
 
 /// Campaign parameters.
 #[derive(Clone, Copy, Debug)]
@@ -66,6 +91,15 @@ pub struct CampaignConfig {
     /// Scheduler worker threads; `0` means one per available core. The
     /// record stream is identical for every value (see module docs).
     pub threads: usize,
+    /// Snapshot-and-fork execution (see module docs). On by default; the
+    /// record stream is byte-identical with it off, just slower.
+    pub snapshot: bool,
+    /// Golden-run snapshot stride in cycles; `0` picks automatically.
+    pub snapshot_stride: u64,
+    /// Maximum snapshots retained per workload (`0` disables capture).
+    /// Bounds campaign memory: each snapshot holds a full copy of the
+    /// workload's data memory.
+    pub snapshot_max: usize,
     /// Test instrumentation: make the worker executing this job index
     /// panic deliberately, to exercise panic isolation. Not for normal
     /// use.
@@ -80,6 +114,9 @@ impl Default for CampaignConfig {
             runs_per_cell: 30,
             seed: 0x1d1d,
             threads: 0,
+            snapshot: true,
+            snapshot_stride: 0,
+            snapshot_max: 16,
             sabotage_job: None,
         }
     }
@@ -120,6 +157,27 @@ impl CampaignConfig {
         if let Some(t) = parse(THREADS_ENV)? {
             cfg.threads = t;
         }
+        match std::env::var(SNAPSHOT_ENV) {
+            Ok(raw) => {
+                cfg.snapshot = match raw.trim() {
+                    "0" => false,
+                    "1" => true,
+                    _ => {
+                        return Err(format!(
+                            "{SNAPSHOT_ENV}={raw:?} is invalid: expected 0 or 1"
+                        ))
+                    }
+                }
+            }
+            Err(std::env::VarError::NotPresent) => {}
+            Err(e) => return Err(format!("{SNAPSHOT_ENV} is unreadable: {e}")),
+        }
+        if let Some(s) = parse(SNAPSHOT_STRIDE_ENV)? {
+            cfg.snapshot_stride = s;
+        }
+        if let Some(m) = parse(SNAPSHOT_MAX_ENV)? {
+            cfg.snapshot_max = m;
+        }
         Ok(cfg)
     }
 
@@ -129,6 +187,24 @@ impl CampaignConfig {
     pub fn from_env() -> Self {
         Self::try_from_env().unwrap_or_else(|e| panic!("campaign environment: {e}"))
     }
+}
+
+/// A mid-trace capture of the golden run: full simulator + checker state
+/// at `cycle`, plus the control-signal census up to that point.
+///
+/// The census counts are what make snapshots *addressable by occurrence*:
+/// an injection armed for the `n`-th occurrence of a site can resume from
+/// the last snapshot whose count for that site is still `<= n` — the
+/// trigger provably lies in the remaining suffix.
+#[derive(Clone, Debug)]
+pub struct GoldenSnapshot {
+    /// Cycle the snapshot was taken at.
+    pub cycle: u64,
+    /// Per-site occurrence counts at the snapshot point (indexable by
+    /// [`OpSite::index`](idld_rrs::OpSite::index)).
+    pub counts: [u64; idld_rrs::OpSite::COUNT],
+    /// The simulator + checker state.
+    pub state: SimSnapshot,
 }
 
 /// A golden (bug-free) run of one workload.
@@ -144,6 +220,9 @@ pub struct GoldenRun {
     pub output: Vec<u64>,
     /// Census of control-signal occurrences, used to arm injections.
     pub census: CensusHook,
+    /// Mid-trace state snapshots in cycle order, for snapshot-and-fork
+    /// execution (empty when captured without snapshots).
+    pub snapshots: Vec<GoldenSnapshot>,
 }
 
 /// Why a golden (bug-free) run is unusable as a campaign baseline.
@@ -198,9 +277,66 @@ impl GoldenRun {
     /// its output deviates from the native reference — that would
     /// invalidate the whole campaign.
     pub fn capture(workload: &Workload, sim_cfg: SimConfig) -> Result<GoldenRun, GoldenRunError> {
+        Self::capture_with_snapshots(workload, sim_cfg, 0, 0)
+    }
+
+    /// [`GoldenRun::capture`] that additionally snapshots the run every
+    /// `stride` cycles (`0` = automatic), retaining at most `max`
+    /// snapshots (`0` disables capture entirely).
+    ///
+    /// The run executes with the same checker set injection runs use, so
+    /// each snapshot carries the checker state a from-power-on injected
+    /// run would have at that cycle (checkers are pure observers: the
+    /// golden trace, cycles and census are unaffected). When the snapshot
+    /// count would exceed `max`, every second snapshot is dropped and the
+    /// stride doubles — deterministic thinning that needs no advance
+    /// knowledge of the run length and keeps the survivors evenly spaced.
+    pub fn capture_with_snapshots(
+        workload: &Workload,
+        sim_cfg: SimConfig,
+        stride: u64,
+        max: usize,
+    ) -> Result<GoldenRun, GoldenRunError> {
+        const BUDGET: u64 = 500_000_000;
+        /// Initial automatic stride: fine enough to matter for the
+        /// shortest workloads (a few thousand cycles), coarse enough that
+        /// thinning settles quickly for the longest.
+        const AUTO_STRIDE: u64 = 2_048;
+
         let mut census = CensusHook::new();
+        let mut checkers = injection_checkers(&sim_cfg);
         let mut sim = Simulator::new(&workload.program, sim_cfg);
-        let res = sim.run(&mut census, &mut CheckerSet::new(), None, 500_000_000);
+        let mut seg = sim.begin_run(None, BUDGET);
+        let mut snapshots: Vec<GoldenSnapshot> = Vec::new();
+        let stop = if max == 0 {
+            seg.run_to_end(&mut sim, &mut census, &mut checkers, None)
+        } else {
+            let mut stride = if stride == 0 { AUTO_STRIDE } else { stride };
+            loop {
+                let pause = sim.cycle() + stride;
+                match seg.step_until(&mut sim, &mut census, &mut checkers, pause) {
+                    Some(stop) => break stop,
+                    None => {
+                        snapshots.push(GoldenSnapshot {
+                            cycle: sim.cycle(),
+                            counts: census.counts(),
+                            state: sim.snapshot(&checkers),
+                        });
+                        if snapshots.len() > max {
+                            // Keep every second snapshot (the ones landing
+                            // on multiples of the doubled stride).
+                            let mut keep = 0usize;
+                            snapshots.retain(|_| {
+                                keep += 1;
+                                keep.is_multiple_of(2)
+                            });
+                            stride *= 2;
+                        }
+                    }
+                }
+            }
+        };
+        let res = seg.finish(&mut sim, stop, &mut checkers);
         if res.stop != idld_sim::SimStop::Halted {
             return Err(GoldenRunError::DidNotHalt {
                 workload: workload.name.clone(),
@@ -218,7 +354,18 @@ impl GoldenRun {
             cycles: res.cycles,
             output: res.output,
             census,
+            snapshots,
         })
+    }
+
+    /// The last snapshot an injection of `spec` can legally resume from:
+    /// the latest one that has not yet passed the spec's occurrence.
+    pub fn snapshot_for(&self, spec: &BugSpec) -> Option<&GoldenSnapshot> {
+        let site = spec.site.index();
+        self.snapshots
+            .iter()
+            .rev()
+            .find(|s| s.counts[site] <= spec.occurrence)
     }
 
     /// The injected-run cycle budget: 2.5× the golden cycles (paper's
@@ -332,6 +479,9 @@ pub struct CampaignResult {
     pub timings: Vec<CellTiming>,
     /// End-to-end campaign wall-clock (goldens + scheduling + runs).
     pub wall: Duration,
+    /// Snapshot-and-fork usage (a measurement, like `wall` — not part of
+    /// the deterministic record stream).
+    pub snapshot_stats: SnapshotStats,
 }
 
 impl CampaignResult {
@@ -433,6 +583,44 @@ impl Drop for PanicSilencer {
     }
 }
 
+/// The checker set attached to every injected run — and to golden
+/// captures, so snapshots carry exactly the checker state a
+/// from-power-on injected run would have at the snapshot cycle.
+fn injection_checkers(sim_cfg: &SimConfig) -> CheckerSet {
+    let mut checkers = CheckerSet::new();
+    checkers.push(Box::new(IdldChecker::new(&sim_cfg.rrs)));
+    checkers.push(Box::new(BitVectorChecker::new(&sim_cfg.rrs)));
+    checkers.push(Box::new(CounterChecker::new(&sim_cfg.rrs)));
+    checkers
+}
+
+/// Snapshot-and-fork usage across one campaign.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SnapshotStats {
+    /// Injected runs forked from a mid-trace snapshot.
+    pub forked_runs: usize,
+    /// Injected runs simulated from power-on (snapshots disabled, or no
+    /// snapshot precedes the trigger).
+    pub cold_runs: usize,
+    /// Golden-prefix cycles skipped by forking, summed over runs — the
+    /// work the snapshot cache saved.
+    pub skipped_cycles: u64,
+    /// Snapshots retained across all workloads.
+    pub captured: usize,
+}
+
+impl SnapshotStats {
+    /// Fraction of runs served from a snapshot, `0..=1`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.forked_runs + self.cold_runs;
+        if total == 0 {
+            0.0
+        } else {
+            self.forked_runs as f64 / total as f64
+        }
+    }
+}
+
 /// Renders a caught panic payload as a short message.
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -482,27 +670,64 @@ impl Campaign {
         spec: BugSpec,
         interrupt: Option<&AtomicBool>,
     ) -> RunRecord {
-        let mut hook = SingleShotHook::new(spec);
-        let mut checkers = CheckerSet::new();
-        checkers.push(Box::new(IdldChecker::new(&self.cfg.sim.rrs)));
-        checkers.push(Box::new(BitVectorChecker::new(&self.cfg.sim.rrs)));
-        checkers.push(Box::new(CounterChecker::new(&self.cfg.sim.rrs)));
+        self.run_one_from(golden, spec, interrupt).0
+    }
 
+    /// The cycle the injection of `spec` would resume from under the
+    /// current snapshot policy (`0` = power-on).
+    fn trigger_bound(&self, golden: &GoldenRun, spec: &BugSpec) -> u64 {
+        if !self.cfg.snapshot {
+            return 0;
+        }
+        golden.snapshot_for(spec).map_or(0, |s| s.cycle)
+    }
+
+    /// Runs one injection, forking from the latest eligible golden
+    /// snapshot when the policy allows. Returns the record plus the
+    /// golden-prefix cycles skipped (`0` = simulated from power-on).
+    ///
+    /// Fork equivalence: up to the bug's activation an injected run is
+    /// bit-identical to the golden run, so restoring golden state at
+    /// cycle `C <= activation` and re-arming the hook with the census
+    /// count at `C` reproduces the from-power-on run exactly — commits,
+    /// cycles, outputs, stats and checker verdicts.
+    fn run_one_from(
+        &self,
+        golden: &GoldenRun,
+        spec: BugSpec,
+        interrupt: Option<&AtomicBool>,
+    ) -> (RunRecord, u64) {
+        let snap = if self.cfg.snapshot {
+            golden.snapshot_for(&spec)
+        } else {
+            None
+        };
         let mut sim = Simulator::new(&golden.workload.program, self.cfg.sim);
-        let res = sim.run_with_interrupt(
-            &mut hook,
-            &mut checkers,
-            Some(&golden.trace),
-            golden.timeout_budget(),
-            interrupt,
-        );
+        let mut checkers;
+        let mut hook;
+        let skipped = match snap {
+            Some(s) => {
+                checkers = CheckerSet::new();
+                sim.restore(&s.state, &mut checkers);
+                hook = SingleShotHook::resumed(spec, s.counts[spec.site.index()], s.cycle);
+                s.cycle
+            }
+            None => {
+                checkers = injection_checkers(&self.cfg.sim);
+                hook = SingleShotHook::new(spec);
+                0
+            }
+        };
+        let mut seg = sim.begin_run(Some(&golden.trace), golden.timeout_budget());
+        let stop = seg.run_to_end(&mut sim, &mut hook, &mut checkers, interrupt);
+        let res = seg.finish(&mut sim, stop, &mut checkers);
 
         let outcome = classify(&res, &golden.output);
         let activation_cycle = hook
             .activation_cycle()
             .expect("sampled activation must fire (identical prefix to golden)");
         let persists = outcome.is_masked() && !res.final_contents.is_exact_partition();
-        RunRecord {
+        let record = RunRecord {
             bench: golden.workload.name.clone(),
             model: spec.model,
             spec,
@@ -517,29 +742,32 @@ impl Campaign {
                 counter: checkers.detection_of("counter").map(|d| d.cycle),
             },
             poisoned: None,
-        }
+        };
+        (record, skipped)
     }
 
-    /// Executes job `index` under panic isolation.
+    /// Executes job `index` under panic isolation. Returns the record and
+    /// the golden-prefix cycles the run skipped via snapshot forking.
     fn execute_job(
         &self,
         index: usize,
         golden: &GoldenRun,
         spec: BugSpec,
         interrupt: Option<&AtomicBool>,
-    ) -> RunRecord {
+    ) -> (RunRecord, u64) {
         let sabotage = self.cfg.sabotage_job == Some(index);
         let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
             if sabotage {
                 panic!("deliberately sabotaged run (test instrumentation)");
             }
-            self.run_one_interruptible(golden, spec, interrupt)
+            self.run_one_from(golden, spec, interrupt)
         }));
         match outcome {
             Ok(rec) => rec,
-            Err(payload) => {
-                RunRecord::poisoned(&golden.workload.name, spec, panic_message(&*payload))
-            }
+            Err(payload) => (
+                RunRecord::poisoned(&golden.workload.name, spec, panic_message(&*payload)),
+                0,
+            ),
         }
     }
 
@@ -601,11 +829,27 @@ impl Campaign {
         let t0 = Instant::now();
 
         // Golden runs: once per workload, in parallel, shared read-only
-        // with every worker afterwards.
+        // with every worker afterwards. With snapshots enabled the capture
+        // also materializes the bounded per-workload snapshot cache that
+        // injected runs fork from.
+        let snap_max = if self.cfg.snapshot {
+            self.cfg.snapshot_max
+        } else {
+            0
+        };
         let captured: Vec<Result<GoldenRun, GoldenRunError>> = std::thread::scope(|scope| {
             let handles: Vec<_> = workloads
                 .iter()
-                .map(|w| scope.spawn(move || GoldenRun::capture(w, self.cfg.sim)))
+                .map(|w| {
+                    scope.spawn(move || {
+                        GoldenRun::capture_with_snapshots(
+                            w,
+                            self.cfg.sim,
+                            self.cfg.snapshot_stride,
+                            snap_max,
+                        )
+                    })
+                })
                 .collect();
             handles
                 .into_iter()
@@ -640,9 +884,26 @@ impl Campaign {
         }
 
         let total = jobs.len();
+
+        // Execution order: group jobs by workload and ascending trigger
+        // bound so a worker streams through one workload's snapshot cache
+        // front to back instead of ping-ponging across workloads. This is
+        // a pure permutation of *execution* order — records are written
+        // back by original job index, so the record stream is untouched.
+        let mut order: Vec<usize> = (0..total).collect();
+        if self.cfg.snapshot {
+            order.sort_by_key(|&i| {
+                let job = &jobs[i];
+                (
+                    job.workload,
+                    self.trigger_bound(&goldens[job.workload], &job.spec),
+                )
+            });
+        }
+
         let state = ProgressState::new(total);
         let next = AtomicUsize::new(0);
-        let slots: Mutex<Vec<Option<(RunRecord, Duration)>>> =
+        let slots: Mutex<Vec<Option<(RunRecord, Duration, u64)>>> =
             Mutex::new((0..total).map(|_| None).collect());
         let _silencer = PanicSilencer::install();
 
@@ -651,6 +912,7 @@ impl Campaign {
             for _ in 0..workers {
                 let goldens = Arc::clone(&goldens);
                 let jobs = &jobs;
+                let order = &order;
                 let next = &next;
                 let slots = &slots;
                 let state = &state;
@@ -660,16 +922,19 @@ impl Campaign {
                         if cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
                             break;
                         }
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= total {
+                        let oi = next.fetch_add(1, Ordering::Relaxed);
+                        if oi >= total {
                             break;
                         }
+                        let i = order[oi];
                         let job = jobs[i];
                         let started = Instant::now();
-                        let rec = self.execute_job(i, &goldens[job.workload], job.spec, cancel);
+                        let (rec, skipped) =
+                            self.execute_job(i, &goldens[job.workload], job.spec, cancel);
                         let elapsed = started.elapsed();
                         state.complete(rec.outcome, rec.poisoned.is_some());
-                        slots.lock().unwrap_or_else(|e| e.into_inner())[i] = Some((rec, elapsed));
+                        slots.lock().unwrap_or_else(|e| e.into_inner())[i] =
+                            Some((rec, elapsed, skipped));
                         progress.on_run(&state.snapshot());
                     }
                     SUPPRESS_PANIC_OUTPUT.set(false);
@@ -683,7 +948,17 @@ impl Campaign {
         let slots = slots.into_inner().unwrap_or_else(|e| e.into_inner());
         let mut records = Vec::with_capacity(total);
         let mut timings: Vec<CellTiming> = Vec::new();
-        for (rec, elapsed) in slots.into_iter().flatten() {
+        let mut snapshot_stats = SnapshotStats {
+            captured: goldens.iter().map(|g| g.snapshots.len()).sum(),
+            ..SnapshotStats::default()
+        };
+        for (rec, elapsed, skipped) in slots.into_iter().flatten() {
+            if skipped > 0 {
+                snapshot_stats.forked_runs += 1;
+            } else {
+                snapshot_stats.cold_runs += 1;
+            }
+            snapshot_stats.skipped_cycles += skipped;
             let cell = match timings
                 .iter_mut()
                 .find(|c| c.bench == rec.bench && c.model == rec.model)
@@ -711,6 +986,7 @@ impl Campaign {
             records,
             timings,
             wall: t0.elapsed(),
+            snapshot_stats,
         })
     }
 }
@@ -806,6 +1082,140 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_and_cold_campaigns_are_byte_identical() {
+        // The tentpole guarantee: snapshot-and-fork execution changes only
+        // wall-clock, never the record stream — at any worker count.
+        let cold = Campaign::new(CampaignConfig {
+            snapshot: false,
+            threads: 1,
+            ..mini_cfg()
+        })
+        .run(&picks())
+        .expect("cold run");
+        assert_eq!(cold.snapshot_stats.forked_runs, 0);
+        assert_eq!(cold.snapshot_stats.captured, 0);
+        for threads in [1, 8] {
+            let forked = Campaign::new(CampaignConfig {
+                snapshot: true,
+                threads,
+                ..mini_cfg()
+            })
+            .run(&picks())
+            .expect("snapshot run");
+            assert_eq!(
+                crate::export::to_csv(&cold),
+                crate::export::to_csv(&forked),
+                "snapshot CSV must be byte-identical to cold CSV ({threads} threads)"
+            );
+            assert!(
+                forked.snapshot_stats.forked_runs > 0,
+                "snapshots must actually be used ({threads} threads): {:?}",
+                forked.snapshot_stats
+            );
+            assert!(forked.snapshot_stats.captured > 0);
+            assert!(forked.snapshot_stats.skipped_cycles > 0);
+        }
+    }
+
+    #[test]
+    fn stall_fast_forward_is_bit_exact() {
+        // Record-level: skipping provably dead cycles must not change a
+        // byte of the exported record stream.
+        let mut ticked_cfg = mini_cfg();
+        ticked_cfg.threads = 1;
+        ticked_cfg.sim.stall_fast_forward = false;
+        let ticked = Campaign::new(ticked_cfg).run(&picks()).expect("ticked");
+        let fast = Campaign::new(CampaignConfig {
+            threads: 1,
+            ..mini_cfg()
+        })
+        .run(&picks())
+        .expect("fast");
+        assert_eq!(crate::export::to_csv(&ticked), crate::export::to_csv(&fast));
+        let hung = fast
+            .records
+            .iter()
+            .find(|r| r.outcome == OutcomeClass::Timeout)
+            .expect("mini campaign must exercise a hung run");
+
+        // Run-level, on a genuinely hung injection: identical stop,
+        // cycle count, output, *statistics*, and final machine state.
+        let w = idld_workloads::by_name(&hung.bench).expect("workload");
+        let mut results = Vec::new();
+        for ff in [false, true] {
+            let mut sim_cfg = mini_cfg().sim;
+            sim_cfg.stall_fast_forward = ff;
+            let golden = GoldenRun::capture(&w, sim_cfg).expect("golden");
+            let mut sim = Simulator::new(&w.program, sim_cfg);
+            let mut hook = SingleShotHook::new(hung.spec);
+            let mut checkers = injection_checkers(&sim_cfg);
+            let mut seg = sim.begin_run(Some(&golden.trace), golden.timeout_budget());
+            let stop = seg.run_to_end(&mut sim, &mut hook, &mut checkers, None);
+            let fin = sim.snapshot(&checkers);
+            results.push((seg.finish(&mut sim, stop, &mut checkers), fin));
+        }
+        let (slow_res, slow_fin) = &results[0];
+        let (fast_res, fast_fin) = &results[1];
+        assert_eq!(fast_res.stop, slow_res.stop);
+        assert_eq!(fast_res.cycles, slow_res.cycles);
+        assert_eq!(fast_res.output, slow_res.output);
+        assert_eq!(fast_res.stats, slow_res.stats);
+        assert!(fast_fin.state_eq(slow_fin), "final machine state diverged");
+    }
+
+    #[test]
+    fn snapshot_cache_stays_bounded() {
+        let w = idld_workloads::by_name("crc32").expect("exists");
+        let max = 6;
+        let g = GoldenRun::capture_with_snapshots(&w, SimConfig::default(), 128, max)
+            .expect("golden halts");
+        assert!(!g.snapshots.is_empty());
+        assert!(
+            g.snapshots.len() <= max,
+            "stride doubling must bound the cache: {} > {max}",
+            g.snapshots.len()
+        );
+        // Snapshots stay in cycle order with monotone census counts.
+        for pair in g.snapshots.windows(2) {
+            assert!(pair[0].cycle < pair[1].cycle);
+            for s in 0..idld_rrs::OpSite::COUNT {
+                assert!(pair[0].counts[s] <= pair[1].counts[s]);
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_selection_respects_the_occurrence_bound() {
+        let w = idld_workloads::by_name("crc32").expect("exists");
+        let g = GoldenRun::capture_with_snapshots(&w, SimConfig::default(), 0, 16)
+            .expect("golden halts");
+        let site = idld_rrs::OpSite::FlPop;
+        let total = g.census.count(site);
+        assert!(total > 0);
+        let spec = |occurrence| BugSpec {
+            site,
+            occurrence,
+            corruption: idld_rrs::Corruption::NONE,
+            model: BugModel::Duplication,
+        };
+        // Occurrence 0 must resume from power-on or a snapshot that has
+        // seen nothing.
+        if let Some(s) = g.snapshot_for(&spec(0)) {
+            assert_eq!(s.counts[site.index()], 0);
+        }
+        // The last occurrence resumes from the deepest usable snapshot.
+        let deep = g
+            .snapshot_for(&spec(total - 1))
+            .expect("late occurrence has a usable snapshot");
+        assert!(deep.counts[site.index()] < total);
+        let is_last_usable = g
+            .snapshots
+            .iter()
+            .all(|s| s.counts[site.index()] > total - 1 || s.cycle <= deep.cycle);
+        assert!(is_last_usable, "must pick the LAST usable snapshot");
+    }
+
+    #[test]
     fn sabotaged_run_is_poisoned_not_fatal() {
         let baseline = Campaign::new(CampaignConfig {
             threads: 2,
@@ -885,6 +1295,19 @@ mod tests {
         assert!(run(THREADS_ENV, "many").is_err());
         let ok = run(RUNS_PER_CELL_ENV, " 1000 ").expect("trimmed digits parse");
         assert_eq!(ok.runs_per_cell, 1000);
+        assert!(
+            run(SNAPSHOT_ENV, "yes").is_err(),
+            "snapshot flag accepts only 0/1"
+        );
+        assert!(!run(SNAPSHOT_ENV, "0").expect("0 parses").snapshot);
+        assert!(run(SNAPSHOT_ENV, " 1 ").expect("1 parses").snapshot);
+        assert_eq!(
+            run(SNAPSHOT_STRIDE_ENV, "4096")
+                .expect("stride parses")
+                .snapshot_stride,
+            4096
+        );
+        assert!(run(SNAPSHOT_MAX_ENV, "-3").is_err());
     }
 
     #[test]

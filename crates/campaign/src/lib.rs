@@ -26,7 +26,8 @@ pub mod export;
 pub mod progress;
 
 pub use campaign::{
-    Campaign, CampaignConfig, CampaignResult, CellTiming, GoldenRun, GoldenRunError, RunRecord,
+    Campaign, CampaignConfig, CampaignResult, CellTiming, GoldenRun, GoldenRunError,
+    GoldenSnapshot, RunRecord, SnapshotStats,
 };
 pub use classify::{classify, OutcomeClass};
 pub use progress::{CampaignProgress, NullProgress, ProgressSnapshot, StderrProgress};

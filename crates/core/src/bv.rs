@@ -111,6 +111,10 @@ impl Checker for BitVectorChecker {
         self.detection = None;
         self.pending = None;
     }
+
+    fn clone_box(&self) -> Box<dyn Checker> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

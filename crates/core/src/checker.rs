@@ -48,7 +48,12 @@ pub struct Detection {
 /// [`Checker::end_cycle`] once per cycle (the invariance check point) and
 /// [`Checker::on_pipeline_empty`] whenever the ROB drains (the check point
 /// available to the weaker baseline schemes, paper §V.E).
-pub trait Checker: EventSink {
+///
+/// Checkers are `Send + Sync` and cloneable through [`Checker::clone_box`]:
+/// a checker is part of the simulated hardware state, so simulator
+/// snapshots capture the whole [`CheckerSet`] and campaign workers restore
+/// those snapshots concurrently from shared read-only storage.
+pub trait Checker: EventSink + Send + Sync {
     /// Short scheme name used in reports (e.g. `"idld"`, `"bv"`).
     fn name(&self) -> &'static str;
 
@@ -66,6 +71,11 @@ pub trait Checker: EventSink {
 
     /// Resets to power-on state (for checker reuse across runs).
     fn reset(&mut self);
+
+    /// Clones this checker — detection state and all — behind a fresh box,
+    /// so a [`CheckerSet`] inside a simulator snapshot restores to exactly
+    /// the captured mid-run state.
+    fn clone_box(&self) -> Box<dyn Checker>;
 }
 
 /// A set of checkers attached to one core, fed from a single event stream.
@@ -127,6 +137,14 @@ impl CheckerSet {
     }
 }
 
+impl Clone for CheckerSet {
+    fn clone(&self) -> Self {
+        CheckerSet {
+            checkers: self.checkers.iter().map(|c| c.clone_box()).collect(),
+        }
+    }
+}
+
 impl EventSink for CheckerSet {
     fn event(&mut self, ev: RrsEvent) {
         for c in &mut self.checkers {
@@ -162,6 +180,21 @@ mod tests {
         assert_eq!(set.detections(), vec![("idld", None)]);
         assert_eq!(set.detection_of("idld"), None);
         assert_eq!(set.detection_of("nope"), None);
+    }
+
+    #[test]
+    fn cloned_set_carries_checker_state() {
+        let cfg = RrsConfig::default();
+        let mut set = CheckerSet::new();
+        set.push(Box::new(IdldChecker::new(&cfg)));
+        // Desynchronize the XOR registers by feeding an unbalanced event,
+        // then check the clone reports the same detection.
+        set.event(idld_rrs::RrsEvent::FlRead(idld_rrs::PhysReg(40)));
+        set.end_cycle(7);
+        let cloned = set.clone();
+        assert_eq!(cloned.len(), set.len());
+        assert_eq!(cloned.detections(), set.detections());
+        assert!(cloned.detection_of("idld").is_some());
     }
 
     #[test]

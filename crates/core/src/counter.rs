@@ -81,6 +81,10 @@ impl Checker for CounterChecker {
         self.detection = None;
         self.pending = None;
     }
+
+    fn clone_box(&self) -> Box<dyn Checker> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

@@ -196,6 +196,10 @@ impl Checker for IdldChecker {
         self.detection
     }
 
+    fn clone_box(&self) -> Box<dyn Checker> {
+        Box::new(self.clone())
+    }
+
     fn reset(&mut self) {
         self.flx = self.init.flx;
         self.ratx = self.init.ratx;

@@ -63,6 +63,10 @@ impl Checker for ParityChecker {
         self.detection = None;
         self.pending = false;
     }
+
+    fn clone_box(&self) -> Box<dyn Checker> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,115 @@
+//! Seeded snapshot/fork determinism fuzzing.
+//!
+//! For random generated programs (reusing the differential fuzzer's
+//! generator), run the simulator to completion, then rerun it pausing at
+//! a random mid-run cycle, snapshot, fork the snapshot into a *fresh*
+//! simulator and continue. The forked continuation must be bit-for-bit
+//! identical to the uninterrupted run: stop reason, cycle count, commit
+//! trace, outputs, statistics, final architectural/microarchitectural
+//! state and checker verdicts. This is the property the campaign engine's
+//! snapshot-and-fork execution rests on, probed across the generator's
+//! full program space (wild memory, deep loops, calls, crashes included).
+
+use idld_core::{BitVectorChecker, CheckerSet, CounterChecker, IdldChecker};
+use idld_fuzz::{generate, iter_rng, GenConfig};
+use idld_rrs::NoFaults;
+use idld_sim::{SimConfig, Simulator};
+use rand::Rng;
+
+const SEED: u64 = 0x51AB_5407;
+const ITERS: u64 = 12;
+const BUDGET: u64 = 5_000_000;
+
+fn checkers_for(cfg: &SimConfig) -> CheckerSet {
+    let mut c = CheckerSet::new();
+    c.push(Box::new(IdldChecker::new(&cfg.rrs)));
+    c.push(Box::new(BitVectorChecker::new(&cfg.rrs)));
+    c.push(Box::new(CounterChecker::new(&cfg.rrs)));
+    c
+}
+
+#[test]
+fn forked_runs_match_uninterrupted_runs() {
+    let mut tested = 0u64;
+    for iter in 0..ITERS {
+        let mut rng = iter_rng(SEED, iter);
+        let gen_cfg = GenConfig::sample(&mut rng);
+        let program = generate(&gen_cfg, &mut rng);
+        let mut sim_cfg = SimConfig::with_width([1, 2, 4, 8][iter as usize % 4]);
+        sim_cfg.mem_dep_speculation = iter % 2 == 0;
+
+        // Uninterrupted reference.
+        let mut ref_checkers = checkers_for(&sim_cfg);
+        let mut ref_sim = Simulator::new(&program, sim_cfg);
+        let mut ref_seg = ref_sim.begin_run(None, BUDGET);
+        let ref_stop = ref_seg.run_to_end(&mut ref_sim, &mut NoFaults, &mut ref_checkers, None);
+        let ref_final = ref_sim.snapshot(&ref_checkers);
+        let ref_res = ref_seg.finish(&mut ref_sim, ref_stop, &mut ref_checkers);
+        if ref_res.cycles < 2 {
+            continue; // nothing mid-run to pause at
+        }
+        tested += 1;
+
+        // Paused run: stop at a random interior cycle and snapshot.
+        let pause = rng.gen_range(1..ref_res.cycles);
+        let mut checkers = checkers_for(&sim_cfg);
+        let mut sim = Simulator::new(&program, sim_cfg);
+        let mut seg = sim.begin_run(None, BUDGET);
+        let paused = seg.step_until(&mut sim, &mut NoFaults, &mut checkers, pause);
+        assert_eq!(
+            paused, None,
+            "iter {iter}: pause {pause} < end {}",
+            ref_res.cycles
+        );
+        let snap = sim.snapshot(&checkers);
+
+        // Fork into a fresh simulator and run to the end.
+        let mut fork_checkers = CheckerSet::new();
+        let mut fork = Simulator::new(&program, sim_cfg);
+        fork.restore(&snap, &mut fork_checkers);
+        let mut fseg = fork.begin_run(None, BUDGET);
+        let stop = fseg.run_to_end(&mut fork, &mut NoFaults, &mut fork_checkers, None);
+        let fork_final = fork.snapshot(&fork_checkers);
+        let fork_res = fseg.finish(&mut fork, stop, &mut fork_checkers);
+
+        assert_eq!(fork_res.stop, ref_res.stop, "iter {iter}: stop reason");
+        assert_eq!(fork_res.cycles, ref_res.cycles, "iter {iter}: cycles");
+        assert_eq!(
+            fork_res.committed, ref_res.committed,
+            "iter {iter}: commits"
+        );
+        assert_eq!(fork_res.output, ref_res.output, "iter {iter}: output");
+        assert_eq!(fork_res.stats, ref_res.stats, "iter {iter}: stats");
+        // The fork records only the post-pause suffix of the commit trace;
+        // it must equal the reference trace's suffix from the snapshot's
+        // commit position.
+        let at = snap.committed() as usize;
+        assert_eq!(
+            fork_res.trace.pcs,
+            ref_res.trace.pcs[at..],
+            "iter {iter}: trace pcs"
+        );
+        assert_eq!(
+            fork_res.trace.cycles,
+            ref_res.trace.cycles[at..],
+            "iter {iter}: trace cycles"
+        );
+        assert!(
+            fork_final.state_eq(&ref_final),
+            "iter {iter}: final simulator state diverged (pause {pause})"
+        );
+        assert_eq!(
+            fork_checkers.detections(),
+            ref_checkers.detections(),
+            "iter {iter}: checker verdicts"
+        );
+        eprintln!(
+            "iter {iter}: ok — {} cycles, paused at {pause}, stop {:?}",
+            ref_res.cycles, ref_res.stop
+        );
+    }
+    assert!(
+        tested >= ITERS / 2,
+        "generator produced too many trivial programs ({tested}/{ITERS} usable)"
+    );
+}

@@ -11,7 +11,7 @@ pub struct StoreTag(pub u64);
 ///   to its store-set id (SSID).
 /// * **LFST** (Last Fetched Store Table): SSID-indexed, holds the tag of
 ///   the most recently dispatched store of the set, if still unresolved.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct StoreSets {
     ssit: Vec<Option<u32>>,
     lfst: Vec<Option<StoreTag>>,

@@ -5,7 +5,7 @@ use crate::fault::{FaultHook, OpSite};
 use crate::phys::PhysReg;
 
 /// One RAT checkpoint slot.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Ckpt {
     /// Snapshot of the RAT contents.
     pub rat: Vec<PhysReg>,
@@ -27,7 +27,7 @@ pub struct Ckpt {
 /// regardless, so a suppressed take leaves a slot whose metadata claims the
 /// new position but whose contents are from an older epoch — the paper's
 /// "recovered from a wrong checkpoint" scenario.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct CkptTable {
     slots: Vec<Ckpt>,
     next: usize,

@@ -49,6 +49,9 @@ pub enum OpSite {
 }
 
 impl OpSite {
+    /// Number of distinct sites (the length of [`OpSite::ALL`]).
+    pub const COUNT: usize = 13;
+
     /// All sites, for census and reporting.
     pub const ALL: [OpSite; 13] = [
         OpSite::FlPop,
@@ -65,6 +68,27 @@ impl OpSite {
         OpSite::CkptTake,
         OpSite::MoveElimDup,
     ];
+
+    /// Dense index of this site in [`OpSite::ALL`], for array-backed
+    /// per-site tables on the hot path.
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            OpSite::FlPop => 0,
+            OpSite::FlPush => 1,
+            OpSite::RobAlloc => 2,
+            OpSite::RobCommitRead => 3,
+            OpSite::RobTailRestore => 4,
+            OpSite::RhtAppend => 5,
+            OpSite::RhtTailRestore => 6,
+            OpSite::RhtPosWalkRead => 7,
+            OpSite::RhtNegWalkRead => 8,
+            OpSite::RatWrite => 9,
+            OpSite::RatRecover => 10,
+            OpSite::CkptTake => 11,
+            OpSite::MoveElimDup => 12,
+        }
+    }
 }
 
 /// The corruption applied to one occurrence of a control-signal site.
@@ -118,6 +142,25 @@ pub trait FaultHook {
     fn take_at_rest(&mut self) -> Option<(usize, u16)> {
         None
     }
+
+    /// A lower bound on the first cycle at which this hook could corrupt
+    /// anything. Until this cycle the run is guaranteed bit-identical to a
+    /// bug-free run, so a scheduler may fast-forward to any state snapshot
+    /// taken before it. `0` (the default) promises nothing; hooks that
+    /// never corrupt return `u64::MAX`.
+    fn earliest_trigger(&self) -> u64 {
+        0
+    }
+
+    /// `true` if, absent any further renaming-subsystem operations, this
+    /// hook will never act again at any future cycle. Operation-triggered
+    /// hooks (the Table-I single-shot injectors, censuses) are always
+    /// quiescent; *cycle*-triggered hooks (at-rest upsets) must return
+    /// `false` until they have fired. A simulator may skip idle cycles
+    /// wholesale only while its hook is quiescent.
+    fn quiescent(&self) -> bool {
+        true
+    }
 }
 
 /// A hook that never corrupts anything (bug-free hardware).
@@ -129,15 +172,21 @@ impl FaultHook for NoFaults {
     fn on_op(&mut self, _site: OpSite) -> Corruption {
         Corruption::NONE
     }
+
+    fn earliest_trigger(&self) -> u64 {
+        u64::MAX
+    }
 }
 
 /// A hook that counts occurrences per site without corrupting anything.
 ///
 /// Campaigns use a census from a golden run to arm a corruption at a
-/// uniformly random occurrence index of the targeted site.
-#[derive(Clone, Debug, Default)]
+/// uniformly random occurrence index of the targeted site, and read
+/// intermediate [`CensusHook::counts`] at snapshot points to map an
+/// occurrence index back to the region of the run it falls in.
+#[derive(Clone, Copy, Debug, Default)]
 pub struct CensusHook {
-    counts: std::collections::HashMap<OpSite, u64>,
+    counts: [u64; OpSite::COUNT],
 }
 
 impl CensusHook {
@@ -147,16 +196,27 @@ impl CensusHook {
     }
 
     /// The number of occurrences observed for `site`.
+    #[inline]
     pub fn count(&self, site: OpSite) -> u64 {
-        self.counts.get(&site).copied().unwrap_or(0)
+        self.counts[site.index()]
+    }
+
+    /// All per-site counts, indexed by [`OpSite::index`].
+    #[inline]
+    pub fn counts(&self) -> [u64; OpSite::COUNT] {
+        self.counts
     }
 }
 
 impl FaultHook for CensusHook {
     #[inline]
     fn on_op(&mut self, site: OpSite) -> Corruption {
-        *self.counts.entry(site).or_insert(0) += 1;
+        self.counts[site.index()] += 1;
         Corruption::NONE
+    }
+
+    fn earliest_trigger(&self) -> u64 {
+        u64::MAX
     }
 }
 
@@ -189,6 +249,30 @@ mod tests {
         assert_eq!(c.count(OpSite::FlPop), 3);
         assert_eq!(c.count(OpSite::RatWrite), 1);
         assert_eq!(c.count(OpSite::CkptTake), 0);
+    }
+
+    #[test]
+    fn index_matches_position_in_all() {
+        assert_eq!(OpSite::COUNT, OpSite::ALL.len());
+        for (i, s) in OpSite::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+    }
+
+    #[test]
+    fn counts_array_mirrors_count() {
+        let mut c = CensusHook::new();
+        c.on_op(OpSite::RatWrite);
+        c.on_op(OpSite::RatWrite);
+        let counts = c.counts();
+        assert_eq!(counts[OpSite::RatWrite.index()], 2);
+        assert_eq!(counts.iter().sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn non_corrupting_hooks_never_trigger() {
+        assert_eq!(NoFaults.earliest_trigger(), u64::MAX);
+        assert_eq!(CensusHook::new().earliest_trigger(), u64::MAX);
     }
 
     #[test]

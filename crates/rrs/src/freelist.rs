@@ -13,7 +13,7 @@ use crate::rrs::RrsAssert;
 /// occupancy implied by the pointers *is* the hardware truth, so a
 /// suppressed pointer update genuinely desynchronizes the structure, exactly
 /// like the Table-I bug models.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct FreeList {
     slots: Vec<PhysReg>,
     head: u64,

@@ -13,7 +13,7 @@ use crate::phys::PhysReg;
 /// walkthrough, the eviction read port works independently of the write
 /// enable: a suppressed write still delivers the (unchanged) old mapping to
 /// the ROB.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Rat {
     map: Vec<PhysReg>,
     /// Stored parity bit per entry, maintained by every legitimate write

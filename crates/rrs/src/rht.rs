@@ -37,7 +37,7 @@ impl RhtEntry {
 /// surfaces indirectly when a later recovery walk reads a stale or skewed
 /// entry. Slots are persistent (suppressed writes leave stale entries);
 /// never-written slots log "no destination".
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Rht {
     slots: Vec<RhtEntry>,
     head: u64,

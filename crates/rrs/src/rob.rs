@@ -52,7 +52,7 @@ pub struct RobCommit {
 /// leaves the slot *invalid* and retirement reclaims nothing — the paper's
 /// pure-leakage semantics ("the input PdstID is not written in the array",
 /// §III.C). Never-written slots are likewise invalid.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Rob {
     slots: Vec<Option<PhysReg>>,
     meta: Vec<RobMeta>,

@@ -142,7 +142,7 @@ enum RecoveryPhase {
     TailRestore,
 }
 
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 struct Recovery {
     offending: u64,
     phase: RecoveryPhase,
@@ -162,7 +162,7 @@ struct Recovery {
 /// [`Rrs::start_recovery`]/[`Rrs::step_recovery`] around pipeline flushes.
 /// All PdstID movement flows through [`FaultHook`]-guarded ports that report
 /// to the [`EventSink`] — see the crate docs.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Rrs {
     cfg: RrsConfig,
     fl: FreeList,
@@ -283,13 +283,37 @@ impl Rrs {
         hook: &mut impl FaultHook,
         sink: &mut impl EventSink,
     ) -> Result<Vec<RenameOut>, RrsAssert> {
+        let mut outs = Vec::with_capacity(reqs.len());
+        self.rename_group_into(reqs, &mut outs, hook, sink)?;
+        Ok(outs)
+    }
+
+    /// [`Rrs::rename_group`] writing into a caller-owned buffer (cleared
+    /// first), so the per-cycle rename path can reuse one allocation for a
+    /// whole run.
+    ///
+    /// # Errors
+    ///
+    /// As [`Rrs::rename_group`]; on error the buffer holds the outputs of
+    /// the requests renamed before the assert.
+    ///
+    /// # Panics
+    ///
+    /// As [`Rrs::rename_group`].
+    pub fn rename_group_into(
+        &mut self,
+        reqs: &[RenameRequest],
+        outs: &mut Vec<RenameOut>,
+        hook: &mut impl FaultHook,
+        sink: &mut impl EventSink,
+    ) -> Result<(), RrsAssert> {
         assert!(self.recovery.is_none(), "rename during recovery");
         assert!(reqs.len() <= self.cfg.width, "group exceeds rename width");
-        let mut outs = Vec::with_capacity(reqs.len());
+        outs.clear();
         for req in reqs {
             outs.push(self.rename_one(req, hook, sink)?);
         }
-        Ok(outs)
+        Ok(())
     }
 
     fn rename_one(

@@ -32,6 +32,15 @@ pub struct SimConfig {
     /// predictor says otherwise; mis-speculations flush at the load and
     /// train the predictor. Off = conservative disambiguation.
     pub mem_dep_speculation: bool,
+    /// Fast-forward provably dead cycles: when a cycle changes nothing
+    /// (no commit/complete/issue/rename, no flush or recovery pending,
+    /// nothing in execution, the fault hook permanently inert), every
+    /// future cycle is identical, so the main loop jumps straight to the
+    /// next external event (cycle budget or pause point) instead of
+    /// ticking. Bit-exact — it only skips cycles a case analysis proves
+    /// to be no-ops — and it turns hung injected runs (e.g. free-list
+    /// exhaustion after a leak) from `2.5× golden` cycles into a few.
+    pub stall_fast_forward: bool,
 }
 
 impl Default for SimConfig {
@@ -47,6 +56,7 @@ impl Default for SimConfig {
             lat_store: 1,
             lat_branch: 1,
             mem_dep_speculation: false,
+            stall_fast_forward: true,
         }
     }
 }

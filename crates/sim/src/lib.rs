@@ -47,6 +47,6 @@ pub mod trace;
 
 pub use config::SimConfig;
 pub use result::{CrashCause, RunResult, SimStop};
-pub use sim::Simulator;
+pub use sim::{SegmentedRun, SimSnapshot, Simulator};
 pub use stats::SimStats;
 pub use trace::{CommitTrace, Divergence, TraceMonitor};

@@ -9,7 +9,7 @@
 /// fidelity here: wrong-path rename traffic is what *masks* RRS bug
 /// activations (paper §III.B), so the predictor quality directly shapes the
 /// Figure 3 masking rates.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Predictor {
     counters: Vec<u8>,
     btb: Vec<Option<(usize, usize)>>,

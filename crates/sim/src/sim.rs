@@ -53,7 +53,7 @@ enum Status {
 }
 
 /// What a completing load gets back from the memory system.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum LoadOutcome {
     /// The loaded value, plus the forwarding store's seq if one supplied it.
     Value(u64, Option<u64>),
@@ -64,7 +64,7 @@ enum LoadOutcome {
     Fault(CrashCause),
 }
 
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 struct Entry {
     seq: u64,
     pc: usize,
@@ -115,6 +115,14 @@ pub struct Simulator<'p> {
     committed: u64,
     stats: SimStats,
     store_sets: StoreSets,
+    /// Per-cycle scratch: the fetch group `(pc, inst, pred_next, bp_hist)`.
+    /// Reused across cycles to keep the fetch/rename path allocation-free;
+    /// always empty between cycles, so snapshots need not carry it.
+    fetch_buf: Vec<(usize, Inst, usize, u32)>,
+    /// Per-cycle scratch: rename requests derived from the fetch group.
+    req_buf: Vec<RenameRequest>,
+    /// Per-cycle scratch: rename outputs.
+    out_buf: Vec<idld_rrs::RenameOut>,
 }
 
 impl<'p> Simulator<'p> {
@@ -148,6 +156,9 @@ impl<'p> Simulator<'p> {
             committed: 0,
             stats: SimStats::default(),
             store_sets: StoreSets::new(512, 64),
+            fetch_buf: Vec::with_capacity(cfg.rrs.width),
+            req_buf: Vec::with_capacity(cfg.rrs.width),
+            out_buf: Vec::with_capacity(cfg.rrs.width),
             cfg,
         }
     }
@@ -227,35 +238,50 @@ impl<'p> Simulator<'p> {
         max_cycles: u64,
         interrupt: Option<&std::sync::atomic::AtomicBool>,
     ) -> RunResult {
-        let record = golden.is_none();
-        let mut trace = CommitTrace::new();
-        let mut monitor = golden.map(TraceMonitor::new);
-        let stop = self.main_loop(
-            hook,
-            checkers,
-            &mut trace,
-            &mut monitor,
-            record,
+        let mut seg = self.begin_run(golden, max_cycles);
+        let stop = seg.run_to_end(self, hook, checkers, interrupt);
+        seg.finish(self, stop, checkers)
+    }
+
+    /// Starts a [`SegmentedRun`]: the same run the one-shot entry points
+    /// perform, but resumable in slices so the driver can pause at chosen
+    /// cycles (to take [`SimSnapshot`]s) and continue.
+    ///
+    /// When this simulator was restored from a snapshot mid-trace, the
+    /// divergence monitor joins the golden comparison at the restored
+    /// commit position — the prefix was produced by the golden run itself.
+    pub fn begin_run<'g>(
+        &self,
+        golden: Option<&'g CommitTrace>,
+        max_cycles: u64,
+    ) -> SegmentedRun<'g> {
+        SegmentedRun {
+            trace: CommitTrace::new(),
+            monitor: golden.map(|g| TraceMonitor::new_at(g, self.committed as usize)),
+            record: golden.is_none(),
             max_cycles,
-            interrupt,
-        );
+        }
+    }
+
+    /// Packages the final [`RunResult`] once a segment returned a stop.
+    fn finish_run(
+        &mut self,
+        stop: SimStop,
+        trace: CommitTrace,
+        monitor: Option<TraceMonitor<'_>>,
+        checkers: &mut CheckerSet,
+    ) -> RunResult {
         if stop == SimStop::Halted {
             // The pipeline is architecturally drained: give the empty-point
             // checkers (BV, counter) their final check.
             checkers.end_cycle(self.cycle);
             checkers.on_pipeline_empty(self.cycle);
         }
+        // For abnormal terminations a short trace is still a divergence:
+        // the golden run committed more (it halted), so `finish` marks an
+        // order divergence at the stop cycle.
         let divergence = match monitor {
-            Some(mut m) => {
-                if stop == SimStop::Halted {
-                    m.finish(self.cycle)
-                } else {
-                    // Abnormal terminations: a short trace is only a
-                    // divergence if the golden run committed more — which it
-                    // did (it halted); mark order divergence at stop.
-                    m.finish(self.cycle)
-                }
-            }
+            Some(mut m) => m.finish(self.cycle),
             None => Divergence::default(),
         };
         self.stats.cycles = self.cycle;
@@ -264,12 +290,69 @@ impl<'p> Simulator<'p> {
             stop,
             cycles: self.cycle,
             committed: self.committed,
-            output: self.output.clone(),
+            // The simulator is single-run (see the struct docs), so the
+            // output stream moves into the result instead of cloning.
+            output: std::mem::take(&mut self.output),
             trace,
             divergence,
             final_contents: self.rrs.contents(),
             stats: self.stats,
         }
+    }
+
+    /// Captures the complete mutable state of this simulator plus the
+    /// attached `checkers`, such that [`Simulator::restore`] continues
+    /// bit-for-bit identically to never having stopped.
+    ///
+    /// Must be taken at a cycle boundary (between [`SegmentedRun::step_until`]
+    /// segments, or before a run starts) — mid-cycle there is transient
+    /// state outside the captured set.
+    pub fn snapshot(&self, checkers: &CheckerSet) -> SimSnapshot {
+        SimSnapshot {
+            rrs: self.rrs.clone(),
+            mem: self.mem.clone(),
+            prf: self.prf.clone(),
+            ready: self.ready.clone(),
+            window: self.window.clone(),
+            predictor: self.predictor.clone(),
+            fetch_pc: self.fetch_pc,
+            fetch_enabled: self.fetch_enabled,
+            fetch_fault: self.fetch_fault,
+            halt_in_flight: self.halt_in_flight,
+            pending_flush: self.pending_flush,
+            redirect_after_recovery: self.redirect_after_recovery,
+            cycle: self.cycle,
+            output: self.output.clone(),
+            committed: self.committed,
+            stats: self.stats,
+            store_sets: self.store_sets.clone(),
+            checkers: checkers.clone(),
+        }
+    }
+
+    /// Restores state captured by [`Simulator::snapshot`], replacing
+    /// `checkers` with the captured checker state. The simulator must have
+    /// been created for the same program and configuration the snapshot
+    /// was taken under.
+    pub fn restore(&mut self, snap: &SimSnapshot, checkers: &mut CheckerSet) {
+        self.rrs = snap.rrs.clone();
+        self.mem.clone_from(&snap.mem);
+        self.prf.clone_from(&snap.prf);
+        self.ready.clone_from(&snap.ready);
+        self.window.clone_from(&snap.window);
+        self.predictor.clone_from(&snap.predictor);
+        self.fetch_pc = snap.fetch_pc;
+        self.fetch_enabled = snap.fetch_enabled;
+        self.fetch_fault = snap.fetch_fault;
+        self.halt_in_flight = snap.halt_in_flight;
+        self.pending_flush = snap.pending_flush;
+        self.redirect_after_recovery = snap.redirect_after_recovery;
+        self.cycle = snap.cycle;
+        self.output.clone_from(&snap.output);
+        self.committed = snap.committed;
+        self.stats = snap.stats;
+        self.store_sets.clone_from(&snap.store_sets);
+        *checkers = snap.checkers.clone();
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -282,15 +365,25 @@ impl<'p> Simulator<'p> {
         record: bool,
         max_cycles: u64,
         interrupt: Option<&std::sync::atomic::AtomicBool>,
-    ) -> SimStop {
+        pause_at: Option<u64>,
+    ) -> Option<SimStop> {
+        // Stall fast-forward: count consecutive cycles in which provably
+        // nothing changed. Once two such cycles pass (letting checker
+        // detection latches settle on the frozen state) and the end-state
+        // analysis below holds, every future cycle is identical except
+        // for the counter, so the loop jumps to the next external event.
+        let mut idle_streak: u32 = 0;
         loop {
             if self.cycle >= max_cycles {
-                return SimStop::CycleLimit;
+                return Some(SimStop::CycleLimit);
+            }
+            if pause_at.is_some_and(|p| self.cycle >= p) {
+                return None;
             }
             if self.cycle & 0x3ff == 0 {
                 if let Some(flag) = interrupt {
                     if flag.load(std::sync::atomic::Ordering::Relaxed) {
-                        return SimStop::CycleLimit;
+                        return Some(SimStop::CycleLimit);
                     }
                 }
             }
@@ -300,6 +393,7 @@ impl<'p> Simulator<'p> {
 
             // --- Recovery (freezes the rest of the pipeline) -------------
             if self.rrs.recovery_active() {
+                idle_streak = 0;
                 self.stats.recovery_cycles += 1;
                 match self.rrs.step_recovery(hook, checkers) {
                     Ok(true) => {
@@ -312,12 +406,13 @@ impl<'p> Simulator<'p> {
                         self.fetch_enabled = !self.halt_in_flight;
                     }
                     Ok(false) => {}
-                    Err(a) => return SimStop::Assert(a),
+                    Err(a) => return Some(SimStop::Assert(a)),
                 }
                 self.end_cycle(checkers);
                 continue;
             }
             if let Some((fseq, target)) = self.pending_flush.take() {
+                idle_streak = 0;
                 self.stats.flushes += 1;
                 self.squash_younger(fseq);
                 self.repair_branch_history(fseq);
@@ -328,6 +423,21 @@ impl<'p> Simulator<'p> {
                 continue;
             }
 
+            // Observable-progress pulse: any change to these between here
+            // and end of cycle means the machine moved.
+            let pulse = (
+                self.committed,
+                self.window.len(),
+                self.fetch_pc,
+                self.fetch_enabled,
+                self.stats.issued,
+                self.stats.renamed,
+                self.stats.loads,
+                self.stats.load_replays,
+                self.stats.branches,
+            );
+            let fs_before = self.stats.frontend_stalls;
+
             // --- Commit ---------------------------------------------------
             let mut commits = 0;
             while commits < self.cfg.width() {
@@ -336,23 +446,23 @@ impl<'p> Simulator<'p> {
                     break;
                 }
                 if let Some(f) = front.fault {
-                    return SimStop::Crash(f);
+                    return Some(SimStop::Crash(f));
                 }
                 let (pc, inst, result, addr) = (front.pc, front.inst, front.result, front.addr);
                 if matches!(inst, Inst::Halt) {
                     self.observe_commit(pc, trace, monitor, record);
                     self.committed += 1;
-                    return SimStop::Halted;
+                    return Some(SimStop::Halted);
                 }
                 match inst {
                     Inst::St { .. } | Inst::Stw { .. } | Inst::Stb { .. } => {
                         let width = inst.mem_width().expect("store width");
                         let a = addr.expect("store executed");
                         if let Err(e) = self.mem.store(a, width, result) {
-                            return SimStop::Crash(CrashCause::MemFault {
+                            return Some(SimStop::Crash(CrashCause::MemFault {
                                 addr: e.addr,
                                 width: e.width,
-                            });
+                            }));
                         }
                         self.stats.stores += 1;
                     }
@@ -360,7 +470,7 @@ impl<'p> Simulator<'p> {
                     _ => {}
                 }
                 if let Err(a) = self.rrs.commit_head(hook, checkers) {
-                    return SimStop::Assert(a);
+                    return Some(SimStop::Assert(a));
                 }
                 self.observe_commit(pc, trace, monitor, record);
                 self.committed += 1;
@@ -369,10 +479,12 @@ impl<'p> Simulator<'p> {
             }
 
             // --- Writeback / complete -------------------------------------
+            let mut completions = 0u32;
             for i in 0..self.window.len() {
                 if let Status::Executing { done } = self.window[i].status {
                     if done <= self.cycle {
                         self.complete(i);
+                        completions += 1;
                     }
                 }
             }
@@ -383,17 +495,65 @@ impl<'p> Simulator<'p> {
             // --- Fetch + rename -------------------------------------------
             if self.fetch_enabled {
                 if let Err(a) = self.fetch_rename(hook, checkers) {
-                    return SimStop::Assert(a);
+                    return Some(SimStop::Assert(a));
                 }
             }
 
             // --- End of cycle ---------------------------------------------
             if self.window.is_empty() {
                 if let Some(pc) = self.fetch_fault {
-                    return SimStop::Crash(CrashCause::InvalidPc(pc));
+                    return Some(SimStop::Crash(CrashCause::InvalidPc(pc)));
                 }
             }
+
+            // Dead-cycle analysis. If nothing committed, completed, issued
+            // or renamed this cycle, then the end-of-cycle state proves the
+            // machine can never move again: nothing is mid-execution (so no
+            // completion is scheduled), the ROB head is not ready (commit
+            // is a function of that frozen head), issue and fetch/rename
+            // are pure functions of state they just failed on (a stalled
+            // fetch restores `fetch_pc` and the speculative branch history
+            // exactly), and the hook can only act on operations that no
+            // longer happen. Memory, RRS, PRF and predictor state only
+            // change through those channels, so every later cycle replays
+            // this one verbatim.
+            let frozen = self.cfg.stall_fast_forward
+                && completions == 0
+                && pulse
+                    == (
+                        self.committed,
+                        self.window.len(),
+                        self.fetch_pc,
+                        self.fetch_enabled,
+                        self.stats.issued,
+                        self.stats.renamed,
+                        self.stats.loads,
+                        self.stats.load_replays,
+                        self.stats.branches,
+                    )
+                && self.pending_flush.is_none()
+                && !self.rrs.recovery_active()
+                && hook.quiescent()
+                && self.window.front().is_none_or(|e| e.status != Status::Done)
+                && self
+                    .window
+                    .iter()
+                    .all(|e| !matches!(e.status, Status::Executing { .. }));
+            idle_streak = if frozen { idle_streak + 1 } else { 0 };
+
             self.end_cycle(checkers);
+
+            if idle_streak >= 2 {
+                // The remaining cycles tick only the counters below and
+                // call checkers whose detection latches settled on this
+                // exact state during the streak; jump to the next event.
+                let target = pause_at.map_or(max_cycles, |p| p.min(max_cycles));
+                if let Some(skip) = target.checked_sub(self.cycle) {
+                    self.stats.occupancy_sum += skip * self.window.len() as u64;
+                    self.stats.frontend_stalls += skip * (self.stats.frontend_stalls - fs_before);
+                    self.cycle = target;
+                }
+            }
         }
     }
 
@@ -754,8 +914,33 @@ impl<'p> Simulator<'p> {
         hook: &mut impl FaultHook,
         checkers: &mut CheckerSet,
     ) -> Result<(), idld_rrs::RrsAssert> {
+        // The scratch buffers move out of `self` for the duration of the
+        // cycle (the body needs `&mut self` for the RRS) and come back
+        // empty, preserving the between-cycles-empty invariant that lets
+        // snapshots skip them.
+        let mut group = std::mem::take(&mut self.fetch_buf);
+        let mut reqs = std::mem::take(&mut self.req_buf);
+        let mut outs = std::mem::take(&mut self.out_buf);
+        let res = self.fetch_rename_with(hook, checkers, &mut group, &mut reqs, &mut outs);
+        group.clear();
+        reqs.clear();
+        outs.clear();
+        self.fetch_buf = group;
+        self.req_buf = reqs;
+        self.out_buf = outs;
+        res
+    }
+
+    fn fetch_rename_with(
+        &mut self,
+        hook: &mut impl FaultHook,
+        checkers: &mut CheckerSet,
+        group: &mut Vec<(usize, Inst, usize, u32)>,
+        reqs: &mut Vec<RenameRequest>,
+        outs: &mut Vec<idld_rrs::RenameOut>,
+    ) -> Result<(), idld_rrs::RrsAssert> {
         // Collect a fetch group following the predicted path.
-        let mut group: Vec<(usize, Inst, usize, u32)> = Vec::with_capacity(self.cfg.width());
+        group.clear();
         let mut pc = self.fetch_pc;
         for _ in 0..self.cfg.width() {
             let Some(inst) = self.prog.fetch(pc) else {
@@ -826,21 +1011,19 @@ impl<'p> Simulator<'p> {
             return Ok(());
         }
 
-        let reqs: Vec<RenameRequest> = group
-            .iter()
-            .map(|(_, inst, _, _)| RenameRequest {
-                ldst: inst.dest().map(|r| r.index()),
-                srcs: [
-                    inst.sources()[0].map(|r| r.index()),
-                    inst.sources()[1].map(|r| r.index()),
-                ],
-                is_move: is_register_move(inst),
-                idiom: idiom_of(inst),
-            })
-            .collect();
-        let outs = self.rrs.rename_group(&reqs, hook, checkers)?;
+        reqs.clear();
+        reqs.extend(group.iter().map(|(_, inst, _, _)| RenameRequest {
+            ldst: inst.dest().map(|r| r.index()),
+            srcs: [
+                inst.sources()[0].map(|r| r.index()),
+                inst.sources()[1].map(|r| r.index()),
+            ],
+            is_move: is_register_move(inst),
+            idiom: idiom_of(inst),
+        }));
+        self.rrs.rename_group_into(reqs, outs, hook, checkers)?;
 
-        for ((pc, inst, pred_next, bp_hist), out) in group.into_iter().zip(outs) {
+        for ((pc, inst, pred_next, bp_hist), out) in group.drain(..).zip(outs.drain(..)) {
             self.stats.renamed += 1;
             if out.eliminated {
                 self.stats.eliminated_moves += 1;
@@ -890,6 +1073,157 @@ impl<'p> Simulator<'p> {
             });
         }
         Ok(())
+    }
+}
+
+/// A complete capture of a [`Simulator`]'s mutable state at a cycle
+/// boundary, plus the attached checker state.
+///
+/// Produced by [`Simulator::snapshot`], consumed by [`Simulator::restore`].
+/// The restored simulator continues bit-for-bit identically to one that
+/// never stopped — same commits, same cycles, same checker verdicts —
+/// which is what lets a fault-injection campaign fork thousands of runs
+/// off one golden prefix instead of re-simulating it each time.
+///
+/// The per-cycle scratch buffers (`fetch_buf` and friends) are *not*
+/// captured: they are empty at every cycle boundary by construction.
+#[derive(Clone)]
+pub struct SimSnapshot {
+    rrs: Rrs,
+    mem: Memory,
+    prf: Vec<u64>,
+    ready: Vec<bool>,
+    window: VecDeque<Entry>,
+    predictor: Predictor,
+    fetch_pc: usize,
+    fetch_enabled: bool,
+    fetch_fault: Option<usize>,
+    halt_in_flight: bool,
+    pending_flush: Option<(u64, usize)>,
+    redirect_after_recovery: Option<usize>,
+    cycle: u64,
+    output: Vec<u64>,
+    committed: u64,
+    stats: SimStats,
+    store_sets: StoreSets,
+    checkers: CheckerSet,
+}
+
+impl std::fmt::Debug for SimSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimSnapshot")
+            .field("cycle", &self.cycle)
+            .field("committed", &self.committed)
+            .field("window_depth", &self.window.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SimSnapshot {
+    /// The cycle the snapshot was taken at.
+    #[inline]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Instructions committed up to the snapshot point.
+    #[inline]
+    pub fn committed(&self) -> u64 {
+        self.committed
+    }
+
+    /// Structural equality of the captured *simulator* state (checker
+    /// state excluded — trait objects have no general equality; compare
+    /// their detections instead). Used by determinism tests to prove a
+    /// forked run converges to the same final state as an uninterrupted
+    /// one.
+    pub fn state_eq(&self, other: &SimSnapshot) -> bool {
+        self.rrs == other.rrs
+            && self.mem == other.mem
+            && self.prf == other.prf
+            && self.ready == other.ready
+            && self.window == other.window
+            && self.predictor == other.predictor
+            && self.fetch_pc == other.fetch_pc
+            && self.fetch_enabled == other.fetch_enabled
+            && self.fetch_fault == other.fetch_fault
+            && self.halt_in_flight == other.halt_in_flight
+            && self.pending_flush == other.pending_flush
+            && self.redirect_after_recovery == other.redirect_after_recovery
+            && self.cycle == other.cycle
+            && self.output == other.output
+            && self.committed == other.committed
+            && self.stats == other.stats
+            && self.store_sets == other.store_sets
+    }
+}
+
+/// A simulation run driven in resumable slices.
+///
+/// Created by [`Simulator::begin_run`]; owns the run-scoped bookkeeping
+/// (commit trace, divergence monitor) that the one-shot entry points kept
+/// on the stack. Call [`SegmentedRun::step_until`] to advance to chosen
+/// pause cycles — taking [`SimSnapshot`]s at each boundary — then
+/// [`SegmentedRun::run_to_end`] and [`SegmentedRun::finish`].
+pub struct SegmentedRun<'g> {
+    trace: CommitTrace,
+    monitor: Option<TraceMonitor<'g>>,
+    record: bool,
+    max_cycles: u64,
+}
+
+impl<'g> SegmentedRun<'g> {
+    /// Advances the run until `sim.cycle() >= pause_at`, the cycle budget,
+    /// or a terminal stop. Returns `None` when paused (the run can
+    /// continue), `Some(stop)` when the run ended.
+    pub fn step_until(
+        &mut self,
+        sim: &mut Simulator<'_>,
+        hook: &mut impl FaultHook,
+        checkers: &mut CheckerSet,
+        pause_at: u64,
+    ) -> Option<SimStop> {
+        sim.main_loop(
+            hook,
+            checkers,
+            &mut self.trace,
+            &mut self.monitor,
+            self.record,
+            self.max_cycles,
+            None,
+            Some(pause_at),
+        )
+    }
+
+    /// Runs to a terminal stop (no more pauses).
+    pub fn run_to_end(
+        &mut self,
+        sim: &mut Simulator<'_>,
+        hook: &mut impl FaultHook,
+        checkers: &mut CheckerSet,
+        interrupt: Option<&std::sync::atomic::AtomicBool>,
+    ) -> SimStop {
+        sim.main_loop(
+            hook,
+            checkers,
+            &mut self.trace,
+            &mut self.monitor,
+            self.record,
+            self.max_cycles,
+            interrupt,
+            None,
+        )
+        .expect("run_to_end never pauses")
+    }
+
+    /// Consumes the run and packages the [`RunResult`].
+    pub fn finish(
+        self,
+        sim: &mut Simulator<'_>,
+        stop: SimStop,
+        checkers: &mut CheckerSet,
+    ) -> RunResult {
+        sim.finish_run(stop, self.trace, self.monitor, checkers)
     }
 }
 
@@ -1159,6 +1493,122 @@ mod tests {
         let c1 = cycles(1);
         let c4 = cycles(4);
         assert!(c4 < c1, "width 4 ({c4}) should beat width 1 ({c1})");
+    }
+
+    /// A branchy, memory-heavy program for the snapshot tests.
+    fn snapshot_workload() -> Program {
+        let mut a = Asm::new();
+        a.li(r(10), 512);
+        a.li(r(1), 0);
+        a.li(r(2), 40);
+        a.li(r(5), 1);
+        a.label("loop");
+        a.muli(r(5), r(5), 1103515245);
+        a.addi(r(5), r(5), 12345);
+        a.andi(r(6), r(5), 7);
+        a.slli(r(7), r(1), 3);
+        a.add(r(7), r(7), r(10));
+        a.st(r(6), r(7), 0);
+        a.ld(r(8), r(7), 0);
+        a.beq(r(6), r(0), "skip");
+        a.out(r(8));
+        a.label("skip");
+        a.addi(r(1), r(1), 1);
+        a.blt(r(1), r(2), "loop");
+        a.out(r(5)).halt();
+        a.finish()
+    }
+
+    #[test]
+    fn restored_run_is_bit_identical_to_uninterrupted() {
+        use idld_core::IdldChecker;
+        let p = snapshot_workload();
+        let cfg = SimConfig::default();
+
+        // Uninterrupted reference run.
+        let mut ref_checkers = CheckerSet::new();
+        ref_checkers.push(Box::new(IdldChecker::new(&cfg.rrs)));
+        let mut ref_sim = Simulator::new(&p, cfg);
+        let mut ref_seg = ref_sim.begin_run(None, 100_000);
+        let ref_stop = ref_seg.run_to_end(&mut ref_sim, &mut NoFaults, &mut ref_checkers, None);
+        let ref_final = ref_sim.snapshot(&ref_checkers);
+        let ref_res = ref_seg.finish(&mut ref_sim, ref_stop, &mut ref_checkers);
+        assert_eq!(ref_res.stop, SimStop::Halted);
+
+        // Paused run: snapshot mid-flight, fork into a FRESH simulator.
+        let mut checkers = CheckerSet::new();
+        checkers.push(Box::new(IdldChecker::new(&cfg.rrs)));
+        let mut sim = Simulator::new(&p, cfg);
+        let mut seg = sim.begin_run(None, 100_000);
+        let paused = seg.step_until(&mut sim, &mut NoFaults, &mut checkers, ref_res.cycles / 2);
+        assert_eq!(paused, None, "workload runs past the pause point");
+        let snap = sim.snapshot(&checkers);
+        assert!(snap.cycle() >= ref_res.cycles / 2);
+
+        let mut fork_checkers = CheckerSet::new();
+        let mut fork = Simulator::new(&p, cfg);
+        fork.restore(&snap, &mut fork_checkers);
+        let mut fseg = fork.begin_run(None, 100_000);
+        let stop = fseg.run_to_end(&mut fork, &mut NoFaults, &mut fork_checkers, None);
+        let fork_final = fork.snapshot(&fork_checkers);
+        let fork_res = fseg.finish(&mut fork, stop, &mut fork_checkers);
+
+        assert_eq!(fork_res.stop, SimStop::Halted);
+        assert_eq!(fork_res.cycles, ref_res.cycles);
+        assert_eq!(fork_res.committed, ref_res.committed);
+        assert_eq!(fork_res.output, ref_res.output);
+        assert_eq!(fork_res.stats, ref_res.stats);
+        assert!(
+            fork_final.state_eq(&ref_final),
+            "forked run converges to the uninterrupted final state"
+        );
+        assert_eq!(
+            fork_checkers.detections(),
+            ref_checkers.detections(),
+            "checker verdicts survive the snapshot/restore"
+        );
+    }
+
+    #[test]
+    fn resumed_golden_comparison_sees_no_divergence() {
+        let p = snapshot_workload();
+        let cfg = SimConfig::default();
+
+        let golden = {
+            let mut sim = Simulator::new(&p, cfg);
+            sim.run(&mut NoFaults, &mut CheckerSet::new(), None, 100_000)
+        };
+
+        // Pause a fresh run mid-flight, then resume it in a NEW simulator
+        // comparing against the golden trace: the monitor joins at the
+        // restored commit position and must see a clean suffix.
+        let mut checkers = CheckerSet::new();
+        let mut sim = Simulator::new(&p, cfg);
+        let mut seg = sim.begin_run(Some(&golden.trace), 100_000);
+        assert_eq!(
+            seg.step_until(&mut sim, &mut NoFaults, &mut checkers, golden.cycles / 3),
+            None
+        );
+        let snap = sim.snapshot(&checkers);
+
+        let mut rchk = CheckerSet::new();
+        let mut resumed = Simulator::new(&p, cfg);
+        resumed.restore(&snap, &mut rchk);
+        let mut rseg = resumed.begin_run(Some(&golden.trace), 100_000);
+        let stop = rseg.run_to_end(&mut resumed, &mut NoFaults, &mut rchk, None);
+        let res = rseg.finish(&mut resumed, stop, &mut rchk);
+        assert_eq!(res.stop, SimStop::Halted);
+        assert!(!res.divergence.any(), "{:?}", res.divergence);
+    }
+
+    #[test]
+    fn step_until_past_the_end_returns_the_stop() {
+        let p = snapshot_workload();
+        let mut sim = Simulator::new(&p, SimConfig::default());
+        let mut checkers = CheckerSet::new();
+        let mut seg = sim.begin_run(None, 100_000);
+        let stop = seg.step_until(&mut sim, &mut NoFaults, &mut checkers, u64::MAX);
+        assert_eq!(stop, Some(SimStop::Halted));
     }
 
     #[test]

@@ -81,9 +81,17 @@ pub struct TraceMonitor<'g> {
 impl<'g> TraceMonitor<'g> {
     /// Creates a monitor comparing against `golden`.
     pub fn new(golden: &'g CommitTrace) -> Self {
+        Self::new_at(golden, 0)
+    }
+
+    /// Creates a monitor that joins the comparison at commit position
+    /// `start_index`, for runs resumed from a state snapshot: the first
+    /// `start_index` commits were produced by the golden run itself, so
+    /// they match by construction and need no re-checking.
+    pub fn new_at(golden: &'g CommitTrace, start_index: usize) -> Self {
         TraceMonitor {
             golden,
-            index: 0,
+            index: start_index,
             divergence: Divergence::default(),
         }
     }
@@ -182,6 +190,18 @@ mod tests {
         m.observe(0, 1);
         let d = m.finish(100);
         assert_eq!(d.order, Some(100));
+    }
+
+    #[test]
+    fn monitor_joining_mid_trace_skips_the_verified_prefix() {
+        let g = golden();
+        let mut m = TraceMonitor::new_at(&g, 2);
+        m.observe(2, 5);
+        assert!(!m.finish(6).any(), "resumed run matches golden suffix");
+
+        let mut late = TraceMonitor::new_at(&g, 2);
+        late.observe(2, 9); // same pc, late commit
+        assert_eq!(late.finish(10).timing, Some(9));
     }
 
     #[test]
