@@ -1,0 +1,94 @@
+//! Measures the observability layer's simulation-speed cost.
+//!
+//! Runs every suite workload to completion three ways — the pre-layer
+//! entry point ([`Simulator::run`]), `run_observed` with the
+//! [`NullRecorder`] (the disabled path, which must compile to the same
+//! code), and `run_observed` with a [`RingRecorder`] (full tracing) —
+//! and reports Mcycles/s plus the overhead of each against the first.
+//!
+//! The disabled-path column is the DESIGN.md §9 number: it should sit
+//! within measurement noise (≪2%) of the plain entry point, because the
+//! `NullRecorder` monomorphization dead-codes every probe.
+
+use idld_core::{BitVectorChecker, CheckerSet, CounterChecker, IdldChecker};
+use idld_obs::{NullRecorder, RingRecorder};
+use idld_rrs::NoFaults;
+use idld_sim::{SimConfig, Simulator};
+use std::time::Instant;
+
+const BUDGET: u64 = 500_000_000;
+const REPS: usize = 3;
+
+fn checkers(cfg: &SimConfig) -> CheckerSet {
+    let mut c = CheckerSet::new();
+    c.push(Box::new(IdldChecker::new(&cfg.rrs)));
+    c.push(Box::new(BitVectorChecker::new(&cfg.rrs)));
+    c.push(Box::new(CounterChecker::new(&cfg.rrs)));
+    c
+}
+
+fn main() {
+    idld_bench::banner("observability overhead (plain vs null-recorder vs ring-recorder)");
+    let cfg = SimConfig::default();
+    let suite = idld_workloads::suite();
+
+    println!(
+        "{:<14} {:>10} {:>12} {:>12} {:>8} {:>12} {:>8}",
+        "workload", "cycles", "plain Mc/s", "null Mc/s", "null %", "ring Mc/s", "ring %"
+    );
+
+    let mut tot = [0.0f64; 3];
+    for w in &suite {
+        let mut secs = [f64::MAX; 3];
+        let mut cycles = 0;
+        for _ in 0..REPS {
+            // Plain entry point (what the code looked like before the
+            // observability layer: no recorder parameter at all).
+            let mut c = checkers(&cfg);
+            let mut sim = Simulator::new(&w.program, cfg);
+            let t = Instant::now();
+            let res = sim.run(&mut NoFaults, &mut c, None, BUDGET);
+            secs[0] = secs[0].min(t.elapsed().as_secs_f64());
+            cycles = res.cycles;
+
+            // Disabled path: run_observed + NullRecorder.
+            let mut c = checkers(&cfg);
+            let mut sim = Simulator::new(&w.program, cfg);
+            let t = Instant::now();
+            sim.run_observed(&mut NoFaults, &mut c, None, BUDGET, &mut NullRecorder);
+            secs[1] = secs[1].min(t.elapsed().as_secs_f64());
+
+            // Full tracing.
+            let mut c = checkers(&cfg);
+            let mut sim = Simulator::new(&w.program, cfg);
+            let mut rec = RingRecorder::default();
+            let t = Instant::now();
+            sim.run_observed(&mut NoFaults, &mut c, None, BUDGET, &mut rec);
+            secs[2] = secs[2].min(t.elapsed().as_secs_f64());
+        }
+        let mcs = |s: f64| cycles as f64 / s / 1e6;
+        let pct = |s: f64| (s / secs[0] - 1.0) * 100.0;
+        println!(
+            "{:<14} {:>10} {:>12.2} {:>12.2} {:>7.2}% {:>12.2} {:>7.2}%",
+            w.name,
+            cycles,
+            mcs(secs[0]),
+            mcs(secs[1]),
+            pct(secs[1]),
+            mcs(secs[2]),
+            pct(secs[2]),
+        );
+        for (acc, s) in tot.iter_mut().zip(secs) {
+            *acc += s;
+        }
+    }
+
+    println!(
+        "\nsuite wall: plain {:.3}s, null-recorder {:.3}s ({:+.2}%), ring-recorder {:.3}s ({:+.2}%)",
+        tot[0],
+        tot[1],
+        (tot[1] / tot[0] - 1.0) * 100.0,
+        tot[2],
+        (tot[2] / tot[0] - 1.0) * 100.0,
+    );
+}

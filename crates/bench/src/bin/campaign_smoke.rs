@@ -1,15 +1,16 @@
 //! CI equivalence smoke: runs a small fixed-seed campaign and writes the
 //! exported record CSV to the path given as the first argument (default
-//! `records.csv`).
+//! `records.csv`), plus the aggregated metrics as `<stem>.metrics.csv`
+//! and `<stem>.metrics.json`.
 //!
 //! CI runs this twice — `IDLD_SNAPSHOT=0` and `IDLD_SNAPSHOT=1` — and
-//! diffs the two files byte-for-byte: snapshot-and-fork execution must
-//! change wall-clock only, never a record. All the usual campaign
-//! environment knobs (`IDLD_RUNS_PER_CELL`, `IDLD_SEED`,
-//! `IDLD_CAMPAIGN_THREADS`, `IDLD_SNAPSHOT_STRIDE`, `IDLD_SNAPSHOT_MAX`)
-//! apply.
+//! diffs all three files byte-for-byte: snapshot-and-fork execution must
+//! change wall-clock only, never a record or an aggregated metric. All
+//! the usual campaign environment knobs (`IDLD_RUNS_PER_CELL`,
+//! `IDLD_SEED`, `IDLD_CAMPAIGN_THREADS`, `IDLD_SNAPSHOT_STRIDE`,
+//! `IDLD_SNAPSHOT_MAX`) apply.
 
-use idld_campaign::{export, Campaign, CampaignConfig};
+use idld_campaign::{export, metrics, Campaign, CampaignConfig, CampaignMetrics};
 
 fn main() {
     let path = std::env::args()
@@ -28,6 +29,17 @@ fn main() {
         .unwrap_or_else(|e| panic!("campaign baseline invalid: {e}"));
     std::fs::write(&path, export::to_csv(&res))
         .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    // Metrics ride alongside the records, sharing their stem: the
+    // equivalence diff covers them too (snapshot forking must not change
+    // a single aggregated count).
+    let m = CampaignMetrics::build(&res);
+    let stem = path.strip_suffix(".csv").unwrap_or(&path);
+    let metrics_path = format!("{stem}.metrics.csv");
+    std::fs::write(&metrics_path, metrics::metrics_csv(&m))
+        .unwrap_or_else(|e| panic!("cannot write {metrics_path}: {e}"));
+    let json_path = format!("{stem}.metrics.json");
+    std::fs::write(&json_path, metrics::metrics_json(&m))
+        .unwrap_or_else(|e| panic!("cannot write {json_path}: {e}"));
     let st = res.snapshot_stats;
     eprintln!(
         "campaign_smoke: {} records -> {path} (snapshot={}, {} forked / {} cold, {} snapshots)",

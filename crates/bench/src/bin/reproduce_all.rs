@@ -34,6 +34,17 @@ fn main() {
         "timings.csv",
         &idld_campaign::export::timings_csv(&res),
     );
+    let metrics = idld_campaign::CampaignMetrics::build(&res);
+    write(
+        dir,
+        "metrics.csv",
+        &idld_campaign::metrics::metrics_csv(&metrics),
+    );
+    write(
+        dir,
+        "metrics.json",
+        &idld_campaign::metrics::metrics_json(&metrics),
+    );
     write(
         dir,
         "fig3_masking.txt",

@@ -155,6 +155,10 @@ impl FaultHook for SingleShotHook {
     fn earliest_trigger(&self) -> u64 {
         self.resumed_at
     }
+
+    fn activation(&self) -> Option<(u64, &'static str)> {
+        self.activation.map(|c| (c, self.spec.site.label()))
+    }
 }
 
 /// A hook injecting one *at-rest* RAT upset (§V.D's storage-corruption
@@ -222,6 +226,10 @@ impl FaultHook for AtRestHook {
     // until the upset lands, even through an otherwise dead pipeline.
     fn quiescent(&self) -> bool {
         self.applied
+    }
+
+    fn activation(&self) -> Option<(u64, &'static str)> {
+        self.applied.then_some((self.cycle, "RatAtRest"))
     }
 }
 

@@ -48,7 +48,7 @@ use crate::progress::{CampaignProgress, NullProgress, ProgressState};
 use idld_bugs::{BugModel, BugSpec, SingleShotHook};
 use idld_core::{BitVectorChecker, CheckerSet, CounterChecker, IdldChecker};
 use idld_rrs::CensusHook;
-use idld_sim::{CommitTrace, SimConfig, SimSnapshot, Simulator};
+use idld_sim::{CommitTrace, SimConfig, SimSnapshot, SimStats, Simulator};
 use idld_workloads::Workload;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -410,6 +410,9 @@ pub struct RunRecord {
     pub persists: bool,
     /// Checker detections (absolute cycles).
     pub detections: Detections,
+    /// Microarchitectural statistics of the injected run, feeding the
+    /// per-cell metrics registry (zeroed for poisoned runs).
+    pub stats: SimStats,
     /// The panic message, when this run panicked inside the simulator and
     /// the scheduler isolated it ([`OutcomeClass::Anomalous`]).
     pub poisoned: Option<String>,
@@ -447,6 +450,7 @@ impl RunRecord {
             end_cycle: 0,
             persists: false,
             detections: Detections::default(),
+            stats: SimStats::default(),
             poisoned: Some(message),
         }
     }
@@ -741,6 +745,7 @@ impl Campaign {
                 bv: checkers.detection_of("bv").map(|d| d.cycle),
                 counter: checkers.detection_of("counter").map(|d| d.cycle),
             },
+            stats: res.stats,
             poisoned: None,
         };
         (record, skipped)

@@ -23,6 +23,7 @@ pub mod analysis;
 pub mod campaign;
 pub mod classify;
 pub mod export;
+pub mod metrics;
 pub mod progress;
 
 pub use campaign::{
@@ -30,4 +31,5 @@ pub use campaign::{
     GoldenSnapshot, RunRecord, SnapshotStats,
 };
 pub use classify::{classify, OutcomeClass};
+pub use metrics::{metrics_csv, metrics_json, CampaignMetrics};
 pub use progress::{CampaignProgress, NullProgress, ProgressSnapshot, StderrProgress};

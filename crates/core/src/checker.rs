@@ -20,6 +20,20 @@ pub enum DetectionKind {
     ParityMismatch,
 }
 
+impl DetectionKind {
+    /// Short kebab-case label for machine-readable exports (trace events,
+    /// metrics keys). [`fmt::Display`] stays the human-readable phrase.
+    pub const fn label(self) -> &'static str {
+        match self {
+            DetectionKind::XorInvariance => "xor-invariance",
+            DetectionKind::DoubleFree => "double-free",
+            DetectionKind::FreeCountMismatch => "free-count-mismatch",
+            DetectionKind::CounterRange => "counter-range",
+            DetectionKind::ParityMismatch => "parity-mismatch",
+        }
+    }
+}
+
 impl fmt::Display for DetectionKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
@@ -76,6 +90,14 @@ pub trait Checker: EventSink + Send + Sync {
     /// so a [`CheckerSet`] inside a simulator snapshot restores to exactly
     /// the captured mid-run state.
     fn clone_box(&self) -> Box<dyn Checker>;
+
+    /// The checker's running XOR code, for checkers whose state *is* a
+    /// single XOR word (IDLD's `FLxor ^ RATxor ^ ROBxor`). Observability
+    /// probes poll this per cycle to render checker-state evolution;
+    /// checkers without such a word return `None` (the default).
+    fn xor_code(&self) -> Option<u32> {
+        None
+    }
 }
 
 /// A set of checkers attached to one core, fed from a single event stream.
@@ -126,6 +148,23 @@ impl CheckerSet {
             .iter()
             .map(|c| (c.name(), c.detection()))
             .collect()
+    }
+
+    /// Visits each checker's first detection without allocating:
+    /// `f(name, detection)` for every checker that has one. Hot-path
+    /// alternative to [`CheckerSet::detections`] for per-cycle polls.
+    pub fn for_each_detection(&self, mut f: impl FnMut(&'static str, Detection)) {
+        for c in &self.checkers {
+            if let Some(d) = c.detection() {
+                f(c.name(), d);
+            }
+        }
+    }
+
+    /// The first non-`None` [`Checker::xor_code`] in the set (in practice
+    /// the IDLD checker's running code).
+    pub fn xor_code(&self) -> Option<u32> {
+        self.checkers.iter().find_map(|c| c.xor_code())
     }
 
     /// First detection of the checker called `name`.

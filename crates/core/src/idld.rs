@@ -209,6 +209,10 @@ impl Checker for IdldChecker {
         self.in_recovery = false;
         self.detection = None;
     }
+
+    fn xor_code(&self) -> Option<u32> {
+        Some(self.code())
+    }
 }
 
 #[cfg(test)]

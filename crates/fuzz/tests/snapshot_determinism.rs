@@ -113,3 +113,96 @@ fn forked_runs_match_uninterrupted_runs() {
         "generator produced too many trivial programs ({tested}/{ITERS} usable)"
     );
 }
+
+/// The same fork==cold property, extended to the observability layer:
+/// with a [`RingRecorder`] attached, the snapshot carries the recorder's
+/// replayable state, so a forked continuation must reproduce the *exact*
+/// event stream — whole-run FNV digest, total and per-kind counts, and
+/// the retained ring tail — of the uninterrupted recorded run.
+#[test]
+fn forked_traces_match_uninterrupted_traces() {
+    use idld_obs::RingRecorder;
+
+    const TRACE_ITERS: u64 = 8;
+    let mut tested = 0u64;
+    for iter in 0..TRACE_ITERS {
+        let mut rng = iter_rng(SEED ^ 0x000b_5e77_ace5, iter);
+        let gen_cfg = GenConfig::sample(&mut rng);
+        let program = generate(&gen_cfg, &mut rng);
+        let mut sim_cfg = SimConfig::with_width([1, 2, 4, 8][iter as usize % 4]);
+        sim_cfg.mem_dep_speculation = iter % 2 == 0;
+
+        // Uninterrupted recorded reference. A small ring forces eviction,
+        // so the digest (whole stream) and the tail (recent window) are
+        // probed independently.
+        let mut ref_checkers = checkers_for(&sim_cfg);
+        let mut ref_rec = RingRecorder::new(512);
+        let mut ref_sim = Simulator::new(&program, sim_cfg);
+        let ref_res =
+            ref_sim.run_observed(&mut NoFaults, &mut ref_checkers, None, BUDGET, &mut ref_rec);
+        if ref_res.cycles < 2 {
+            continue;
+        }
+        tested += 1;
+
+        // Pause mid-run, snapshot including recorder state, fork into a
+        // fresh simulator + fresh recorder, finish.
+        let pause = rng.gen_range(1..ref_res.cycles);
+        let mut checkers = checkers_for(&sim_cfg);
+        let mut rec = RingRecorder::new(512);
+        let mut sim = Simulator::new(&program, sim_cfg);
+        let mut seg = sim.begin_run(None, BUDGET);
+        assert_eq!(
+            seg.step_until_observed(&mut sim, &mut NoFaults, &mut checkers, pause, &mut rec),
+            None,
+            "iter {iter}: pause {pause} < end {}",
+            ref_res.cycles
+        );
+        let snap = sim.snapshot_observed(&checkers, &rec);
+
+        let mut fork_checkers = CheckerSet::new();
+        let mut fork_rec = RingRecorder::new(512);
+        let mut fork = Simulator::new(&program, sim_cfg);
+        fork.restore_observed(&snap, &mut fork_checkers, &mut fork_rec);
+        let mut fseg = fork.begin_run(None, BUDGET);
+        let stop = fseg.run_to_end_observed(
+            &mut fork,
+            &mut NoFaults,
+            &mut fork_checkers,
+            None,
+            &mut fork_rec,
+        );
+        let fork_res = fseg.finish(&mut fork, stop, &mut fork_checkers);
+
+        assert_eq!(fork_res.stop, ref_res.stop, "iter {iter}: stop reason");
+        assert_eq!(fork_res.cycles, ref_res.cycles, "iter {iter}: cycles");
+        assert_eq!(
+            fork_rec.digest(),
+            ref_rec.digest(),
+            "iter {iter}: stream digest diverged (pause {pause})"
+        );
+        assert_eq!(
+            fork_rec.total(),
+            ref_rec.total(),
+            "iter {iter}: event totals"
+        );
+        assert_eq!(
+            fork_rec.counts(),
+            ref_rec.counts(),
+            "iter {iter}: per-kind counts"
+        );
+        assert!(
+            fork_rec.events().eq(ref_rec.events()),
+            "iter {iter}: retained event tails diverged (pause {pause})"
+        );
+        eprintln!(
+            "iter {iter}: ok — {} events over {} cycles, paused at {pause}",
+            ref_rec.total(),
+            ref_res.cycles
+        );
+    }
+    assert!(
+        tested >= TRACE_ITERS / 2,
+        "generator produced too many trivial programs ({tested}/{TRACE_ITERS} usable)"
+    );
+}

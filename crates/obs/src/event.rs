@@ -1,0 +1,486 @@
+//! The typed pipeline event model.
+//!
+//! One [`ObsEvent`] is emitted per observable micro-action of the simulated
+//! core: frontend activity (fetch/rename), backend activity
+//! (issue/complete/commit), control events (flush, recovery), per-cycle
+//! structure occupancy, checker-state evolution, and fault
+//! injection/detection markers. Events are small `Copy` values so the
+//! disabled recording path costs nothing: with a no-op
+//! [`Recorder`](crate::Recorder) the construction folds away entirely.
+//!
+//! Every event has a stable one-byte kind tag and a stable little-endian
+//! byte encoding ([`ObsEvent::digest_into`]); the byte stream — not the
+//! Rust `Debug` form — is what trace digests are computed over, so the
+//! golden-trace format survives refactors of derived impls.
+
+use std::fmt;
+
+/// Coarse classification of an [`ObsEvent`], used for per-kind counters and
+/// for mapping events onto exporter tracks.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EventKind {
+    /// An instruction entered the pipeline from the frontend.
+    Fetch,
+    /// An instruction passed register rename.
+    Rename,
+    /// An instruction was issued to a functional unit.
+    Issue,
+    /// An instruction finished execution.
+    Complete,
+    /// An instruction retired architecturally.
+    Commit,
+    /// A pipeline flush was initiated.
+    Flush,
+    /// Recovery state machine activity (start/end).
+    Recovery,
+    /// Per-cycle occupancy sample (window, FL, ROB, RHT).
+    Occupancy,
+    /// Checker XOR-state change.
+    Checker,
+    /// Fault injection or checker detection marker.
+    Fault,
+}
+
+impl EventKind {
+    /// Number of distinct kinds (length of [`EventKind::ALL`]).
+    pub const COUNT: usize = 10;
+
+    /// All kinds, in tag order.
+    pub const ALL: [EventKind; EventKind::COUNT] = [
+        EventKind::Fetch,
+        EventKind::Rename,
+        EventKind::Issue,
+        EventKind::Complete,
+        EventKind::Commit,
+        EventKind::Flush,
+        EventKind::Recovery,
+        EventKind::Occupancy,
+        EventKind::Checker,
+        EventKind::Fault,
+    ];
+
+    /// Dense index of this kind in [`EventKind::ALL`].
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Short lower-case label used by the compact format and metric names.
+    pub const fn label(self) -> &'static str {
+        match self {
+            EventKind::Fetch => "fetch",
+            EventKind::Rename => "rename",
+            EventKind::Issue => "issue",
+            EventKind::Complete => "complete",
+            EventKind::Commit => "commit",
+            EventKind::Flush => "flush",
+            EventKind::Recovery => "recovery",
+            EventKind::Occupancy => "occupancy",
+            EventKind::Checker => "checker",
+            EventKind::Fault => "fault",
+        }
+    }
+}
+
+/// One structured pipeline observation.
+///
+/// Identifier fields mirror the simulator's internal vocabulary: `pc` is a
+/// static program counter, `seq` the global rename sequence number, `pdst`
+/// the allocated physical destination register index.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ObsEvent {
+    /// An instruction at `pc` entered the fetch group.
+    Fetch {
+        /// Program counter.
+        pc: u32,
+    },
+    /// An instruction passed rename.
+    Rename {
+        /// Program counter.
+        pc: u32,
+        /// Rename sequence number.
+        seq: u64,
+        /// Newly allocated physical destination, if the instruction has
+        /// one and was not move/idiom-eliminated into an existing id.
+        pdst: Option<u16>,
+        /// The rename was satisfied by move/idiom elimination.
+        eliminated: bool,
+    },
+    /// Window entry `seq` was issued to a functional unit.
+    Issue {
+        /// Rename sequence number.
+        seq: u64,
+    },
+    /// Window entry `seq` completed execution.
+    Complete {
+        /// Rename sequence number.
+        seq: u64,
+        /// Completion discovered a control misprediction.
+        mispredict: bool,
+    },
+    /// The instruction at `pc` (sequence `seq`) committed.
+    Commit {
+        /// Program counter.
+        pc: u32,
+        /// Rename sequence number.
+        seq: u64,
+    },
+    /// A flush was initiated at offender `seq`, redirecting fetch to
+    /// `target`.
+    Flush {
+        /// Offending (oldest surviving) sequence number.
+        seq: u64,
+        /// Fetch redirect target pc.
+        target: u32,
+    },
+    /// Multi-cycle recovery began.
+    RecoveryStart,
+    /// Multi-cycle recovery completed.
+    RecoveryEnd,
+    /// End-of-cycle occupancy sample of the major structures.
+    Occupancy {
+        /// In-flight window (ROB-resident) instructions.
+        window: u16,
+        /// Free-list entries available.
+        fl_free: u16,
+        /// ROB entries allocated.
+        rob: u16,
+        /// RHT entries live.
+        rht: u16,
+    },
+    /// The observed checker's XOR code changed to `code` (recorders
+    /// deduplicate repeats, so the stream carries deltas).
+    CheckerCode {
+        /// `FLxor ^ RATxor ^ ROBxor` after this cycle.
+        code: u32,
+    },
+    /// A fault was injected (recorded by drivers that know the injection,
+    /// e.g. the `obs` CLI — the simulator itself has no privileged
+    /// knowledge of hooks).
+    FaultInjected {
+        /// Table-I site label.
+        site: &'static str,
+    },
+    /// A checker flagged its first violation.
+    Detection {
+        /// Checker name (`"idld"`, `"bv"`, `"counter"`, `"parity"`).
+        checker: &'static str,
+        /// Detection kind label.
+        kind: &'static str,
+        /// The cycle the violation was stamped at (may precede the cycle
+        /// the event was recorded in).
+        at: u64,
+    },
+}
+
+impl ObsEvent {
+    /// The coarse kind of this event.
+    #[inline]
+    pub const fn kind(&self) -> EventKind {
+        match self {
+            ObsEvent::Fetch { .. } => EventKind::Fetch,
+            ObsEvent::Rename { .. } => EventKind::Rename,
+            ObsEvent::Issue { .. } => EventKind::Issue,
+            ObsEvent::Complete { .. } => EventKind::Complete,
+            ObsEvent::Commit { .. } => EventKind::Commit,
+            ObsEvent::Flush { .. } => EventKind::Flush,
+            ObsEvent::RecoveryStart | ObsEvent::RecoveryEnd => EventKind::Recovery,
+            ObsEvent::Occupancy { .. } => EventKind::Occupancy,
+            ObsEvent::CheckerCode { .. } => EventKind::Checker,
+            ObsEvent::FaultInjected { .. } | ObsEvent::Detection { .. } => EventKind::Fault,
+        }
+    }
+
+    /// Folds this event's stable byte encoding into `digest`. The encoding
+    /// is a one-byte tag followed by the fields in declaration order,
+    /// little-endian; string fields contribute their bytes.
+    pub fn digest_into(&self, cycle: u64, digest: &mut Fnv64) {
+        digest.write_u64(cycle);
+        match *self {
+            ObsEvent::Fetch { pc } => {
+                digest.write_u8(0);
+                digest.write_u32(pc);
+            }
+            ObsEvent::Rename {
+                pc,
+                seq,
+                pdst,
+                eliminated,
+            } => {
+                digest.write_u8(1);
+                digest.write_u32(pc);
+                digest.write_u64(seq);
+                digest.write_u32(pdst.map_or(u32::MAX, u32::from));
+                digest.write_u8(eliminated as u8);
+            }
+            ObsEvent::Issue { seq } => {
+                digest.write_u8(2);
+                digest.write_u64(seq);
+            }
+            ObsEvent::Complete { seq, mispredict } => {
+                digest.write_u8(3);
+                digest.write_u64(seq);
+                digest.write_u8(mispredict as u8);
+            }
+            ObsEvent::Commit { pc, seq } => {
+                digest.write_u8(4);
+                digest.write_u32(pc);
+                digest.write_u64(seq);
+            }
+            ObsEvent::Flush { seq, target } => {
+                digest.write_u8(5);
+                digest.write_u64(seq);
+                digest.write_u32(target);
+            }
+            ObsEvent::RecoveryStart => digest.write_u8(6),
+            ObsEvent::RecoveryEnd => digest.write_u8(7),
+            ObsEvent::Occupancy {
+                window,
+                fl_free,
+                rob,
+                rht,
+            } => {
+                digest.write_u8(8);
+                digest.write_u16(window);
+                digest.write_u16(fl_free);
+                digest.write_u16(rob);
+                digest.write_u16(rht);
+            }
+            ObsEvent::CheckerCode { code } => {
+                digest.write_u8(9);
+                digest.write_u32(code);
+            }
+            ObsEvent::FaultInjected { site } => {
+                digest.write_u8(10);
+                digest.write_bytes(site.as_bytes());
+            }
+            ObsEvent::Detection { checker, kind, at } => {
+                digest.write_u8(11);
+                digest.write_bytes(checker.as_bytes());
+                digest.write_bytes(kind.as_bytes());
+                digest.write_u64(at);
+            }
+        }
+    }
+}
+
+impl fmt::Display for ObsEvent {
+    /// The compact-format rendering of the event payload (no cycle stamp).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ObsEvent::Fetch { pc } => write!(f, "F pc={pc}"),
+            ObsEvent::Rename {
+                pc,
+                seq,
+                pdst,
+                eliminated,
+            } => {
+                write!(f, "R pc={pc} seq={seq}")?;
+                if let Some(p) = pdst {
+                    write!(f, " pdst={p}")?;
+                }
+                if eliminated {
+                    write!(f, " elim")?;
+                }
+                Ok(())
+            }
+            ObsEvent::Issue { seq } => write!(f, "I seq={seq}"),
+            ObsEvent::Complete { seq, mispredict } => {
+                write!(f, "X seq={seq}")?;
+                if mispredict {
+                    write!(f, " mispredict")?;
+                }
+                Ok(())
+            }
+            ObsEvent::Commit { pc, seq } => write!(f, "C pc={pc} seq={seq}"),
+            ObsEvent::Flush { seq, target } => write!(f, "FL seq={seq} target={target}"),
+            ObsEvent::RecoveryStart => write!(f, "RS"),
+            ObsEvent::RecoveryEnd => write!(f, "RE"),
+            ObsEvent::Occupancy {
+                window,
+                fl_free,
+                rob,
+                rht,
+            } => write!(f, "O win={window} fl={fl_free} rob={rob} rht={rht}"),
+            ObsEvent::CheckerCode { code } => write!(f, "K code={code:#x}"),
+            ObsEvent::FaultInjected { site } => write!(f, "INJ site={site}"),
+            ObsEvent::Detection { checker, kind, at } => {
+                write!(f, "DET checker={checker} kind={kind} at={at}")
+            }
+        }
+    }
+}
+
+/// A cycle-stamped event, as stored in ring buffers and consumed by
+/// exporters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TimedEvent {
+    /// Cycle the event was recorded in.
+    pub cycle: u64,
+    /// The event.
+    pub ev: ObsEvent,
+}
+
+/// FNV-1a 64-bit streaming hash — the trace digest. Hand-rolled (no
+/// external crates) and stable across platforms: the golden-trace files
+/// embed its output.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh digest at the FNV offset basis.
+    pub const fn new() -> Self {
+        Fnv64(Self::OFFSET)
+    }
+
+    /// Folds raw bytes into the digest.
+    #[inline]
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Folds one byte into the digest.
+    #[inline]
+    pub fn write_u8(&mut self, v: u8) {
+        self.0 = (self.0 ^ u64::from(v)).wrapping_mul(Self::PRIME);
+    }
+
+    /// Folds a little-endian `u16`.
+    #[inline]
+    pub fn write_u16(&mut self, v: u16) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Folds a little-endian `u32`.
+    #[inline]
+    pub fn write_u32(&mut self, v: u32) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Folds a little-endian `u64`.
+    #[inline]
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// The current digest value.
+    #[inline]
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_indices_match_all_order() {
+        for (i, k) in EventKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+        let labels: std::collections::HashSet<_> =
+            EventKind::ALL.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), EventKind::COUNT, "labels unique");
+    }
+
+    #[test]
+    fn events_classify_to_their_kind() {
+        assert_eq!(ObsEvent::Fetch { pc: 1 }.kind(), EventKind::Fetch);
+        assert_eq!(ObsEvent::RecoveryStart.kind(), EventKind::Recovery);
+        assert_eq!(ObsEvent::RecoveryEnd.kind(), EventKind::Recovery);
+        assert_eq!(
+            ObsEvent::FaultInjected { site: "FlPop" }.kind(),
+            EventKind::Fault
+        );
+        assert_eq!(
+            ObsEvent::Detection {
+                checker: "idld",
+                kind: "xor",
+                at: 5
+            }
+            .kind(),
+            EventKind::Fault
+        );
+    }
+
+    #[test]
+    fn fnv_matches_reference_vector() {
+        // FNV-1a("hello") reference value.
+        let mut h = Fnv64::new();
+        h.write_bytes(b"hello");
+        assert_eq!(h.finish(), 0xa430_d846_80aa_bd0b);
+    }
+
+    #[test]
+    fn digest_distinguishes_events_and_cycles() {
+        let digest_of = |cycle, ev: ObsEvent| {
+            let mut h = Fnv64::new();
+            ev.digest_into(cycle, &mut h);
+            h.finish()
+        };
+        let a = digest_of(1, ObsEvent::Issue { seq: 9 });
+        let b = digest_of(2, ObsEvent::Issue { seq: 9 });
+        let c = digest_of(1, ObsEvent::Issue { seq: 10 });
+        let d = digest_of(
+            1,
+            ObsEvent::Complete {
+                seq: 9,
+                mispredict: false,
+            },
+        );
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn display_is_compact_and_stable() {
+        assert_eq!(ObsEvent::Fetch { pc: 7 }.to_string(), "F pc=7");
+        assert_eq!(
+            ObsEvent::Rename {
+                pc: 7,
+                seq: 3,
+                pdst: Some(40),
+                eliminated: false
+            }
+            .to_string(),
+            "R pc=7 seq=3 pdst=40"
+        );
+        assert_eq!(
+            ObsEvent::Rename {
+                pc: 7,
+                seq: 3,
+                pdst: None,
+                eliminated: true
+            }
+            .to_string(),
+            "R pc=7 seq=3 elim"
+        );
+        assert_eq!(
+            ObsEvent::Occupancy {
+                window: 4,
+                fl_free: 92,
+                rob: 4,
+                rht: 4
+            }
+            .to_string(),
+            "O win=4 fl=92 rob=4 rht=4"
+        );
+        assert_eq!(
+            ObsEvent::CheckerCode { code: 0x1d }.to_string(),
+            "K code=0x1d"
+        );
+    }
+}

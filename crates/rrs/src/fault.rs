@@ -89,6 +89,25 @@ impl OpSite {
             OpSite::MoveElimDup => 12,
         }
     }
+
+    /// Stable display label, for traces and reports.
+    pub const fn label(self) -> &'static str {
+        match self {
+            OpSite::FlPop => "FlPop",
+            OpSite::FlPush => "FlPush",
+            OpSite::RobAlloc => "RobAlloc",
+            OpSite::RobCommitRead => "RobCommitRead",
+            OpSite::RobTailRestore => "RobTailRestore",
+            OpSite::RhtAppend => "RhtAppend",
+            OpSite::RhtTailRestore => "RhtTailRestore",
+            OpSite::RhtPosWalkRead => "RhtPosWalkRead",
+            OpSite::RhtNegWalkRead => "RhtNegWalkRead",
+            OpSite::RatWrite => "RatWrite",
+            OpSite::RatRecover => "RatRecover",
+            OpSite::CkptTake => "CkptTake",
+            OpSite::MoveElimDup => "MoveElimDup",
+        }
+    }
 }
 
 /// The corruption applied to one occurrence of a control-signal site.
@@ -160,6 +179,14 @@ pub trait FaultHook {
     /// wholesale only while its hook is quiescent.
     fn quiescent(&self) -> bool {
         true
+    }
+
+    /// The fault this hook has delivered, if any: `(cycle, site label)`.
+    /// Purely observational — the simulator's event recorder polls it to
+    /// stamp an injection marker into the trace. Hooks that never corrupt
+    /// keep the default `None`.
+    fn activation(&self) -> Option<(u64, &'static str)> {
+        None
     }
 }
 

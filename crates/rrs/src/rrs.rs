@@ -235,6 +235,12 @@ impl Rrs {
         self.rob.len()
     }
 
+    /// RHT occupancy (retirement history entries awaiting recycle).
+    #[inline]
+    pub fn rht_len(&self) -> usize {
+        self.rht.len()
+    }
+
     /// Reliable count of renamed instructions (the next sequence number).
     #[inline]
     pub fn renamed(&self) -> u64 {

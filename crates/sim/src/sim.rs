@@ -8,6 +8,7 @@ use crate::trace::{CommitTrace, Divergence, TraceMonitor};
 use idld_core::CheckerSet;
 use idld_isa::{Inst, Memory, Program};
 use idld_mdp::{StoreSets, StoreTag};
+use idld_obs::{Consume, NullRecorder, ObsEvent, Recorder, RecorderState};
 use idld_rrs::{FaultHook, Idiom, PhysReg, RenameRequest, Rrs};
 use std::collections::VecDeque;
 
@@ -225,6 +226,24 @@ impl<'p> Simulator<'p> {
         self.run_with_interrupt(hook, checkers, golden, max_cycles, None)
     }
 
+    /// [`Simulator::run`] with an event recorder attached: every pipeline
+    /// event of the run is delivered to `recorder`. With
+    /// [`idld_obs::NullRecorder`] this is exactly [`Simulator::run`] (the
+    /// probes compile to nothing); with [`idld_obs::RingRecorder`] the run
+    /// produces a full structured trace.
+    pub fn run_observed(
+        &mut self,
+        hook: &mut impl FaultHook,
+        checkers: &mut CheckerSet,
+        golden: Option<&CommitTrace>,
+        max_cycles: u64,
+        recorder: &mut impl Recorder,
+    ) -> RunResult {
+        let mut seg = self.begin_run(golden, max_cycles);
+        let stop = seg.run_to_end_observed(self, hook, checkers, None, recorder);
+        seg.finish(self, stop, checkers)
+    }
+
     /// [`Simulator::run`] with a cooperative interrupt: when `interrupt`
     /// becomes true the run stops with [`SimStop::CycleLimit`] at the next
     /// budget check. The flag is polled once every 1024 cycles alongside
@@ -308,7 +327,19 @@ impl<'p> Simulator<'p> {
     /// segments, or before a run starts) — mid-cycle there is transient
     /// state outside the captured set.
     pub fn snapshot(&self, checkers: &CheckerSet) -> SimSnapshot {
+        self.snapshot_observed(checkers, &NullRecorder)
+    }
+
+    /// [`Simulator::snapshot`] that additionally captures the attached
+    /// recorder's state, so a run forked from the snapshot resumes the
+    /// event stream mid-trace and emits bytes identical to a cold run.
+    pub fn snapshot_observed(
+        &self,
+        checkers: &CheckerSet,
+        recorder: &impl Recorder,
+    ) -> SimSnapshot {
         SimSnapshot {
+            recorder: recorder.state(),
             rrs: self.rrs.clone(),
             mem: self.mem.clone(),
             prf: self.prf.clone(),
@@ -335,6 +366,18 @@ impl<'p> Simulator<'p> {
     /// been created for the same program and configuration the snapshot
     /// was taken under.
     pub fn restore(&mut self, snap: &SimSnapshot, checkers: &mut CheckerSet) {
+        self.restore_observed(snap, checkers, &mut NullRecorder)
+    }
+
+    /// [`Simulator::restore`] that additionally restores `recorder` to the
+    /// state captured by [`Simulator::snapshot_observed`].
+    pub fn restore_observed(
+        &mut self,
+        snap: &SimSnapshot,
+        checkers: &mut CheckerSet,
+        recorder: &mut impl Recorder,
+    ) {
+        recorder.restore_state(&snap.recorder);
         self.rrs = snap.rrs.clone();
         self.mem.clone_from(&snap.mem);
         self.prf.clone_from(&snap.prf);
@@ -356,7 +399,7 @@ impl<'p> Simulator<'p> {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn main_loop(
+    fn main_loop<R: Recorder>(
         &mut self,
         hook: &mut impl FaultHook,
         checkers: &mut CheckerSet,
@@ -366,6 +409,7 @@ impl<'p> Simulator<'p> {
         max_cycles: u64,
         interrupt: Option<&std::sync::atomic::AtomicBool>,
         pause_at: Option<u64>,
+        recorder: &mut R,
     ) -> Option<SimStop> {
         // Stall fast-forward: count consecutive cycles in which provably
         // nothing changed. Once two such cycles pass (letting checker
@@ -397,6 +441,7 @@ impl<'p> Simulator<'p> {
                 self.stats.recovery_cycles += 1;
                 match self.rrs.step_recovery(hook, checkers) {
                     Ok(true) => {
+                        recorder.record(self.cycle, ObsEvent::RecoveryEnd);
                         if let Some(target) = self.redirect_after_recovery.take() {
                             self.fetch_pc = target;
                         }
@@ -408,18 +453,26 @@ impl<'p> Simulator<'p> {
                     Ok(false) => {}
                     Err(a) => return Some(SimStop::Assert(a)),
                 }
-                self.end_cycle(checkers);
+                self.end_cycle(hook, checkers, recorder);
                 continue;
             }
             if let Some((fseq, target)) = self.pending_flush.take() {
                 idle_streak = 0;
                 self.stats.flushes += 1;
+                recorder.record(
+                    self.cycle,
+                    ObsEvent::Flush {
+                        seq: fseq,
+                        target: target as u32,
+                    },
+                );
                 self.squash_younger(fseq);
                 self.repair_branch_history(fseq);
                 self.rrs.start_recovery(fseq, hook, checkers);
+                recorder.record(self.cycle, ObsEvent::RecoveryStart);
                 self.redirect_after_recovery = Some(target);
                 self.fetch_enabled = false;
-                self.end_cycle(checkers);
+                self.end_cycle(hook, checkers, recorder);
                 continue;
             }
 
@@ -448,9 +501,10 @@ impl<'p> Simulator<'p> {
                 if let Some(f) = front.fault {
                     return Some(SimStop::Crash(f));
                 }
-                let (pc, inst, result, addr) = (front.pc, front.inst, front.result, front.addr);
+                let (seq, pc, inst, result, addr) =
+                    (front.seq, front.pc, front.inst, front.result, front.addr);
                 if matches!(inst, Inst::Halt) {
-                    self.observe_commit(pc, trace, monitor, record);
+                    self.observe_commit(pc, seq, trace, monitor, record, recorder);
                     self.committed += 1;
                     return Some(SimStop::Halted);
                 }
@@ -472,7 +526,7 @@ impl<'p> Simulator<'p> {
                 if let Err(a) = self.rrs.commit_head(hook, checkers) {
                     return Some(SimStop::Assert(a));
                 }
-                self.observe_commit(pc, trace, monitor, record);
+                self.observe_commit(pc, seq, trace, monitor, record, recorder);
                 self.committed += 1;
                 self.window.pop_front();
                 commits += 1;
@@ -483,18 +537,18 @@ impl<'p> Simulator<'p> {
             for i in 0..self.window.len() {
                 if let Status::Executing { done } = self.window[i].status {
                     if done <= self.cycle {
-                        self.complete(i);
+                        self.complete(i, recorder);
                         completions += 1;
                     }
                 }
             }
 
             // --- Issue ----------------------------------------------------
-            self.issue();
+            self.issue(recorder);
 
             // --- Fetch + rename -------------------------------------------
             if self.fetch_enabled {
-                if let Err(a) = self.fetch_rename(hook, checkers) {
+                if let Err(a) = self.fetch_rename(hook, checkers, recorder) {
                     return Some(SimStop::Assert(a));
                 }
             }
@@ -541,7 +595,7 @@ impl<'p> Simulator<'p> {
                     .all(|e| !matches!(e.status, Status::Executing { .. }));
             idle_streak = if frozen { idle_streak + 1 } else { 0 };
 
-            self.end_cycle(checkers);
+            self.end_cycle(hook, checkers, recorder);
 
             if idle_streak >= 2 {
                 // The remaining cycles tick only the counters below and
@@ -557,26 +611,69 @@ impl<'p> Simulator<'p> {
         }
     }
 
-    fn observe_commit(
+    /// Routes one commit to every observer of the event stream: the
+    /// recorded trace (golden runs), the divergence monitor (injected
+    /// runs), and the recorder. All three consume the same [`ObsEvent`] —
+    /// one source of truth for what committed when.
+    fn observe_commit<R: Recorder>(
         &self,
         pc: usize,
+        seq: u64,
         trace: &mut CommitTrace,
         monitor: &mut Option<TraceMonitor<'_>>,
         record: bool,
+        recorder: &mut R,
     ) {
+        let ev = ObsEvent::Commit { pc: pc as u32, seq };
         if record {
-            trace.push(pc, self.cycle);
+            trace.consume(self.cycle, &ev);
         }
         if let Some(m) = monitor {
-            m.observe(pc, self.cycle);
+            m.consume(self.cycle, &ev);
         }
+        recorder.record(self.cycle, ev);
     }
 
-    fn end_cycle(&mut self, checkers: &mut CheckerSet) {
+    fn end_cycle<R: Recorder>(
+        &mut self,
+        hook: &impl FaultHook,
+        checkers: &mut CheckerSet,
+        recorder: &mut R,
+    ) {
         self.stats.occupancy_sum += self.window.len() as u64;
         checkers.end_cycle(self.cycle);
         if self.window.is_empty() && !self.rrs.recovery_active() {
             checkers.on_pipeline_empty(self.cycle);
+        }
+        if recorder.enabled() {
+            recorder.record(
+                self.cycle,
+                ObsEvent::Occupancy {
+                    window: self.window.len() as u16,
+                    fl_free: self.rrs.free_regs() as u16,
+                    rob: self.rrs.rob_len() as u16,
+                    rht: self.rrs.rht_len() as u16,
+                },
+            );
+            if let Some(code) = checkers.xor_code() {
+                // The recorder delta-encodes this: only changes survive.
+                recorder.record(self.cycle, ObsEvent::CheckerCode { code });
+            }
+            if let Some((_, site)) = hook.activation() {
+                // Recorded once per run by the recorder's dedup.
+                recorder.record(self.cycle, ObsEvent::FaultInjected { site });
+            }
+            checkers.for_each_detection(|name, d| {
+                // Likewise deduplicated per checker by the recorder.
+                recorder.record(
+                    self.cycle,
+                    ObsEvent::Detection {
+                        checker: name,
+                        kind: d.kind.label(),
+                        at: d.cycle,
+                    },
+                );
+            });
         }
         self.cycle += 1;
     }
@@ -630,7 +727,7 @@ impl<'p> Simulator<'p> {
     }
 
     /// Completes execution of window entry `i`.
-    fn complete(&mut self, i: usize) {
+    fn complete<R: Recorder>(&mut self, i: usize, recorder: &mut R) {
         let e = &self.window[i];
         let (inst, pc, seq, pred_next) = (e.inst, e.pc, e.seq, e.pred_next);
         let a = self.src_val(e, 0);
@@ -703,7 +800,9 @@ impl<'p> Simulator<'p> {
         e.addr = addr;
         e.fault = fault;
         e.status = Status::Done;
-        if inst.is_control() && actual_next != pred_next {
+        let mispredict = inst.is_control() && actual_next != pred_next;
+        recorder.record(self.cycle, ObsEvent::Complete { seq, mispredict });
+        if mispredict {
             self.stats.mispredicts += 1;
             e.mispredict_to = Some(actual_next);
             // Keep the oldest flush point; on a seq tie a branch flush wins
@@ -865,7 +964,7 @@ impl<'p> Simulator<'p> {
         true
     }
 
-    fn issue(&mut self) {
+    fn issue<R: Recorder>(&mut self, recorder: &mut R) {
         let mut issued = 0;
         let mut scanned_waiting = 0;
         for i in 0..self.window.len() {
@@ -886,6 +985,12 @@ impl<'p> Simulator<'p> {
             }
             let done = self.cycle + self.latency(&self.window[i].inst);
             self.window[i].status = Status::Executing { done };
+            recorder.record(
+                self.cycle,
+                ObsEvent::Issue {
+                    seq: self.window[i].seq,
+                },
+            );
             self.stats.issued += 1;
             issued += 1;
         }
@@ -909,10 +1014,11 @@ impl<'p> Simulator<'p> {
         (next, hist)
     }
 
-    fn fetch_rename(
+    fn fetch_rename<R: Recorder>(
         &mut self,
         hook: &mut impl FaultHook,
         checkers: &mut CheckerSet,
+        recorder: &mut R,
     ) -> Result<(), idld_rrs::RrsAssert> {
         // The scratch buffers move out of `self` for the duration of the
         // cycle (the body needs `&mut self` for the RRS) and come back
@@ -921,7 +1027,8 @@ impl<'p> Simulator<'p> {
         let mut group = std::mem::take(&mut self.fetch_buf);
         let mut reqs = std::mem::take(&mut self.req_buf);
         let mut outs = std::mem::take(&mut self.out_buf);
-        let res = self.fetch_rename_with(hook, checkers, &mut group, &mut reqs, &mut outs);
+        let res =
+            self.fetch_rename_with(hook, checkers, &mut group, &mut reqs, &mut outs, recorder);
         group.clear();
         reqs.clear();
         outs.clear();
@@ -931,13 +1038,15 @@ impl<'p> Simulator<'p> {
         res
     }
 
-    fn fetch_rename_with(
+    #[allow(clippy::too_many_arguments)]
+    fn fetch_rename_with<R: Recorder>(
         &mut self,
         hook: &mut impl FaultHook,
         checkers: &mut CheckerSet,
         group: &mut Vec<(usize, Inst, usize, u32)>,
         reqs: &mut Vec<RenameRequest>,
         outs: &mut Vec<idld_rrs::RenameOut>,
+        recorder: &mut R,
     ) -> Result<(), idld_rrs::RrsAssert> {
         // Collect a fetch group following the predicted path.
         group.clear();
@@ -1028,6 +1137,23 @@ impl<'p> Simulator<'p> {
             if out.eliminated {
                 self.stats.eliminated_moves += 1;
             }
+            if recorder.enabled() {
+                // Fetch is recorded only for instructions the cycle kept:
+                // a trimmed tail is refetched (and re-recorded) next cycle.
+                recorder.record(self.cycle, ObsEvent::Fetch { pc: pc as u32 });
+                recorder.record(
+                    self.cycle,
+                    ObsEvent::Rename {
+                        pc: pc as u32,
+                        seq: out.seq,
+                        pdst: (!out.eliminated)
+                            .then_some(out.new_pdst)
+                            .flatten()
+                            .map(|p| p.index() as u16),
+                        eliminated: out.eliminated,
+                    },
+                );
+            }
             // Store-sets dispatch interactions (speculative mode only).
             let mut wait_for_store = None;
             if self.cfg.mem_dep_speculation {
@@ -1089,6 +1215,7 @@ impl<'p> Simulator<'p> {
 /// captured: they are empty at every cycle boundary by construction.
 #[derive(Clone)]
 pub struct SimSnapshot {
+    recorder: RecorderState,
     rrs: Rrs,
     mem: Memory,
     prf: Vec<u64>,
@@ -1130,6 +1257,13 @@ impl SimSnapshot {
     #[inline]
     pub fn committed(&self) -> u64 {
         self.committed
+    }
+
+    /// The captured recorder state ([`RecorderState::Null`] for snapshots
+    /// taken through the non-observed entry points).
+    #[inline]
+    pub fn recorder_state(&self) -> &RecorderState {
+        &self.recorder
     }
 
     /// Structural equality of the captured *simulator* state (checker
@@ -1183,6 +1317,18 @@ impl<'g> SegmentedRun<'g> {
         checkers: &mut CheckerSet,
         pause_at: u64,
     ) -> Option<SimStop> {
+        self.step_until_observed(sim, hook, checkers, pause_at, &mut NullRecorder)
+    }
+
+    /// [`SegmentedRun::step_until`] with an event recorder attached.
+    pub fn step_until_observed(
+        &mut self,
+        sim: &mut Simulator<'_>,
+        hook: &mut impl FaultHook,
+        checkers: &mut CheckerSet,
+        pause_at: u64,
+        recorder: &mut impl Recorder,
+    ) -> Option<SimStop> {
         sim.main_loop(
             hook,
             checkers,
@@ -1192,6 +1338,7 @@ impl<'g> SegmentedRun<'g> {
             self.max_cycles,
             None,
             Some(pause_at),
+            recorder,
         )
     }
 
@@ -1203,6 +1350,18 @@ impl<'g> SegmentedRun<'g> {
         checkers: &mut CheckerSet,
         interrupt: Option<&std::sync::atomic::AtomicBool>,
     ) -> SimStop {
+        self.run_to_end_observed(sim, hook, checkers, interrupt, &mut NullRecorder)
+    }
+
+    /// [`SegmentedRun::run_to_end`] with an event recorder attached.
+    pub fn run_to_end_observed(
+        &mut self,
+        sim: &mut Simulator<'_>,
+        hook: &mut impl FaultHook,
+        checkers: &mut CheckerSet,
+        interrupt: Option<&std::sync::atomic::AtomicBool>,
+        recorder: &mut impl Recorder,
+    ) -> SimStop {
         sim.main_loop(
             hook,
             checkers,
@@ -1212,6 +1371,7 @@ impl<'g> SegmentedRun<'g> {
             self.max_cycles,
             interrupt,
             None,
+            recorder,
         )
         .expect("run_to_end never pauses")
     }
@@ -1609,6 +1769,109 @@ mod tests {
         let mut seg = sim.begin_run(None, 100_000);
         let stop = seg.step_until(&mut sim, &mut NoFaults, &mut checkers, u64::MAX);
         assert_eq!(stop, Some(SimStop::Halted));
+    }
+
+    #[test]
+    fn observed_run_records_the_pipeline_and_matches_unobserved() {
+        use idld_core::IdldChecker;
+        use idld_obs::{EventKind, RingRecorder};
+        let p = snapshot_workload();
+        let cfg = SimConfig::default();
+
+        let plain = {
+            let mut sim = Simulator::new(&p, cfg);
+            sim.run(&mut NoFaults, &mut CheckerSet::new(), None, 100_000)
+        };
+
+        let mut checkers = CheckerSet::new();
+        checkers.push(Box::new(IdldChecker::new(&cfg.rrs)));
+        let mut rec = RingRecorder::default();
+        let mut sim = Simulator::new(&p, cfg);
+        let res = sim.run_observed(&mut NoFaults, &mut checkers, None, 100_000, &mut rec);
+
+        // Observation must not perturb the simulation.
+        assert_eq!(res.stop, plain.stop);
+        assert_eq!(res.cycles, plain.cycles);
+        assert_eq!(res.output, plain.output);
+        assert_eq!(res.trace, plain.trace);
+
+        // The stream accounts for the whole run.
+        assert_eq!(res.committed, rec.count_of(EventKind::Commit));
+        assert_eq!(res.stats.renamed, rec.count_of(EventKind::Rename));
+        assert_eq!(res.stats.renamed, rec.count_of(EventKind::Fetch));
+        assert_eq!(res.stats.issued, rec.count_of(EventKind::Issue));
+        assert_eq!(
+            res.stats.flushes,
+            rec.count_of(EventKind::Flush),
+            "one flush event per flush"
+        );
+        assert!(rec.count_of(EventKind::Occupancy) > 0);
+        assert!(
+            rec.count_of(EventKind::Checker) >= 1,
+            "idld code changes were observed"
+        );
+    }
+
+    #[test]
+    fn forked_observed_run_emits_byte_identical_trace() {
+        use idld_core::IdldChecker;
+        use idld_obs::{Recorder, RingRecorder};
+        let p = snapshot_workload();
+        let cfg = SimConfig::default();
+
+        // Cold observed run, uninterrupted.
+        let mut cold_chk = CheckerSet::new();
+        cold_chk.push(Box::new(IdldChecker::new(&cfg.rrs)));
+        let mut cold_rec = RingRecorder::default();
+        let mut cold = Simulator::new(&p, cfg);
+        let cold_res =
+            cold.run_observed(&mut NoFaults, &mut cold_chk, None, 100_000, &mut cold_rec);
+        assert_eq!(cold_res.stop, SimStop::Halted);
+
+        // Observed run paused mid-flight; snapshot captures recorder state.
+        let mut chk = CheckerSet::new();
+        chk.push(Box::new(IdldChecker::new(&cfg.rrs)));
+        let mut rec = RingRecorder::default();
+        let mut sim = Simulator::new(&p, cfg);
+        let mut seg = sim.begin_run(None, 100_000);
+        assert_eq!(
+            seg.step_until_observed(
+                &mut sim,
+                &mut NoFaults,
+                &mut chk,
+                cold_res.cycles / 2,
+                &mut rec
+            ),
+            None
+        );
+        let snap = sim.snapshot_observed(&chk, &rec);
+        assert!(matches!(
+            snap.recorder_state(),
+            idld_obs::RecorderState::Ring(_)
+        ));
+
+        // Fork into a fresh simulator + fresh recorder.
+        let mut fchk = CheckerSet::new();
+        let mut frec = RingRecorder::default();
+        let mut fork = Simulator::new(&p, cfg);
+        fork.restore_observed(&snap, &mut fchk, &mut frec);
+        let mut fseg = fork.begin_run(None, 100_000);
+        let stop = fseg.run_to_end_observed(&mut fork, &mut NoFaults, &mut fchk, None, &mut frec);
+        let fres = fseg.finish(&mut fork, stop, &mut fchk);
+
+        assert_eq!(fres.stop, SimStop::Halted);
+        assert_eq!(frec.digest(), cold_rec.digest(), "stream digests agree");
+        assert_eq!(frec.total(), cold_rec.total());
+        assert_eq!(frec.counts(), cold_rec.counts());
+        assert!(frec.events().eq(cold_rec.events()), "retained tails agree");
+        // And restoring into a NullRecorder is harmless.
+        let mut nchk = CheckerSet::new();
+        let mut fork2 = Simulator::new(&p, cfg);
+        fork2.restore_observed(&snap, &mut nchk, &mut idld_obs::NullRecorder);
+        assert_eq!(
+            idld_obs::NullRecorder.state(),
+            idld_obs::RecorderState::Null
+        );
     }
 
     #[test]

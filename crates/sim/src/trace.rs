@@ -7,6 +7,14 @@
 //! class). Storing full traces for every injected run would be wasteful, so
 //! runs compare against the golden trace incrementally and record only the
 //! first divergence of each kind.
+//!
+//! Both [`CommitTrace`] (recording) and [`TraceMonitor`] (comparing) are
+//! [`Consume`]rs of the observability event stream: the simulator emits one
+//! [`ObsEvent::Commit`] per retirement and routes it here, so the commit
+//! trace, the divergence monitor, and any attached recorder all observe
+//! the *same* event — one source of truth for what committed when.
+
+use idld_obs::{Consume, ObsEvent};
 
 /// A recorded commit trace: the pc and cycle of every committed instruction.
 #[derive(Clone, PartialEq, Eq, Debug, Default)]
@@ -40,6 +48,15 @@ impl CommitTrace {
     pub fn push(&mut self, pc: usize, cycle: u64) {
         self.pcs.push(pc as u32);
         self.cycles.push(cycle);
+    }
+}
+
+impl Consume for CommitTrace {
+    #[inline]
+    fn consume(&mut self, cycle: u64, ev: &ObsEvent) {
+        if let ObsEvent::Commit { pc, .. } = *ev {
+            self.push(pc as usize, cycle);
+        }
     }
 }
 
@@ -124,6 +141,15 @@ impl<'g> TraceMonitor<'g> {
     /// The divergences recorded so far.
     pub fn divergence(&self) -> Divergence {
         self.divergence
+    }
+}
+
+impl Consume for TraceMonitor<'_> {
+    #[inline]
+    fn consume(&mut self, cycle: u64, ev: &ObsEvent) {
+        if let ObsEvent::Commit { pc, .. } = *ev {
+            self.observe(pc as usize, cycle);
+        }
     }
 }
 

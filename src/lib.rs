@@ -15,6 +15,10 @@
 //!   deterministic single-activation injection;
 //! * [`sim`] — a cycle-accurate out-of-order superscalar core built on the
 //!   RRS;
+//! * [`obs`] — the structured observability layer: typed pipeline events,
+//!   a ring recorder with a streaming whole-run digest, the
+//!   counter/histogram metrics registry, and the Chrome-trace and
+//!   compact-trace exporters;
 //! * [`campaign`] — golden runs, injection campaigns, outcome
 //!   classification and the analyses behind every figure;
 //! * [`fuzz`] — the seeded differential-fuzzing subsystem: random-program
@@ -54,6 +58,7 @@ pub use idld_core as core;
 pub use idld_fuzz as fuzz;
 pub use idld_isa as isa;
 pub use idld_mdp as mdp;
+pub use idld_obs as obs;
 pub use idld_rrs as rrs;
 pub use idld_rtl as rtl;
 pub use idld_sim as sim;

@@ -1,0 +1,158 @@
+//! Detection-coverage matrix over the Table-I bug classes.
+//!
+//! One test per class — Duplication, Leakage, PdstID Corruption — each
+//! asserting, on three workloads, the paper's coverage claims for every
+//! checker scheme at once:
+//!
+//! * **IDLD** detects every sampled injection of the class, with at least
+//!   one *zero-latency* detection per workload (the titular
+//!   "instantaneous" property: the XOR invariance breaks in the very
+//!   cycle the control signal misbehaves).
+//! * **Parity** (§V.D) never fires on any of the three classes: these are
+//!   in-flight control-signal bugs, and a corrupt id is stored *with*
+//!   self-consistent parity — parity only covers at-rest upsets.
+//! * **Counter** (§V.E) cannot see PdstID corruption itself: bit-flips of
+//!   an in-flight id leave the free-register count exactly balanced, so
+//!   the counter misses most injections outright and any detection it
+//!   does score is a *delayed secondary* imbalance (e.g. the corrupt id
+//!   later double-freeing), never the instantaneous corruption event.
+
+use idld::bugs::{BugModel, BugSpec, SingleShotHook};
+use idld::campaign::GoldenRun;
+use idld::core::{BitVectorChecker, CheckerSet, CounterChecker, IdldChecker, ParityChecker};
+use idld::sim::{SimConfig, Simulator};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const WORKLOADS: [&str; 3] = ["crc32", "bitcount", "basicmath"];
+const SAMPLES_PER_CELL: u64 = 4;
+
+fn config() -> SimConfig {
+    let mut cfg = SimConfig::default();
+    // Give parity every chance: protect the RAT read ports. The matrix
+    // still expects silence — control-signal corruption stores a
+    // self-consistent parity bit.
+    cfg.rrs.parity = true;
+    cfg
+}
+
+fn full_checker_set(cfg: &SimConfig) -> CheckerSet {
+    let mut c = CheckerSet::new();
+    c.push(Box::new(IdldChecker::new(&cfg.rrs)));
+    c.push(Box::new(BitVectorChecker::new(&cfg.rrs)));
+    c.push(Box::new(CounterChecker::new(&cfg.rrs)));
+    c.push(Box::new(ParityChecker::new(&cfg.rrs)));
+    c
+}
+
+struct CellOutcome {
+    idld_detected: u64,
+    idld_zero_latency: u64,
+    counter_detected: u64,
+    counter_zero_latency: u64,
+    parity_detected: u64,
+}
+
+/// Injects `SAMPLES_PER_CELL` bugs of `model` into `workload` and tallies
+/// which schemes fired.
+fn run_cell(model: BugModel, workload: &str) -> CellOutcome {
+    let cfg = config();
+    let w = idld::workloads::by_name(workload).expect("suite workload exists");
+    let golden = GoldenRun::capture(&w, cfg).expect("golden run valid");
+    let mut out = CellOutcome {
+        idld_detected: 0,
+        idld_zero_latency: 0,
+        counter_detected: 0,
+        counter_zero_latency: 0,
+        parity_detected: 0,
+    };
+    for k in 0..SAMPLES_PER_CELL {
+        let mut rng = SmallRng::seed_from_u64(0x1d1d_0000 + k);
+        let spec = BugSpec::sample(model, &golden.census, cfg.rrs.pdst_bits(), &mut rng)
+            .expect("workload exercises every bug model's sites");
+        let mut hook = SingleShotHook::new(spec);
+        let mut checkers = full_checker_set(&cfg);
+        let mut sim = Simulator::new(&w.program, cfg);
+        let _ = sim.run(
+            &mut hook,
+            &mut checkers,
+            Some(&golden.trace),
+            golden.timeout_budget(),
+        );
+        let activation = hook
+            .activation_cycle()
+            .expect("sampled occurrence always fires");
+        if let Some(d) = checkers.detection_of("idld") {
+            out.idld_detected += 1;
+            if d.cycle == activation {
+                out.idld_zero_latency += 1;
+            }
+        }
+        if let Some(d) = checkers.detection_of("counter") {
+            out.counter_detected += 1;
+            if d.cycle == activation {
+                out.counter_zero_latency += 1;
+            }
+        }
+        if checkers.detection_of("parity").is_some() {
+            out.parity_detected += 1;
+        }
+    }
+    out
+}
+
+fn assert_class(model: BugModel, counter_must_miss: bool) {
+    for workload in WORKLOADS {
+        let cell = run_cell(model, workload);
+        assert_eq!(
+            cell.idld_detected,
+            SAMPLES_PER_CELL,
+            "{workload}/{}: IDLD must detect every injection",
+            model.label()
+        );
+        assert!(
+            cell.idld_zero_latency >= 1,
+            "{workload}/{}: at least one detection must be instantaneous \
+             (latency 0), got {}/{} zero-latency",
+            model.label(),
+            cell.idld_zero_latency,
+            SAMPLES_PER_CELL
+        );
+        assert_eq!(
+            cell.parity_detected,
+            0,
+            "{workload}/{}: parity must not see in-flight control-signal bugs",
+            model.label()
+        );
+        if counter_must_miss {
+            assert!(
+                cell.counter_detected < SAMPLES_PER_CELL,
+                "{workload}/{}: the counter scheme cannot see id corruption \
+                 itself — it must miss injections IDLD catches",
+                model.label()
+            );
+            assert_eq!(
+                cell.counter_zero_latency,
+                0,
+                "{workload}/{}: any counter hit on id corruption is a delayed \
+                 secondary imbalance, never instantaneous",
+                model.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn duplication_matrix() {
+    assert_class(BugModel::Duplication, false);
+}
+
+#[test]
+fn leakage_matrix() {
+    assert_class(BugModel::Leakage, false);
+}
+
+#[test]
+fn pdst_corruption_matrix() {
+    assert_class(BugModel::PdstCorruption, true);
+}

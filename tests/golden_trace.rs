@@ -1,0 +1,218 @@
+//! Golden-trace conformance suite.
+//!
+//! Every suite workload has a blessed compact trace under `tests/golden/`:
+//! the header, per-kind event counts, the FNV-1a digest of the *entire*
+//! event stream, and the final 64 events of a clean (fault-free) run at
+//! the default configuration. Each test re-simulates its workload with a
+//! [`RingRecorder`] attached, renders the same compact format, and
+//! byte-diffs it against the blessed file — so any change to
+//! cycle-accurate pipeline behavior, event emission, or the exporter
+//! itself fails loudly with a unified-style context diff.
+//!
+//! Regenerate after an *intentional* behavior change with:
+//!
+//! ```sh
+//! IDLD_BLESS=1 cargo test --test golden_trace
+//! ```
+//!
+//! and review the resulting `tests/golden/*.trace.txt` diff like any
+//! other code change. Traces are identical at any `--test-threads`
+//! count: each test owns its simulator and recorder.
+
+use idld::core::{BitVectorChecker, CheckerSet, CounterChecker, IdldChecker};
+use idld::obs::{compact_trace, parse_digest, RingRecorder};
+use idld::rrs::NoFaults;
+use idld::sim::{SimConfig, SimStop, Simulator};
+use std::path::PathBuf;
+
+const BUDGET: u64 = 500_000_000;
+
+fn checkers(cfg: &SimConfig) -> CheckerSet {
+    // The same set campaign injection runs attach; on a clean run none of
+    // them may fire, so the golden traces also pin down zero false alarms.
+    let mut c = CheckerSet::new();
+    c.push(Box::new(IdldChecker::new(&cfg.rrs)));
+    c.push(Box::new(BitVectorChecker::new(&cfg.rrs)));
+    c.push(Box::new(CounterChecker::new(&cfg.rrs)));
+    c
+}
+
+/// Simulates a clean run of `name` and renders its compact trace.
+fn record_trace(name: &str) -> String {
+    let workload = idld::workloads::by_name(name).expect("suite workload exists");
+    let cfg = SimConfig::default();
+    let mut cset = checkers(&cfg);
+    let mut sim = Simulator::new(&workload.program, cfg);
+    let mut recorder = RingRecorder::default();
+    let res = sim.run_observed(&mut NoFaults, &mut cset, None, BUDGET, &mut recorder);
+    assert_eq!(res.stop, SimStop::Halted, "{name}: clean run must halt");
+    assert!(
+        cset.detections().iter().all(|(_, d)| d.is_none()),
+        "{name}: no checker may fire on a clean run"
+    );
+    let extra = [
+        ("cycles", res.cycles.to_string()),
+        ("committed", res.stats.committed.to_string()),
+    ];
+    compact_trace(
+        name,
+        "clean default-config run",
+        &recorder,
+        &extra,
+        idld::obs::DEFAULT_TAIL,
+    )
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.trace.txt"))
+}
+
+/// Line-level context diff, enough to localize a conformance break.
+fn diff(expected: &str, actual: &str) -> String {
+    let (e, a): (Vec<_>, Vec<_>) = (expected.lines().collect(), actual.lines().collect());
+    let mut out = String::new();
+    let n = e.len().max(a.len());
+    let mut shown = 0;
+    for i in 0..n {
+        let (el, al) = (e.get(i), a.get(i));
+        if el != al {
+            out.push_str(&format!(
+                "  line {:>4}: expected {:?}\n             actual  {:?}\n",
+                i + 1,
+                el.unwrap_or(&"<missing>"),
+                al.unwrap_or(&"<missing>"),
+            ));
+            shown += 1;
+            if shown == 12 {
+                out.push_str("  ... (further differences elided)\n");
+                break;
+            }
+        }
+    }
+    out
+}
+
+fn check(name: &str) {
+    let actual = record_trace(name);
+    let path = golden_path(name);
+    if std::env::var("IDLD_BLESS").is_ok_and(|v| v == "1") {
+        std::fs::write(&path, &actual)
+            .unwrap_or_else(|e| panic!("cannot bless {}: {e}", path.display()));
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden trace {} ({e}); run IDLD_BLESS=1 cargo test --test golden_trace",
+            path.display()
+        )
+    });
+    assert!(
+        expected == actual,
+        "{name}: trace deviates from blessed golden (digest {} -> {}):\n{}",
+        parse_digest(&expected).map_or("?".into(), |d| format!("{d:016x}")),
+        parse_digest(&actual).map_or("?".into(), |d| format!("{d:016x}")),
+        diff(&expected, &actual),
+    );
+}
+
+macro_rules! golden_trace_tests {
+    ($($name:ident),* $(,)?) => {$(
+        #[test]
+        fn $name() {
+            check(stringify!($name));
+        }
+    )*};
+}
+
+golden_trace_tests!(
+    sha,
+    crc32,
+    qsort,
+    dijkstra,
+    fft,
+    stringsearch,
+    bitcount,
+    basicmath,
+    susan,
+    rijndael,
+);
+
+/// The blessed set exactly covers the workload suite — a workload added
+/// to the suite without a golden trace (or a stale file for a removed
+/// one) fails here rather than silently escaping conformance.
+#[test]
+fn golden_set_matches_suite() {
+    if std::env::var("IDLD_BLESS").is_ok_and(|v| v == "1") {
+        // Blessing runs in parallel with this check; the set is validated
+        // by the next ordinary `cargo test` pass.
+        return;
+    }
+    let mut suite: Vec<String> = idld::workloads::suite()
+        .iter()
+        .map(|w| w.name.clone())
+        .collect();
+    suite.sort();
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    let mut blessed: Vec<String> = std::fs::read_dir(&dir)
+        .expect("tests/golden exists")
+        .filter_map(|e| {
+            e.ok()?
+                .file_name()
+                .to_str()?
+                .strip_suffix(".trace.txt")
+                .map(str::to_string)
+        })
+        .collect();
+    blessed.sort();
+    assert_eq!(
+        suite, blessed,
+        "tests/golden must hold exactly one blessed trace per suite workload"
+    );
+}
+
+/// Snapshot-fork trace equivalence at the workload level: pausing a
+/// recorded run mid-flight, snapshotting (recorder included), restoring
+/// into a fresh simulator + recorder, and finishing must produce the
+/// same digest, counts and retained tail as the uninterrupted run.
+#[test]
+fn forked_traces_match_cold_traces() {
+    for name in ["crc32", "bitcount", "basicmath"] {
+        let workload = idld::workloads::by_name(name).expect("suite workload exists");
+        let cfg = SimConfig::default();
+
+        let mut cset = checkers(&cfg);
+        let mut sim = Simulator::new(&workload.program, cfg);
+        let mut cold = RingRecorder::default();
+        let res = sim.run_observed(&mut NoFaults, &mut cset, None, BUDGET, &mut cold);
+        assert_eq!(res.stop, SimStop::Halted);
+        let pause = res.cycles / 3;
+
+        // Cold run up to the pause point, snapshot with recorder state...
+        let mut cset1 = checkers(&cfg);
+        let mut sim1 = Simulator::new(&workload.program, cfg);
+        let mut rec1 = RingRecorder::default();
+        let mut seg1 = sim1.begin_run(None, BUDGET);
+        let stop = seg1.step_until_observed(&mut sim1, &mut NoFaults, &mut cset1, pause, &mut rec1);
+        assert!(stop.is_none(), "{name}: must pause before completion");
+        let snap = sim1.snapshot_observed(&cset1, &rec1);
+
+        // ...then resume in a different simulator and recorder instance.
+        let mut cset2 = CheckerSet::new();
+        let mut sim2 = Simulator::new(&workload.program, cfg);
+        let mut rec2 = RingRecorder::default();
+        sim2.restore_observed(&snap, &mut cset2, &mut rec2);
+        let res2 = sim2.run_observed(&mut NoFaults, &mut cset2, None, BUDGET, &mut rec2);
+        assert_eq!(res2.stop, SimStop::Halted);
+
+        assert_eq!(cold.digest(), rec2.digest(), "{name}: digest must match");
+        assert_eq!(cold.total(), rec2.total(), "{name}: event count must match");
+        assert_eq!(cold.counts(), rec2.counts(), "{name}: per-kind counts");
+        assert!(
+            cold.events().eq(rec2.events()),
+            "{name}: retained tails must be identical"
+        );
+    }
+}
