@@ -17,7 +17,7 @@ use rand::{Rng, SeedableRng};
 fn main() {
     idld_bench::banner("Ablation: extended control-signal sites vs the XOR invariance");
     let cfg = CampaignConfig::from_env();
-    let campaign = Campaign::new(cfg);
+    let campaign = Campaign::new(cfg.clone());
     let picks: Vec<_> = idld_workloads::suite()
         .into_iter()
         .filter(|w| matches!(w.name.as_str(), "crc32" | "qsort" | "dijkstra"))

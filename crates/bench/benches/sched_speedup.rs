@@ -31,6 +31,7 @@ fn baseline_per_workload_threads(
     std::thread::scope(|scope| {
         for w in suite {
             let one = std::slice::from_ref(w);
+            let cfg = cfg.clone();
             scope.spawn(move || {
                 Campaign::new(cfg).run(one).expect("golden run");
             });
@@ -90,7 +91,7 @@ fn main() {
         cfg.runs_per_cell
     );
 
-    let base = baseline_per_workload_threads(cfg, &suite);
+    let base = baseline_per_workload_threads(cfg.clone(), &suite);
     println!("{:<28} {base:>10.2?}", "per-workload threads (old)");
 
     let t0 = Instant::now();

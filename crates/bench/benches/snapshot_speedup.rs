@@ -43,7 +43,7 @@ fn main() {
 
     let cold_res = Campaign::new(CampaignConfig {
         snapshot: false,
-        ..cfg
+        ..cfg.clone()
     })
     .run(&suite)
     .expect("cold campaign");
@@ -89,9 +89,10 @@ fn main() {
 
     match idld_bench::write_campaign_bench_json(
         &[
-            ("suite_snapshot_off", &cold_res),
-            ("suite_snapshot_on", &snap_res),
+            idld_bench::BenchEntry::from_result("suite_snapshot_off", &cold_res),
+            idld_bench::BenchEntry::from_result("suite_snapshot_on", &snap_res),
         ],
+        &[],
         Some(speedup),
     ) {
         Ok(path) => println!("wrote {path}"),

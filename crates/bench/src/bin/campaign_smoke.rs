@@ -24,6 +24,7 @@ fn main() {
         .into_iter()
         .filter(|w| matches!(w.name.as_str(), "crc32" | "basicmath" | "bitcount"))
         .collect();
+    let snapshot = cfg.snapshot;
     let res = Campaign::new(cfg)
         .run(&suite)
         .unwrap_or_else(|e| panic!("campaign baseline invalid: {e}"));
@@ -44,7 +45,7 @@ fn main() {
     eprintln!(
         "campaign_smoke: {} records -> {path} (snapshot={}, {} forked / {} cold, {} snapshots)",
         res.records.len(),
-        cfg.snapshot,
+        snapshot,
         st.forked_runs,
         st.cold_runs,
         st.captured,

@@ -1,0 +1,397 @@
+//! `campaignd` — multi-process sharded campaign driver.
+//!
+//! The coordinator hash-partitions the campaign's job space (workload ×
+//! bug spec × sweep point) into `N` shards, re-executes itself `N` times
+//! with `IDLD_SHARD=i`/`IDLD_SHARDS=N` (`--worker` mode), streams each
+//! worker's progress to stderr under a `[shard i]` prefix, then decodes
+//! and merges the per-shard artifacts into `records.csv`, `metrics.csv`,
+//! `metrics.json`, and `timings.csv` — byte-identical to a
+//! single-process run at any shard count (the merge invariants live in
+//! `idld_campaign::shard`).
+//!
+//! ```sh
+//! campaignd [--out DIR] [--shards N]   # one sharded campaign, merged
+//! campaignd --scaling [1,2,4,8]        # shard-count series + byte check
+//! campaignd --bench                    # regenerate BENCH_campaign.json
+//! ```
+//!
+//! Environment: all the usual campaign knobs (`IDLD_RUNS_PER_CELL`,
+//! `IDLD_SEED`, `IDLD_SWEEP`, `IDLD_SNAPSHOT`, …) plus:
+//!
+//! - `IDLD_WORKLOADS` — comma-separated workload filter (default: full
+//!   suite), applied identically by every worker.
+//! - `IDLD_WORKLOAD_SCALE` — suite scale factor (default 1).
+//! - `IDLD_CAMPAIGN_THREADS` — per-worker scheduler threads. When unset
+//!   the coordinator pins each worker to `max(1, cores / shards)` so a
+//!   sharded run never oversubscribes the host.
+//! - `IDLD_TIMINGS_WALL=0` — zero the wall-clock column of the written
+//!   `timings.csv` (CI byte-comparisons across shard counts).
+
+use idld_bench::{BenchEntry, ScalingPoint};
+use idld_campaign::{
+    campaign, decode_shard, encode_shard, export, merge_shards, Campaign, CampaignConfig,
+    MergedCampaign, StderrProgress,
+};
+use std::io::BufRead;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::Instant;
+
+/// Environment variable: directory a `--worker` invocation writes its
+/// shard artifact into (set by the coordinator).
+const SHARD_DIR_ENV: &str = "IDLD_SHARD_DIR";
+
+/// Environment variable: comma-separated workload-name filter.
+const WORKLOADS_ENV: &str = "IDLD_WORKLOADS";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("campaignd: {msg}");
+    std::process::exit(2);
+}
+
+/// The workload suite this campaign runs: the scaled full suite, filtered
+/// by [`WORKLOADS_ENV`] if set. Workers recompute this from the inherited
+/// environment, so coordinator and workers always agree.
+fn selected_suite() -> Vec<idld_workloads::Workload> {
+    let suite = idld_workloads::suite_scaled(idld_bench::workload_scale());
+    let Ok(filter) = std::env::var(WORKLOADS_ENV) else {
+        return suite;
+    };
+    let names: Vec<&str> = filter.split(',').map(str::trim).collect();
+    for n in &names {
+        if !suite.iter().any(|w| w.name == *n) {
+            fail(&format!("{WORKLOADS_ENV} names unknown workload {n:?}"));
+        }
+    }
+    suite
+        .into_iter()
+        .filter(|w| names.contains(&w.name.as_str()))
+        .collect()
+}
+
+/// The effective runs-per-cell: the env override, or the bench default
+/// (12). The coordinator resolves this once and passes it to workers
+/// explicitly so the default lives in exactly one process.
+fn runs_per_cell() -> usize {
+    match std::env::var(campaign::RUNS_PER_CELL_ENV) {
+        Ok(v) => v
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| fail(&format!("{} must be a count", campaign::RUNS_PER_CELL_ENV))),
+        Err(_) => 12,
+    }
+}
+
+/// `--worker`: run this process's shard of the campaign and write the
+/// encoded artifact to `IDLD_SHARD_DIR/shard-<i>.part`.
+fn run_worker() -> ! {
+    let cfg = CampaignConfig::try_from_env().unwrap_or_else(|e| fail(&e));
+    let (shard, shards) = (cfg.shard, cfg.shards);
+    let dir = std::env::var(SHARD_DIR_ENV)
+        .unwrap_or_else(|_| fail(&format!("--worker requires {SHARD_DIR_ENV}")));
+    let suite = selected_suite();
+    let res = Campaign::new(cfg)
+        .run_with_progress(&suite, &StderrProgress::new())
+        .unwrap_or_else(|e| fail(&format!("shard {shard} campaign invalid: {e}")));
+    let path = Path::new(&dir).join(format!("shard-{shard}.part"));
+    std::fs::write(&path, encode_shard(&res, shard, shards))
+        .unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", path.display())));
+    eprintln!(
+        "shard {shard}/{shards}: {} records -> {}",
+        res.records.len(),
+        path.display()
+    );
+    std::process::exit(0);
+}
+
+/// Spawns `shards` worker processes, streams their stderr with
+/// `[shard i]` prefixes, and merges their artifacts. Returns the merged
+/// campaign and the coordinator-side wall-clock in seconds.
+fn run_sharded(shards: usize, dir: &Path) -> (MergedCampaign, f64) {
+    if shards == 0 {
+        fail("a campaign needs at least one shard");
+    }
+    std::fs::create_dir_all(dir)
+        .unwrap_or_else(|e| fail(&format!("cannot create {}: {e}", dir.display())));
+    let exe = std::env::current_exe().unwrap_or_else(|e| fail(&format!("current_exe: {e}")));
+    let threads_env = std::env::var(campaign::THREADS_ENV).ok();
+    let per_worker = idld_bench::host_cores().div_ceil(shards).max(1);
+    let rpc = runs_per_cell();
+
+    let t0 = Instant::now();
+    let mut children = Vec::with_capacity(shards);
+    for shard in 0..shards {
+        let mut cmd = Command::new(&exe);
+        cmd.arg("--worker")
+            .env(campaign::SHARD_ENV, shard.to_string())
+            .env(campaign::SHARDS_ENV, shards.to_string())
+            .env(campaign::RUNS_PER_CELL_ENV, rpc.to_string())
+            .env(SHARD_DIR_ENV, dir)
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped());
+        if threads_env.is_none() {
+            cmd.env(campaign::THREADS_ENV, per_worker.to_string());
+        }
+        let mut child = cmd
+            .spawn()
+            .unwrap_or_else(|e| fail(&format!("cannot spawn shard {shard}: {e}")));
+        let stderr = child.stderr.take().expect("stderr was piped");
+        let relay = std::thread::spawn(move || {
+            for line in std::io::BufReader::new(stderr).lines() {
+                match line {
+                    Ok(l) => eprintln!("[shard {shard}] {l}"),
+                    Err(_) => break,
+                }
+            }
+        });
+        children.push((shard, child, relay));
+    }
+    for (shard, mut child, relay) in children {
+        let status = child
+            .wait()
+            .unwrap_or_else(|e| fail(&format!("waiting on shard {shard}: {e}")));
+        let _ = relay.join();
+        if !status.success() {
+            fail(&format!("shard {shard} exited with {status}"));
+        }
+    }
+    let wall = t0.elapsed().as_secs_f64();
+
+    let mut parts = Vec::with_capacity(shards);
+    for shard in 0..shards {
+        let path = dir.join(format!("shard-{shard}.part"));
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| fail(&format!("cannot read {}: {e}", path.display())));
+        parts.push(decode_shard(&text).unwrap_or_else(|e| fail(&format!("shard {shard}: {e}"))));
+    }
+    let merged = merge_shards(&parts).unwrap_or_else(|e| fail(&e));
+    (merged, wall)
+}
+
+/// Writes the four merged artifacts into `dir`, honoring
+/// `IDLD_TIMINGS_WALL` for the timings export.
+fn write_outputs(merged: &MergedCampaign, dir: &Path) {
+    let wall = export::timings_wall_from_env().unwrap_or_else(|e| fail(&e));
+    for (name, body) in [
+        ("records.csv", merged.records_csv()),
+        ("metrics.csv", merged.metrics_csv()),
+        ("metrics.json", merged.metrics_json()),
+        ("timings.csv", merged.timings_csv(wall)),
+    ] {
+        let path = dir.join(name);
+        std::fs::write(&path, body)
+            .unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", path.display())));
+    }
+}
+
+/// A [`BenchEntry`] for a merged multi-process run. `from_result` only
+/// fits in-process campaigns, so the fields come from the merge.
+fn entry_from_merged(
+    name: &str,
+    merged: &MergedCampaign,
+    wall_secs: f64,
+    shards: usize,
+) -> BenchEntry {
+    let mut workloads: Vec<(String, f64)> = Vec::new();
+    for c in &merged.timings {
+        let secs = c.total.as_secs_f64();
+        match workloads.iter_mut().find(|(b, _)| *b == c.bench) {
+            Some((_, acc)) => *acc += secs,
+            None => workloads.push((c.bench.clone(), secs)),
+        }
+    }
+    BenchEntry {
+        name: name.to_string(),
+        wall_secs,
+        runs: merged.runs(),
+        host_cores: idld_bench::host_cores(),
+        shards,
+        workload_scale: idld_bench::workload_scale(),
+        stats: merged.stats,
+        workloads,
+    }
+}
+
+/// `--scaling`: run the same campaign at each shard count, byte-verify
+/// every merged output against the first count's, and report the series.
+/// Returns each point with its merged campaign.
+fn run_scaling(counts: &[usize], out: &Path) -> Vec<(ScalingPoint, MergedCampaign)> {
+    let mut series: Vec<(ScalingPoint, MergedCampaign)> = Vec::with_capacity(counts.len());
+    for &n in counts {
+        let (merged, wall) = run_sharded(n, &out.join(format!("scale-{n}")));
+        let identical = match series.first() {
+            Some((_, r)) => {
+                r.records_csv() == merged.records_csv()
+                    && r.metrics_csv() == merged.metrics_csv()
+                    && r.timings_csv(false) == merged.timings_csv(false)
+            }
+            None => true,
+        };
+        let point = ScalingPoint {
+            shards: n,
+            wall_secs: wall,
+            runs: merged.runs(),
+            merged_identical: identical,
+        };
+        eprintln!(
+            "campaignd: {n} shard(s): {} runs in {wall:.2}s ({:.1} runs/s), merged identical: {identical}",
+            point.runs,
+            point.runs_per_sec()
+        );
+        series.push((point, merged));
+    }
+    if series.iter().any(|(p, _)| !p.merged_identical) {
+        fail("merged outputs differ across shard counts — shard merge is unsound");
+    }
+    series
+}
+
+/// `--bench`: regenerate `BENCH_campaign.json` — snapshot off/on
+/// baselines (in-process), the sharded scaling series, and a scale-10
+/// suite entry.
+fn run_bench(out: &Path) {
+    let suite = selected_suite();
+    let base = CampaignConfig {
+        runs_per_cell: runs_per_cell(),
+        ..CampaignConfig::try_from_env().unwrap_or_else(|e| fail(&e))
+    };
+
+    eprintln!("campaignd: snapshot-off baseline...");
+    let cold = Campaign::new(CampaignConfig {
+        snapshot: false,
+        ..base.clone()
+    })
+    .run_with_progress(&suite, &StderrProgress::new())
+    .unwrap_or_else(|e| fail(&format!("cold campaign invalid: {e}")));
+
+    eprintln!("campaignd: snapshot-on baseline...");
+    let snap = Campaign::new(CampaignConfig {
+        snapshot: true,
+        ..base.clone()
+    })
+    .run_with_progress(&suite, &StderrProgress::new())
+    .unwrap_or_else(|e| fail(&format!("snapshot campaign invalid: {e}")));
+    if export::to_csv(&cold) != export::to_csv(&snap) {
+        fail("snapshot execution changed the record stream");
+    }
+    let speedup = cold.wall.as_secs_f64() / snap.wall.as_secs_f64();
+
+    eprintln!("campaignd: shard scaling series...");
+    let series = run_scaling(&[1, 2, 4, 8], out);
+    let (best, best_merged) = series
+        .iter()
+        .min_by(|(a, _), (b, _)| a.wall_secs.total_cmp(&b.wall_secs))
+        .expect("series is nonempty");
+    let sharded = entry_from_merged("suite_sharded", best_merged, best.wall_secs, best.shards);
+    let scaling: Vec<ScalingPoint> = series.iter().map(|(p, _)| *p).collect();
+
+    eprintln!("campaignd: scale-10 suite...");
+    let scale10_suite = idld_workloads::suite_scaled(10);
+    let scale10_cfg = CampaignConfig {
+        runs_per_cell: std::env::var("IDLD_SCALE10_RUNS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(4),
+        ..base
+    };
+    let scale10 = Campaign::new(scale10_cfg)
+        .run_with_progress(&scale10_suite, &StderrProgress::new())
+        .unwrap_or_else(|e| fail(&format!("scale-10 campaign invalid: {e}")));
+    let mut scale10_entry = BenchEntry::from_result("suite_scale10", &scale10);
+    scale10_entry.workload_scale = 10;
+
+    let entries = [
+        BenchEntry::from_result("suite_snapshot_off", &cold),
+        BenchEntry::from_result("suite_snapshot_on", &snap),
+        sharded,
+        scale10_entry,
+    ];
+    match idld_bench::write_campaign_bench_json(&entries, &scaling, Some(speedup)) {
+        Ok(path) => eprintln!("campaignd: wrote {path}"),
+        Err(e) => fail(&format!("could not write bench json: {e}")),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = PathBuf::from("campaign-out");
+    let mut shards: Option<usize> = None;
+    let mut scaling: Option<Vec<usize>> = None;
+    let mut bench = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--worker" => run_worker(),
+            "--out" => {
+                i += 1;
+                out = PathBuf::from(
+                    args.get(i)
+                        .unwrap_or_else(|| fail("--out needs a directory")),
+                );
+            }
+            "--shards" => {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .unwrap_or_else(|| fail("--shards needs a count"));
+                shards = Some(v.parse().unwrap_or_else(|_| fail("--shards needs a count")));
+            }
+            "--scaling" => {
+                // Optional comma-separated counts; default 1,2,4,8.
+                let counts = match args.get(i + 1) {
+                    Some(v) if !v.starts_with("--") => {
+                        i += 1;
+                        v.split(',')
+                            .map(|s| {
+                                s.trim().parse().unwrap_or_else(|_| {
+                                    fail("--scaling takes comma-separated shard counts")
+                                })
+                            })
+                            .collect()
+                    }
+                    _ => vec![1, 2, 4, 8],
+                };
+                scaling = Some(counts);
+            }
+            "--bench" => bench = true,
+            other => fail(&format!("unknown argument {other:?}")),
+        }
+        i += 1;
+    }
+
+    if bench {
+        run_bench(&out);
+        return;
+    }
+    if let Some(counts) = scaling {
+        if counts.is_empty() {
+            fail("--scaling needs at least one shard count");
+        }
+        run_scaling(&counts, &out);
+        return;
+    }
+
+    let n = shards
+        .or_else(|| {
+            std::env::var(campaign::SHARDS_ENV).ok().map(|v| {
+                v.trim()
+                    .parse()
+                    .unwrap_or_else(|_| fail("IDLD_SHARDS must be a count"))
+            })
+        })
+        .unwrap_or_else(idld_bench::host_cores);
+    let (merged, wall) = run_sharded(n, &out);
+    write_outputs(&merged, &out);
+    let st = merged.stats;
+    eprintln!(
+        "campaignd: {} runs across {n} shard(s) in {wall:.2}s ({:.1} runs/s) -> {}",
+        merged.runs(),
+        merged.runs() as f64 / wall.max(f64::MIN_POSITIVE),
+        out.display()
+    );
+    eprintln!(
+        "campaignd: snapshots: {} captured, {} forked / {} cold runs",
+        st.captured, st.forked_runs, st.cold_runs
+    );
+}

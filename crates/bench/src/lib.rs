@@ -25,7 +25,20 @@
 //! snapshot-and-fork execution (same records, slower); `snapshot_speedup`
 //! writes its measurements to `BENCH_campaign.json`.
 
-use idld_campaign::{Campaign, CampaignConfig, CampaignResult, StderrProgress};
+use idld_campaign::{Campaign, CampaignConfig, CampaignResult, SnapshotStats, StderrProgress};
+
+/// Environment variable: workload scale factor for bench campaigns
+/// (lenient parse, default 1; see `idld_workloads::suite_scaled`).
+pub const WORKLOAD_SCALE_ENV: &str = "IDLD_WORKLOAD_SCALE";
+
+/// The workload scale factor bench campaigns run at ([`WORKLOAD_SCALE_ENV`],
+/// default 1).
+pub fn workload_scale() -> u32 {
+    std::env::var(WORKLOAD_SCALE_ENV)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
 
 /// Runs the standard full-suite campaign at env-controlled scale, with
 /// throttled stderr progress (runs/s, per-outcome tallies, ETA).
@@ -40,10 +53,7 @@ pub fn run_standard_campaign() -> CampaignResult {
     if std::env::var(idld_campaign::campaign::RUNS_PER_CELL_ENV).is_err() {
         cfg.runs_per_cell = 12;
     }
-    let scale: u32 = std::env::var("IDLD_WORKLOAD_SCALE")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1);
+    let scale = workload_scale();
     let suite = idld_workloads::suite_scaled(scale);
     eprintln!(
         "[idld-bench] campaign: {} workloads (scale {scale}) × 3 models × {} runs (seed {})",
@@ -78,29 +88,125 @@ fn json_escape(s: &str) -> String {
         .collect()
 }
 
+/// The logical cores available to this process (1 if undetectable).
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// One named measurement destined for `BENCH_campaign.json` — a campaign
+/// run plus the host conditions it ran under. `host_cores` is recorded
+/// per entry (entries written on different hosts or at different shard
+/// counts must each carry their own), `shards` is the process count the
+/// campaign was split over (1 = in-process), and `workload_scale` the
+/// suite scale factor.
+#[derive(Clone, Debug)]
+pub struct BenchEntry {
+    pub name: String,
+    pub wall_secs: f64,
+    pub runs: usize,
+    pub host_cores: usize,
+    pub shards: usize,
+    pub workload_scale: u32,
+    pub stats: SnapshotStats,
+    /// Per-workload serial work (name, total work seconds across cells).
+    pub workloads: Vec<(String, f64)>,
+}
+
+impl BenchEntry {
+    /// Builds an entry from an in-process campaign result: host cores
+    /// detected, one shard, scale from [`workload_scale`].
+    pub fn from_result(name: &str, res: &CampaignResult) -> BenchEntry {
+        let workloads = res
+            .benches()
+            .iter()
+            .map(|b| {
+                let secs: f64 = res
+                    .timings
+                    .iter()
+                    .filter(|c| c.bench == *b)
+                    .map(|c| c.total.as_secs_f64())
+                    .sum();
+                (b.to_string(), secs)
+            })
+            .collect();
+        BenchEntry {
+            name: name.to_string(),
+            wall_secs: res.wall.as_secs_f64(),
+            runs: res.records.len(),
+            host_cores: host_cores(),
+            shards: 1,
+            workload_scale: workload_scale(),
+            stats: res.snapshot_stats,
+            workloads,
+        }
+    }
+
+    /// Runs per second over the entry's wall-clock (0 if unmeasured).
+    pub fn runs_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.runs as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// One point of a shard-count scaling series: the same campaign executed
+/// across `shards` worker processes, with the merged artifacts verified
+/// byte-identical to the single-process run.
+#[derive(Clone, Copy, Debug)]
+pub struct ScalingPoint {
+    pub shards: usize,
+    pub wall_secs: f64,
+    pub runs: usize,
+    /// Whether the merged records/metrics/timings matched the 1-shard
+    /// outputs byte-for-byte.
+    pub merged_identical: bool,
+}
+
+impl ScalingPoint {
+    /// Runs per second at this shard count (0 if unmeasured).
+    pub fn runs_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.runs as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+}
+
 /// Renders campaign measurements as the machine-readable
-/// `BENCH_campaign.json` payload: wall-clock and runs/sec per campaign,
-/// snapshot hit rate, and the per-workload wall-clock breakdown.
+/// `BENCH_campaign.json` payload: wall-clock and runs/sec per campaign
+/// (with the host cores and shard count each entry ran under), snapshot
+/// hit rate, the per-workload wall-clock breakdown, and — when a sharded
+/// scaling series was measured — the runs/s curve over process counts.
 /// Hand-rolled writer — the workspace deliberately has no JSON dependency.
-pub fn campaign_bench_json(entries: &[(&str, &CampaignResult)], speedup: Option<f64>) -> String {
+pub fn campaign_bench_json(
+    entries: &[BenchEntry],
+    scaling: &[ScalingPoint],
+    speedup: Option<f64>,
+) -> String {
     let mut out = String::from("{\n");
-    out.push_str(&format!(
-        "  \"host_cores\": {},\n",
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    ));
+    out.push_str(&format!("  \"host_cores\": {},\n", host_cores()));
     out.push_str("  \"campaigns\": [\n");
-    for (i, (name, res)) in entries.iter().enumerate() {
-        let wall = res.wall.as_secs_f64();
-        let runs = res.records.len();
-        let runs_per_sec = if wall > 0.0 { runs as f64 / wall } else { 0.0 };
-        let st = res.snapshot_stats;
+    for (i, e) in entries.iter().enumerate() {
+        let st = e.stats;
         out.push_str("    {\n");
-        out.push_str(&format!("      \"name\": \"{}\",\n", json_escape(name)));
-        out.push_str(&format!("      \"wall_secs\": {wall:.6},\n"));
-        out.push_str(&format!("      \"runs\": {runs},\n"));
-        out.push_str(&format!("      \"runs_per_sec\": {runs_per_sec:.3},\n"));
+        out.push_str(&format!("      \"name\": \"{}\",\n", json_escape(&e.name)));
+        out.push_str(&format!("      \"wall_secs\": {:.6},\n", e.wall_secs));
+        out.push_str(&format!("      \"runs\": {},\n", e.runs));
+        out.push_str(&format!(
+            "      \"runs_per_sec\": {:.3},\n",
+            e.runs_per_sec()
+        ));
+        out.push_str(&format!("      \"host_cores\": {},\n", e.host_cores));
+        out.push_str(&format!("      \"shards\": {},\n", e.shards));
+        out.push_str(&format!(
+            "      \"workload_scale\": {},\n",
+            e.workload_scale
+        ));
         out.push_str(&format!(
             "      \"snapshot_hit_rate\": {:.6},\n",
             st.hit_rate()
@@ -113,18 +219,11 @@ pub fn campaign_bench_json(entries: &[(&str, &CampaignResult)], speedup: Option<
         ));
         out.push_str(&format!("      \"snapshots_captured\": {},\n", st.captured));
         out.push_str("      \"workloads\": [\n");
-        let benches = res.benches();
-        for (j, b) in benches.iter().enumerate() {
-            let secs: f64 = res
-                .timings
-                .iter()
-                .filter(|c| c.bench == *b)
-                .map(|c| c.total.as_secs_f64())
-                .sum();
+        for (j, (name, secs)) in e.workloads.iter().enumerate() {
             out.push_str(&format!(
                 "        {{\"name\": \"{}\", \"work_secs\": {secs:.6}}}{}\n",
-                json_escape(b),
-                if j + 1 < benches.len() { "," } else { "" }
+                json_escape(name),
+                if j + 1 < e.workloads.len() { "," } else { "" }
             ));
         }
         out.push_str("      ]\n");
@@ -134,6 +233,20 @@ pub fn campaign_bench_json(entries: &[(&str, &CampaignResult)], speedup: Option<
         ));
     }
     out.push_str("  ]");
+    if !scaling.is_empty() {
+        out.push_str(",\n  \"shard_scaling\": [\n");
+        for (i, p) in scaling.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"shards\": {}, \"wall_secs\": {:.6}, \"runs_per_sec\": {:.3}, \"merged_identical\": {}}}{}\n",
+                p.shards,
+                p.wall_secs,
+                p.runs_per_sec(),
+                p.merged_identical,
+                if i + 1 < scaling.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]");
+    }
     if let Some(s) = speedup {
         out.push_str(&format!(",\n  \"snapshot_speedup\": {s:.3}"));
     }
@@ -144,11 +257,12 @@ pub fn campaign_bench_json(entries: &[(&str, &CampaignResult)], speedup: Option<
 /// Writes [`campaign_bench_json`] to [`BENCH_JSON_ENV`] (default
 /// `BENCH_campaign.json`) and returns the path written.
 pub fn write_campaign_bench_json(
-    entries: &[(&str, &CampaignResult)],
+    entries: &[BenchEntry],
+    scaling: &[ScalingPoint],
     speedup: Option<f64>,
 ) -> std::io::Result<String> {
     let path = std::env::var(BENCH_JSON_ENV).unwrap_or_else(|_| "BENCH_campaign.json".to_string());
-    std::fs::write(&path, campaign_bench_json(entries, speedup))?;
+    std::fs::write(&path, campaign_bench_json(entries, scaling, speedup))?;
     Ok(path)
 }
 
@@ -231,13 +345,33 @@ mod tests {
             .filter(|w| w.name == "crc32")
             .collect();
         let res = Campaign::new(cfg).run(&suite).expect("mini campaign");
-        let json = super::campaign_bench_json(&[("smoke", &res)], Some(2.5));
+        let entry = super::BenchEntry::from_result("smoke", &res);
+        let scaling = [
+            super::ScalingPoint {
+                shards: 1,
+                wall_secs: 2.0,
+                runs: 6,
+                merged_identical: true,
+            },
+            super::ScalingPoint {
+                shards: 4,
+                wall_secs: 1.0,
+                runs: 6,
+                merged_identical: true,
+            },
+        ];
+        let json = super::campaign_bench_json(&[entry], &scaling, Some(2.5));
         for needle in [
             "\"name\": \"smoke\"",
             "\"wall_secs\":",
             "\"runs\": 6",
             "\"runs_per_sec\":",
+            "\"host_cores\":",
+            "\"shards\": 1",
+            "\"workload_scale\": 1",
             "\"snapshot_hit_rate\":",
+            "\"shard_scaling\": [",
+            "{\"shards\": 4, \"wall_secs\": 1.000000, \"runs_per_sec\": 6.000, \"merged_identical\": true}",
             "\"snapshot_speedup\": 2.500",
             "\"workloads\": [",
             "\"name\": \"crc32\"",

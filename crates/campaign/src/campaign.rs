@@ -25,14 +25,33 @@
 //! and the exported CSV — is byte-identical with snapshots on or off
 //! (`IDLD_SNAPSHOT=0/1`), at any worker count.
 //!
+//! # Sweep and shard axes
+//!
+//! The job list is the cross product `config × workload × model × k`: the
+//! config axis comes from [`CampaignConfig::sweep`] (a
+//! [`SweepSpec`](crate::sweep::SweepSpec); empty = the single implicit
+//! `default` point over [`CampaignConfig::sim`]). Every job has a *dense
+//! global index* computable without running anything —
+//! `((point × workloads + workload) × models + model) × runs_per_cell + k`
+//! — and carries it in [`RunRecord::job`].
+//!
+//! A campaign can be split across processes: with
+//! [`CampaignConfig::shards`] `= N`, shard `i` executes exactly the jobs
+//! whose `(config, bench, model, k)` hash lands on `i`, captures golden
+//! runs only for the `(config, workload)` cells it owns jobs in, and
+//! reports records tagged with their global index. The
+//! [`shard`](crate::shard) module merges N such partial results back into
+//! outputs byte-identical to a `shards = 1` run.
+//!
 //! # Determinism
 //!
-//! Every job's RNG derives from `(seed, bench, model, k)` only, the job
-//! list is sampled up front on the scheduling thread, and records are
-//! written back by original job index — so the record order *and content*
-//! are identical to a sequential run of the same seed, for any worker
-//! count ([`export::to_csv`](crate::export::to_csv) output is
-//! byte-identical between 1-thread and N-thread runs).
+//! Every job's RNG derives from `(seed, config, bench, model, k)` only,
+//! the job list is sampled up front on the scheduling thread, and records
+//! are written back by original job index — so the record order *and
+//! content* are identical to a sequential run of the same seed, for any
+//! worker count and any shard partition
+//! ([`export::to_csv`](crate::export::to_csv) output is byte-identical
+//! between 1-thread and N-thread runs).
 //!
 //! # Panic isolation
 //!
@@ -45,6 +64,7 @@
 
 use crate::classify::{classify, manifestation_cycle, OutcomeClass};
 use crate::progress::{CampaignProgress, NullProgress, ProgressState};
+use crate::sweep::{SweepPoint, SweepSpec, DEFAULT_LABEL};
 use idld_bugs::{BugModel, BugSpec, SingleShotHook};
 use idld_core::{BitVectorChecker, CheckerSet, CounterChecker, IdldChecker};
 use idld_rrs::CensusHook;
@@ -76,12 +96,25 @@ pub const SNAPSHOT_ENV: &str = "IDLD_SNAPSHOT";
 pub const SNAPSHOT_STRIDE_ENV: &str = "IDLD_SNAPSHOT_STRIDE";
 /// Environment variable: maximum retained snapshots per workload.
 pub const SNAPSHOT_MAX_ENV: &str = "IDLD_SNAPSHOT_MAX";
+/// Environment variable: this process's shard index, `0..IDLD_SHARDS`.
+pub const SHARD_ENV: &str = "IDLD_SHARD";
+/// Environment variable: total shard count (default 1 = unsharded).
+pub const SHARDS_ENV: &str = "IDLD_SHARDS";
+/// Environment variable: config-space sweep specification (`grid` or
+/// comma-separated `w<width>c<ckpts>r<rob>` points; unset = no sweep).
+pub const SWEEP_ENV: &str = "IDLD_SWEEP";
 
 /// Campaign parameters.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct CampaignConfig {
-    /// Core configuration used for golden and injected runs.
+    /// Core configuration used for golden and injected runs (of the
+    /// implicit `default` sweep point; an explicit [`sweep`](Self::sweep)
+    /// replaces it).
     pub sim: SimConfig,
+    /// Config-space sweep axis: each point runs the full
+    /// `workload × model × k` protocol under its own core configuration.
+    /// Empty (the default) = the single `default` point over `sim`.
+    pub sweep: SweepSpec,
     /// Injection runs per (workload × bug model) cell. The paper used
     /// 1 000; the default here is CI-scale and the benches read
     /// `IDLD_RUNS_PER_CELL` to scale up.
@@ -100,6 +133,11 @@ pub struct CampaignConfig {
     /// Bounds campaign memory: each snapshot holds a full copy of the
     /// workload's data memory.
     pub snapshot_max: usize,
+    /// This process's shard index (`0..shards`): it executes only the
+    /// jobs hash-partitioned onto it (see the module docs).
+    pub shard: usize,
+    /// Total shard count; `1` (the default) runs every job in-process.
+    pub shards: usize,
     /// Test instrumentation: make the worker executing this job index
     /// panic deliberately, to exercise panic isolation. Not for normal
     /// use.
@@ -111,12 +149,15 @@ impl Default for CampaignConfig {
     fn default() -> Self {
         CampaignConfig {
             sim: SimConfig::default(),
+            sweep: SweepSpec::default(),
             runs_per_cell: 30,
             seed: 0x1d1d,
             threads: 0,
             snapshot: true,
             snapshot_stride: 0,
-            snapshot_max: 16,
+            snapshot_max: 64,
+            shard: 0,
+            shards: 1,
             sabotage_job: None,
         }
     }
@@ -177,6 +218,31 @@ impl CampaignConfig {
         }
         if let Some(m) = parse(SNAPSHOT_MAX_ENV)? {
             cfg.snapshot_max = m;
+        }
+        if let Some(n) = parse::<usize>(SHARDS_ENV)? {
+            if n == 0 {
+                return Err(format!(
+                    "{SHARDS_ENV}=\"0\" is invalid: a campaign needs at least one shard"
+                ));
+            }
+            cfg.shards = n;
+        }
+        if let Some(i) = parse::<usize>(SHARD_ENV)? {
+            cfg.shard = i;
+        }
+        if cfg.shard >= cfg.shards {
+            return Err(format!(
+                "{SHARD_ENV}={} is invalid: the shard index must be below {SHARDS_ENV}={}",
+                cfg.shard, cfg.shards
+            ));
+        }
+        match std::env::var(SWEEP_ENV) {
+            Ok(raw) => {
+                cfg.sweep = SweepSpec::parse(&raw)
+                    .map_err(|e| format!("{SWEEP_ENV}={raw:?} is invalid: {e}"))?;
+            }
+            Err(std::env::VarError::NotPresent) => {}
+            Err(e) => return Err(format!("{SWEEP_ENV} is unreadable: {e}")),
         }
         Ok(cfg)
     }
@@ -300,8 +366,11 @@ impl GoldenRun {
         const BUDGET: u64 = 500_000_000;
         /// Initial automatic stride: fine enough to matter for the
         /// shortest workloads (a few thousand cycles), coarse enough that
-        /// thinning settles quickly for the longest.
-        const AUTO_STRIDE: u64 = 2_048;
+        /// thinning settles quickly for the longest. Tuned together with
+        /// the default `snapshot_max` of 64 — the measured suite
+        /// throughput optimum; denser caches lose more to capture cost
+        /// than they save in replay (see EXPERIMENTS.md).
+        const AUTO_STRIDE: u64 = 1_024;
 
         let mut census = CensusHook::new();
         let mut checkers = injection_checkers(&sim_cfg);
@@ -389,6 +458,13 @@ pub struct Detections {
 /// One injected run's record.
 #[derive(Clone, Debug)]
 pub struct RunRecord {
+    /// Sweep-point label this run executed under
+    /// ([`DEFAULT_LABEL`] when unswept).
+    pub config: String,
+    /// Dense global job index (see the module docs) — stable across any
+    /// shard partition, used to interleave shard outputs back into the
+    /// single-process record order. Not exported to CSV.
+    pub job: usize,
     /// Workload name.
     pub bench: String,
     /// Bug-model class.
@@ -439,8 +515,16 @@ impl RunRecord {
     }
 
     /// The poisoned record for a run whose simulation panicked.
-    pub fn poisoned(bench: &str, spec: BugSpec, message: String) -> RunRecord {
+    pub fn poisoned(
+        config: &str,
+        job: usize,
+        bench: &str,
+        spec: BugSpec,
+        message: String,
+    ) -> RunRecord {
         RunRecord {
+            config: config.to_string(),
+            job,
             bench: bench.to_string(),
             model: spec.model,
             spec,
@@ -456,9 +540,12 @@ impl RunRecord {
     }
 }
 
-/// Wall-clock spent in one (workload × model) cell, summed over its runs.
+/// Wall-clock spent in one (config × workload × model) cell, summed over
+/// its runs.
 #[derive(Clone, Debug)]
 pub struct CellTiming {
+    /// Sweep-point label.
+    pub config: String,
     /// Workload name.
     pub bench: String,
     /// Bug model.
@@ -510,17 +597,34 @@ impl CampaignResult {
         v
     }
 
+    /// The distinct sweep-point labels, in first-seen order.
+    pub fn configs(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = Vec::new();
+        for r in &self.records {
+            if !v.contains(&r.config.as_str()) {
+                v.push(&r.config);
+            }
+        }
+        v
+    }
+
     /// Records whose run panicked and was isolated by the scheduler.
     pub fn poisoned(&self) -> impl Iterator<Item = &'_ RunRecord> + '_ {
         self.records.iter().filter(|r| r.poisoned.is_some())
     }
 }
 
-/// One scheduled injection run: an index into the golden-run table plus
-/// the fully sampled bug spec.
+/// One scheduled injection run: the dense global job index, the
+/// `(point × workload)` golden-table cell it runs against, and the fully
+/// sampled bug spec.
 #[derive(Clone, Copy, Debug)]
 struct Job {
-    workload: usize,
+    /// Dense global index across every shard (see module docs).
+    job: usize,
+    /// Index into the resolved sweep-point list.
+    point: usize,
+    /// Index into the `points × workloads` golden-run table.
+    cell: usize,
     spec: BugSpec,
 }
 
@@ -649,18 +753,34 @@ impl Campaign {
         Campaign { cfg }
     }
 
-    /// Derives the per-run RNG deterministically from (seed, bench, model,
-    /// run index).
-    fn run_rng(&self, bench: &str, model: BugModel, k: usize) -> SmallRng {
+    /// Derives the per-run RNG deterministically from (seed, config,
+    /// bench, model, run index).
+    fn run_rng(&self, config: &str, bench: &str, model: BugModel, k: usize) -> SmallRng {
         let mut h = DefaultHasher::new();
         self.cfg.seed.hash(&mut h);
+        config.hash(&mut h);
         bench.hash(&mut h);
         model.label().hash(&mut h);
         k.hash(&mut h);
         SmallRng::seed_from_u64(h.finish())
     }
 
-    /// Runs one injection against a golden run.
+    /// The shard that owns job `(config, bench, model, k)`. Computable
+    /// without the golden census, so a shard knows its whole slice — and
+    /// which goldens it needs — before simulating anything. The hash is
+    /// `DefaultHasher` with its fixed default keys: deterministic across
+    /// the identical processes a coordinator self-execs.
+    fn shard_of(&self, config: &str, bench: &str, model: BugModel, k: usize) -> usize {
+        let mut h = DefaultHasher::new();
+        config.hash(&mut h);
+        bench.hash(&mut h);
+        model.label().hash(&mut h);
+        k.hash(&mut h);
+        (h.finish() % self.cfg.shards as u64) as usize
+    }
+
+    /// Runs one injection against a golden run (at the campaign's base
+    /// `sim` configuration, as the implicit `default` sweep point).
     pub fn run_one(&self, golden: &GoldenRun, spec: BugSpec) -> RunRecord {
         self.run_one_interruptible(golden, spec, None)
     }
@@ -674,7 +794,8 @@ impl Campaign {
         spec: BugSpec,
         interrupt: Option<&AtomicBool>,
     ) -> RunRecord {
-        self.run_one_from(golden, spec, interrupt).0
+        self.run_one_from(self.cfg.sim, DEFAULT_LABEL, 0, golden, spec, interrupt)
+            .0
     }
 
     /// The cycle the injection of `spec` would resume from under the
@@ -697,6 +818,9 @@ impl Campaign {
     /// cycles, outputs, stats and checker verdicts.
     fn run_one_from(
         &self,
+        sim_cfg: SimConfig,
+        config: &str,
+        job: usize,
         golden: &GoldenRun,
         spec: BugSpec,
         interrupt: Option<&AtomicBool>,
@@ -706,7 +830,7 @@ impl Campaign {
         } else {
             None
         };
-        let mut sim = Simulator::new(&golden.workload.program, self.cfg.sim);
+        let mut sim = Simulator::new(&golden.workload.program, sim_cfg);
         let mut checkers;
         let mut hook;
         let skipped = match snap {
@@ -717,7 +841,7 @@ impl Campaign {
                 s.cycle
             }
             None => {
-                checkers = injection_checkers(&self.cfg.sim);
+                checkers = injection_checkers(&sim_cfg);
                 hook = SingleShotHook::new(spec);
                 0
             }
@@ -732,6 +856,8 @@ impl Campaign {
             .expect("sampled activation must fire (identical prefix to golden)");
         let persists = outcome.is_masked() && !res.final_contents.is_exact_partition();
         let record = RunRecord {
+            config: config.to_string(),
+            job,
             bench: golden.workload.name.clone(),
             model: spec.model,
             spec,
@@ -751,26 +877,36 @@ impl Campaign {
         (record, skipped)
     }
 
-    /// Executes job `index` under panic isolation. Returns the record and
-    /// the golden-prefix cycles the run skipped via snapshot forking.
+    /// Executes the job with global index `job` under panic isolation.
+    /// Returns the record and the golden-prefix cycles the run skipped
+    /// via snapshot forking.
+    #[allow(clippy::too_many_arguments)]
     fn execute_job(
         &self,
-        index: usize,
+        sim_cfg: SimConfig,
+        config: &str,
+        job: usize,
         golden: &GoldenRun,
         spec: BugSpec,
         interrupt: Option<&AtomicBool>,
     ) -> (RunRecord, u64) {
-        let sabotage = self.cfg.sabotage_job == Some(index);
+        let sabotage = self.cfg.sabotage_job == Some(job);
         let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
             if sabotage {
                 panic!("deliberately sabotaged run (test instrumentation)");
             }
-            self.run_one_from(golden, spec, interrupt)
+            self.run_one_from(sim_cfg, config, job, golden, spec, interrupt)
         }));
         match outcome {
             Ok(rec) => rec,
             Err(payload) => (
-                RunRecord::poisoned(&golden.workload.name, spec, panic_message(&*payload)),
+                RunRecord::poisoned(
+                    config,
+                    job,
+                    &golden.workload.name,
+                    spec,
+                    panic_message(&*payload),
+                ),
                 0,
             ),
         }
@@ -832,57 +968,112 @@ impl Campaign {
         cancel: Option<&AtomicBool>,
     ) -> Result<CampaignResult, GoldenRunError> {
         let t0 = Instant::now();
+        let points: Vec<SweepPoint> = self.cfg.sweep.resolve(self.cfg.sim);
+        let nw = workloads.len();
+        let models = BugModel::ALL.len();
 
-        // Golden runs: once per workload, in parallel, shared read-only
-        // with every worker afterwards. With snapshots enabled the capture
-        // also materializes the bounded per-workload snapshot cache that
-        // injected runs fork from.
+        // Pass 1 — shard membership is a pure hash of job coordinates, so
+        // before simulating anything this shard knows exactly which
+        // (point × workload) golden cells it owns jobs in.
+        let mut needed = vec![false; points.len() * nw];
+        for (pi, point) in points.iter().enumerate() {
+            for (wi, w) in workloads.iter().enumerate() {
+                needed[pi * nw + wi] = BugModel::ALL.into_iter().any(|model| {
+                    (0..self.cfg.runs_per_cell).any(|k| {
+                        self.cfg.shards == 1
+                            || self.shard_of(&point.label, &w.name, model, k) == self.cfg.shard
+                    })
+                });
+            }
+        }
+
+        // Golden runs: once per needed (point × workload) cell, in
+        // parallel, shared read-only with every worker afterwards. With
+        // snapshots enabled the capture also materializes the bounded
+        // per-cell snapshot cache that injected runs fork from.
         let snap_max = if self.cfg.snapshot {
             self.cfg.snapshot_max
         } else {
             0
         };
-        let captured: Vec<Result<GoldenRun, GoldenRunError>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = workloads
-                .iter()
-                .map(|w| {
-                    scope.spawn(move || {
-                        GoldenRun::capture_with_snapshots(
-                            w,
-                            self.cfg.sim,
-                            self.cfg.snapshot_stride,
-                            snap_max,
-                        )
+        let sweeping = points.len() > 1 || points[0].label != DEFAULT_LABEL;
+        let captured: Vec<Option<Result<GoldenRun, GoldenRunError>>> =
+            std::thread::scope(|scope| {
+                let points = &points;
+                let handles: Vec<_> = needed
+                    .iter()
+                    .enumerate()
+                    .map(|(ci, &need)| {
+                        need.then(|| {
+                            let point = &points[ci / nw];
+                            let w = &workloads[ci % nw];
+                            scope.spawn(move || {
+                                GoldenRun::capture_with_snapshots(
+                                    w,
+                                    point.sim,
+                                    self.cfg.snapshot_stride,
+                                    snap_max,
+                                )
+                            })
+                        })
                     })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| {
-                    h.join()
-                        .expect("golden capture returns errors, never panics")
-                })
-                .collect()
-        });
-        let mut goldens = Vec::with_capacity(captured.len());
-        for g in captured {
-            let g = g?;
-            progress.on_golden(&g.workload.name, g.cycles);
-            goldens.push(g);
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        h.map(|h| {
+                            h.join()
+                                .expect("golden capture returns errors, never panics")
+                        })
+                    })
+                    .collect()
+            });
+        let mut goldens: Vec<Option<GoldenRun>> = Vec::with_capacity(captured.len());
+        for (ci, g) in captured.into_iter().enumerate() {
+            match g {
+                Some(g) => {
+                    let g = g?;
+                    if sweeping {
+                        let label = &points[ci / nw].label;
+                        progress.on_golden(&format!("{label}/{}", g.workload.name), g.cycles);
+                    } else {
+                        progress.on_golden(&g.workload.name, g.cycles);
+                    }
+                    goldens.push(Some(g));
+                }
+                None => goldens.push(None),
+            }
         }
         let goldens = Arc::new(goldens);
 
-        // The job list, sampled up front in deterministic sequential order
-        // (workload-major, then model, then run index).
-        let bits = self.cfg.sim.rrs.pdst_bits();
-        let mut jobs =
-            Vec::with_capacity(goldens.len() * BugModel::ALL.len() * self.cfg.runs_per_cell);
-        for (wi, golden) in goldens.iter().enumerate() {
-            for model in BugModel::ALL {
-                for k in 0..self.cfg.runs_per_cell {
-                    let mut rng = self.run_rng(&golden.workload.name, model, k);
-                    if let Some(spec) = BugSpec::sample(model, &golden.census, bits, &mut rng) {
-                        jobs.push(Job { workload: wi, spec });
+        // Pass 2 — the job list, sampled up front in deterministic
+        // sequential order (point-major, then workload, model, run index).
+        // Each job records its dense global index, which is shared by
+        // every shard partition of the same campaign.
+        let mut jobs = Vec::new();
+        for (pi, point) in points.iter().enumerate() {
+            let bits = point.sim.rrs.pdst_bits();
+            for wi in 0..nw {
+                let Some(golden) = goldens[pi * nw + wi].as_ref() else {
+                    continue;
+                };
+                for (mi, model) in BugModel::ALL.into_iter().enumerate() {
+                    for k in 0..self.cfg.runs_per_cell {
+                        if self.cfg.shards > 1
+                            && self.shard_of(&point.label, &golden.workload.name, model, k)
+                                != self.cfg.shard
+                        {
+                            continue;
+                        }
+                        let mut rng = self.run_rng(&point.label, &golden.workload.name, model, k);
+                        if let Some(spec) = BugSpec::sample(model, &golden.census, bits, &mut rng) {
+                            jobs.push(Job {
+                                job: ((pi * nw + wi) * models + mi) * self.cfg.runs_per_cell + k,
+                                point: pi,
+                                cell: pi * nw + wi,
+                                spec,
+                            });
+                        }
                     }
                 }
             }
@@ -890,8 +1081,8 @@ impl Campaign {
 
         let total = jobs.len();
 
-        // Execution order: group jobs by workload and ascending trigger
-        // bound so a worker streams through one workload's snapshot cache
+        // Execution order: group jobs by golden cell and ascending trigger
+        // bound so a worker streams through one cell's snapshot cache
         // front to back instead of ping-ponging across workloads. This is
         // a pure permutation of *execution* order — records are written
         // back by original job index, so the record stream is untouched.
@@ -899,10 +1090,10 @@ impl Campaign {
         if self.cfg.snapshot {
             order.sort_by_key(|&i| {
                 let job = &jobs[i];
-                (
-                    job.workload,
-                    self.trigger_bound(&goldens[job.workload], &job.spec),
-                )
+                let golden = goldens[job.cell]
+                    .as_ref()
+                    .expect("sampled jobs have goldens");
+                (job.cell, self.trigger_bound(golden, &job.spec))
             });
         }
 
@@ -916,6 +1107,7 @@ impl Campaign {
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 let goldens = Arc::clone(&goldens);
+                let points = &points;
                 let jobs = &jobs;
                 let order = &order;
                 let next = &next;
@@ -933,9 +1125,19 @@ impl Campaign {
                         }
                         let i = order[oi];
                         let job = jobs[i];
+                        let point = &points[job.point];
+                        let golden = goldens[job.cell]
+                            .as_ref()
+                            .expect("sampled jobs have goldens");
                         let started = Instant::now();
-                        let (rec, skipped) =
-                            self.execute_job(i, &goldens[job.workload], job.spec, cancel);
+                        let (rec, skipped) = self.execute_job(
+                            point.sim,
+                            &point.label,
+                            job.job,
+                            golden,
+                            job.spec,
+                            cancel,
+                        );
                         let elapsed = started.elapsed();
                         state.complete(rec.outcome, rec.poisoned.is_some());
                         slots.lock().unwrap_or_else(|e| e.into_inner())[i] =
@@ -954,7 +1156,7 @@ impl Campaign {
         let mut records = Vec::with_capacity(total);
         let mut timings: Vec<CellTiming> = Vec::new();
         let mut snapshot_stats = SnapshotStats {
-            captured: goldens.iter().map(|g| g.snapshots.len()).sum(),
+            captured: goldens.iter().flatten().map(|g| g.snapshots.len()).sum(),
             ..SnapshotStats::default()
         };
         for (rec, elapsed, skipped) in slots.into_iter().flatten() {
@@ -966,11 +1168,12 @@ impl Campaign {
             snapshot_stats.skipped_cycles += skipped;
             let cell = match timings
                 .iter_mut()
-                .find(|c| c.bench == rec.bench && c.model == rec.model)
+                .find(|c| c.config == rec.config && c.bench == rec.bench && c.model == rec.model)
             {
                 Some(c) => c,
                 None => {
                     timings.push(CellTiming {
+                        config: rec.config.clone(),
                         bench: rec.bench.clone(),
                         model: rec.model,
                         runs: 0,
@@ -1026,6 +1229,75 @@ mod tests {
         let res = mini_campaign();
         assert_eq!(res.records.len(), 2 * 3 * 4);
         assert_eq!(res.benches(), vec!["crc32", "basicmath"]);
+        assert_eq!(res.configs(), vec![DEFAULT_LABEL]);
+        // The global job index is dense when every sample succeeds.
+        for (i, r) in res.records.iter().enumerate() {
+            assert_eq!(r.job, i, "dense global index");
+        }
+    }
+
+    #[test]
+    fn shards_partition_the_job_space_exactly() {
+        // Union of all shards == the unsharded campaign, record for
+        // record, with no job claimed twice — the invariant the process-
+        // level coordinator's merge rests on.
+        let full = mini_campaign();
+        let shards = 3;
+        let mut union: Vec<RunRecord> = Vec::new();
+        for shard in 0..shards {
+            let part = Campaign::new(CampaignConfig {
+                shard,
+                shards,
+                ..mini_cfg()
+            })
+            .run(&picks())
+            .expect("shard runs");
+            assert!(
+                part.records.len() < full.records.len(),
+                "shard {shard} must run a strict subset"
+            );
+            union.extend(part.records);
+        }
+        union.sort_by_key(|r| r.job);
+        assert_eq!(union.len(), full.records.len(), "no job lost or doubled");
+        for (got, want) in union.iter().zip(&full.records) {
+            assert_eq!(got.job, want.job);
+            assert_eq!(got.spec, want.spec);
+            assert_eq!(got.outcome, want.outcome);
+            assert_eq!(got.detections, want.detections);
+        }
+    }
+
+    #[test]
+    fn sweep_campaign_runs_every_point() {
+        let res = Campaign::new(CampaignConfig {
+            sweep: SweepSpec::parse("w2c2r48,w4c4r96").expect("valid sweep"),
+            runs_per_cell: 2,
+            seed: 7,
+            ..Default::default()
+        })
+        .run(&picks())
+        .expect("sweep campaign runs");
+        assert_eq!(res.configs(), vec!["w2c2r48", "w4c4r96"]);
+        assert_eq!(
+            res.records.len(),
+            2 * 2 * 3 * 2,
+            "points × benches × models × k"
+        );
+        assert_eq!(
+            res.timings.len(),
+            2 * 2 * 3,
+            "one timing cell per config cell"
+        );
+        for r in &res.records {
+            assert!(
+                r.detections.idld.is_some(),
+                "{}/{}: {} undetected",
+                r.config,
+                r.bench,
+                r.spec
+            );
+        }
     }
 
     #[test]
@@ -1239,7 +1511,11 @@ mod tests {
 
         assert_eq!(res.records.len(), baseline.records.len());
         assert_eq!(res.poisoned().count(), 1, "exactly one poisoned record");
-        let poisoned = &res.records[sab];
+        let poisoned = res
+            .records
+            .iter()
+            .find(|r| r.job == sab)
+            .expect("sabotaged job present");
         assert_eq!(poisoned.outcome, OutcomeClass::Anomalous);
         assert!(
             poisoned.poisoned.as_deref().unwrap().contains("sabotaged"),
@@ -1247,7 +1523,7 @@ mod tests {
             poisoned.poisoned
         );
         for (i, (got, want)) in res.records.iter().zip(&baseline.records).enumerate() {
-            if i == sab {
+            if got.job == sab {
                 continue;
             }
             assert_eq!(got.spec, want.spec, "record {i}");
@@ -1313,6 +1589,29 @@ mod tests {
             4096
         );
         assert!(run(SNAPSHOT_MAX_ENV, "-3").is_err());
+        assert!(run(SHARDS_ENV, "four").is_err(), "shard count must parse");
+        assert!(run(SHARDS_ENV, "0").is_err(), "zero shards is meaningless");
+        assert_eq!(run(SHARDS_ENV, "4").expect("4 parses").shards, 4);
+        assert!(
+            run(SHARD_ENV, "1").is_err(),
+            "a shard index needs a shard count above it"
+        );
+        std::env::set_var(SHARDS_ENV, "4");
+        assert!(run(SHARD_ENV, "one").is_err());
+        assert!(
+            run(SHARD_ENV, "4").is_err(),
+            "shard index must be below the shard count"
+        );
+        let sharded = run(SHARD_ENV, "3").expect("3 of 4 parses");
+        assert_eq!((sharded.shard, sharded.shards), (3, 4));
+        std::env::remove_var(SHARDS_ENV);
+        assert!(
+            run(SWEEP_ENV, "w4c4").is_err(),
+            "malformed sweep points must not run a partial sweep"
+        );
+        assert!(run(SWEEP_ENV, "").is_err(), "an empty sweep is a typo");
+        let swept = run(SWEEP_ENV, "grid").expect("preset parses");
+        assert_eq!(swept.sweep.points.len(), 3);
     }
 
     #[test]

@@ -5,11 +5,12 @@
 //! the Rust API. No external serialization crates: the format is flat and
 //! every field is numeric or a closed-vocabulary label.
 
-use crate::campaign::{CampaignResult, RunRecord};
+use crate::campaign::{CampaignResult, CellTiming, RunRecord};
 use std::fmt::Write as _;
 
-/// The CSV header for [`record_row`] rows.
-pub const CSV_HEADER: &str = "bench,model,site,occurrence,activation_cycle,outcome,masked,\
+/// The CSV header for [`record_row`] rows. `config` is the sweep-point
+/// label (`default` for an unswept campaign).
+pub const CSV_HEADER: &str = "config,bench,model,site,occurrence,activation_cycle,outcome,masked,\
 persists,manifestation_cycle,end_cycle,idld_cycle,bv_cycle,counter_cycle,eot_detects,poisoned";
 
 fn opt(v: Option<u64>) -> String {
@@ -25,7 +26,8 @@ fn csv_safe(msg: &str) -> String {
 /// Renders one record as a CSV row (no trailing newline).
 pub fn record_row(r: &RunRecord) -> String {
     format!(
-        "{},{},{:?},{},{},{},{},{},{},{},{},{},{},{},{}",
+        "{},{},{},{:?},{},{},{},{},{},{},{},{},{},{},{},{}",
+        r.config,
         r.bench,
         r.model.label().replace(' ', "_"),
         r.spec.site,
@@ -55,29 +57,80 @@ pub fn to_csv(res: &CampaignResult) -> String {
 }
 
 /// The CSV header for [`timings_csv`] rows.
-pub const TIMINGS_HEADER: &str = "bench,model,runs,poisoned,cell_wall_us";
+pub const TIMINGS_HEADER: &str = "config,bench,model,runs,poisoned,cell_wall_us";
+
+/// Environment variable: include wall-clock columns in `timings.csv`,
+/// `1` (default) or `0`. Zeroed walls make the file a pure function of the
+/// record stream — byte-comparable across runs, thread counts and shard
+/// partitions (the CI equivalence smokes set `0`).
+pub const TIMINGS_WALL_ENV: &str = "IDLD_TIMINGS_WALL";
+
+/// Reads [`TIMINGS_WALL_ENV`] strictly (`0`/`1`, default `true`).
+///
+/// # Errors
+///
+/// A set-but-malformed value is an error, matching
+/// [`CampaignConfig::try_from_env`](crate::CampaignConfig::try_from_env).
+pub fn timings_wall_from_env() -> Result<bool, String> {
+    match std::env::var(TIMINGS_WALL_ENV) {
+        Ok(raw) => match raw.trim() {
+            "0" => Ok(false),
+            "1" => Ok(true),
+            _ => Err(format!(
+                "{TIMINGS_WALL_ENV}={raw:?} is invalid: expected 0 or 1"
+            )),
+        },
+        Err(std::env::VarError::NotPresent) => Ok(true),
+        Err(e) => Err(format!("{TIMINGS_WALL_ENV} is unreadable: {e}")),
+    }
+}
+
+/// Renders one timing cell as a CSV row (no trailing newline). With
+/// `wall` off the wall-clock column is zeroed (see [`TIMINGS_WALL_ENV`]);
+/// the shard merge renders through this same function, keeping merged and
+/// single-process timings byte-identical.
+pub fn timing_row(c: &CellTiming, wall: bool) -> String {
+    format!(
+        "{},{},{},{},{},{}",
+        c.config,
+        c.bench,
+        c.model.label().replace(' ', "_"),
+        c.runs,
+        c.poisoned,
+        if wall { c.total.as_micros() } else { 0 },
+    )
+}
+
+/// Renders per-cell timing rows plus the final `TOTAL` row (`wall_us` is
+/// the end-to-end wall-clock, which is less than the cell sum when runs
+/// execute in parallel).
+pub(crate) fn timings_csv_from(cells: &[CellTiming], wall_us: u128, wall: bool) -> String {
+    let mut s = String::with_capacity(64 + cells.len() * 48);
+    let _ = writeln!(s, "{TIMINGS_HEADER}");
+    for c in cells {
+        let _ = writeln!(s, "{}", timing_row(c, wall));
+    }
+    let runs: usize = cells.iter().map(|c| c.runs).sum();
+    let poisoned: usize = cells.iter().map(|c| c.poisoned).sum();
+    let _ = writeln!(
+        s,
+        "TOTAL,,,{},{},{}",
+        runs,
+        poisoned,
+        if wall { wall_us } else { 0 }
+    );
+    s
+}
 
 /// Renders the campaign's per-cell wall-clock timing as CSV, with a final
-/// `TOTAL` row carrying the end-to-end campaign wall-clock (which is less
-/// than the cell sum when runs execute in parallel).
+/// `TOTAL` row carrying the end-to-end campaign wall-clock.
 pub fn timings_csv(res: &CampaignResult) -> String {
-    let mut s = String::with_capacity(64 + res.timings.len() * 48);
-    let _ = writeln!(s, "{TIMINGS_HEADER}");
-    for c in &res.timings {
-        let _ = writeln!(
-            s,
-            "{},{},{},{},{}",
-            c.bench,
-            c.model.label().replace(' ', "_"),
-            c.runs,
-            c.poisoned,
-            c.total.as_micros(),
-        );
-    }
-    let runs: usize = res.timings.iter().map(|c| c.runs).sum();
-    let poisoned: usize = res.timings.iter().map(|c| c.poisoned).sum();
-    let _ = writeln!(s, "TOTAL,,{},{},{}", runs, poisoned, res.wall.as_micros());
-    s
+    timings_csv_with(res, true)
+}
+
+/// [`timings_csv`] with the wall-clock columns optionally zeroed.
+pub fn timings_csv_with(res: &CampaignResult, wall: bool) -> String {
+    timings_csv_from(&res.timings, res.wall.as_micros(), wall)
 }
 
 #[cfg(test)]
@@ -134,8 +187,9 @@ mod tests {
         // IDLD detects everything, so the idld_cycle column is never empty.
         for line in csv.lines().skip(1) {
             let fields: Vec<&str> = line.split(',').collect();
-            assert!(!fields[10].is_empty(), "idld_cycle empty in {line}");
-            assert!(fields[0] == "crc32");
+            assert!(!fields[11].is_empty(), "idld_cycle empty in {line}");
+            assert_eq!(fields[0], "default", "unswept config label");
+            assert_eq!(fields[1], "crc32");
         }
     }
 
@@ -146,7 +200,32 @@ mod tests {
         if let Some(r) = res.records.iter().find(|r| r.manifestation_cycle.is_none()) {
             let row = record_row(r);
             let fields: Vec<&str> = row.split(',').collect();
-            assert!(fields[8].is_empty());
+            assert!(fields[9].is_empty());
         }
+    }
+
+    #[test]
+    fn wall_free_timings_are_deterministic() {
+        let res = tiny();
+        let csv = timings_csv_with(&res, false);
+        for line in csv.lines().skip(1) {
+            assert!(line.ends_with(",0"), "wall column must be zeroed: {line}");
+        }
+        // Unlike the wall-on variant, this is a pure function of the
+        // record stream.
+        assert_eq!(csv, timings_csv_with(&res, false));
+    }
+
+    #[test]
+    fn timings_wall_env_is_strict() {
+        std::env::set_var(TIMINGS_WALL_ENV, "maybe");
+        let err = timings_wall_from_env();
+        std::env::set_var(TIMINGS_WALL_ENV, "0");
+        let off = timings_wall_from_env();
+        std::env::remove_var(TIMINGS_WALL_ENV);
+        let default = timings_wall_from_env();
+        assert!(err.is_err(), "malformed value must not be defaulted");
+        assert_eq!(off, Ok(false));
+        assert_eq!(default, Ok(true));
     }
 }

@@ -25,6 +25,8 @@ pub mod classify;
 pub mod export;
 pub mod metrics;
 pub mod progress;
+pub mod shard;
+pub mod sweep;
 
 pub use campaign::{
     Campaign, CampaignConfig, CampaignResult, CellTiming, GoldenRun, GoldenRunError,
@@ -33,3 +35,5 @@ pub use campaign::{
 pub use classify::{classify, OutcomeClass};
 pub use metrics::{metrics_csv, metrics_json, CampaignMetrics};
 pub use progress::{CampaignProgress, NullProgress, ProgressSnapshot, StderrProgress};
+pub use shard::{decode_shard, encode_shard, merge_shards, MergedCampaign, ShardArtifact};
+pub use sweep::{SweepPoint, SweepSpec, DEFAULT_LABEL};

@@ -67,17 +67,28 @@ pub fn observe_record(m: &mut MetricsRegistry, r: &RunRecord) {
 /// One cell's scope label and registry.
 #[derive(Clone, Debug)]
 pub struct CellMetrics {
-    /// `bench/model` scope label (e.g. `crc32/leak`).
+    /// `config/bench/model` scope label (e.g. `default/crc32/Leakage`).
     pub scope: String,
     /// The cell's aggregated metrics.
     pub registry: MetricsRegistry,
+}
+
+/// The `config/bench/model` scope label of one record's cell.
+pub fn record_scope(r: &RunRecord) -> String {
+    format!(
+        "{}/{}/{}",
+        r.config,
+        r.bench,
+        r.model.label().replace(' ', "_")
+    )
 }
 
 /// Aggregated metrics of one campaign: per-cell registries in record
 /// order plus the campaign-wide rollup.
 #[derive(Clone, Debug, Default)]
 pub struct CampaignMetrics {
-    /// Per-(workload × model) registries, in first-seen record order.
+    /// Per-(config × workload × model) registries, in first-seen record
+    /// order.
     pub cells: Vec<CellMetrics>,
     /// Merge of every cell.
     pub rollup: MetricsRegistry,
@@ -88,7 +99,7 @@ impl CampaignMetrics {
     pub fn build(res: &CampaignResult) -> CampaignMetrics {
         let mut out = CampaignMetrics::default();
         for r in &res.records {
-            let scope = format!("{}/{}", r.bench, r.model.label().replace(' ', "_"));
+            let scope = record_scope(r);
             let cell = match out.cells.iter_mut().find(|c| c.scope == scope) {
                 Some(c) => c,
                 None => {
@@ -107,7 +118,7 @@ impl CampaignMetrics {
         out
     }
 
-    /// The registry of one cell, by `bench/model` scope label.
+    /// The registry of one cell, by `config/bench/model` scope label.
     pub fn cell(&self, scope: &str) -> Option<&MetricsRegistry> {
         self.cells
             .iter()
@@ -178,8 +189,8 @@ mod tests {
         assert_eq!(cell_runs, m.rollup.counter("runs"));
         // Stats flow through.
         assert!(m.rollup.counter("sim_cycles") > 0);
-        assert!(m.cell("crc32/Leakage").is_some());
-        assert!(m.cell("crc32/PdstID_Corruption").is_some());
+        assert!(m.cell("default/crc32/Leakage").is_some());
+        assert!(m.cell("default/crc32/PdstID_Corruption").is_some());
     }
 
     #[test]
@@ -192,7 +203,7 @@ mod tests {
         assert_eq!(csv, metrics_csv(&CampaignMetrics::build(&res)));
         let json = metrics_json(&m);
         assert!(json.contains("\"campaign\""));
-        assert!(json.contains("\"crc32/Duplication\""));
+        assert!(json.contains("\"default/crc32/Duplication\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json, metrics_json(&CampaignMetrics::build(&res)));
     }

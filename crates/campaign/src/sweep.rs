@@ -1,0 +1,156 @@
+//! The config-space sweep axis: one campaign over many `SimConfig`s.
+//!
+//! The paper's detection claim — IDLD catches every leak/duplication
+//! instantaneously — is an *invariant of the renaming algebra*, not of one
+//! design point, so it must hold at every pipeline width, window size and
+//! checkpoint count. A [`SweepSpec`] turns the campaign's job list from
+//! `(workload × model × k)` into `(config × workload × model × k)`: each
+//! sweep point gets its own golden runs, its own sampled injections, and
+//! its own rows in `records.csv`/`metrics.csv` (the leading `config`
+//! column / scope segment).
+//!
+//! Points are written `w<width>c<ckpts>r<rob>` — e.g. `w4c4r96` is the
+//! paper's design point — and parsed by [`SweepSpec::parse`], which also
+//! accepts the named preset `grid` (a small/default/large 3-point
+//! diagonal). The point's spec string doubles as its label everywhere
+//! downstream; an unswept campaign runs the single label
+//! [`DEFAULT_LABEL`].
+
+use idld_sim::SimConfig;
+
+/// Label of the implicit single point of an unswept campaign.
+pub const DEFAULT_LABEL: &str = "default";
+
+/// One point of the config sweep: a label and the core configuration it
+/// denotes.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SweepPoint {
+    /// Label used in `records.csv`'s `config` column and metric scopes
+    /// (`w4c4r96`, or [`DEFAULT_LABEL`]).
+    pub label: String,
+    /// The core configuration of this point.
+    pub sim: SimConfig,
+}
+
+/// The sweep axis of a campaign: zero or more explicit points.
+///
+/// Empty (the default) means "no sweep" — the campaign runs
+/// `CampaignConfig::sim` under [`DEFAULT_LABEL`].
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct SweepSpec {
+    /// Explicit sweep points, in campaign order.
+    pub points: Vec<SweepPoint>,
+}
+
+/// The `grid` preset: a 3-point diagonal through the paper's sweep axes
+/// (pipeline width × checkpoint count × ROB size) with the design point
+/// in the middle.
+pub const GRID_PRESET: [(usize, usize, usize); 3] = [(2, 2, 48), (4, 4, 96), (8, 8, 192)];
+
+impl SweepSpec {
+    /// Parses a sweep specification: either the preset name `grid`, or a
+    /// comma-separated list of `w<width>c<ckpts>r<rob>` points.
+    ///
+    /// # Errors
+    ///
+    /// Malformed points, zero dimensions and duplicate labels are errors
+    /// — a typo'd sweep must not silently run fewer configs.
+    pub fn parse(spec: &str) -> Result<SweepSpec, String> {
+        let spec = spec.trim();
+        if spec.is_empty() {
+            return Err("sweep spec is empty".to_string());
+        }
+        if spec == "grid" {
+            return Ok(SweepSpec {
+                points: GRID_PRESET
+                    .iter()
+                    .map(|&(w, c, r)| SweepPoint {
+                        label: format!("w{w}c{c}r{r}"),
+                        sim: SimConfig::sweep_point(w, r, c),
+                    })
+                    .collect(),
+            });
+        }
+        let mut points = Vec::new();
+        for part in spec.split(',') {
+            let label = part.trim();
+            let (w, c, r) = parse_point(label)
+                .ok_or_else(|| format!("sweep point {label:?} is not w<width>c<ckpts>r<rob>"))?;
+            if w == 0 || c == 0 || r == 0 {
+                return Err(format!("sweep point {label:?} has a zero dimension"));
+            }
+            if points.iter().any(|p: &SweepPoint| p.label == label) {
+                return Err(format!("sweep point {label:?} appears twice"));
+            }
+            points.push(SweepPoint {
+                label: label.to_string(),
+                sim: SimConfig::sweep_point(w, r, c),
+            });
+        }
+        Ok(SweepSpec { points })
+    }
+
+    /// The points this campaign actually runs: the explicit sweep, or the
+    /// single implicit default point over `sim`.
+    pub fn resolve(&self, sim: SimConfig) -> Vec<SweepPoint> {
+        if self.points.is_empty() {
+            vec![SweepPoint {
+                label: DEFAULT_LABEL.to_string(),
+                sim,
+            }]
+        } else {
+            self.points.clone()
+        }
+    }
+}
+
+/// Parses `w<width>c<ckpts>r<rob>` into its three dimensions.
+fn parse_point(s: &str) -> Option<(usize, usize, usize)> {
+    let rest = s.strip_prefix('w')?;
+    let (w, rest) = rest.split_once('c')?;
+    let (c, r) = rest.split_once('r')?;
+    Some((w.parse().ok()?, c.parse().ok()?, r.parse().ok()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_explicit_points() {
+        let s = SweepSpec::parse("w2c2r48, w4c4r96").expect("parses");
+        assert_eq!(s.points.len(), 2);
+        assert_eq!(s.points[0].label, "w2c2r48");
+        assert_eq!(s.points[0].sim.width(), 2);
+        assert_eq!(s.points[0].sim.rrs.num_ckpts, 2);
+        assert_eq!(s.points[0].sim.rrs.rob_entries, 48);
+        assert_eq!(s.points[1].sim, SimConfig::default());
+    }
+
+    #[test]
+    fn grid_preset_covers_three_points() {
+        let s = SweepSpec::parse("grid").expect("preset");
+        assert_eq!(s.points.len(), 3);
+        assert_eq!(s.points[1].label, "w4c4r96");
+        assert_eq!(s.points[1].sim, SimConfig::default());
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for bad in ["", "w4", "w4c4", "4c4r96", "w4c4r96x", "wXc4r96", "w0c4r96"] {
+            assert!(SweepSpec::parse(bad).is_err(), "must reject {bad:?}");
+        }
+        assert!(
+            SweepSpec::parse("w4c4r96,w4c4r96").is_err(),
+            "duplicate labels must be rejected"
+        );
+    }
+
+    #[test]
+    fn empty_sweep_resolves_to_the_default_point() {
+        let pts = SweepSpec::default().resolve(SimConfig::with_width(2));
+        assert_eq!(pts.len(), 1);
+        assert_eq!(pts[0].label, DEFAULT_LABEL);
+        assert_eq!(pts[0].sim.width(), 2);
+    }
+}

@@ -236,7 +236,13 @@ pub fn soundness(
                     .map(|s| s.to_string())
                     .or_else(|| payload.downcast_ref::<String>().cloned())
                     .unwrap_or_else(|| "opaque panic payload".to_string());
-                RunRecord::poisoned(&golden.workload.name, spec, message)
+                RunRecord::poisoned(
+                    idld_campaign::DEFAULT_LABEL,
+                    0,
+                    &golden.workload.name,
+                    spec,
+                    message,
+                )
             });
             out.injections += 1;
             check_record(&rec, &mut out.violations);

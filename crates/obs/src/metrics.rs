@@ -183,6 +183,93 @@ impl MetricsRegistry {
         }
     }
 
+    /// Serializes this registry as a line-oriented key-value text block,
+    /// the transport format sharded campaign workers use to ship their
+    /// per-cell registries to the merging coordinator. The encoding is
+    /// *exact*: every internal `u64` (including a histogram's raw `min`
+    /// sentinel and its individual bucket counts) round-trips bit-for-bit
+    /// through [`MetricsRegistry::from_kv`], so `merge` over deserialized
+    /// registries equals `merge` over the originals.
+    ///
+    /// Format, one metric per line:
+    ///
+    /// ```text
+    /// c <name> <value>
+    /// h <name> <count> <sum> <raw_min> <max> <bucket>:<count> ...
+    /// ```
+    pub fn to_kv(&self) -> String {
+        let mut s = String::new();
+        for (name, v) in &self.counters {
+            let _ = writeln!(s, "c {name} {v}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = write!(s, "h {name} {} {} {} {}", h.count, h.sum, h.min, h.max);
+            for (b, c) in h.nonzero_buckets() {
+                let _ = write!(s, " {b}:{c}");
+            }
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Parses a [`MetricsRegistry::to_kv`] block back into a registry.
+    ///
+    /// Metric names are interned (the registry keys are `&'static str`);
+    /// the intern pool only ever holds the distinct metric names of the
+    /// campaign schema, so it is bounded regardless of how many shard
+    /// artifacts a coordinator parses.
+    ///
+    /// # Errors
+    ///
+    /// Any malformed line is an error naming the line — a merge over a
+    /// truncated shard artifact must fail loudly, not undercount.
+    pub fn from_kv(s: &str) -> Result<MetricsRegistry, String> {
+        fn num(tok: Option<&str>, line: &str) -> Result<u64, String> {
+            tok.ok_or_else(|| format!("kv line {line:?}: missing field"))?
+                .parse()
+                .map_err(|e| format!("kv line {line:?}: {e}"))
+        }
+        let mut m = MetricsRegistry::new();
+        for line in s.lines() {
+            if line.is_empty() {
+                continue;
+            }
+            let mut f = line.split(' ');
+            let kind = f.next();
+            let name = intern(
+                f.next()
+                    .ok_or_else(|| format!("kv line {line:?}: no name"))?,
+            );
+            match kind {
+                Some("c") => {
+                    m.add(name, num(f.next(), line)?);
+                }
+                Some("h") => {
+                    let mut h = Histogram {
+                        count: num(f.next(), line)?,
+                        sum: num(f.next(), line)?,
+                        min: num(f.next(), line)?,
+                        max: num(f.next(), line)?,
+                        ..Histogram::default()
+                    };
+                    for pair in f {
+                        let (b, c) = pair
+                            .split_once(':')
+                            .ok_or_else(|| format!("kv line {line:?}: bad bucket {pair:?}"))?;
+                        let b: usize = b.parse().map_err(|e| format!("kv line {line:?}: {e}"))?;
+                        if b >= HISTOGRAM_BUCKETS {
+                            return Err(format!("kv line {line:?}: bucket {b} out of range"));
+                        }
+                        h.buckets[b] = c.parse().map_err(|e| format!("kv line {line:?}: {e}"))?;
+                    }
+                    m.histograms.insert(name, h);
+                }
+                _ => return Err(format!("kv line {line:?}: unknown kind")),
+            }
+        }
+        Ok(m)
+    }
+
     /// This registry as a JSON object (no trailing newline), indented by
     /// `indent` spaces at the top level. Hand-rolled; metric names are
     /// static identifiers and never need escaping.
@@ -226,6 +313,27 @@ impl MetricsRegistry {
 /// Header for [`MetricsRegistry::csv_rows`] output.
 pub const METRICS_CSV_HEADER: &str = "scope,metric,kind,count,sum,min,max,mean";
 
+/// Interns a metric name, returning a `'static` reference.
+///
+/// Registry keys are `&'static str` (the in-process schema uses string
+/// literals); deserialization needs the same lifetime for parsed names.
+/// A global dedup set leaks each *distinct* name exactly once, so
+/// repeated parsing never grows the pool past the campaign schema size.
+fn intern(name: &str) -> &'static str {
+    use std::collections::BTreeSet;
+    use std::sync::Mutex;
+    static POOL: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
+    let mut pool = POOL.lock().unwrap_or_else(|e| e.into_inner());
+    match pool.get(name) {
+        Some(&s) => s,
+        None => {
+            let s: &'static str = Box::leak(name.to_string().into_boxed_str());
+            pool.insert(s);
+            s
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -266,6 +374,61 @@ mod tests {
         rollup.merge(&cell);
         assert_eq!(rollup.counter("runs"), 2);
         assert_eq!(rollup.histogram("latency").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn kv_round_trip_is_exact() {
+        let mut m = MetricsRegistry::new();
+        m.add("runs", 42);
+        m.incr("masked");
+        m.observe("latency", 0);
+        m.observe("latency", 1000);
+        m.observe("end_cycle", u64::MAX);
+        let back = MetricsRegistry::from_kv(&m.to_kv()).expect("round trip");
+        assert_eq!(m, back);
+        // Empty registry round-trips too.
+        let empty = MetricsRegistry::from_kv("").expect("empty");
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn kv_merge_after_round_trip_equals_direct_merge() {
+        // The shard-merge soundness property: serializing per-shard
+        // registries and merging the parses must equal merging the
+        // originals — bit for bit, including histogram internals.
+        let mut a = MetricsRegistry::new();
+        a.add("runs", 3);
+        a.observe("lat", 7);
+        let mut b = MetricsRegistry::new();
+        b.add("runs", 5);
+        b.incr("masked");
+        b.observe("lat", 9000);
+        let mut direct = MetricsRegistry::new();
+        direct.merge(&a);
+        direct.merge(&b);
+        let mut via_kv = MetricsRegistry::from_kv(&a.to_kv()).unwrap();
+        via_kv.merge(&MetricsRegistry::from_kv(&b.to_kv()).unwrap());
+        assert_eq!(direct, via_kv);
+        assert_eq!(direct.to_kv(), via_kv.to_kv());
+    }
+
+    #[test]
+    fn kv_rejects_malformed_input() {
+        assert!(MetricsRegistry::from_kv("x runs 1").is_err(), "bad kind");
+        assert!(MetricsRegistry::from_kv("c runs").is_err(), "missing value");
+        assert!(MetricsRegistry::from_kv("c runs abc").is_err(), "non-num");
+        assert!(
+            MetricsRegistry::from_kv("h lat 1 2 3").is_err(),
+            "truncated histogram header"
+        );
+        assert!(
+            MetricsRegistry::from_kv("h lat 1 2 3 4 nob").is_err(),
+            "bad bucket pair"
+        );
+        assert!(
+            MetricsRegistry::from_kv("h lat 1 2 3 4 99:1").is_err(),
+            "bucket index out of range"
+        );
     }
 
     #[test]

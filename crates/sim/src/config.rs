@@ -76,6 +76,26 @@ impl SimConfig {
     pub fn width(&self) -> usize {
         self.rrs.width
     }
+
+    /// One point of the campaign config-space sweep: pipeline width ×
+    /// ROB/window size × RAT-checkpoint count, everything else at the
+    /// paper's design point.
+    ///
+    /// The window structures that must be able to hold the in-flight set
+    /// scale with the ROB (RHT one entry per renamed in-flight
+    /// instruction, reservation stations a third of the window) so a
+    /// sweep over `rob_entries` measures the window itself, not an
+    /// incidental cap in a sibling structure. At the default
+    /// (4, 96, 4) this constructor reproduces `SimConfig::default()`
+    /// exactly.
+    pub fn sweep_point(width: usize, rob_entries: usize, num_ckpts: usize) -> Self {
+        let mut cfg = SimConfig::with_width(width);
+        cfg.rrs.rob_entries = rob_entries;
+        cfg.rrs.num_ckpts = num_ckpts;
+        cfg.rrs.rht_entries = cfg.rrs.rht_entries.max(rob_entries + width);
+        cfg.rs_entries = cfg.rs_entries.max(rob_entries / 3);
+        cfg
+    }
 }
 
 #[cfg(test)]
@@ -94,5 +114,23 @@ mod tests {
     fn with_width() {
         assert_eq!(SimConfig::with_width(8).width(), 8);
         assert_eq!(SimConfig::with_width(1).width(), 1);
+    }
+
+    #[test]
+    fn sweep_point_at_the_design_point_is_the_default() {
+        assert_eq!(SimConfig::sweep_point(4, 96, 4), SimConfig::default());
+    }
+
+    #[test]
+    fn sweep_point_scales_the_window_structures() {
+        let big = SimConfig::sweep_point(8, 192, 8);
+        assert_eq!(big.width(), 8);
+        assert_eq!(big.rrs.rob_entries, 192);
+        assert_eq!(big.rrs.num_ckpts, 8);
+        assert!(big.rrs.rht_entries >= 200, "RHT must hold the window");
+        assert!(big.rs_entries >= 64);
+        let small = SimConfig::sweep_point(2, 48, 2);
+        assert_eq!(small.rrs.rht_entries, 128, "default caps still apply");
+        assert_eq!(small.rs_entries, 32);
     }
 }

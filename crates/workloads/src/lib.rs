@@ -55,6 +55,11 @@ pub mod susan;
 
 pub use common::{CaptureError, Workload};
 
+/// The largest supported workload scale factor: every kernel's memory
+/// layout and native reference have been validated up to this scale
+/// (see `scale_ten_matches_references`). Larger requests clamp here.
+pub const MAX_SCALE: u32 = 10;
+
 /// The full ten-benchmark suite in a stable order, at the default scale.
 pub fn suite() -> Vec<Workload> {
     suite_scaled(1)
@@ -63,12 +68,13 @@ pub fn suite() -> Vec<Workload> {
 /// The suite at `factor ×` the default dynamic size. Linear-time kernels
 /// scale their element counts by `factor`; O(n²) kernels (dijkstra, fft,
 /// susan) scale their problem side by `√factor` so every benchmark's
-/// dynamic instruction count grows roughly linearly. Factors up to ~8 stay
-/// within every kernel's memory layout; campaigns use larger scales to
-/// stretch the paper's Figure 5 manifestation tail toward its original
-/// cycle range.
+/// dynamic instruction count grows roughly linearly. Factors up to
+/// [`MAX_SCALE`] stay within every kernel's memory layout (kernels
+/// relocate their scaled tables as needed); campaigns use larger scales
+/// to stretch the paper's Figure 5 manifestation tail toward its
+/// original cycle range.
 pub fn suite_scaled(factor: u32) -> Vec<Workload> {
-    let f = factor.clamp(1, 8);
+    let f = factor.clamp(1, MAX_SCALE);
     vec![
         sha::build_with(f),
         crc32::build_with(f),
@@ -85,7 +91,13 @@ pub fn suite_scaled(factor: u32) -> Vec<Workload> {
 
 /// Looks a workload up by name.
 pub fn by_name(name: &str) -> Option<Workload> {
-    suite().into_iter().find(|w| w.name == name)
+    by_name_scaled(name, 1)
+}
+
+/// Looks a workload up by name at `factor ×` the default dynamic size
+/// (see [`suite_scaled`]).
+pub fn by_name_scaled(name: &str, factor: u32) -> Option<Workload> {
+    suite_scaled(factor).into_iter().find(|w| w.name == name)
 }
 
 #[cfg(test)]
@@ -163,5 +175,18 @@ mod tests {
             scaled_total > base * 2,
             "scale 3 should at least double the work: {scaled_total} vs {base}"
         );
+    }
+
+    /// The top of the supported scale range (the ROADMAP's scale-10 perf
+    /// tier): every kernel must still fit its memory layout and match its
+    /// native reference.
+    #[test]
+    fn scale_ten_matches_references() {
+        for w in super::suite_scaled(super::MAX_SCALE) {
+            let mut emu = Emulator::new(&w.program);
+            let res = emu.run(w.max_steps);
+            assert_eq!(res.stop, StopReason::Halted, "{} at scale 10", w.name);
+            assert_eq!(res.output, w.expected_output, "{} at scale 10", w.name);
+        }
     }
 }

@@ -53,10 +53,9 @@ struct CellOutcome {
     parity_detected: u64,
 }
 
-/// Injects `SAMPLES_PER_CELL` bugs of `model` into `workload` and tallies
-/// which schemes fired.
-fn run_cell(model: BugModel, workload: &str) -> CellOutcome {
-    let cfg = config();
+/// Injects `SAMPLES_PER_CELL` bugs of `model` into `workload` under
+/// `cfg` and tallies which schemes fired.
+fn run_cell_with(model: BugModel, workload: &str, cfg: SimConfig) -> CellOutcome {
     let w = idld::workloads::by_name(workload).expect("suite workload exists");
     let golden = GoldenRun::capture(&w, cfg).expect("golden run valid");
     let mut out = CellOutcome {
@@ -103,7 +102,7 @@ fn run_cell(model: BugModel, workload: &str) -> CellOutcome {
 
 fn assert_class(model: BugModel, counter_must_miss: bool) {
     for workload in WORKLOADS {
-        let cell = run_cell(model, workload);
+        let cell = run_cell_with(model, workload, config());
         assert_eq!(
             cell.idld_detected,
             SAMPLES_PER_CELL,
@@ -155,4 +154,47 @@ fn leakage_matrix() {
 #[test]
 fn pdst_corruption_matrix() {
     assert_class(BugModel::PdstCorruption, true);
+}
+
+/// The IDLD coverage claims hold across the sweep's design points, not
+/// just the paper's default machine: at every `grid` preset point
+/// (2-wide/2-ckpt/48-ROB through 8-wide/8-ckpt/192-ROB), every sampled
+/// injection of every class is detected, with at least one zero-latency
+/// detection per cell. The XOR invariance is structural — it cannot
+/// depend on machine width, checkpoint count, or ROB depth.
+#[test]
+fn sweep_points_preserve_instantaneous_detection() {
+    let sweep = idld::campaign::SweepSpec::parse("grid").expect("grid preset parses");
+    assert!(
+        sweep.points.len() >= 3,
+        "the grid preset must cover at least three width x ckpt points"
+    );
+    for point in &sweep.points {
+        for model in [
+            BugModel::Duplication,
+            BugModel::Leakage,
+            BugModel::PdstCorruption,
+        ] {
+            for workload in ["crc32", "bitcount"] {
+                let cell = run_cell_with(model, workload, point.sim);
+                assert_eq!(
+                    cell.idld_detected,
+                    SAMPLES_PER_CELL,
+                    "{}/{workload}/{}: IDLD must detect every injection at \
+                     every sweep point",
+                    point.label,
+                    model.label()
+                );
+                assert!(
+                    cell.idld_zero_latency >= 1,
+                    "{}/{workload}/{}: at least one detection must be \
+                     instantaneous, got {}/{} zero-latency",
+                    point.label,
+                    model.label(),
+                    cell.idld_zero_latency,
+                    SAMPLES_PER_CELL
+                );
+            }
+        }
+    }
 }

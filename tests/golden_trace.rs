@@ -37,9 +37,10 @@ fn checkers(cfg: &SimConfig) -> CheckerSet {
     c
 }
 
-/// Simulates a clean run of `name` and renders its compact trace.
-fn record_trace(name: &str) -> String {
-    let workload = idld::workloads::by_name(name).expect("suite workload exists");
+/// Simulates a clean run of `name` at workload `scale` and renders its
+/// compact trace.
+fn record_trace(name: &str, scale: u32) -> String {
+    let workload = idld::workloads::by_name_scaled(name, scale).expect("suite workload exists");
     let cfg = SimConfig::default();
     let mut cset = checkers(&cfg);
     let mut sim = Simulator::new(&workload.program, cfg);
@@ -54,19 +55,22 @@ fn record_trace(name: &str) -> String {
         ("cycles", res.cycles.to_string()),
         ("committed", res.stats.committed.to_string()),
     ];
-    compact_trace(
-        name,
-        "clean default-config run",
-        &recorder,
-        &extra,
-        idld::obs::DEFAULT_TAIL,
-    )
+    let what = if scale == 1 {
+        "clean default-config run".to_string()
+    } else {
+        format!("clean default-config run, workload scale {scale}")
+    };
+    compact_trace(name, &what, &recorder, &extra, idld::obs::DEFAULT_TAIL)
 }
 
-fn golden_path(name: &str) -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("tests/golden")
-        .join(format!("{name}.trace.txt"))
+fn golden_path(name: &str, scale: u32) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    let dir = if scale == 1 {
+        dir
+    } else {
+        dir.join(format!("scale{scale}"))
+    };
+    dir.join(format!("{name}.trace.txt"))
 }
 
 /// Line-level context diff, enough to localize a conformance break.
@@ -94,10 +98,14 @@ fn diff(expected: &str, actual: &str) -> String {
     out
 }
 
-fn check(name: &str) {
-    let actual = record_trace(name);
-    let path = golden_path(name);
+fn check(name: &str, scale: u32) {
+    let actual = record_trace(name, scale);
+    let path = golden_path(name, scale);
     if std::env::var("IDLD_BLESS").is_ok_and(|v| v == "1") {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)
+                .unwrap_or_else(|e| panic!("cannot create {}: {e}", dir.display()));
+        }
         std::fs::write(&path, &actual)
             .unwrap_or_else(|e| panic!("cannot bless {}: {e}", path.display()));
         eprintln!("blessed {}", path.display());
@@ -122,7 +130,7 @@ macro_rules! golden_trace_tests {
     ($($name:ident),* $(,)?) => {$(
         #[test]
         fn $name() {
-            check(stringify!($name));
+            check(stringify!($name), 1);
         }
     )*};
 }
@@ -138,6 +146,38 @@ golden_trace_tests!(
     basicmath,
     susan,
     rijndael,
+);
+
+// Scale-10 conformance: the same workloads at 10× dynamic size (the
+// paper-scale sweep configuration), blessed under `tests/golden/scale10/`.
+// Roughly 10× the simulation work of the scale-1 suite, so these are
+// `#[ignore]`d from the default `cargo test` pass; CI runs them in the
+// release-mode golden-trace job with `-- --ignored`, and blessing is
+//
+// ```sh
+// IDLD_BLESS=1 cargo test --release --test golden_trace -- --ignored
+// ```
+macro_rules! golden_trace_scale10_tests {
+    ($($name:ident => $workload:ident),* $(,)?) => {$(
+        #[test]
+        #[ignore = "10x simulation work; exercised by the CI release-mode golden-trace job"]
+        fn $name() {
+            check(stringify!($workload), 10);
+        }
+    )*};
+}
+
+golden_trace_scale10_tests!(
+    scale10_sha => sha,
+    scale10_crc32 => crc32,
+    scale10_qsort => qsort,
+    scale10_dijkstra => dijkstra,
+    scale10_fft => fft,
+    scale10_stringsearch => stringsearch,
+    scale10_bitcount => bitcount,
+    scale10_basicmath => basicmath,
+    scale10_susan => susan,
+    scale10_rijndael => rijndael,
 );
 
 /// The blessed set exactly covers the workload suite — a workload added
@@ -170,6 +210,24 @@ fn golden_set_matches_suite() {
     assert_eq!(
         suite, blessed,
         "tests/golden must hold exactly one blessed trace per suite workload"
+    );
+    // The scale-10 set mirrors the suite too (the traces themselves are
+    // verified by the `scale10_*` release-mode tests).
+    let dir10 = dir.join("scale10");
+    let mut blessed10: Vec<String> = std::fs::read_dir(&dir10)
+        .expect("tests/golden/scale10 exists")
+        .filter_map(|e| {
+            e.ok()?
+                .file_name()
+                .to_str()?
+                .strip_suffix(".trace.txt")
+                .map(str::to_string)
+        })
+        .collect();
+    blessed10.sort();
+    assert_eq!(
+        suite, blessed10,
+        "tests/golden/scale10 must hold exactly one blessed trace per suite workload"
     );
 }
 
