@@ -8,11 +8,13 @@
 //! before its trigger, so that prefix is paid once per workload instead
 //! of once per run.
 //!
-//! Two measurements of the same full-suite campaign:
+//! Three measurements of the same full-suite campaign:
 //!
 //! 1. **cold** — `IDLD_SNAPSHOT=0` semantics: every run from power-on.
 //! 2. **forked** — the shipping default: runs fork from the snapshot
 //!    cache.
+//! 3. **ff** — `IDLD_FF=1`: lean snapshots, memory reconstructed by the
+//!    in-order emulator, architectural gate at every hand-off.
 //!
 //! The exported CSVs are asserted byte-identical before any number is
 //! reported, and the measurements land in `BENCH_campaign.json`
@@ -56,7 +58,7 @@ fn main() {
 
     let snap_res = Campaign::new(CampaignConfig {
         snapshot: true,
-        ..cfg
+        ..cfg.clone()
     })
     .run(&suite)
     .expect("snapshot campaign");
@@ -67,10 +69,29 @@ fn main() {
         snap_res.records.len() as f64 / snap_res.wall.as_secs_f64()
     );
 
+    let ff_res = Campaign::new(CampaignConfig {
+        snapshot: true,
+        ff: true,
+        ..cfg
+    })
+    .run(&suite)
+    .expect("fast-forward campaign");
+    println!(
+        "{:<30} {:>10.2?}  ({:.1} runs/s)",
+        "ff (lean snapshots + emulator)",
+        ff_res.wall,
+        ff_res.records.len() as f64 / ff_res.wall.as_secs_f64()
+    );
+
     assert_eq!(
         export::to_csv(&cold_res),
         export::to_csv(&snap_res),
         "snapshot execution must not change a single record byte"
+    );
+    assert_eq!(
+        export::to_csv(&cold_res),
+        export::to_csv(&ff_res),
+        "fast-forward execution must not change a single record byte"
     );
     println!("record streams byte-identical: yes");
 
@@ -81,18 +102,29 @@ fn main() {
         100.0 * st.hit_rate(),
         st.skipped_cycles as f64 / 1e6
     );
+    let fst = ff_res.snapshot_stats;
+    println!(
+        "fast-forward: {}/{} runs through the arch gate, 0 divergences",
+        fst.ff_runs, fst.forked_runs
+    );
     let speedup = cold_res.wall.as_secs_f64() / snap_res.wall.as_secs_f64();
     println!(
         "measured speedup on this host: {speedup:.2}x over {} records",
         snap_res.records.len()
+    );
+    println!(
+        "ff speedup: {:.2}x over cold, {:.2}x over forked",
+        cold_res.wall.as_secs_f64() / ff_res.wall.as_secs_f64(),
+        snap_res.wall.as_secs_f64() / ff_res.wall.as_secs_f64()
     );
 
     match idld_bench::write_campaign_bench_json(
         &[
             idld_bench::BenchEntry::from_result("suite_snapshot_off", &cold_res),
             idld_bench::BenchEntry::from_result("suite_snapshot_on", &snap_res),
+            idld_bench::BenchEntry::from_result("suite_ff", &ff_res),
         ],
-        &[],
+        idld_bench::ShardScaling::NotRun,
         Some(speedup),
     ) {
         Ok(path) => println!("wrote {path}"),

@@ -3,12 +3,13 @@
 //! `records.csv`), plus the aggregated metrics as `<stem>.metrics.csv`
 //! and `<stem>.metrics.json`.
 //!
-//! CI runs this twice — `IDLD_SNAPSHOT=0` and `IDLD_SNAPSHOT=1` — and
-//! diffs all three files byte-for-byte: snapshot-and-fork execution must
-//! change wall-clock only, never a record or an aggregated metric. All
-//! the usual campaign environment knobs (`IDLD_RUNS_PER_CELL`,
+//! CI runs this under `IDLD_SNAPSHOT=0`, `IDLD_SNAPSHOT=1`, `IDLD_FF=1`
+//! and `IDLD_FF=1 IDLD_FF_GUARD=2048`, and diffs all three files
+//! byte-for-byte: snapshot-and-fork execution and the emulator hand-off
+//! must change wall-clock only, never a record or an aggregated metric.
+//! All the usual campaign environment knobs (`IDLD_RUNS_PER_CELL`,
 //! `IDLD_SEED`, `IDLD_CAMPAIGN_THREADS`, `IDLD_SNAPSHOT_STRIDE`,
-//! `IDLD_SNAPSHOT_MAX`) apply.
+//! `IDLD_SNAPSHOT_MAX`, `IDLD_FF`, `IDLD_FF_GUARD`) apply.
 
 use idld_campaign::{export, metrics, Campaign, CampaignConfig, CampaignMetrics};
 
@@ -43,11 +44,12 @@ fn main() {
         .unwrap_or_else(|e| panic!("cannot write {json_path}: {e}"));
     let st = res.snapshot_stats;
     eprintln!(
-        "campaign_smoke: {} records -> {path} (snapshot={}, {} forked / {} cold, {} snapshots)",
+        "campaign_smoke: {} records -> {path} (snapshot={}, {} forked / {} cold / {} ff, {} snapshots)",
         res.records.len(),
         snapshot,
         st.forked_runs,
         st.cold_runs,
+        st.ff_runs,
         st.captured,
     );
 }

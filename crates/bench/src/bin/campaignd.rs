@@ -53,7 +53,8 @@ fn fail(msg: &str) -> ! {
 /// by [`WORKLOADS_ENV`] if set. Workers recompute this from the inherited
 /// environment, so coordinator and workers always agree.
 fn selected_suite() -> Vec<idld_workloads::Workload> {
-    let suite = idld_workloads::suite_scaled(idld_bench::workload_scale());
+    let suite =
+        idld_workloads::suite_scaled(idld_bench::try_workload_scale().unwrap_or_else(|e| fail(&e)));
     let Ok(filter) = std::env::var(WORKLOADS_ENV) else {
         return suite;
     };
@@ -277,37 +278,86 @@ fn run_bench(out: &Path) {
     }
     let speedup = cold.wall.as_secs_f64() / snap.wall.as_secs_f64();
 
-    eprintln!("campaignd: shard scaling series...");
-    let series = run_scaling(&[1, 2, 4, 8], out);
+    eprintln!("campaignd: fast-forward baseline...");
+    let ff = Campaign::new(CampaignConfig {
+        snapshot: true,
+        ff: true,
+        ..base.clone()
+    })
+    .run_with_progress(&suite, &StderrProgress::new())
+    .unwrap_or_else(|e| fail(&format!("fast-forward campaign invalid: {e}")));
+    if export::to_csv(&cold) != export::to_csv(&ff) {
+        fail("fast-forward execution changed the record stream");
+    }
+
+    // The shard-count series only means something with cores to spread
+    // over: on a single-core host every extra shard just adds process
+    // overhead and the curve comes out inverted. Record an explicit skip
+    // marker instead of a misleading series (one 1-shard run still
+    // exercises and byte-verifies the shard pipeline).
+    let single_core = idld_bench::host_cores() == 1;
+    let counts: &[usize] = if single_core { &[1] } else { &[1, 2, 4, 8] };
+    if single_core {
+        eprintln!("campaignd: single-core host — skipping the shard scaling series");
+    } else {
+        eprintln!("campaignd: shard scaling series...");
+    }
+    let series = run_scaling(counts, out);
     let (best, best_merged) = series
         .iter()
         .min_by(|(a, _), (b, _)| a.wall_secs.total_cmp(&b.wall_secs))
         .expect("series is nonempty");
     let sharded = entry_from_merged("suite_sharded", best_merged, best.wall_secs, best.shards);
-    let scaling: Vec<ScalingPoint> = series.iter().map(|(p, _)| *p).collect();
+    let measured: Vec<ScalingPoint> = series.iter().map(|(p, _)| *p).collect();
+    let scaling = if single_core {
+        idld_bench::ShardScaling::Skipped("single-core host")
+    } else {
+        idld_bench::ShardScaling::Measured(&measured)
+    };
 
     eprintln!("campaignd: scale-10 suite...");
     let scale10_suite = idld_workloads::suite_scaled(10);
     let scale10_cfg = CampaignConfig {
-        runs_per_cell: std::env::var("IDLD_SCALE10_RUNS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(4),
+        runs_per_cell: match std::env::var("IDLD_SCALE10_RUNS") {
+            Err(_) => 4,
+            Ok(v) => v
+                .trim()
+                .parse()
+                .unwrap_or_else(|_| fail(&format!("IDLD_SCALE10_RUNS must be a count, got {v:?}"))),
+        },
         ..base
     };
-    let scale10 = Campaign::new(scale10_cfg)
+    let scale10 = Campaign::new(scale10_cfg.clone())
         .run_with_progress(&scale10_suite, &StderrProgress::new())
         .unwrap_or_else(|e| fail(&format!("scale-10 campaign invalid: {e}")));
     let mut scale10_entry = BenchEntry::from_result("suite_scale10", &scale10);
     scale10_entry.workload_scale = 10;
 
+    // Scale 10 is where fast-forwarding pays most: the golden prefix the
+    // emulator replaces grows 10×, the injected suffix does not.
+    eprintln!("campaignd: scale-10 suite, fast-forward...");
+    let scale10_ff = Campaign::new(CampaignConfig {
+        snapshot: true,
+        ff: true,
+        ..scale10_cfg
+    })
+    .run_with_progress(&scale10_suite, &StderrProgress::new())
+    .unwrap_or_else(|e| fail(&format!("scale-10 fast-forward campaign invalid: {e}")));
+    if export::to_csv(&scale10) != export::to_csv(&scale10_ff) {
+        fail("fast-forward execution changed the scale-10 record stream");
+    }
+    let mut scale10_ff_entry = BenchEntry::from_result("suite_scale10_ff", &scale10_ff);
+    scale10_ff_entry.workload_scale = 10;
+
     let entries = [
         BenchEntry::from_result("suite_snapshot_off", &cold),
         BenchEntry::from_result("suite_snapshot_on", &snap),
+        BenchEntry::from_result("suite_ff", &ff),
         sharded,
         scale10_entry,
+        scale10_ff_entry,
     ];
-    match idld_bench::write_campaign_bench_json(&entries, &scaling, Some(speedup)) {
+    match idld_bench::write_campaign_bench_json(&entries, scaling, Some(speedup)) {
         Ok(path) => eprintln!("campaignd: wrote {path}"),
         Err(e) => fail(&format!("could not write bench json: {e}")),
     }

@@ -32,10 +32,13 @@ fn baseline_runs_per_sec(json: &str, campaign: &str) -> Option<f64> {
 fn main() {
     let baseline_path = std::env::var(idld_bench::BENCH_JSON_ENV)
         .unwrap_or_else(|_| "BENCH_campaign.json".to_string());
-    let tolerance: f64 = std::env::var("IDLD_OVERHEAD_TOLERANCE")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0.05);
+    let tolerance: f64 = match std::env::var("IDLD_OVERHEAD_TOLERANCE") {
+        Err(_) => 0.05,
+        Ok(v) => v.trim().parse().unwrap_or_else(|_| {
+            eprintln!("trace_overhead_smoke: IDLD_OVERHEAD_TOLERANCE must be a number, got {v:?}");
+            std::process::exit(2);
+        }),
+    };
 
     let Ok(json) = std::fs::read_to_string(&baseline_path) else {
         println!("trace_overhead_smoke: no baseline at {baseline_path}; skipping");

@@ -28,16 +28,33 @@
 use idld_campaign::{Campaign, CampaignConfig, CampaignResult, SnapshotStats, StderrProgress};
 
 /// Environment variable: workload scale factor for bench campaigns
-/// (lenient parse, default 1; see `idld_workloads::suite_scaled`).
+/// (default 1; see `idld_workloads::suite_scaled`).
 pub const WORKLOAD_SCALE_ENV: &str = "IDLD_WORKLOAD_SCALE";
 
 /// The workload scale factor bench campaigns run at ([`WORKLOAD_SCALE_ENV`],
-/// default 1).
+/// default 1). Set-but-malformed is an error, not a silent default — the
+/// same contract as `CampaignConfig::try_from_env` (a typo'd scale must
+/// never quietly bench the wrong suite).
+pub fn try_workload_scale() -> Result<u32, String> {
+    parse_workload_scale(std::env::var(WORKLOAD_SCALE_ENV).ok().as_deref())
+}
+
+fn parse_workload_scale(raw: Option<&str>) -> Result<u32, String> {
+    match raw {
+        None => Ok(1),
+        Some(v) => match v.trim().parse() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(format!(
+                "{WORKLOAD_SCALE_ENV} must be a positive integer, got {v:?}"
+            )),
+        },
+    }
+}
+
+/// [`try_workload_scale`], panicking on a malformed value (bench targets
+/// have no error channel).
 pub fn workload_scale() -> u32 {
-    std::env::var(WORKLOAD_SCALE_ENV)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1)
+    try_workload_scale().unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Runs the standard full-suite campaign at env-controlled scale, with
@@ -177,15 +194,34 @@ impl ScalingPoint {
     }
 }
 
+/// The shard-count scaling series of a bench run: measured points, a
+/// recorded reason it was skipped, or not attempted at all.
+///
+/// On a single-core host a multi-process series can only measure process
+/// overhead — more shards contend for the one core and the curve comes
+/// out inverted. Rather than record that misleading series, the driver
+/// passes [`ShardScaling::Skipped`] and the JSON carries an explicit
+/// `{"skipped": "single-core host"}` marker.
+#[derive(Clone, Copy, Debug)]
+pub enum ShardScaling<'a> {
+    /// No series attempted (e.g. the in-process snapshot bench).
+    NotRun,
+    /// Measured runs/s over process counts.
+    Measured(&'a [ScalingPoint]),
+    /// Deliberately skipped, with the reason recorded in the JSON.
+    Skipped(&'a str),
+}
+
 /// Renders campaign measurements as the machine-readable
 /// `BENCH_campaign.json` payload: wall-clock and runs/sec per campaign
 /// (with the host cores and shard count each entry ran under), snapshot
 /// hit rate, the per-workload wall-clock breakdown, and — when a sharded
-/// scaling series was measured — the runs/s curve over process counts.
+/// scaling series was measured — the runs/s curve over process counts
+/// (or the marker explaining why there is none).
 /// Hand-rolled writer — the workspace deliberately has no JSON dependency.
 pub fn campaign_bench_json(
     entries: &[BenchEntry],
-    scaling: &[ScalingPoint],
+    scaling: ShardScaling<'_>,
     speedup: Option<f64>,
 ) -> String {
     let mut out = String::from("{\n");
@@ -213,6 +249,7 @@ pub fn campaign_bench_json(
         ));
         out.push_str(&format!("      \"forked_runs\": {},\n", st.forked_runs));
         out.push_str(&format!("      \"cold_runs\": {},\n", st.cold_runs));
+        out.push_str(&format!("      \"ff_runs\": {},\n", st.ff_runs));
         out.push_str(&format!(
             "      \"skipped_cycles\": {},\n",
             st.skipped_cycles
@@ -233,19 +270,28 @@ pub fn campaign_bench_json(
         ));
     }
     out.push_str("  ]");
-    if !scaling.is_empty() {
-        out.push_str(",\n  \"shard_scaling\": [\n");
-        for (i, p) in scaling.iter().enumerate() {
+    match scaling {
+        ShardScaling::Measured(points) if !points.is_empty() => {
+            out.push_str(",\n  \"shard_scaling\": [\n");
+            for (i, p) in points.iter().enumerate() {
+                out.push_str(&format!(
+                    "    {{\"shards\": {}, \"wall_secs\": {:.6}, \"runs_per_sec\": {:.3}, \"merged_identical\": {}}}{}\n",
+                    p.shards,
+                    p.wall_secs,
+                    p.runs_per_sec(),
+                    p.merged_identical,
+                    if i + 1 < points.len() { "," } else { "" }
+                ));
+            }
+            out.push_str("  ]");
+        }
+        ShardScaling::Skipped(reason) => {
             out.push_str(&format!(
-                "    {{\"shards\": {}, \"wall_secs\": {:.6}, \"runs_per_sec\": {:.3}, \"merged_identical\": {}}}{}\n",
-                p.shards,
-                p.wall_secs,
-                p.runs_per_sec(),
-                p.merged_identical,
-                if i + 1 < scaling.len() { "," } else { "" }
+                ",\n  \"shard_scaling\": {{\"skipped\": \"{}\"}}",
+                json_escape(reason)
             ));
         }
-        out.push_str("  ]");
+        ShardScaling::Measured(_) | ShardScaling::NotRun => {}
     }
     if let Some(s) = speedup {
         out.push_str(&format!(",\n  \"snapshot_speedup\": {s:.3}"));
@@ -258,7 +304,7 @@ pub fn campaign_bench_json(
 /// `BENCH_campaign.json`) and returns the path written.
 pub fn write_campaign_bench_json(
     entries: &[BenchEntry],
-    scaling: &[ScalingPoint],
+    scaling: ShardScaling<'_>,
     speedup: Option<f64>,
 ) -> std::io::Result<String> {
     let path = std::env::var(BENCH_JSON_ENV).unwrap_or_else(|_| "BENCH_campaign.json".to_string());
@@ -322,6 +368,9 @@ impl idld_core::Checker for RestoreTally {
     fn clone_box(&self) -> Box<dyn idld_core::Checker> {
         Box::new(self.clone())
     }
+    fn devirt(self: Box<Self>) -> idld_core::AnyChecker {
+        idld_core::AnyChecker::Boxed(self)
+    }
 }
 
 #[cfg(test)]
@@ -360,7 +409,11 @@ mod tests {
                 merged_identical: true,
             },
         ];
-        let json = super::campaign_bench_json(&[entry], &scaling, Some(2.5));
+        let json = super::campaign_bench_json(
+            &[entry],
+            super::ShardScaling::Measured(&scaling),
+            Some(2.5),
+        );
         for needle in [
             "\"name\": \"smoke\"",
             "\"wall_secs\":",
@@ -370,6 +423,7 @@ mod tests {
             "\"shards\": 1",
             "\"workload_scale\": 1",
             "\"snapshot_hit_rate\":",
+            "\"ff_runs\":",
             "\"shard_scaling\": [",
             "{\"shards\": 4, \"wall_secs\": 1.000000, \"runs_per_sec\": 6.000, \"merged_identical\": true}",
             "\"snapshot_speedup\": 2.500",
@@ -385,5 +439,32 @@ mod tests {
             let c = json.matches(close).count();
             assert_eq!(o, c, "unbalanced {open}{close}:\n{json}");
         }
+    }
+
+    #[test]
+    fn workload_scale_rejects_malformed_values() {
+        // Pure-function test (no env mutation — parallel tests read the
+        // real variable through `workload_scale`).
+        assert_eq!(super::parse_workload_scale(None), Ok(1));
+        assert_eq!(super::parse_workload_scale(Some(" 10 ")), Ok(10));
+        assert!(super::parse_workload_scale(Some("1O")).is_err());
+        assert!(super::parse_workload_scale(Some("")).is_err());
+        assert!(
+            super::parse_workload_scale(Some("0")).is_err(),
+            "a zero scale benches an empty suite"
+        );
+        assert!(super::parse_workload_scale(Some("-2")).is_err());
+    }
+
+    #[test]
+    fn skipped_scaling_series_is_a_marker_not_a_curve() {
+        let json =
+            super::campaign_bench_json(&[], super::ShardScaling::Skipped("single-core host"), None);
+        assert!(
+            json.contains("\"shard_scaling\": {\"skipped\": \"single-core host\"}"),
+            "{json}"
+        );
+        let none = super::campaign_bench_json(&[], super::ShardScaling::NotRun, None);
+        assert!(!none.contains("shard_scaling"), "{none}");
     }
 }

@@ -67,6 +67,7 @@ use crate::progress::{CampaignProgress, NullProgress, ProgressState};
 use crate::sweep::{SweepPoint, SweepSpec, DEFAULT_LABEL};
 use idld_bugs::{BugModel, BugSpec, SingleShotHook};
 use idld_core::{BitVectorChecker, CheckerSet, CounterChecker, IdldChecker};
+use idld_isa::Emulator;
 use idld_rrs::CensusHook;
 use idld_sim::{CommitTrace, SimConfig, SimSnapshot, SimStats, Simulator};
 use idld_workloads::Workload;
@@ -96,6 +97,17 @@ pub const SNAPSHOT_ENV: &str = "IDLD_SNAPSHOT";
 pub const SNAPSHOT_STRIDE_ENV: &str = "IDLD_SNAPSHOT_STRIDE";
 /// Environment variable: maximum retained snapshots per workload.
 pub const SNAPSHOT_MAX_ENV: &str = "IDLD_SNAPSHOT_MAX";
+/// Environment variable: functional fast-forward, `0` (default) or `1`.
+/// With `1` the golden capture keeps *lean* snapshots (no memory image)
+/// and every fork reconstructs memory through the in-order emulator,
+/// passing the architectural bit-exactness gate at each hand-off. The
+/// record stream is byte-identical either way.
+pub const FF_ENV: &str = "IDLD_FF";
+/// Environment variable: fast-forward guard window in cycles (default 0).
+/// The hand-off snapshot must precede the fork point the hook's
+/// [`earliest_trigger`](idld_rrs::FaultHook::earliest_trigger) reports by
+/// at least this many cycle-accurate cycles.
+pub const FF_GUARD_ENV: &str = "IDLD_FF_GUARD";
 /// Environment variable: this process's shard index, `0..IDLD_SHARDS`.
 pub const SHARD_ENV: &str = "IDLD_SHARD";
 /// Environment variable: total shard count (default 1 = unsharded).
@@ -131,8 +143,25 @@ pub struct CampaignConfig {
     pub snapshot_stride: u64,
     /// Maximum snapshots retained per workload (`0` disables capture).
     /// Bounds campaign memory: each snapshot holds a full copy of the
-    /// workload's data memory.
+    /// workload's data memory (unless [`ff`](Self::ff) strips it).
     pub snapshot_max: usize,
+    /// Functional fast-forward (off by default): golden captures keep
+    /// *lean* snapshots — no memory image — and every forked run
+    /// reconstructs memory by advancing the in-order emulator to the
+    /// hand-off's committed instruction count. The emulator's registers,
+    /// output and pc are cross-checked against the snapshot's committed
+    /// view before any state is seeded
+    /// ([`SimSnapshot::verify_arch`](idld_sim::SimSnapshot)); a
+    /// disagreement poisons the run loudly instead of silently corrupting
+    /// the campaign. The record stream is byte-identical with this on or
+    /// off. Requires [`snapshot`](Self::snapshot).
+    pub ff: bool,
+    /// Fast-forward guard window W in cycles: the hand-off snapshot must
+    /// precede the latest eligible fork point by at least W cycles, so the
+    /// final approach to the trigger always runs cycle-accurate. `0` (the
+    /// default) hands off at the latest eligible snapshot — the
+    /// bit-exactness gate alone carries the equivalence proof.
+    pub ff_guard: u64,
     /// This process's shard index (`0..shards`): it executes only the
     /// jobs hash-partitioned onto it (see the module docs).
     pub shard: usize,
@@ -156,6 +185,8 @@ impl Default for CampaignConfig {
             snapshot: true,
             snapshot_stride: 0,
             snapshot_max: 64,
+            ff: false,
+            ff_guard: 0,
             shard: 0,
             shards: 1,
             sabotage_job: None,
@@ -198,26 +229,37 @@ impl CampaignConfig {
         if let Some(t) = parse(THREADS_ENV)? {
             cfg.threads = t;
         }
-        match std::env::var(SNAPSHOT_ENV) {
-            Ok(raw) => {
-                cfg.snapshot = match raw.trim() {
-                    "0" => false,
-                    "1" => true,
-                    _ => {
-                        return Err(format!(
-                            "{SNAPSHOT_ENV}={raw:?} is invalid: expected 0 or 1"
-                        ))
-                    }
-                }
+        fn parse_flag(name: &str) -> Result<Option<bool>, String> {
+            match std::env::var(name) {
+                Ok(raw) => match raw.trim() {
+                    "0" => Ok(Some(false)),
+                    "1" => Ok(Some(true)),
+                    _ => Err(format!("{name}={raw:?} is invalid: expected 0 or 1")),
+                },
+                Err(std::env::VarError::NotPresent) => Ok(None),
+                Err(e) => Err(format!("{name} is unreadable: {e}")),
             }
-            Err(std::env::VarError::NotPresent) => {}
-            Err(e) => return Err(format!("{SNAPSHOT_ENV} is unreadable: {e}")),
+        }
+        if let Some(on) = parse_flag(SNAPSHOT_ENV)? {
+            cfg.snapshot = on;
         }
         if let Some(s) = parse(SNAPSHOT_STRIDE_ENV)? {
             cfg.snapshot_stride = s;
         }
         if let Some(m) = parse(SNAPSHOT_MAX_ENV)? {
             cfg.snapshot_max = m;
+        }
+        if let Some(on) = parse_flag(FF_ENV)? {
+            cfg.ff = on;
+        }
+        if let Some(w) = parse(FF_GUARD_ENV)? {
+            cfg.ff_guard = w;
+        }
+        if cfg.ff && !cfg.snapshot {
+            return Err(format!(
+                "{FF_ENV}=1 needs snapshots: fast-forward hands off at golden \
+                 snapshots, which {SNAPSHOT_ENV}=0 disables"
+            ));
         }
         if let Some(n) = parse::<usize>(SHARDS_ENV)? {
             if n == 0 {
@@ -363,6 +405,31 @@ impl GoldenRun {
         stride: u64,
         max: usize,
     ) -> Result<GoldenRun, GoldenRunError> {
+        Self::capture_inner(workload, sim_cfg, stride, max, false)
+    }
+
+    /// [`GoldenRun::capture_with_snapshots`] capturing *lean* snapshots —
+    /// no memory image, skipping the dominant cost of a full capture.
+    /// Lean snapshots are restored through
+    /// [`Simulator::restore_from_arch`] with emulator-reconstructed
+    /// memory; this is the capture side of functional fast-forward
+    /// ([`CampaignConfig::ff`]).
+    pub fn capture_with_lean_snapshots(
+        workload: &Workload,
+        sim_cfg: SimConfig,
+        stride: u64,
+        max: usize,
+    ) -> Result<GoldenRun, GoldenRunError> {
+        Self::capture_inner(workload, sim_cfg, stride, max, true)
+    }
+
+    fn capture_inner(
+        workload: &Workload,
+        sim_cfg: SimConfig,
+        stride: u64,
+        max: usize,
+        lean: bool,
+    ) -> Result<GoldenRun, GoldenRunError> {
         const BUDGET: u64 = 500_000_000;
         /// Initial automatic stride: fine enough to matter for the
         /// shortest workloads (a few thousand cycles), coarse enough that
@@ -389,7 +456,11 @@ impl GoldenRun {
                         snapshots.push(GoldenSnapshot {
                             cycle: sim.cycle(),
                             counts: census.counts(),
-                            state: sim.snapshot(&checkers),
+                            state: if lean {
+                                sim.snapshot_lean(&checkers)
+                            } else {
+                                sim.snapshot(&checkers)
+                            },
                         });
                         if snapshots.len() > max {
                             // Keep every second snapshot (the ones landing
@@ -435,6 +506,26 @@ impl GoldenRun {
             .iter()
             .rev()
             .find(|s| s.counts[site] <= spec.occurrence)
+    }
+
+    /// [`GoldenRun::snapshot_for`] under a fast-forward guard window: the
+    /// latest legal snapshot that additionally precedes the latest legal
+    /// fork point by at least `guard` cycles, so at least that much of the
+    /// approach to the trigger runs cycle-accurate. `guard == 0` is
+    /// exactly [`GoldenRun::snapshot_for`].
+    pub fn snapshot_for_guarded(&self, spec: &BugSpec, guard: u64) -> Option<&GoldenSnapshot> {
+        let site = spec.site.index();
+        let latest = self
+            .snapshots
+            .iter()
+            .rev()
+            .find(|s| s.counts[site] <= spec.occurrence)?;
+        if guard == 0 {
+            return Some(latest);
+        }
+        self.snapshots.iter().rev().find(|s| {
+            s.counts[site] <= spec.occurrence && s.cycle.saturating_add(guard) <= latest.cycle
+        })
     }
 
     /// The injected-run cycle budget: 2.5× the golden cycles (paper's
@@ -715,6 +806,10 @@ pub struct SnapshotStats {
     pub skipped_cycles: u64,
     /// Snapshots retained across all workloads.
     pub captured: usize,
+    /// Forked runs that went through the fast-forward hand-off: memory
+    /// reconstructed by the in-order emulator, architectural gate passed.
+    /// Always `<= forked_runs`; `0` unless [`CampaignConfig::ff`].
+    pub ff_runs: usize,
 }
 
 impl SnapshotStats {
@@ -737,6 +832,44 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
         s.clone()
     } else {
         "non-string panic payload".to_string()
+    }
+}
+
+/// Per-worker engine cache: the simulator and fast-forward emulator of
+/// the golden cell the worker is currently streaming through. A restore
+/// fully overwrites simulator state, so reuse is invisible to the record
+/// stream — the cache only drops the per-run construction cost (a fresh
+/// memory image plus allocations) and lets the emulator advance
+/// incrementally while a worker walks one cell's jobs in ascending
+/// hand-off order.
+struct WorkerCache<'p> {
+    /// Golden-table cell the cached engines belong to.
+    cell: Option<usize>,
+    sim: Option<Simulator<'p>>,
+    emu: Option<Emulator>,
+}
+
+impl<'p> WorkerCache<'p> {
+    fn new() -> Self {
+        WorkerCache {
+            cell: None,
+            sim: None,
+            emu: None,
+        }
+    }
+
+    /// Rebinds the cache to `cell`, dropping engines of any other cell.
+    fn enter(&mut self, cell: usize) {
+        if self.cell != Some(cell) {
+            self.reset();
+            self.cell = Some(cell);
+        }
+    }
+
+    fn reset(&mut self) {
+        self.cell = None;
+        self.sim = None;
+        self.emu = None;
     }
 }
 
@@ -794,17 +927,40 @@ impl Campaign {
         spec: BugSpec,
         interrupt: Option<&AtomicBool>,
     ) -> RunRecord {
-        self.run_one_from(self.cfg.sim, DEFAULT_LABEL, 0, golden, spec, interrupt)
-            .0
+        let mut cache = WorkerCache::new();
+        self.run_one_from(
+            self.cfg.sim,
+            DEFAULT_LABEL,
+            0,
+            golden,
+            spec,
+            interrupt,
+            &mut cache,
+        )
+        .0
+    }
+
+    /// The snapshot an injection of `spec` would fork from under the
+    /// campaign's snapshot policy (`None` = power-on).
+    fn fork_snapshot<'g>(
+        &self,
+        golden: &'g GoldenRun,
+        spec: &BugSpec,
+    ) -> Option<&'g GoldenSnapshot> {
+        if !self.cfg.snapshot {
+            return None;
+        }
+        if self.cfg.ff {
+            golden.snapshot_for_guarded(spec, self.cfg.ff_guard)
+        } else {
+            golden.snapshot_for(spec)
+        }
     }
 
     /// The cycle the injection of `spec` would resume from under the
     /// current snapshot policy (`0` = power-on).
     fn trigger_bound(&self, golden: &GoldenRun, spec: &BugSpec) -> u64 {
-        if !self.cfg.snapshot {
-            return 0;
-        }
-        golden.snapshot_for(spec).map_or(0, |s| s.cycle)
+        self.fork_snapshot(golden, spec).map_or(0, |s| s.cycle)
     }
 
     /// Runs one injection, forking from the latest eligible golden
@@ -816,27 +972,62 @@ impl Campaign {
     /// cycle `C <= activation` and re-arming the hook with the census
     /// count at `C` reproduces the from-power-on run exactly — commits,
     /// cycles, outputs, stats and checker verdicts.
-    fn run_one_from(
+    #[allow(clippy::too_many_arguments)]
+    fn run_one_from<'p>(
         &self,
         sim_cfg: SimConfig,
         config: &str,
         job: usize,
-        golden: &GoldenRun,
+        golden: &'p GoldenRun,
         spec: BugSpec,
         interrupt: Option<&AtomicBool>,
-    ) -> (RunRecord, u64) {
-        let snap = if self.cfg.snapshot {
-            golden.snapshot_for(&spec)
-        } else {
-            None
-        };
-        let mut sim = Simulator::new(&golden.workload.program, sim_cfg);
+        cache: &mut WorkerCache<'p>,
+    ) -> (RunRecord, u64, bool) {
+        let snap = self.fork_snapshot(golden, &spec);
+        // Forked runs fully overwrite simulator state on restore, so the
+        // worker's cached simulator (same program, same config) is reused;
+        // power-on runs need a pristine machine and replace it.
+        if snap.is_none() || cache.sim.is_none() {
+            cache.sim = Some(Simulator::new(&golden.workload.program, sim_cfg));
+        }
+        let sim = cache.sim.as_mut().expect("cache was just filled");
         let mut checkers;
         let mut hook;
+        let mut ff_run = false;
         let skipped = match snap {
             Some(s) => {
                 checkers = CheckerSet::new();
-                sim.restore(&s.state, &mut checkers);
+                if self.cfg.ff {
+                    // Functional fast-forward: the in-order emulator
+                    // replays the architectural prefix (incrementally —
+                    // jobs stream through a cell in ascending hand-off
+                    // order) and the gate cross-checks it against the
+                    // snapshot's committed view before seeding anything.
+                    let target = s.state.committed();
+                    let emu = cache
+                        .emu
+                        .get_or_insert_with(|| Emulator::new(&golden.workload.program));
+                    if emu.steps() > target {
+                        *emu = Emulator::new(&golden.workload.program);
+                    }
+                    if let Err(stop) = emu.run_to_step(target) {
+                        panic!(
+                            "fast-forward emulator stopped at step {} of {target} \
+                             ({}): {stop:?}",
+                            emu.steps(),
+                            golden.workload.name,
+                        );
+                    }
+                    if let Err(d) = sim.restore_from_arch(&s.state, emu, &mut checkers) {
+                        panic!(
+                            "fast-forward bit-exactness gate: {d} ({} @ cycle {})",
+                            golden.workload.name, s.cycle,
+                        );
+                    }
+                    ff_run = true;
+                } else {
+                    sim.restore(&s.state, &mut checkers);
+                }
                 hook = SingleShotHook::resumed(spec, s.counts[spec.site.index()], s.cycle);
                 s.cycle
             }
@@ -847,8 +1038,8 @@ impl Campaign {
             }
         };
         let mut seg = sim.begin_run(Some(&golden.trace), golden.timeout_budget());
-        let stop = seg.run_to_end(&mut sim, &mut hook, &mut checkers, interrupt);
-        let res = seg.finish(&mut sim, stop, &mut checkers);
+        let stop = seg.run_to_end(sim, &mut hook, &mut checkers, interrupt);
+        let res = seg.finish(sim, stop, &mut checkers);
 
         let outcome = classify(&res, &golden.output);
         let activation_cycle = hook
@@ -874,41 +1065,49 @@ impl Campaign {
             stats: res.stats,
             poisoned: None,
         };
-        (record, skipped)
+        (record, skipped, ff_run)
     }
 
     /// Executes the job with global index `job` under panic isolation.
-    /// Returns the record and the golden-prefix cycles the run skipped
-    /// via snapshot forking.
+    /// Returns the record, the golden-prefix cycles the run skipped via
+    /// snapshot forking, and whether it went through the fast-forward
+    /// hand-off.
     #[allow(clippy::too_many_arguments)]
-    fn execute_job(
+    fn execute_job<'p>(
         &self,
         sim_cfg: SimConfig,
         config: &str,
         job: usize,
-        golden: &GoldenRun,
+        golden: &'p GoldenRun,
         spec: BugSpec,
         interrupt: Option<&AtomicBool>,
-    ) -> (RunRecord, u64) {
+        cache: &mut WorkerCache<'p>,
+    ) -> (RunRecord, u64, bool) {
         let sabotage = self.cfg.sabotage_job == Some(job);
         let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
             if sabotage {
                 panic!("deliberately sabotaged run (test instrumentation)");
             }
-            self.run_one_from(sim_cfg, config, job, golden, spec, interrupt)
+            self.run_one_from(sim_cfg, config, job, golden, spec, interrupt, cache)
         }));
         match outcome {
             Ok(rec) => rec,
-            Err(payload) => (
-                RunRecord::poisoned(
-                    config,
-                    job,
-                    &golden.workload.name,
-                    spec,
-                    panic_message(&*payload),
-                ),
-                0,
-            ),
+            Err(payload) => {
+                // A panicking run may have left the cached engines in a
+                // torn state; drop them so the next job starts clean.
+                cache.reset();
+                (
+                    RunRecord::poisoned(
+                        config,
+                        job,
+                        &golden.workload.name,
+                        spec,
+                        panic_message(&*payload),
+                    ),
+                    0,
+                    false,
+                )
+            }
         }
     }
 
@@ -1008,12 +1207,21 @@ impl Campaign {
                             let point = &points[ci / nw];
                             let w = &workloads[ci % nw];
                             scope.spawn(move || {
-                                GoldenRun::capture_with_snapshots(
-                                    w,
-                                    point.sim,
-                                    self.cfg.snapshot_stride,
-                                    snap_max,
-                                )
+                                if self.cfg.ff {
+                                    GoldenRun::capture_with_lean_snapshots(
+                                        w,
+                                        point.sim,
+                                        self.cfg.snapshot_stride,
+                                        snap_max,
+                                    )
+                                } else {
+                                    GoldenRun::capture_with_snapshots(
+                                        w,
+                                        point.sim,
+                                        self.cfg.snapshot_stride,
+                                        snap_max,
+                                    )
+                                }
                             })
                         })
                     })
@@ -1099,14 +1307,16 @@ impl Campaign {
 
         let state = ProgressState::new(total);
         let next = AtomicUsize::new(0);
-        let slots: Mutex<Vec<Option<(RunRecord, Duration, u64)>>> =
-            Mutex::new((0..total).map(|_| None).collect());
+        // Per-job result slot: record, work time, golden-prefix cycles
+        // skipped, and whether the fork used the emulator hand-off.
+        type RunSlot = (RunRecord, Duration, u64, bool);
+        let slots: Mutex<Vec<Option<RunSlot>>> = Mutex::new((0..total).map(|_| None).collect());
         let _silencer = PanicSilencer::install();
 
         let workers = self.worker_count(total);
         std::thread::scope(|scope| {
             for _ in 0..workers {
-                let goldens = Arc::clone(&goldens);
+                let goldens = &goldens;
                 let points = &points;
                 let jobs = &jobs;
                 let order = &order;
@@ -1115,6 +1325,7 @@ impl Campaign {
                 let state = &state;
                 scope.spawn(move || {
                     SUPPRESS_PANIC_OUTPUT.set(true);
+                    let mut cache = WorkerCache::new();
                     loop {
                         if cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
                             break;
@@ -1129,19 +1340,21 @@ impl Campaign {
                         let golden = goldens[job.cell]
                             .as_ref()
                             .expect("sampled jobs have goldens");
+                        cache.enter(job.cell);
                         let started = Instant::now();
-                        let (rec, skipped) = self.execute_job(
+                        let (rec, skipped, ff_run) = self.execute_job(
                             point.sim,
                             &point.label,
                             job.job,
                             golden,
                             job.spec,
                             cancel,
+                            &mut cache,
                         );
                         let elapsed = started.elapsed();
                         state.complete(rec.outcome, rec.poisoned.is_some());
                         slots.lock().unwrap_or_else(|e| e.into_inner())[i] =
-                            Some((rec, elapsed, skipped));
+                            Some((rec, elapsed, skipped, ff_run));
                         progress.on_run(&state.snapshot());
                     }
                     SUPPRESS_PANIC_OUTPUT.set(false);
@@ -1159,13 +1372,14 @@ impl Campaign {
             captured: goldens.iter().flatten().map(|g| g.snapshots.len()).sum(),
             ..SnapshotStats::default()
         };
-        for (rec, elapsed, skipped) in slots.into_iter().flatten() {
+        for (rec, elapsed, skipped, ff_run) in slots.into_iter().flatten() {
             if skipped > 0 {
                 snapshot_stats.forked_runs += 1;
             } else {
                 snapshot_stats.cold_runs += 1;
             }
             snapshot_stats.skipped_cycles += skipped;
+            snapshot_stats.ff_runs += usize::from(ff_run);
             let cell = match timings
                 .iter_mut()
                 .find(|c| c.config == rec.config && c.bench == rec.bench && c.model == rec.model)
@@ -1395,6 +1609,82 @@ mod tests {
     }
 
     #[test]
+    fn ff_and_cold_campaigns_are_byte_identical() {
+        // The tentpole guarantee: functional fast-forward — lean
+        // snapshots, emulator-reconstructed memory, arch gate at every
+        // hand-off — changes only wall-clock, never a byte of the record
+        // stream. Checked against the snapshot-less baseline at several
+        // guard windows and worker counts.
+        let cold = Campaign::new(CampaignConfig {
+            snapshot: false,
+            threads: 1,
+            ..mini_cfg()
+        })
+        .run(&picks())
+        .expect("cold run");
+        for (threads, guard) in [(1, 0), (8, 0), (1, 256), (8, 4096)] {
+            let ff = Campaign::new(CampaignConfig {
+                ff: true,
+                ff_guard: guard,
+                threads,
+                ..mini_cfg()
+            })
+            .run(&picks())
+            .expect("ff run");
+            assert_eq!(
+                crate::export::to_csv(&cold),
+                crate::export::to_csv(&ff),
+                "ff CSV must be byte-identical to cold CSV \
+                 ({threads} threads, guard {guard})"
+            );
+            assert_eq!(ff.poisoned().count(), 0, "no gate failures");
+            assert!(
+                ff.snapshot_stats.ff_runs > 0,
+                "fast-forward must actually engage (guard {guard}): {:?}",
+                ff.snapshot_stats
+            );
+            assert_eq!(
+                ff.snapshot_stats.ff_runs, ff.snapshot_stats.forked_runs,
+                "every forked run goes through the hand-off in ff mode"
+            );
+        }
+    }
+
+    #[test]
+    fn ff_guard_steps_the_handoff_back() {
+        // A guard wider than a snapshot stride must move the hand-off to
+        // an older snapshot (or power-on) without changing any record.
+        let w = idld_workloads::by_name("crc32").expect("exists");
+        let g = GoldenRun::capture_with_snapshots(&w, SimConfig::default(), 0, 16)
+            .expect("golden halts");
+        let site = idld_rrs::OpSite::FlPop;
+        let total = g.census.count(site);
+        let spec = BugSpec {
+            site,
+            occurrence: total - 1,
+            corruption: idld_rrs::Corruption::NONE,
+            model: BugModel::Duplication,
+        };
+        let unguarded = g.snapshot_for_guarded(&spec, 0).expect("late trigger");
+        assert_eq!(
+            unguarded.cycle,
+            g.snapshot_for(&spec).expect("same").cycle,
+            "guard 0 is exactly snapshot_for"
+        );
+        let guarded = g.snapshot_for_guarded(&spec, 1);
+        if let Some(s) = guarded {
+            assert!(
+                s.cycle < unguarded.cycle,
+                "guarded hand-off must precede the fork point"
+            );
+        }
+        assert!(
+            g.snapshot_for_guarded(&spec, u64::MAX).is_none(),
+            "an unsatisfiable guard falls back to power-on"
+        );
+    }
+
+    #[test]
     fn stall_fast_forward_is_bit_exact() {
         // Record-level: skipping provably dead cycles must not change a
         // byte of the exported record stream.
@@ -1612,6 +1902,22 @@ mod tests {
         assert!(run(SWEEP_ENV, "").is_err(), "an empty sweep is a typo");
         let swept = run(SWEEP_ENV, "grid").expect("preset parses");
         assert_eq!(swept.sweep.points.len(), 3);
+        assert!(run(FF_ENV, "yes").is_err(), "ff flag accepts only 0/1");
+        assert!(run(FF_ENV, "true").is_err());
+        assert!(!run(FF_ENV, "0").expect("0 parses").ff);
+        assert!(run(FF_ENV, " 1 ").expect("1 parses").ff);
+        std::env::set_var(SNAPSHOT_ENV, "0");
+        assert!(
+            run(FF_ENV, "1").is_err(),
+            "fast-forward without snapshots has nothing to hand off to"
+        );
+        std::env::remove_var(SNAPSHOT_ENV);
+        assert!(run(FF_GUARD_ENV, "wide").is_err());
+        assert!(run(FF_GUARD_ENV, "-1").is_err());
+        assert_eq!(
+            run(FF_GUARD_ENV, " 4096 ").expect("guard parses").ff_guard,
+            4096
+        );
     }
 
     #[test]

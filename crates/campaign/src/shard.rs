@@ -33,7 +33,7 @@ use std::time::Duration;
 
 /// Format tag heading every artifact; bumped on incompatible changes so a
 /// stale worker binary fails loudly instead of merging garbage.
-const MAGIC: &str = "idld-shard v1";
+const MAGIC: &str = "idld-shard v2";
 
 /// One worker process's serialized campaign slice.
 #[derive(Clone, Debug)]
@@ -63,8 +63,8 @@ pub fn encode_shard(res: &CampaignResult, shard: usize, shards: usize) -> String
     let st = &res.snapshot_stats;
     let _ = writeln!(
         s,
-        "stats {} {} {} {}",
-        st.forked_runs, st.cold_runs, st.skipped_cycles, st.captured
+        "stats {} {} {} {} {}",
+        st.forked_runs, st.cold_runs, st.skipped_cycles, st.captured, st.ff_runs
     );
     let _ = writeln!(s, "records {}", res.records.len());
     for r in &res.records {
@@ -133,8 +133,8 @@ pub fn decode_shard(s: &str) -> Result<ShardArtifact, String> {
         .ok_or_else(|| format!("malformed stats line {stats_line:?}"))?
         .split(' ')
         .collect();
-    if nums.len() != 4 {
-        return Err(format!("stats line needs 4 fields: {stats_line:?}"));
+    if nums.len() != 5 {
+        return Err(format!("stats line needs 5 fields: {stats_line:?}"));
     }
     let field = |i: usize| -> Result<u64, String> {
         nums[i]
@@ -146,6 +146,7 @@ pub fn decode_shard(s: &str) -> Result<ShardArtifact, String> {
         cold_runs: field(1)? as usize,
         skipped_cycles: field(2)?,
         captured: field(3)? as usize,
+        ff_runs: field(4)? as usize,
     };
 
     let count = |line: &str, tag: &str| -> Result<usize, String> {
@@ -400,6 +401,7 @@ pub fn merge_shards(parts: &[ShardArtifact]) -> Result<MergedCampaign, String> {
         stats.forked_runs += p.stats.forked_runs;
         stats.cold_runs += p.stats.cold_runs;
         stats.skipped_cycles += p.stats.skipped_cycles;
+        stats.ff_runs += p.stats.ff_runs;
         stats.captured += p.stats.captured;
     }
 

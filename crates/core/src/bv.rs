@@ -49,6 +49,7 @@ impl BitVectorChecker {
 }
 
 impl EventSink for BitVectorChecker {
+    #[inline]
     fn event(&mut self, ev: RrsEvent) {
         match ev {
             RrsEvent::FlRead(p) => {
@@ -114,6 +115,10 @@ impl Checker for BitVectorChecker {
 
     fn clone_box(&self) -> Box<dyn Checker> {
         Box::new(self.clone())
+    }
+
+    fn devirt(self: Box<Self>) -> crate::checker::AnyChecker {
+        crate::checker::AnyChecker::BitVector(*self)
     }
 }
 

@@ -1,5 +1,9 @@
 //! The checker interface shared by IDLD and the baseline schemes.
 
+use crate::bv::BitVectorChecker;
+use crate::counter::CounterChecker;
+use crate::idld::IdldChecker;
+use crate::parity::ParityChecker;
 use idld_rrs::{EventSink, RrsEvent};
 use std::fmt;
 
@@ -98,12 +102,113 @@ pub trait Checker: EventSink + Send + Sync {
     fn xor_code(&self) -> Option<u32> {
         None
     }
+
+    /// Unwraps a boxed checker into the static-dispatch enum a
+    /// [`CheckerSet`] stores internally. The four first-party checkers
+    /// return their concrete variant, devirtualizing the per-port-event hot
+    /// path; other implementors write `AnyChecker::Boxed(self)` and stay
+    /// behind the box.
+    fn devirt(self: Box<Self>) -> AnyChecker;
+}
+
+/// One checker behind static dispatch where possible.
+///
+/// The RRS fires several port events per renamed instruction and every
+/// event fans out to every attached checker, so the dispatch cost is on the
+/// simulator's hottest path. Storing the first-party checkers as enum
+/// variants lets the compiler inline their (tiny, XOR-sized) event handlers
+/// into [`CheckerSet::event`]; third-party [`Checker`] impls still work
+/// through the [`AnyChecker::Boxed`] fall-back.
+pub enum AnyChecker {
+    /// The paper's IDLD scheme.
+    Idld(IdldChecker),
+    /// The bit-vector baseline.
+    BitVector(BitVectorChecker),
+    /// The counter baseline.
+    Counter(CounterChecker),
+    /// The RAT-parity baseline.
+    Parity(ParityChecker),
+    /// Any other [`Checker`] impl, behind dynamic dispatch.
+    Boxed(Box<dyn Checker>),
+}
+
+macro_rules! dispatch {
+    ($s:expr, $c:ident => $body:expr) => {
+        match $s {
+            AnyChecker::Idld($c) => $body,
+            AnyChecker::BitVector($c) => $body,
+            AnyChecker::Counter($c) => $body,
+            AnyChecker::Parity($c) => $body,
+            AnyChecker::Boxed($c) => $body,
+        }
+    };
+}
+
+impl AnyChecker {
+    /// [`Checker::name`].
+    pub fn name(&self) -> &'static str {
+        dispatch!(self, c => c.name())
+    }
+
+    /// [`Checker::end_cycle`].
+    #[inline]
+    pub fn end_cycle(&mut self, cycle: u64) {
+        dispatch!(self, c => c.end_cycle(cycle))
+    }
+
+    /// [`Checker::on_pipeline_empty`].
+    #[inline]
+    pub fn on_pipeline_empty(&mut self, cycle: u64) {
+        dispatch!(self, c => c.on_pipeline_empty(cycle))
+    }
+
+    /// [`Checker::detection`].
+    #[inline]
+    pub fn detection(&self) -> Option<Detection> {
+        dispatch!(self, c => c.detection())
+    }
+
+    /// [`Checker::reset`].
+    pub fn reset(&mut self) {
+        dispatch!(self, c => c.reset())
+    }
+
+    /// [`Checker::xor_code`].
+    #[inline]
+    pub fn xor_code(&self) -> Option<u32> {
+        dispatch!(self, c => c.xor_code())
+    }
+}
+
+impl EventSink for AnyChecker {
+    #[inline]
+    fn event(&mut self, ev: RrsEvent) {
+        dispatch!(self, c => c.event(ev))
+    }
+}
+
+impl Clone for AnyChecker {
+    fn clone(&self) -> Self {
+        match self {
+            AnyChecker::Idld(c) => AnyChecker::Idld(c.clone()),
+            AnyChecker::BitVector(c) => AnyChecker::BitVector(c.clone()),
+            AnyChecker::Counter(c) => AnyChecker::Counter(c.clone()),
+            AnyChecker::Parity(c) => AnyChecker::Parity(c.clone()),
+            AnyChecker::Boxed(c) => AnyChecker::Boxed(c.clone_box()),
+        }
+    }
+}
+
+impl fmt::Debug for AnyChecker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("AnyChecker").field(&self.name()).finish()
+    }
 }
 
 /// A set of checkers attached to one core, fed from a single event stream.
 #[derive(Default)]
 pub struct CheckerSet {
-    checkers: Vec<Box<dyn Checker>>,
+    checkers: Vec<AnyChecker>,
 }
 
 impl CheckerSet {
@@ -112,9 +217,10 @@ impl CheckerSet {
         Self::default()
     }
 
-    /// Adds a checker.
+    /// Adds a checker. First-party checkers are unwrapped out of the box
+    /// into static dispatch (see [`AnyChecker`]).
     pub fn push(&mut self, c: Box<dyn Checker>) -> &mut Self {
-        self.checkers.push(c);
+        self.checkers.push(c.devirt());
         self
     }
 
@@ -179,13 +285,28 @@ impl CheckerSet {
 impl Clone for CheckerSet {
     fn clone(&self) -> Self {
         CheckerSet {
-            checkers: self.checkers.iter().map(|c| c.clone_box()).collect(),
+            checkers: self.checkers.clone(),
         }
     }
 }
 
 impl EventSink for CheckerSet {
+    #[inline]
     fn event(&mut self, ev: RrsEvent) {
+        // Fast path for the shipping configuration (the paper's scheme
+        // comparison: IDLD vs bit-vector vs counter). Pinning the concrete
+        // types lets the event-kind branch resolve once for all three
+        // handlers instead of re-dispatching per checker — the RRS emits
+        // several events per renamed instruction, so this is the hottest
+        // dispatch point in the simulator.
+        if let [AnyChecker::Idld(i), AnyChecker::BitVector(b), AnyChecker::Counter(c)] =
+            &mut self.checkers[..]
+        {
+            i.event(ev);
+            b.event(ev);
+            c.event(ev);
+            return;
+        }
         for c in &mut self.checkers {
             c.event(ev);
         }

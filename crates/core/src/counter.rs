@@ -37,6 +37,7 @@ impl CounterChecker {
 }
 
 impl EventSink for CounterChecker {
+    #[inline]
     fn event(&mut self, ev: RrsEvent) {
         match ev {
             RrsEvent::FlRead(_) => self.free -= 1,
@@ -84,6 +85,10 @@ impl Checker for CounterChecker {
 
     fn clone_box(&self) -> Box<dyn Checker> {
         Box::new(self.clone())
+    }
+
+    fn devirt(self: Box<Self>) -> crate::checker::AnyChecker {
+        crate::checker::AnyChecker::Counter(*self)
     }
 }
 

@@ -108,6 +108,7 @@ impl IdldChecker {
 }
 
 impl EventSink for IdldChecker {
+    #[inline]
     fn event(&mut self, ev: RrsEvent) {
         let bits = self.bits;
         match ev {
@@ -198,6 +199,10 @@ impl Checker for IdldChecker {
 
     fn clone_box(&self) -> Box<dyn Checker> {
         Box::new(self.clone())
+    }
+
+    fn devirt(self: Box<Self>) -> crate::checker::AnyChecker {
+        crate::checker::AnyChecker::Idld(*self)
     }
 
     fn reset(&mut self) {

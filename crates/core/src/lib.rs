@@ -46,7 +46,7 @@ pub mod parity;
 pub(crate) mod testutil;
 
 pub use bv::BitVectorChecker;
-pub use checker::{Checker, CheckerSet, Detection, DetectionKind};
+pub use checker::{AnyChecker, Checker, CheckerSet, Detection, DetectionKind};
 pub use counter::CounterChecker;
 pub use idld::IdldChecker;
 pub use parity::ParityChecker;

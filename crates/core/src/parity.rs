@@ -31,6 +31,7 @@ impl ParityChecker {
 }
 
 impl EventSink for ParityChecker {
+    #[inline]
     fn event(&mut self, ev: RrsEvent) {
         if matches!(ev, RrsEvent::ParityAlarm) {
             self.pending = true;
@@ -66,6 +67,10 @@ impl Checker for ParityChecker {
 
     fn clone_box(&self) -> Box<dyn Checker> {
         Box::new(self.clone())
+    }
+
+    fn devirt(self: Box<Self>) -> crate::checker::AnyChecker {
+        crate::checker::AnyChecker::Parity(*self)
     }
 }
 

@@ -109,6 +109,14 @@ impl Emulator {
         self.regs[r.index()]
     }
 
+    /// The whole architectural register file, indexed by register number.
+    /// The fast-forward hand-off gate compares this wholesale against the
+    /// out-of-order model's retirement-RAT view.
+    #[inline]
+    pub fn regs(&self) -> &[u64; NUM_ARCH_REGS] {
+        &self.regs
+    }
+
     /// Writes an architectural register (for test setup).
     #[inline]
     pub fn set_reg(&mut self, r: ArchReg, v: u64) {
@@ -180,12 +188,16 @@ impl Emulator {
                 next_pc = target;
             }
             Inst::Jalr { rd, rs1, imm } => {
+                // Targets beyond the address space clamp to `usize::MAX`
+                // (always an invalid instruction index, so the *next* fetch
+                // faults), matching the out-of-order model. The previous
+                // guard compared `target` against `usize::MAX` *after*
+                // truncating it into `next_pc`, so it could never fire on
+                // 64-bit hosts and on 32-bit hosts the truncated target
+                // silently aliased a valid pc instead of faulting.
                 let target = self.regs[rs1.index()].wrapping_add(imm as u64);
                 self.regs[rd.index()] = (self.pc + 1) as u64;
-                next_pc = target as usize;
-                if target > usize::MAX as u64 {
-                    return StepOutcome::Fault(EmuFault::InvalidPc(usize::MAX));
-                }
+                next_pc = target.min(usize::MAX as u64) as usize;
             }
             Inst::Out { rs1 } => self.output.push(self.regs[rs1.index()]),
             Inst::Halt => return StepOutcome::Halted,
@@ -193,6 +205,33 @@ impl Emulator {
         }
         self.pc = next_pc;
         StepOutcome::Continue
+    }
+
+    /// Advances execution until exactly `target` instructions have been
+    /// executed. The architectural state afterwards (registers, memory, pc,
+    /// output) is the hand-off image a cycle-accurate run fast-forwards
+    /// from. `target` below the current step count, or a halt/fault before
+    /// reaching it, is an error: the caller asked for a prefix this
+    /// emulator cannot represent.
+    ///
+    /// Targets are monotone by construction in the campaign scheduler
+    /// (jobs are processed in trigger order), so one emulator per workload
+    /// replays the whole prefix once, incrementally.
+    pub fn run_to_step(&mut self, target: u64) -> Result<(), StopReason> {
+        if target < self.steps {
+            return Err(StopReason::StepLimit);
+        }
+        while self.steps < target {
+            match self.step() {
+                StepOutcome::Continue => {}
+                // A halt *as* the target-th instruction still reaches the
+                // requested prefix; anything earlier cannot.
+                StepOutcome::Halted if self.steps == target => break,
+                StepOutcome::Halted => return Err(StopReason::Halted),
+                StepOutcome::Fault(f) => return Err(StopReason::Fault(f)),
+            }
+        }
+        Ok(())
     }
 
     /// Runs until halt, fault or `max_steps` executed instructions.
@@ -278,6 +317,55 @@ mod tests {
         a.jalr(r(2), r(1), 0);
         let res = run(a, 100);
         assert_eq!(res.stop, StopReason::Fault(EmuFault::InvalidPc(1_000_000)));
+    }
+
+    #[test]
+    fn jalr_wrapping_target_faults_instead_of_aliasing() {
+        // Minimized reproducer: results/fuzz/corpus/emu-jalr-wrap-target.asm.
+        // A jalr target above the address space must clamp to `usize::MAX`
+        // (so the next fetch faults at the clamped pc, as in the OoO model),
+        // never truncate into a valid instruction index. The jalr itself
+        // commits: its link register is architecturally written.
+        let mut a = Asm::new();
+        a.li(r(1), 0x1_0000_0003u64 as i64); // aliases pc 3 if truncated low
+        a.jalr(r(3), r(1), 0);
+        a.halt();
+        a.out(r(1)); // pc 3: wrong-path alias target
+        a.halt();
+        let mut emu = Emulator::new(&a.finish());
+        let res = emu.run(100);
+        let want = (0x1_0000_0003u64).min(usize::MAX as u64) as usize;
+        assert_eq!(res.stop, StopReason::Fault(EmuFault::InvalidPc(want)));
+        assert_eq!(res.output, Vec::<u64>::new(), "the alias path must not run");
+        assert_eq!(res.steps, 2, "li and jalr both execute");
+        assert_eq!(emu.reg(r(3)), 2, "jalr's link register is written");
+    }
+
+    #[test]
+    fn run_to_step_replays_exact_prefixes() {
+        let mut a = Asm::new();
+        a.li(r(1), 0).li(r(2), 10);
+        a.label("loop");
+        a.addi(r(1), r(1), 1);
+        a.out(r(1));
+        a.blt(r(1), r(2), "loop");
+        a.halt();
+        let p = a.finish();
+        let mut emu = Emulator::new(&p);
+        assert_eq!(emu.run_to_step(8), Ok(()));
+        assert_eq!(emu.steps(), 8);
+        assert_eq!(emu.output(), [1, 2]);
+        // Monotone continuation from where it stopped.
+        assert_eq!(emu.run_to_step(11), Ok(()));
+        assert_eq!(emu.output(), [1, 2, 3]);
+        // Rewinding is an error (the emulator only runs forward).
+        assert_eq!(emu.run_to_step(3), Err(StopReason::StepLimit));
+        // Running past the halt is an error; *to* the halt is not.
+        let total = Emulator::new(&p).run(1_000).steps;
+        let mut emu = Emulator::new(&p);
+        assert_eq!(emu.run_to_step(total), Ok(()));
+        let mut emu = Emulator::new(&p);
+        assert_eq!(emu.run_to_step(total + 1), Err(StopReason::Halted));
     }
 
     #[test]

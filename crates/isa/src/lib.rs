@@ -50,7 +50,7 @@ pub mod program;
 pub mod reg;
 
 pub use asm::Asm;
-pub use emu::{EmuResult, Emulator, StopReason};
+pub use emu::{EmuFault, EmuResult, Emulator, StopReason};
 pub use inst::{AluOp, BrCond, Inst, InstKind};
 pub use mem::{MemFault, Memory};
 pub use parse::{disassemble, parse_asm, ParseError};

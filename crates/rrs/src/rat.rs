@@ -112,6 +112,13 @@ impl Rat {
         self.map.clone()
     }
 
+    /// Borrows the current mapping — the allocation-free view the per-rename
+    /// checkpoint take copies from.
+    #[inline]
+    pub fn entries(&self) -> &[PhysReg] {
+        &self.map
+    }
+
     /// Iterates the current contents.
     pub fn iter(&self) -> impl Iterator<Item = PhysReg> + '_ {
         self.map.iter().copied()

@@ -333,7 +333,7 @@ impl Rrs {
         // `ckpt_interval`-th allocation.
         if seq.is_multiple_of(self.cfg.ckpt_interval) {
             self.ckpts
-                .take(&self.rat.snapshot(), &self.refcount, seq, hook, sink);
+                .take(self.rat.entries(), &self.refcount, seq, hook, sink);
         }
         if self.cfg.idiom_elim {
             if let (Some(ldst), Some(idiom)) = (req.ldst, req.idiom) {

@@ -47,6 +47,7 @@ pub mod trace;
 
 pub use config::SimConfig;
 pub use result::{CrashCause, RunResult, SimStop};
-pub use sim::{SegmentedRun, SimSnapshot, Simulator};
+pub use sim::{FfDivergence, SegmentedRun, SimSnapshot, Simulator};
+
 pub use stats::SimStats;
 pub use trace::{CommitTrace, Divergence, TraceMonitor};

@@ -6,7 +6,8 @@ use crate::result::{CrashCause, RunResult, SimStop};
 use crate::stats::SimStats;
 use crate::trace::{CommitTrace, Divergence, TraceMonitor};
 use idld_core::CheckerSet;
-use idld_isa::{Inst, Memory, Program};
+use idld_isa::reg::NUM_ARCH_REGS;
+use idld_isa::{Emulator, Inst, Memory, Program};
 use idld_mdp::{StoreSets, StoreTag};
 use idld_obs::{Consume, NullRecorder, ObsEvent, Recorder, RecorderState};
 use idld_rrs::{FaultHook, Idiom, PhysReg, RenameRequest, Rrs};
@@ -76,7 +77,6 @@ struct Entry {
     /// Global branch history checkpointed at fetch (before this
     /// instruction's own prediction shifted it).
     bp_hist: u32,
-    status: Status,
     /// Destination value, output value, or store data.
     result: u64,
     /// Memory address once computed (loads and stores).
@@ -104,6 +104,35 @@ pub struct Simulator<'p> {
     prf: Vec<u64>,
     ready: Vec<bool>,
     window: VecDeque<Entry>,
+    /// Per-entry pipeline status, kept in lockstep with `window` (same
+    /// indices, same push/pop discipline). Split out of [`Entry`] so the
+    /// per-cycle writeback/issue scans walk a compact lane (16 B/entry)
+    /// instead of dragging the full ~150 B entries through the cache.
+    stat: VecDeque<Status>,
+    /// Sequence numbers of the entries currently [`Status::Waiting`], in
+    /// ascending (= window) order, so the issue stage visits exactly the
+    /// wakeup candidates instead of scanning the whole window. Derived
+    /// state: rebuilt from `stat` on restore, not part of snapshots.
+    waiting_seqs: Vec<u64>,
+    /// Per-entry copy of the renamed source operands, kept in lockstep
+    /// with `window`. The issue stage's readiness test reads 8 B per
+    /// candidate from this lane instead of dragging each ~150 B
+    /// [`Entry`] through the cache.
+    src_lane: VecDeque<[Option<PhysReg>; 2]>,
+    /// `(done_cycle, seq)` of every entry currently [`Status::Executing`]
+    /// (unordered), so the per-cycle writeback scan touches only in-flight
+    /// instructions instead of the whole window. Derived state: rebuilt
+    /// from `stat` on restore, not part of snapshots.
+    exec_done: Vec<(u64, u64)>,
+    /// Per-cycle scratch: seqs completing this cycle, sorted into window
+    /// order before the completions run (completion order is observable).
+    due_buf: Vec<u64>,
+    /// Sequence numbers of the stores currently in the window, in program
+    /// order. Memory disambiguation ([`Simulator::load_may_issue`]) and
+    /// store-to-load forwarding walk older stores youngest-first on every
+    /// load issue attempt; this index lets them touch only the stores
+    /// instead of scanning the whole window.
+    store_seqs: VecDeque<u64>,
     predictor: Predictor,
     fetch_pc: usize,
     fetch_enabled: bool,
@@ -145,6 +174,12 @@ impl<'p> Simulator<'p> {
             prf,
             ready,
             window: VecDeque::with_capacity(cfg.rrs.rob_entries),
+            stat: VecDeque::with_capacity(cfg.rrs.rob_entries),
+            waiting_seqs: Vec::new(),
+            src_lane: VecDeque::with_capacity(cfg.rrs.rob_entries),
+            exec_done: Vec::new(),
+            due_buf: Vec::new(),
+            store_seqs: VecDeque::new(),
             predictor: Predictor::new(cfg.bp_log2, cfg.btb_log2),
             fetch_pc: 0,
             fetch_enabled: true,
@@ -338,13 +373,32 @@ impl<'p> Simulator<'p> {
         checkers: &CheckerSet,
         recorder: &impl Recorder,
     ) -> SimSnapshot {
+        self.snapshot_with(checkers, recorder, true)
+    }
+
+    /// [`Simulator::snapshot`] without the memory image — a *lean*
+    /// snapshot that never pays the memory clone (the dominant cost of a
+    /// full capture). Restorable only through
+    /// [`Simulator::restore_from_arch`], which reconstructs memory from
+    /// the in-order emulator and runs the bit-exactness gate.
+    pub fn snapshot_lean(&self, checkers: &CheckerSet) -> SimSnapshot {
+        self.snapshot_with(checkers, &NullRecorder, false)
+    }
+
+    fn snapshot_with(
+        &self,
+        checkers: &CheckerSet,
+        recorder: &impl Recorder,
+        with_mem: bool,
+    ) -> SimSnapshot {
         SimSnapshot {
             recorder: recorder.state(),
             rrs: self.rrs.clone(),
-            mem: self.mem.clone(),
+            mem: with_mem.then(|| self.mem.clone()),
             prf: self.prf.clone(),
             ready: self.ready.clone(),
             window: self.window.clone(),
+            stat: self.stat.clone(),
             predictor: self.predictor.clone(),
             fetch_pc: self.fetch_pc,
             fetch_enabled: self.fetch_enabled,
@@ -369,6 +423,48 @@ impl<'p> Simulator<'p> {
         self.restore_observed(snap, checkers, &mut NullRecorder)
     }
 
+    /// Restores a *lean* snapshot (one whose memory was dropped by
+    /// [`SimSnapshot::discard_mem`]), reconstructing data memory from an
+    /// in-order emulator advanced to exactly the snapshot's committed
+    /// instruction count — the fast-forward engine hand-off.
+    ///
+    /// Stores are applied to memory at commit, so the emulator's memory
+    /// after `snap.committed()` architectural steps *is* the simulator's
+    /// memory at the snapshot cycle. Before seeding anything, the
+    /// bit-exactness gate ([`SimSnapshot::verify_arch`]) cross-checks the
+    /// emulator's registers, output and pc against the snapshot's committed
+    /// view; any disagreement means the two engines diverged
+    /// architecturally and the restore is refused. Also accepts full
+    /// snapshots (the captured memory then wins, but the gate still runs).
+    pub fn restore_from_arch(
+        &mut self,
+        snap: &SimSnapshot,
+        emu: &Emulator,
+        checkers: &mut CheckerSet,
+    ) -> Result<(), FfDivergence> {
+        self.restore_from_arch_observed(snap, emu, checkers, &mut NullRecorder)
+    }
+
+    /// [`Simulator::restore_from_arch`] that additionally restores
+    /// `recorder`, so fast-forwarded observed runs emit byte-identical
+    /// traces.
+    pub fn restore_from_arch_observed(
+        &mut self,
+        snap: &SimSnapshot,
+        emu: &Emulator,
+        checkers: &mut CheckerSet,
+        recorder: &mut impl Recorder,
+    ) -> Result<(), FfDivergence> {
+        snap.verify_arch(emu)?;
+        recorder.restore_state(&snap.recorder);
+        match &snap.mem {
+            Some(m) => self.mem.clone_from(m),
+            None => self.mem.clone_from(emu.mem()),
+        }
+        self.restore_except_mem(snap, checkers);
+        Ok(())
+    }
+
     /// [`Simulator::restore`] that additionally restores `recorder` to the
     /// state captured by [`Simulator::snapshot_observed`].
     pub fn restore_observed(
@@ -377,12 +473,50 @@ impl<'p> Simulator<'p> {
         checkers: &mut CheckerSet,
         recorder: &mut impl Recorder,
     ) {
+        let mem = snap
+            .mem
+            .as_ref()
+            .expect("lean snapshot (memory stripped) requires restore_from_arch");
         recorder.restore_state(&snap.recorder);
+        self.mem.clone_from(mem);
+        self.restore_except_mem(snap, checkers);
+    }
+
+    /// The memory-independent tail of [`Simulator::restore_observed`],
+    /// shared with [`Simulator::restore_from_arch`].
+    fn restore_except_mem(&mut self, snap: &SimSnapshot, checkers: &mut CheckerSet) {
         self.rrs = snap.rrs.clone();
-        self.mem.clone_from(&snap.mem);
         self.prf.clone_from(&snap.prf);
         self.ready.clone_from(&snap.ready);
         self.window.clone_from(&snap.window);
+        self.stat.clone_from(&snap.stat);
+        self.waiting_seqs.clear();
+        self.waiting_seqs.extend(
+            snap.stat
+                .iter()
+                .zip(&snap.window)
+                .filter(|(s, _)| matches!(s, Status::Waiting))
+                .map(|(_, e)| e.seq),
+        );
+        self.src_lane.clear();
+        self.src_lane.extend(snap.window.iter().map(|e| e.srcs));
+        self.exec_done.clear();
+        self.exec_done.extend(
+            snap.stat
+                .iter()
+                .zip(&snap.window)
+                .filter_map(|(s, e)| match s {
+                    Status::Executing { done } => Some((*done, e.seq)),
+                    _ => None,
+                }),
+        );
+        self.store_seqs.clear();
+        self.store_seqs.extend(
+            snap.window
+                .iter()
+                .filter(|e| matches!(e.inst.kind(), idld_isa::InstKind::Store))
+                .map(|e| e.seq),
+        );
         self.predictor.clone_from(&snap.predictor);
         self.fetch_pc = snap.fetch_pc;
         self.fetch_enabled = snap.fetch_enabled;
@@ -434,7 +568,6 @@ impl<'p> Simulator<'p> {
             hook.begin_cycle(self.cycle);
             // At-rest storage upsets (§V.D class) land silently.
             self.rrs.apply_at_rest(hook);
-
             // --- Recovery (freezes the rest of the pipeline) -------------
             if self.rrs.recovery_active() {
                 idle_streak = 0;
@@ -494,10 +627,10 @@ impl<'p> Simulator<'p> {
             // --- Commit ---------------------------------------------------
             let mut commits = 0;
             while commits < self.cfg.width() {
-                let Some(front) = self.window.front() else { break };
-                if front.status != Status::Done {
+                if self.stat.front() != Some(&Status::Done) {
                     break;
                 }
+                let front = self.window.front().expect("stat mirrors window");
                 if let Some(f) = front.fault {
                     return Some(SimStop::Crash(f));
                 }
@@ -519,6 +652,8 @@ impl<'p> Simulator<'p> {
                             }));
                         }
                         self.stats.stores += 1;
+                        debug_assert_eq!(self.store_seqs.front(), Some(&seq));
+                        self.store_seqs.pop_front();
                     }
                     Inst::Out { .. } => self.output.push(result),
                     _ => {}
@@ -529,18 +664,38 @@ impl<'p> Simulator<'p> {
                 self.observe_commit(pc, seq, trace, monitor, record, recorder);
                 self.committed += 1;
                 self.window.pop_front();
+                self.stat.pop_front();
+                self.src_lane.pop_front();
                 commits += 1;
             }
 
             // --- Writeback / complete -------------------------------------
             let mut completions = 0u32;
-            for i in 0..self.window.len() {
-                if let Status::Executing { done } = self.window[i].status {
+            if !self.exec_done.is_empty() {
+                let mut due = std::mem::take(&mut self.due_buf);
+                let mut k = 0;
+                while k < self.exec_done.len() {
+                    let (done, seq) = self.exec_done[k];
                     if done <= self.cycle {
-                        self.complete(i, recorder);
-                        completions += 1;
+                        due.push(seq);
+                        self.exec_done.swap_remove(k);
+                    } else {
+                        k += 1;
                     }
                 }
+                if !due.is_empty() {
+                    // Window order (the order the old full-window scan
+                    // produced): completion order is observable through the
+                    // event trace, forwarding and predictor training.
+                    due.sort_unstable();
+                    let front_seq = self.window.front().expect("in-flight entries exist").seq;
+                    for &seq in &due {
+                        self.complete((seq - front_seq) as usize, recorder);
+                        completions += 1;
+                    }
+                    due.clear();
+                }
+                self.due_buf = due;
             }
 
             // --- Issue ----------------------------------------------------
@@ -588,11 +743,8 @@ impl<'p> Simulator<'p> {
                 && self.pending_flush.is_none()
                 && !self.rrs.recovery_active()
                 && hook.quiescent()
-                && self.window.front().is_none_or(|e| e.status != Status::Done)
-                && self
-                    .window
-                    .iter()
-                    .all(|e| !matches!(e.status, Status::Executing { .. }));
+                && self.stat.front().is_none_or(|s| *s != Status::Done)
+                && self.exec_done.is_empty();
             idle_streak = if frozen { idle_streak + 1 } else { 0 };
 
             self.end_cycle(hook, checkers, recorder);
@@ -701,10 +853,18 @@ impl<'p> Simulator<'p> {
         while let Some(back) = self.window.back() {
             if back.seq > fseq {
                 self.window.pop_back();
+                self.stat.pop_back().expect("stat mirrors window");
+                self.src_lane.pop_back();
             } else {
                 break;
             }
         }
+        while self.store_seqs.back().is_some_and(|&s| s > fseq) {
+            self.store_seqs.pop_back();
+        }
+        let keep = self.waiting_seqs.partition_point(|&s| s <= fseq);
+        self.waiting_seqs.truncate(keep);
+        self.exec_done.retain(|&(_, s)| s <= fseq);
         self.halt_in_flight = self.window.iter().any(|e| matches!(e.inst, Inst::Halt));
         self.fetch_fault = None;
     }
@@ -751,7 +911,9 @@ impl<'p> Simulator<'p> {
                         // the load back to the scheduler: the issue rule
                         // holds it until the store commits its bytes.
                         self.stats.load_replays += 1;
-                        self.window[i].status = Status::Waiting;
+                        self.stat[i] = Status::Waiting;
+                        let pos = self.waiting_seqs.partition_point(|&s| s < seq);
+                        self.waiting_seqs.insert(pos, seq);
                         return;
                     }
                     LoadOutcome::Value(v, forwarded) => {
@@ -799,7 +961,7 @@ impl<'p> Simulator<'p> {
         e.result = result;
         e.addr = addr;
         e.fault = fault;
-        e.status = Status::Done;
+        self.stat[i] = Status::Done;
         let mispredict = inst.is_control() && actual_next != pred_next;
         recorder.record(self.cycle, ObsEvent::Complete { seq, mispredict });
         if mispredict {
@@ -839,8 +1001,7 @@ impl<'p> Simulator<'p> {
             if !matches!(e.inst.kind(), idld_isa::InstKind::Load) {
                 continue;
             }
-            let executed =
-                matches!(e.status, Status::Done) || matches!(e.status, Status::Executing { .. });
+            let executed = !matches!(self.stat[j], Status::Waiting);
             let Some(laddr) = e.addr else { continue };
             if !executed {
                 continue;
@@ -880,11 +1041,10 @@ impl<'p> Simulator<'p> {
     /// is recorded only here, at completion). That case returns
     /// [`LoadOutcome::Replay`] instead of stale memory bytes.
     fn load_with_forwarding(&self, i: usize, addr: u64, width: usize) -> LoadOutcome {
-        for j in (0..i).rev() {
-            let e = &self.window[j];
-            if !matches!(e.inst.kind(), idld_isa::InstKind::Store) {
-                continue;
-            }
+        let front_seq = self.window.front().expect("load is in the window").seq;
+        let load_seq = front_seq + i as u64;
+        for &s in self.store_seqs.iter().rev().skip_while(|&&s| s >= load_seq) {
+            let e = &self.window[(s - front_seq) as usize];
             if let Some(saddr) = e.addr {
                 let swidth = e.inst.mem_width().expect("store width");
                 if saddr == addr && swidth == width {
@@ -932,11 +1092,10 @@ impl<'p> Simulator<'p> {
                 }
             }
         }
-        for j in (0..i).rev() {
-            let e = &self.window[j];
-            if !matches!(e.inst.kind(), idld_isa::InstKind::Store) {
-                continue;
-            }
+        let front_seq = self.window.front().expect("load is in the window").seq;
+        let load_seq = front_seq + i as u64;
+        for &s in self.store_seqs.iter().rev().skip_while(|&&s| s >= load_seq) {
+            let e = &self.window[(s - front_seq) as usize];
             match e.addr {
                 // Conservative mode blocks on any unresolved older store;
                 // speculative mode sails past (the violation scan at the
@@ -965,34 +1124,47 @@ impl<'p> Simulator<'p> {
     }
 
     fn issue<R: Recorder>(&mut self, recorder: &mut R) {
+        if self.waiting_seqs.is_empty() {
+            return;
+        }
+        let front_seq = self.window.front().expect("waiting entries exist").seq;
+        let len = self.waiting_seqs.len();
         let mut issued = 0;
-        let mut scanned_waiting = 0;
-        for i in 0..self.window.len() {
-            if issued >= self.cfg.width() || scanned_waiting >= self.cfg.rs_entries {
+        // Single pass over the waiting candidates (oldest first), compacting
+        // issued entries out of the list in place. `k` doubles as the
+        // reservation-station scan counter: the list holds only Waiting
+        // entries, so "k waiting entries examined" matches the old
+        // whole-window scan's cap exactly.
+        let mut k = 0;
+        let mut w = 0;
+        while k < len {
+            if issued >= self.cfg.width() || k >= self.cfg.rs_entries {
                 break;
             }
-            if self.window[i].status != Status::Waiting {
-                continue;
+            let seq = self.waiting_seqs[k];
+            let i = (seq - front_seq) as usize;
+            let srcs = self.src_lane[i];
+            let ready = srcs.iter().flatten().all(|p| self.ready[p.index()]);
+            let take = ready && {
+                let e = &self.window[i];
+                !matches!(e.inst.kind(), idld_isa::InstKind::Load) || self.load_may_issue(i)
+            };
+            if take {
+                let done = self.cycle + self.latency(&self.window[i].inst);
+                self.stat[i] = Status::Executing { done };
+                self.exec_done.push((done, seq));
+                recorder.record(self.cycle, ObsEvent::Issue { seq });
+                self.stats.issued += 1;
+                issued += 1;
+            } else {
+                self.waiting_seqs[w] = seq;
+                w += 1;
             }
-            scanned_waiting += 1;
-            let e = &self.window[i];
-            let ready = e.srcs.iter().flatten().all(|p| self.ready[p.index()]);
-            if !ready {
-                continue;
-            }
-            if matches!(e.inst.kind(), idld_isa::InstKind::Load) && !self.load_may_issue(i) {
-                continue;
-            }
-            let done = self.cycle + self.latency(&self.window[i].inst);
-            self.window[i].status = Status::Executing { done };
-            recorder.record(
-                self.cycle,
-                ObsEvent::Issue {
-                    seq: self.window[i].seq,
-                },
-            );
-            self.stats.issued += 1;
-            issued += 1;
+            k += 1;
+        }
+        if w < k {
+            self.waiting_seqs.copy_within(k..len, w);
+            self.waiting_seqs.truncate(len - (k - w));
         }
     }
 
@@ -1073,12 +1245,7 @@ impl<'p> Simulator<'p> {
         }
 
         // Trim to available resources (RS space, RRS capacity).
-        let waiting = self
-            .window
-            .iter()
-            .filter(|e| e.status == Status::Waiting)
-            .count();
-        let rs_free = self.cfg.rs_entries.saturating_sub(waiting);
+        let rs_free = self.cfg.rs_entries.saturating_sub(self.waiting_seqs.len());
         let mut n = group.len().min(rs_free);
         loop {
             let dests = group[..n]
@@ -1154,6 +1321,9 @@ impl<'p> Simulator<'p> {
                     },
                 );
             }
+            if matches!(inst.kind(), idld_isa::InstKind::Store) {
+                self.store_seqs.push_back(out.seq);
+            }
             // Store-sets dispatch interactions (speculative mode only).
             let mut wait_for_store = None;
             if self.cfg.mem_dep_speculation {
@@ -1179,8 +1349,11 @@ impl<'p> Simulator<'p> {
             let status = if matches!(inst, Inst::Halt | Inst::Nop) || out.eliminated {
                 Status::Done
             } else {
+                self.waiting_seqs.push(out.seq);
                 Status::Waiting
             };
+            self.stat.push_back(status);
+            self.src_lane.push_back(out.srcs);
             self.window.push_back(Entry {
                 seq: out.seq,
                 pc,
@@ -1189,7 +1362,6 @@ impl<'p> Simulator<'p> {
                 new_pdst: out.new_pdst,
                 pred_next,
                 bp_hist,
-                status,
                 result: 0,
                 addr: None,
                 fault: None,
@@ -1217,10 +1389,14 @@ impl<'p> Simulator<'p> {
 pub struct SimSnapshot {
     recorder: RecorderState,
     rrs: Rrs,
-    mem: Memory,
+    /// Data memory at the capture point; `None` for *lean* snapshots
+    /// ([`SimSnapshot::discard_mem`]), which are restored through
+    /// [`Simulator::restore_from_arch`] with emulator-reconstructed memory.
+    mem: Option<Memory>,
     prf: Vec<u64>,
     ready: Vec<bool>,
     window: VecDeque<Entry>,
+    stat: VecDeque<Status>,
     predictor: Predictor,
     fetch_pc: usize,
     fetch_enabled: bool,
@@ -1266,6 +1442,82 @@ impl SimSnapshot {
         &self.recorder
     }
 
+    /// Drops the captured data memory, turning this into a *lean* snapshot.
+    ///
+    /// Memory is by far the largest component of a snapshot (the suite
+    /// workloads carry 1 MiB each, against a few KiB for everything else),
+    /// and it is redundant: stores apply at commit, so the in-order
+    /// emulator reproduces it exactly from the committed instruction
+    /// count. Lean snapshots must be restored through
+    /// [`Simulator::restore_from_arch`]; plain [`Simulator::restore`]
+    /// panics on them.
+    pub fn discard_mem(&mut self) {
+        self.mem = None;
+    }
+
+    /// True if this snapshot still carries its captured memory image.
+    #[inline]
+    pub fn has_mem(&self) -> bool {
+        self.mem.is_some()
+    }
+
+    /// The fast-forward bit-exactness gate: checks that `emu`, advanced to
+    /// exactly this snapshot's committed instruction count, agrees with
+    /// the snapshot's committed architectural view — register file (read
+    /// through the retirement RAT), output stream, and next-to-execute pc
+    /// (the window head's pc; when the window is drained, the fetch pc).
+    ///
+    /// Snapshots are taken on the bug-free prefix of golden runs, where
+    /// the two engines are architecturally equivalent by contract, so any
+    /// disagreement here is an emulator-vs-OoO divergence — exactly what
+    /// fast-forwarding must turn into a hard failure instead of silently
+    /// corrupting a campaign.
+    pub fn verify_arch(&self, emu: &Emulator) -> Result<(), FfDivergence> {
+        if emu.steps() != self.committed {
+            return Err(FfDivergence::Steps {
+                emu: emu.steps(),
+                snap: self.committed,
+            });
+        }
+        for arch in 0..NUM_ARCH_REGS {
+            let snap = self.prf[self.rrs.rrat_lookup(arch).index()];
+            let emu_v = emu.regs()[arch];
+            if emu_v != snap {
+                return Err(FfDivergence::Reg {
+                    arch,
+                    emu: emu_v,
+                    snap,
+                });
+            }
+        }
+        if emu.output() != self.output {
+            return Err(FfDivergence::Output {
+                emu_len: emu.output().len(),
+                snap_len: self.output.len(),
+            });
+        }
+        let snap_pc = match self.window.front() {
+            Some(front) => Some(front.pc),
+            // Drained window: everything fetched has committed, so the
+            // fetch pc is the architectural next pc — unless fetch already
+            // stopped on an invalid pc or recovery is mid-walk, where no
+            // single "next pc" exists to compare.
+            None if self.fetch_fault.is_none() && !self.rrs.recovery_active() => {
+                Some(self.fetch_pc)
+            }
+            None => None,
+        };
+        if let Some(snap_pc) = snap_pc {
+            if emu.pc() != snap_pc {
+                return Err(FfDivergence::Pc {
+                    emu: emu.pc(),
+                    snap: snap_pc,
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Structural equality of the captured *simulator* state (checker
     /// state excluded — trait objects have no general equality; compare
     /// their detections instead). Used by determinism tests to prove a
@@ -1277,6 +1529,7 @@ impl SimSnapshot {
             && self.prf == other.prf
             && self.ready == other.ready
             && self.window == other.window
+            && self.stat == other.stat
             && self.predictor == other.predictor
             && self.fetch_pc == other.fetch_pc
             && self.fetch_enabled == other.fetch_enabled
@@ -1291,6 +1544,67 @@ impl SimSnapshot {
             && self.store_sets == other.store_sets
     }
 }
+
+/// A divergence caught by the fast-forward bit-exactness gate
+/// ([`SimSnapshot::verify_arch`]): the in-order emulator, advanced to the
+/// hand-off instruction count, disagrees with the cycle-accurate
+/// snapshot's committed architectural view.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FfDivergence {
+    /// The emulator is not at the snapshot's committed instruction count.
+    Steps {
+        /// Emulator steps executed.
+        emu: u64,
+        /// Snapshot committed-instruction count.
+        snap: u64,
+    },
+    /// An architectural register differs between the emulator and the
+    /// snapshot's retirement-RAT view.
+    Reg {
+        /// Architectural register number.
+        arch: usize,
+        /// Emulator value.
+        emu: u64,
+        /// Snapshot (retirement-RAT) value.
+        snap: u64,
+    },
+    /// The output streams differ.
+    Output {
+        /// Emulator output length.
+        emu_len: usize,
+        /// Snapshot output length.
+        snap_len: usize,
+    },
+    /// The next-to-execute pc differs.
+    Pc {
+        /// Emulator pc.
+        emu: usize,
+        /// Snapshot view of the next-to-commit pc.
+        snap: usize,
+    },
+}
+
+impl std::fmt::Display for FfDivergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            FfDivergence::Steps { emu, snap } => {
+                write!(f, "emulator at step {emu}, snapshot committed {snap}")
+            }
+            FfDivergence::Reg { arch, emu, snap } => {
+                write!(f, "r{arch}: emulator {emu:#x} vs committed view {snap:#x}")
+            }
+            FfDivergence::Output { emu_len, snap_len } => write!(
+                f,
+                "output streams differ (emulator {emu_len} values, snapshot {snap_len})"
+            ),
+            FfDivergence::Pc { emu, snap } => {
+                write!(f, "next pc: emulator {emu} vs snapshot {snap}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FfDivergence {}
 
 /// A simulation run driven in resumable slices.
 ///
@@ -1872,6 +2186,133 @@ mod tests {
             idld_obs::NullRecorder.state(),
             idld_obs::RecorderState::Null
         );
+    }
+
+    #[test]
+    fn jalr_beyond_program_matches_emulator() {
+        // Minimized reproducer: results/fuzz/corpus/emu-jalr-wrap-target.asm.
+        // Surfaced by the fast-forward bit-exactness gate: the emulator used
+        // to truncate an out-of-range jalr target into a valid pc while the
+        // OoO model clamps it to `usize::MAX` and faults at the next fetch.
+        // Both engines must now crash at the same (clamped) pc with the same
+        // architectural state — the wrong-path `out` behind the alias pc
+        // must never retire.
+        let mut a = Asm::new();
+        a.li(r(1), 0x1_0000_0003u64 as i64); // aliases pc 3 if truncated
+        a.jalr(r(3), r(1), 0);
+        a.halt();
+        a.out(r(1)); // pc 3: the alias target a truncating engine runs
+        a.halt();
+        let p = a.finish();
+
+        let mut emu = Emulator::new(&p);
+        let eres = emu.run(1_000);
+        let clamped = (0x1_0000_0003u64).min(usize::MAX as u64) as usize;
+        assert_eq!(
+            eres.stop,
+            StopReason::Fault(idld_isa::EmuFault::InvalidPc(clamped))
+        );
+
+        for w in [1, 2, 4, 8] {
+            let mut sim = Simulator::new(&p, SimConfig::with_width(w));
+            let got = sim.run(&mut NoFaults, &mut CheckerSet::new(), None, 100_000);
+            assert_eq!(
+                got.stop,
+                SimStop::Crash(CrashCause::InvalidPc(clamped)),
+                "width {w}"
+            );
+            assert_eq!(got.output, eres.output, "width {w}");
+            // The fault contract: the emulator stops *before* executing the
+            // instruction at the bad pc, the simulator commits everything
+            // older than the faulting fetch — both agree on the retired
+            // prefix (li + jalr).
+            assert_eq!(got.committed, eres.steps, "width {w}");
+        }
+    }
+
+    #[test]
+    fn lean_snapshot_restores_through_the_emulator_bit_identically() {
+        use idld_core::IdldChecker;
+        let p = snapshot_workload();
+        let cfg = SimConfig::default();
+
+        // Uninterrupted reference run.
+        let mut ref_checkers = CheckerSet::new();
+        ref_checkers.push(Box::new(IdldChecker::new(&cfg.rrs)));
+        let mut ref_sim = Simulator::new(&p, cfg);
+        let mut ref_seg = ref_sim.begin_run(None, 100_000);
+        let ref_stop = ref_seg.run_to_end(&mut ref_sim, &mut NoFaults, &mut ref_checkers, None);
+        let ref_final = ref_sim.snapshot(&ref_checkers);
+        let ref_res = ref_seg.finish(&mut ref_sim, ref_stop, &mut ref_checkers);
+        assert_eq!(ref_res.stop, SimStop::Halted);
+
+        // Lean snapshot mid-flight: memory dropped at capture time.
+        let mut checkers = CheckerSet::new();
+        checkers.push(Box::new(IdldChecker::new(&cfg.rrs)));
+        let mut sim = Simulator::new(&p, cfg);
+        let mut seg = sim.begin_run(None, 100_000);
+        assert_eq!(
+            seg.step_until(&mut sim, &mut NoFaults, &mut checkers, ref_res.cycles / 2),
+            None
+        );
+        let snap = sim.snapshot_lean(&checkers);
+        assert!(!snap.has_mem(), "lean snapshots carry no memory image");
+
+        // The emulator reconstructs memory; the gate passes; the resumed
+        // run is bit-identical to the uninterrupted one.
+        let mut emu = Emulator::new(&p);
+        emu.run_to_step(snap.committed()).expect("clean prefix");
+        let mut fchk = CheckerSet::new();
+        let mut fork = Simulator::new(&p, cfg);
+        fork.restore_from_arch(&snap, &emu, &mut fchk)
+            .expect("bit-exactness gate passes on the golden prefix");
+        let mut fseg = fork.begin_run(None, 100_000);
+        let stop = fseg.run_to_end(&mut fork, &mut NoFaults, &mut fchk, None);
+        let fork_final = fork.snapshot(&fchk);
+        let fres = fseg.finish(&mut fork, stop, &mut fchk);
+
+        assert_eq!(fres.stop, SimStop::Halted);
+        assert_eq!(fres.cycles, ref_res.cycles);
+        assert_eq!(fres.output, ref_res.output);
+        assert_eq!(fres.stats, ref_res.stats);
+        assert!(fork_final.state_eq(&ref_final));
+    }
+
+    #[test]
+    fn verify_arch_refuses_a_diverged_emulator() {
+        let p = snapshot_workload();
+        let cfg = SimConfig::default();
+        let mut checkers = CheckerSet::new();
+        let mut sim = Simulator::new(&p, cfg);
+        let mut seg = sim.begin_run(None, 100_000);
+        assert_eq!(
+            seg.step_until(&mut sim, &mut NoFaults, &mut checkers, 200),
+            None
+        );
+        let snap = sim.snapshot_lean(&checkers);
+        let target = snap.committed();
+        assert!(target > 0, "pause point retires instructions");
+
+        // Wrong step count → Steps divergence.
+        let mut emu = Emulator::new(&p);
+        emu.run_to_step(target - 1).unwrap();
+        assert!(matches!(
+            snap.verify_arch(&emu),
+            Err(FfDivergence::Steps { .. })
+        ));
+
+        // Right step count but corrupted register → Reg divergence, and
+        // restore_from_arch must refuse without touching the simulator.
+        emu.run_to_step(target).unwrap();
+        snap.verify_arch(&emu).expect("clean prefix verifies");
+        let mut bad = Emulator::new(&p);
+        bad.run_to_step(target).unwrap();
+        bad.set_reg(r(5), bad.reg(r(5)) ^ 1);
+        let err = snap.verify_arch(&bad).unwrap_err();
+        assert!(matches!(err, FfDivergence::Reg { .. }), "{err}");
+        let mut fchk = CheckerSet::new();
+        let mut fork = Simulator::new(&p, cfg);
+        assert!(fork.restore_from_arch(&snap, &bad, &mut fchk).is_err());
     }
 
     #[test]

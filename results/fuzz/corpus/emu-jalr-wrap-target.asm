@@ -1,0 +1,16 @@
+; Audit find from wiring the fast-forward bit-exactness gate: the emulator's
+; jalr range check compared the 64-bit target against usize::MAX only AFTER
+; truncating it into next_pc, so it could never fire on 64-bit hosts, and on
+; 32-bit hosts a wrapping target like (1<<32)+3 silently aliased pc 3 and
+; executed the wrong-path `out` below instead of faulting — diverging from
+; the OoO model, which clamps the target to usize::MAX so the next fetch
+; faults with the real (clamped) pc.
+; Fixed by clamping in the emulator too (crates/isa/src/emu.rs, Inst::Jalr).
+; Regression tests: idld-isa jalr_wrapping_target_faults_instead_of_aliasing,
+; idld-sim jalr_beyond_program_matches_emulator
+.name emu-jalr-wrap-target
+    li r1, 0x100000003   ; (1<<32) + 3: aliases pc 3 if truncated to 32 bits
+    jalr r3, r1, 0
+    halt
+    out r1               ; pc 3 — the alias target a truncating emulator runs
+    halt
