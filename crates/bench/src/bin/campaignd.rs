@@ -13,7 +13,18 @@
 //! campaignd [--out DIR] [--shards N]   # one sharded campaign, merged
 //! campaignd --scaling [1,2,4,8]        # shard-count series + byte check
 //! campaignd --bench                    # regenerate BENCH_campaign.json
+//! campaignd --listen HOST:PORT         # TCP coordinator (idld-net)
+//! campaignd --connect HOST:PORT        # TCP worker (idld-net)
 //! ```
+//!
+//! `--listen` serves the campaign's shards to TCP workers (`--workers N`
+//! additionally spawns N loopback worker processes), persists every
+//! accepted artifact to `DIR/shard-<i>.part`, survives worker loss by
+//! reassignment, and writes the merged outputs plus a
+//! `service_metrics.csv` when every shard is in. `--resume` (either
+//! mode of the coordinator, local or TCP) re-dispatches only shards
+//! whose `.part` is missing or does not decode cleanly — a killed
+//! coordinator picks up where the artifacts say it left off.
 //!
 //! Environment: all the usual campaign knobs (`IDLD_RUNS_PER_CELL`,
 //! `IDLD_SEED`, `IDLD_SWEEP`, `IDLD_SNAPSHOT`, …) plus:
@@ -26,23 +37,20 @@
 //!   sharded run never oversubscribes the host.
 //! - `IDLD_TIMINGS_WALL=0` — zero the wall-clock column of the written
 //!   `timings.csv` (CI byte-comparisons across shard counts).
+//! - `IDLD_LISTEN` / `IDLD_CONNECT` — `host:port` fallbacks for the
+//!   `--listen` / `--connect` flags.
+//! - `IDLD_HEARTBEAT_MS` / `IDLD_RETRY_MAX` — service heartbeat interval
+//!   and worker (re)connect budget (strict parses; see `idld_net::env`).
 
-use idld_bench::{BenchEntry, ScalingPoint};
+use idld_bench::{netd, BenchEntry, ScalingPoint, SHARD_DIR_ENV, WORKLOADS_ENV};
 use idld_campaign::{
-    campaign, decode_shard, encode_shard, export, merge_shards, Campaign, CampaignConfig,
-    MergedCampaign, StderrProgress,
+    campaign, encode_shard, export, Campaign, CampaignConfig, MergedCampaign, ShardLedger,
+    StderrProgress,
 };
 use std::io::BufRead;
 use std::path::{Path, PathBuf};
 use std::process::{Command, Stdio};
 use std::time::Instant;
-
-/// Environment variable: directory a `--worker` invocation writes its
-/// shard artifact into (set by the coordinator).
-const SHARD_DIR_ENV: &str = "IDLD_SHARD_DIR";
-
-/// Environment variable: comma-separated workload-name filter.
-const WORKLOADS_ENV: &str = "IDLD_WORKLOADS";
 
 fn fail(msg: &str) -> ! {
     eprintln!("campaignd: {msg}");
@@ -105,23 +113,39 @@ fn run_worker() -> ! {
     std::process::exit(0);
 }
 
-/// Spawns `shards` worker processes, streams their stderr with
-/// `[shard i]` prefixes, and merges their artifacts. Returns the merged
-/// campaign and the coordinator-side wall-clock in seconds.
-fn run_sharded(shards: usize, dir: &Path) -> (MergedCampaign, f64) {
+/// Spawns a worker process for every missing shard, streams their stderr
+/// with `[shard i]` prefixes, and merges the artifacts. With `resume`,
+/// shards whose `dir/shard-<i>.part` already decodes cleanly are skipped
+/// (the ledger's resume accounting); without it every shard runs afresh.
+/// Returns the merged campaign and the coordinator-side wall-clock in
+/// seconds.
+fn run_sharded(shards: usize, dir: &Path, resume: bool) -> (MergedCampaign, f64) {
     if shards == 0 {
         fail("a campaign needs at least one shard");
     }
     std::fs::create_dir_all(dir)
         .unwrap_or_else(|e| fail(&format!("cannot create {}: {e}", dir.display())));
+    let mut ledger = ShardLedger::new(shards);
+    if resume {
+        let resumed = ledger.resume_from_dir(dir);
+        if resumed > 0 {
+            eprintln!(
+                "campaignd: resumed {resumed}/{shards} shard(s) from {}",
+                dir.display()
+            );
+        }
+    }
+    let missing = ledger.missing();
     let exe = std::env::current_exe().unwrap_or_else(|e| fail(&format!("current_exe: {e}")));
     let threads_env = std::env::var(campaign::THREADS_ENV).ok();
-    let per_worker = idld_bench::host_cores().div_ceil(shards).max(1);
+    let per_worker = idld_bench::host_cores()
+        .div_ceil(missing.len().max(1))
+        .max(1);
     let rpc = runs_per_cell();
 
     let t0 = Instant::now();
-    let mut children = Vec::with_capacity(shards);
-    for shard in 0..shards {
+    let mut children = Vec::with_capacity(missing.len());
+    for shard in missing {
         let mut cmd = Command::new(&exe);
         cmd.arg("--worker")
             .env(campaign::SHARD_ENV, shard.to_string())
@@ -158,32 +182,52 @@ fn run_sharded(shards: usize, dir: &Path) -> (MergedCampaign, f64) {
         }
     }
     let wall = t0.elapsed().as_secs_f64();
-
-    let mut parts = Vec::with_capacity(shards);
-    for shard in 0..shards {
-        let path = dir.join(format!("shard-{shard}.part"));
-        let text = std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| fail(&format!("cannot read {}: {e}", path.display())));
-        parts.push(decode_shard(&text).unwrap_or_else(|e| fail(&format!("shard {shard}: {e}"))));
-    }
-    let merged = merge_shards(&parts).unwrap_or_else(|e| fail(&e));
+    let merged = netd::merge_parts(dir, shards).unwrap_or_else(|e| fail(&e));
     (merged, wall)
+}
+
+/// `--listen`: serve the campaign's shards over TCP until every artifact
+/// is persisted, then merge and write outputs plus `service_metrics.csv`.
+/// `workers` > 0 additionally spawns that many loopback worker processes
+/// (`--connect` children of this binary).
+fn run_listen(addr: &str, shards: usize, dir: &Path, resume: bool, workers: usize) {
+    let exe = std::env::current_exe().unwrap_or_else(|e| fail(&format!("current_exe: {e}")));
+    let (merged, outcome, wall) =
+        netd::serve_campaign(addr, shards, dir, resume, workers, &exe, true)
+            .unwrap_or_else(|e| fail(&e));
+    write_outputs(&merged, dir);
+    let path = dir.join("service_metrics.csv");
+    std::fs::write(&path, outcome.metrics.to_csv("netd"))
+        .unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", path.display())));
+    eprintln!(
+        "campaignd: {} runs across {shards} shard(s) in {wall:.2}s \
+         ({} resumed, {} retried, {} duplicate(s)) -> {}",
+        merged.runs(),
+        outcome.resumed,
+        outcome.metrics.counter("shards_retried"),
+        outcome.metrics.counter("artifacts_duplicate"),
+        dir.display()
+    );
+}
+
+/// `--connect`: run shards for a remote coordinator until it says DONE.
+fn run_connect(addr: &str) -> ! {
+    match netd::connect_worker(addr) {
+        Ok(s) => {
+            eprintln!(
+                "campaignd: worker done: {} shard(s), {} duplicate(s), {} reconnect(s)",
+                s.completed, s.duplicates, s.reconnects
+            );
+            std::process::exit(0);
+        }
+        Err(e) => fail(&e),
+    }
 }
 
 /// Writes the four merged artifacts into `dir`, honoring
 /// `IDLD_TIMINGS_WALL` for the timings export.
 fn write_outputs(merged: &MergedCampaign, dir: &Path) {
-    let wall = export::timings_wall_from_env().unwrap_or_else(|e| fail(&e));
-    for (name, body) in [
-        ("records.csv", merged.records_csv()),
-        ("metrics.csv", merged.metrics_csv()),
-        ("metrics.json", merged.metrics_json()),
-        ("timings.csv", merged.timings_csv(wall)),
-    ] {
-        let path = dir.join(name);
-        std::fs::write(&path, body)
-            .unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", path.display())));
-    }
+    netd::write_merged_outputs(merged, dir).unwrap_or_else(|e| fail(&e));
 }
 
 /// A [`BenchEntry`] for a merged multi-process run. `from_result` only
@@ -220,7 +264,7 @@ fn entry_from_merged(
 fn run_scaling(counts: &[usize], out: &Path) -> Vec<(ScalingPoint, MergedCampaign)> {
     let mut series: Vec<(ScalingPoint, MergedCampaign)> = Vec::with_capacity(counts.len());
     for &n in counts {
-        let (merged, wall) = run_sharded(n, &out.join(format!("scale-{n}")));
+        let (merged, wall) = run_sharded(n, &out.join(format!("scale-{n}")), false);
         let identical = match series.first() {
             Some((_, r)) => {
                 r.records_csv() == merged.records_csv()
@@ -315,6 +359,29 @@ fn run_bench(out: &Path) {
         idld_bench::ShardScaling::Measured(&measured)
     };
 
+    // Distributed loopback: the same campaign served over TCP to two
+    // worker processes, byte-verified against the in-process merge. Runs
+    // even on a single-core host — it checks correctness, not scaling.
+    eprintln!("campaignd: distributed loopback service (2 workers)...");
+    const DIST_SHARDS: usize = 2;
+    let dist_dir = out.join("dist");
+    let exe = std::env::current_exe().unwrap_or_else(|e| fail(&format!("current_exe: {e}")));
+    let (dist, _outcome, dist_wall) =
+        netd::serve_campaign("127.0.0.1:0", DIST_SHARDS, &dist_dir, false, 2, &exe, false)
+            .unwrap_or_else(|e| fail(&e));
+    let reference = &series.first().expect("series is nonempty").1;
+    if dist.records_csv() != reference.records_csv()
+        || dist.metrics_csv() != reference.metrics_csv()
+        || dist.timings_csv(false) != reference.timings_csv(false)
+    {
+        fail("distributed merge differs from the local merge — the service is unsound");
+    }
+    eprintln!(
+        "campaignd: distributed merge byte-identical ({} runs in {dist_wall:.2}s)",
+        dist.runs()
+    );
+    let dist_entry = entry_from_merged("suite_dist", &dist, dist_wall, DIST_SHARDS);
+
     eprintln!("campaignd: scale-10 suite...");
     let scale10_suite = idld_workloads::suite_scaled(10);
     let scale10_cfg = CampaignConfig {
@@ -354,6 +421,7 @@ fn run_bench(out: &Path) {
         BenchEntry::from_result("suite_snapshot_on", &snap),
         BenchEntry::from_result("suite_ff", &ff),
         sharded,
+        dist_entry,
         scale10_entry,
         scale10_ff_entry,
     ];
@@ -369,10 +437,40 @@ fn main() {
     let mut shards: Option<usize> = None;
     let mut scaling: Option<Vec<usize>> = None;
     let mut bench = false;
+    let mut resume = false;
+    let mut listen = idld_net::env::try_listen().unwrap_or_else(|e| fail(&e));
+    let mut connect = idld_net::env::try_connect().unwrap_or_else(|e| fail(&e));
+    let mut workers = 0usize;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--worker" => run_worker(),
+            "--listen" => {
+                i += 1;
+                listen = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| fail("--listen needs host:port"))
+                        .clone(),
+                );
+            }
+            "--connect" => {
+                i += 1;
+                connect = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| fail("--connect needs host:port"))
+                        .clone(),
+                );
+            }
+            "--resume" => resume = true,
+            "--workers" => {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .unwrap_or_else(|| fail("--workers needs a count"));
+                workers = v
+                    .parse()
+                    .unwrap_or_else(|_| fail("--workers needs a count"));
+            }
             "--out" => {
                 i += 1;
                 out = PathBuf::from(
@@ -410,6 +508,12 @@ fn main() {
         i += 1;
     }
 
+    if let Some(addr) = connect {
+        if listen.is_some() {
+            fail("--listen and --connect are mutually exclusive");
+        }
+        run_connect(&addr);
+    }
     if bench {
         run_bench(&out);
         return;
@@ -431,7 +535,11 @@ fn main() {
             })
         })
         .unwrap_or_else(idld_bench::host_cores);
-    let (merged, wall) = run_sharded(n, &out);
+    if let Some(addr) = listen {
+        run_listen(&addr, n, &out, resume, workers);
+        return;
+    }
+    let (merged, wall) = run_sharded(n, &out, resume);
     write_outputs(&merged, &out);
     let st = merged.stats;
     eprintln!(

@@ -1,0 +1,101 @@
+//! `netd` — the distributed fault-injection service, standalone.
+//!
+//! The same coordinator/worker modes `campaignd --listen/--connect`
+//! exposes, without the local multi-process machinery — the binary to
+//! deploy on hosts that only ever serve or join a distributed campaign.
+//!
+//! ```sh
+//! netd --listen HOST:PORT [--shards N] [--out DIR] [--workers N] [--resume]
+//! netd --connect HOST:PORT
+//! ```
+//!
+//! `--listen`/`--connect` fall back to `IDLD_LISTEN`/`IDLD_CONNECT`;
+//! the heartbeat interval and reconnect budget come from
+//! `IDLD_HEARTBEAT_MS`/`IDLD_RETRY_MAX` (strict parses). The coordinator
+//! persists every accepted artifact to `DIR/shard-<i>.part`, writes the
+//! merged `records.csv`/`metrics.csv`/`metrics.json`/`timings.csv` —
+//! byte-identical to a single-process run — plus `service_metrics.csv`,
+//! and with `--resume` re-dispatches only shards whose `.part` is
+//! missing or does not decode cleanly.
+
+use idld_bench::netd;
+use std::path::PathBuf;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("netd: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = PathBuf::from("campaign-out");
+    let mut shards: Option<usize> = None;
+    let mut resume = false;
+    let mut workers = 0usize;
+    let mut listen = idld_net::env::try_listen().unwrap_or_else(|e| fail(&e));
+    let mut connect = idld_net::env::try_connect().unwrap_or_else(|e| fail(&e));
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut value = |what: &str| -> &String {
+            i += 1;
+            args.get(i)
+                .unwrap_or_else(|| fail(&format!("{flag} needs {what}")))
+        };
+        match flag {
+            "--listen" => listen = Some(value("host:port").clone()),
+            "--connect" => connect = Some(value("host:port").clone()),
+            "--out" => out = PathBuf::from(value("a directory")),
+            "--shards" => {
+                shards = Some(
+                    value("a count")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--shards needs a count")),
+                )
+            }
+            "--workers" => {
+                workers = value("a count")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--workers needs a count"))
+            }
+            "--resume" => resume = true,
+            other => fail(&format!("unknown argument {other:?}")),
+        }
+        i += 1;
+    }
+
+    match (listen, connect) {
+        (Some(_), Some(_)) => fail("--listen and --connect are mutually exclusive"),
+        (None, None) => {
+            fail("nothing to do: pass --listen or --connect (or set IDLD_LISTEN / IDLD_CONNECT)")
+        }
+        (None, Some(addr)) => match netd::connect_worker(&addr) {
+            Ok(s) => eprintln!(
+                "netd: worker done: {} shard(s), {} duplicate(s), {} reconnect(s)",
+                s.completed, s.duplicates, s.reconnects
+            ),
+            Err(e) => fail(&e),
+        },
+        (Some(addr), None) => {
+            let n = shards.unwrap_or_else(idld_bench::host_cores);
+            let exe =
+                std::env::current_exe().unwrap_or_else(|e| fail(&format!("current_exe: {e}")));
+            let (merged, outcome, wall) =
+                netd::serve_campaign(&addr, n, &out, resume, workers, &exe, true)
+                    .unwrap_or_else(|e| fail(&e));
+            netd::write_merged_outputs(&merged, &out).unwrap_or_else(|e| fail(&e));
+            let path = out.join("service_metrics.csv");
+            std::fs::write(&path, outcome.metrics.to_csv("netd"))
+                .unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", path.display())));
+            eprintln!(
+                "netd: {} runs across {n} shard(s) in {wall:.2}s \
+                 ({} resumed, {} retried, {} duplicate(s)) -> {}",
+                merged.runs(),
+                outcome.resumed,
+                outcome.metrics.counter("shards_retried"),
+                outcome.metrics.counter("artifacts_duplicate"),
+                out.display()
+            );
+        }
+    }
+}

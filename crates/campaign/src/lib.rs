@@ -23,6 +23,7 @@ pub mod analysis;
 pub mod campaign;
 pub mod classify;
 pub mod export;
+pub mod ledger;
 pub mod metrics;
 pub mod progress;
 pub mod shard;
@@ -33,7 +34,10 @@ pub use campaign::{
     GoldenSnapshot, RunRecord, SnapshotStats,
 };
 pub use classify::{classify, OutcomeClass};
+pub use ledger::{Claim, Completion, ShardLedger};
 pub use metrics::{metrics_csv, metrics_json, CampaignMetrics};
 pub use progress::{CampaignProgress, NullProgress, ProgressSnapshot, StderrProgress};
-pub use shard::{decode_shard, encode_shard, merge_shards, MergedCampaign, ShardArtifact};
+pub use shard::{
+    decode_shard, encode_shard, merge_shards, MergedCampaign, ShardArtifact, SHARD_MAGIC,
+};
 pub use sweep::{SweepPoint, SweepSpec, DEFAULT_LABEL};

@@ -32,8 +32,13 @@ use std::fmt::Write as _;
 use std::time::Duration;
 
 /// Format tag heading every artifact; bumped on incompatible changes so a
-/// stale worker binary fails loudly instead of merging garbage.
-const MAGIC: &str = "idld-shard v2";
+/// stale worker binary fails loudly instead of merging garbage. Public
+/// because the `idld-net` HELLO handshake carries it: a coordinator and a
+/// worker built against different shard formats must refuse to talk at
+/// connection time, not fail at merge time.
+pub const SHARD_MAGIC: &str = "idld-shard v2";
+
+use SHARD_MAGIC as MAGIC;
 
 /// One worker process's serialized campaign slice.
 #[derive(Clone, Debug)]

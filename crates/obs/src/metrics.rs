@@ -183,6 +183,18 @@ impl MetricsRegistry {
         }
     }
 
+    /// A complete one-registry CSV document — [`METRICS_CSV_HEADER`] plus
+    /// [`MetricsRegistry::csv_rows`] under `scope`. The export shape the
+    /// `netd` coordinator uses for its service metrics (shards
+    /// dispatched/retried/resumed, worker wall histograms), so service
+    /// dashboards parse the same schema as campaign `metrics.csv`.
+    pub fn to_csv(&self, scope: &str) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "{METRICS_CSV_HEADER}");
+        self.csv_rows(scope, &mut s);
+        s
+    }
+
     /// Serializes this registry as a line-oriented key-value text block,
     /// the transport format sharded campaign workers use to ship their
     /// per-cell registries to the merging coordinator. The encoding is
@@ -448,5 +460,18 @@ mod tests {
         assert!(json.contains("\"lat\": {\"count\": 1, \"sum\": 4"));
         // Deterministic: same input, same bytes.
         assert_eq!(json, m.to_json(0));
+    }
+
+    #[test]
+    fn to_csv_is_a_headed_one_registry_document() {
+        let mut m = MetricsRegistry::new();
+        m.add("shards_dispatched", 3);
+        m.observe("shard_wall_us", 250);
+        let csv = m.to_csv("netd");
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], METRICS_CSV_HEADER);
+        assert_eq!(lines[1], "netd,shards_dispatched,counter,1,3,3,3,3");
+        assert!(lines[2].starts_with("netd,shard_wall_us,histogram,1,250,250,250,"));
+        assert_eq!(lines.len(), 3);
     }
 }

@@ -21,6 +21,9 @@
 //!   compact-trace exporters;
 //! * [`campaign`] — golden runs, injection campaigns, outcome
 //!   classification and the analyses behind every figure;
+//! * [`net`] — the distributed fault-injection service: length-prefixed
+//!   framed TCP protocol, campaign coordinator with heartbeat-timeout
+//!   reassignment and `.part` resume, and the reconnecting worker client;
 //! * [`fuzz`] — the seeded differential-fuzzing subsystem: random-program
 //!   generator, emulator-vs-core lockstep oracle, checker-soundness
 //!   fuzzer, minimizer and the `fuzz` CLI;
@@ -58,6 +61,7 @@ pub use idld_core as core;
 pub use idld_fuzz as fuzz;
 pub use idld_isa as isa;
 pub use idld_mdp as mdp;
+pub use idld_net as net;
 pub use idld_obs as obs;
 pub use idld_rrs as rrs;
 pub use idld_rtl as rtl;
