@@ -118,6 +118,22 @@ fn main() {
         snap_res.wall.as_secs_f64() / ff_res.wall.as_secs_f64()
     );
 
+    // Raw interpreter contrast, undiluted by simulator work: the longest
+    // run of the suite through the block engine vs single-step.
+    let longest = suite
+        .iter()
+        .max_by_key(|w| w.max_steps)
+        .expect("suite is nonempty");
+    let emu = idld_bench::measure_emu_throughput(&longest.program, longest.max_steps);
+    println!(
+        "emu ({}, {} steps): block {:.1}M steps/s, single-step {:.1}M steps/s ({:.1}x)",
+        longest.name,
+        emu.steps,
+        emu.block_steps_per_sec() / 1e6,
+        emu.single_steps_per_sec() / 1e6,
+        emu.speedup()
+    );
+
     match idld_bench::write_campaign_bench_json(
         &[
             idld_bench::BenchEntry::from_result("suite_snapshot_off", &cold_res),
@@ -126,6 +142,7 @@ fn main() {
         ],
         idld_bench::ShardScaling::NotRun,
         Some(speedup),
+        Some(&emu),
     ) {
         Ok(path) => println!("wrote {path}"),
         Err(e) => eprintln!("could not write BENCH_campaign.json: {e}"),

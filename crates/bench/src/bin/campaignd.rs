@@ -334,6 +334,22 @@ fn run_bench(out: &Path) {
         fail("fast-forward execution changed the record stream");
     }
 
+    // Ablation: the same fast-forward campaign with the emulator's block
+    // engine disabled (`IDLD_EMU_BLOCK=0` semantics) — the before/after
+    // contrast of the pre-decoded interpreter, byte-verified as usual.
+    eprintln!("campaignd: fast-forward, block engine off...");
+    let ff_noblock = Campaign::new(CampaignConfig {
+        snapshot: true,
+        ff: true,
+        emu_block: false,
+        ..base.clone()
+    })
+    .run_with_progress(&suite, &StderrProgress::new())
+    .unwrap_or_else(|e| fail(&format!("block-off campaign invalid: {e}")));
+    if export::to_csv(&cold) != export::to_csv(&ff_noblock) {
+        fail("disabling the block engine changed the record stream");
+    }
+
     // The shard-count series only means something with cores to spread
     // over: on a single-core host every extra shard just adds process
     // overhead and the curve comes out inverted. Record an explicit skip
@@ -406,7 +422,7 @@ fn run_bench(out: &Path) {
     let scale10_ff = Campaign::new(CampaignConfig {
         snapshot: true,
         ff: true,
-        ..scale10_cfg
+        ..scale10_cfg.clone()
     })
     .run_with_progress(&scale10_suite, &StderrProgress::new())
     .unwrap_or_else(|e| fail(&format!("scale-10 fast-forward campaign invalid: {e}")));
@@ -416,16 +432,52 @@ fn run_bench(out: &Path) {
     let mut scale10_ff_entry = BenchEntry::from_result("suite_scale10_ff", &scale10_ff);
     scale10_ff_entry.workload_scale = 10;
 
+    // Scale-10 block-off ablation: where the emulated prefix dominates,
+    // so the interpreter contrast shows up in campaign throughput.
+    eprintln!("campaignd: scale-10 suite, fast-forward, block engine off...");
+    let scale10_noblock = Campaign::new(CampaignConfig {
+        snapshot: true,
+        ff: true,
+        emu_block: false,
+        ..scale10_cfg
+    })
+    .run_with_progress(&scale10_suite, &StderrProgress::new())
+    .unwrap_or_else(|e| fail(&format!("scale-10 block-off campaign invalid: {e}")));
+    if export::to_csv(&scale10) != export::to_csv(&scale10_noblock) {
+        fail("disabling the block engine changed the scale-10 record stream");
+    }
+    let mut scale10_noblock_entry =
+        BenchEntry::from_result("suite_scale10_emu_block", &scale10_noblock);
+    scale10_noblock_entry.workload_scale = 10;
+
+    // Raw interpreter microbench: the longest scale-10 run, block engine
+    // vs single-step, no simulator in the loop.
+    let longest = scale10_suite
+        .iter()
+        .max_by_key(|w| w.max_steps)
+        .expect("scale-10 suite is nonempty");
+    let emu = idld_bench::measure_emu_throughput(&longest.program, longest.max_steps);
+    eprintln!(
+        "campaignd: emu ({}, {} steps): block {:.1}M steps/s, single-step {:.1}M steps/s ({:.1}x)",
+        longest.name,
+        emu.steps,
+        emu.block_steps_per_sec() / 1e6,
+        emu.single_steps_per_sec() / 1e6,
+        emu.speedup()
+    );
+
     let entries = [
         BenchEntry::from_result("suite_snapshot_off", &cold),
         BenchEntry::from_result("suite_snapshot_on", &snap),
         BenchEntry::from_result("suite_ff", &ff),
+        BenchEntry::from_result("suite_emu_block", &ff_noblock),
         sharded,
         dist_entry,
         scale10_entry,
         scale10_ff_entry,
+        scale10_noblock_entry,
     ];
-    match idld_bench::write_campaign_bench_json(&entries, scaling, Some(speedup)) {
+    match idld_bench::write_campaign_bench_json(&entries, scaling, Some(speedup), Some(&emu)) {
         Ok(path) => eprintln!("campaignd: wrote {path}"),
         Err(e) => fail(&format!("could not write bench json: {e}")),
     }

@@ -9,7 +9,7 @@
 //!   environment, so every assignment carries the *complete* campaign
 //!   description and remote workers never depend on matching env;
 //! - executing one assignment ([`run_campaign_job`]): spec → suite →
-//!   `Campaign::run` → encoded `idld-shard v2` artifact, with progress
+//!   `Campaign::run` → encoded `idld-shard v3` artifact, with progress
 //!   streamed back over the wire (throttled to one frame per interval);
 //! - merging the persisted `.part` files into outputs byte-identical to
 //!   a single-process run ([`merge_parts`]);

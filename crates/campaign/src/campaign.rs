@@ -67,7 +67,7 @@ use crate::progress::{CampaignProgress, NullProgress, ProgressState};
 use crate::sweep::{SweepPoint, SweepSpec, DEFAULT_LABEL};
 use idld_bugs::{BugModel, BugSpec, SingleShotHook};
 use idld_core::{BitVectorChecker, CheckerSet, CounterChecker, IdldChecker};
-use idld_isa::Emulator;
+use idld_isa::{BlockStats, Emulator};
 use idld_rrs::CensusHook;
 use idld_sim::{CommitTrace, SimConfig, SimSnapshot, SimStats, Simulator};
 use idld_workloads::Workload;
@@ -108,6 +108,13 @@ pub const FF_ENV: &str = "IDLD_FF";
 /// [`earliest_trigger`](idld_rrs::FaultHook::earliest_trigger) reports by
 /// at least this many cycle-accurate cycles.
 pub const FF_GUARD_ENV: &str = "IDLD_FF_GUARD";
+/// Environment variable: basic-block-cached emulator interpreter, `0` or
+/// `1` (default). With `1` the fast-forward emulator dispatches whole
+/// pre-decoded basic blocks ([`idld_isa::block`]); with `0` it
+/// single-steps. Bit-identical records, obs digests and architectural
+/// state either way — only throughput (and the `blocks_compiled`/
+/// `block_hits`/`chained_dispatches` counters) differ.
+pub const EMU_BLOCK_ENV: &str = "IDLD_EMU_BLOCK";
 /// Environment variable: this process's shard index, `0..IDLD_SHARDS`.
 pub const SHARD_ENV: &str = "IDLD_SHARD";
 /// Environment variable: total shard count (default 1 = unsharded).
@@ -162,6 +169,12 @@ pub struct CampaignConfig {
     /// default) hands off at the latest eligible snapshot — the
     /// bit-exactness gate alone carries the equivalence proof.
     pub ff_guard: u64,
+    /// Dispatch the fast-forward emulator through the pre-decoded
+    /// basic-block engine (`true`, the default) or the single-step
+    /// interpreter (`false`). Proven bit-identical by the fuzz
+    /// block-equivalence sweep and the CI records cmp; the switch exists
+    /// for that proof and for before/after benchmarking.
+    pub emu_block: bool,
     /// This process's shard index (`0..shards`): it executes only the
     /// jobs hash-partitioned onto it (see the module docs).
     pub shard: usize,
@@ -187,6 +200,7 @@ impl Default for CampaignConfig {
             snapshot_max: 64,
             ff: false,
             ff_guard: 0,
+            emu_block: true,
             shard: 0,
             shards: 1,
             sabotage_job: None,
@@ -254,6 +268,9 @@ impl CampaignConfig {
         }
         if let Some(w) = parse(FF_GUARD_ENV)? {
             cfg.ff_guard = w;
+        }
+        if let Some(on) = parse_flag(EMU_BLOCK_ENV)? {
+            cfg.emu_block = on;
         }
         if cfg.ff && !cfg.snapshot {
             return Err(format!(
@@ -810,6 +827,12 @@ pub struct SnapshotStats {
     /// reconstructed by the in-order emulator, architectural gate passed.
     /// Always `<= forked_runs`; `0` unless [`CampaignConfig::ff`].
     pub ff_runs: usize,
+    /// Block-engine dispatch counters summed over every fast-forward
+    /// emulator the campaign ran. All zero with
+    /// [`CampaignConfig::emu_block`] off (or without `ff`). Like wall
+    /// clock these depend on worker-cache reuse, i.e. on scheduling — they
+    /// are reporting, not part of the deterministic record stream.
+    pub block: BlockStats,
 }
 
 impl SnapshotStats {
@@ -847,6 +870,9 @@ struct WorkerCache<'p> {
     cell: Option<usize>,
     sim: Option<Simulator<'p>>,
     emu: Option<Emulator>,
+    /// The cached emulator's cumulative block counters already credited to
+    /// earlier runs, so each run harvests only its own delta.
+    emu_harvested: BlockStats,
 }
 
 impl<'p> WorkerCache<'p> {
@@ -855,6 +881,7 @@ impl<'p> WorkerCache<'p> {
             cell: None,
             sim: None,
             emu: None,
+            emu_harvested: BlockStats::default(),
         }
     }
 
@@ -870,6 +897,7 @@ impl<'p> WorkerCache<'p> {
         self.cell = None;
         self.sim = None;
         self.emu = None;
+        self.emu_harvested = BlockStats::default();
     }
 }
 
@@ -982,7 +1010,7 @@ impl Campaign {
         spec: BugSpec,
         interrupt: Option<&AtomicBool>,
         cache: &mut WorkerCache<'p>,
-    ) -> (RunRecord, u64, bool) {
+    ) -> (RunRecord, u64, bool, BlockStats) {
         let snap = self.fork_snapshot(golden, &spec);
         // Forked runs fully overwrite simulator state on restore, so the
         // worker's cached simulator (same program, same config) is reused;
@@ -994,6 +1022,7 @@ impl Campaign {
         let mut checkers;
         let mut hook;
         let mut ff_run = false;
+        let mut block_stats = BlockStats::default();
         let skipped = match snap {
             Some(s) => {
                 checkers = CheckerSet::new();
@@ -1004,11 +1033,13 @@ impl Campaign {
                     // order) and the gate cross-checks it against the
                     // snapshot's committed view before seeding anything.
                     let target = s.state.committed();
-                    let emu = cache
-                        .emu
-                        .get_or_insert_with(|| Emulator::new(&golden.workload.program));
+                    let block = self.cfg.emu_block;
+                    let emu = cache.emu.get_or_insert_with(|| {
+                        Emulator::with_block_engine(&golden.workload.program, block)
+                    });
                     if emu.steps() > target {
-                        *emu = Emulator::new(&golden.workload.program);
+                        *emu = Emulator::with_block_engine(&golden.workload.program, block);
+                        cache.emu_harvested = BlockStats::default();
                     }
                     if let Err(stop) = emu.run_to_step(target) {
                         panic!(
@@ -1024,6 +1055,12 @@ impl Campaign {
                             golden.workload.name, s.cycle,
                         );
                     }
+                    // Credit this run with the dispatch work its replay
+                    // added (compilation counts toward the first run that
+                    // touches a freshly built engine).
+                    let cumulative = emu.block_stats();
+                    block_stats = cumulative.since(&cache.emu_harvested);
+                    cache.emu_harvested = cumulative;
                     ff_run = true;
                 } else {
                     sim.restore(&s.state, &mut checkers);
@@ -1065,7 +1102,7 @@ impl Campaign {
             stats: res.stats,
             poisoned: None,
         };
-        (record, skipped, ff_run)
+        (record, skipped, ff_run, block_stats)
     }
 
     /// Executes the job with global index `job` under panic isolation.
@@ -1082,7 +1119,7 @@ impl Campaign {
         spec: BugSpec,
         interrupt: Option<&AtomicBool>,
         cache: &mut WorkerCache<'p>,
-    ) -> (RunRecord, u64, bool) {
+    ) -> (RunRecord, u64, bool, BlockStats) {
         let sabotage = self.cfg.sabotage_job == Some(job);
         let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
             if sabotage {
@@ -1106,6 +1143,7 @@ impl Campaign {
                     ),
                     0,
                     false,
+                    BlockStats::default(),
                 )
             }
         }
@@ -1308,8 +1346,9 @@ impl Campaign {
         let state = ProgressState::new(total);
         let next = AtomicUsize::new(0);
         // Per-job result slot: record, work time, golden-prefix cycles
-        // skipped, and whether the fork used the emulator hand-off.
-        type RunSlot = (RunRecord, Duration, u64, bool);
+        // skipped, whether the fork used the emulator hand-off, and the
+        // hand-off's block-engine dispatch counters.
+        type RunSlot = (RunRecord, Duration, u64, bool, BlockStats);
         let slots: Mutex<Vec<Option<RunSlot>>> = Mutex::new((0..total).map(|_| None).collect());
         let _silencer = PanicSilencer::install();
 
@@ -1342,7 +1381,7 @@ impl Campaign {
                             .expect("sampled jobs have goldens");
                         cache.enter(job.cell);
                         let started = Instant::now();
-                        let (rec, skipped, ff_run) = self.execute_job(
+                        let (rec, skipped, ff_run, block) = self.execute_job(
                             point.sim,
                             &point.label,
                             job.job,
@@ -1354,7 +1393,7 @@ impl Campaign {
                         let elapsed = started.elapsed();
                         state.complete(rec.outcome, rec.poisoned.is_some());
                         slots.lock().unwrap_or_else(|e| e.into_inner())[i] =
-                            Some((rec, elapsed, skipped, ff_run));
+                            Some((rec, elapsed, skipped, ff_run, block));
                         progress.on_run(&state.snapshot());
                     }
                     SUPPRESS_PANIC_OUTPUT.set(false);
@@ -1372,7 +1411,7 @@ impl Campaign {
             captured: goldens.iter().flatten().map(|g| g.snapshots.len()).sum(),
             ..SnapshotStats::default()
         };
-        for (rec, elapsed, skipped, ff_run) in slots.into_iter().flatten() {
+        for (rec, elapsed, skipped, ff_run, block) in slots.into_iter().flatten() {
             if skipped > 0 {
                 snapshot_stats.forked_runs += 1;
             } else {
@@ -1380,6 +1419,7 @@ impl Campaign {
             }
             snapshot_stats.skipped_cycles += skipped;
             snapshot_stats.ff_runs += usize::from(ff_run);
+            snapshot_stats.block.add(&block);
             let cell = match timings
                 .iter_mut()
                 .find(|c| c.config == rec.config && c.bench == rec.bench && c.model == rec.model)
@@ -1647,7 +1687,33 @@ mod tests {
                 ff.snapshot_stats.ff_runs, ff.snapshot_stats.forked_runs,
                 "every forked run goes through the hand-off in ff mode"
             );
+            assert!(
+                ff.snapshot_stats.block.dispatches() > 0,
+                "the hand-off dispatches through the block engine by \
+                 default: {:?}",
+                ff.snapshot_stats.block
+            );
         }
+        // The block engine is a pure interpreter swap: the single-step
+        // hand-off produces the same bytes and reports no block activity.
+        let single = Campaign::new(CampaignConfig {
+            ff: true,
+            emu_block: false,
+            threads: 1,
+            ..mini_cfg()
+        })
+        .run(&picks())
+        .expect("single-step ff run");
+        assert_eq!(
+            crate::export::to_csv(&cold),
+            crate::export::to_csv(&single),
+            "single-step ff CSV must be byte-identical to cold CSV"
+        );
+        assert_eq!(
+            single.snapshot_stats.block,
+            idld_isa::BlockStats::default(),
+            "no block counters with the engine off"
+        );
     }
 
     #[test]
@@ -1917,6 +1983,18 @@ mod tests {
         assert_eq!(
             run(FF_GUARD_ENV, " 4096 ").expect("guard parses").ff_guard,
             4096
+        );
+        assert!(
+            run(EMU_BLOCK_ENV, "on").is_err(),
+            "block flag accepts only 0/1"
+        );
+        assert!(run(EMU_BLOCK_ENV, "true").is_err());
+        assert!(run(EMU_BLOCK_ENV, "").is_err(), "set-but-empty is a typo");
+        assert!(!run(EMU_BLOCK_ENV, "0").expect("0 parses").emu_block);
+        assert!(run(EMU_BLOCK_ENV, " 1 ").expect("1 parses").emu_block);
+        assert!(
+            CampaignConfig::default().emu_block,
+            "the block engine is the default interpreter"
         );
     }
 

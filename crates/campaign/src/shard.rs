@@ -36,7 +36,7 @@ use std::time::Duration;
 /// because the `idld-net` HELLO handshake carries it: a coordinator and a
 /// worker built against different shard formats must refuse to talk at
 /// connection time, not fail at merge time.
-pub const SHARD_MAGIC: &str = "idld-shard v2";
+pub const SHARD_MAGIC: &str = "idld-shard v3";
 
 use SHARD_MAGIC as MAGIC;
 
@@ -68,8 +68,16 @@ pub fn encode_shard(res: &CampaignResult, shard: usize, shards: usize) -> String
     let st = &res.snapshot_stats;
     let _ = writeln!(
         s,
-        "stats {} {} {} {} {}",
-        st.forked_runs, st.cold_runs, st.skipped_cycles, st.captured, st.ff_runs
+        "stats {} {} {} {} {} {} {} {} {}",
+        st.forked_runs,
+        st.cold_runs,
+        st.skipped_cycles,
+        st.captured,
+        st.ff_runs,
+        st.block.blocks_compiled,
+        st.block.block_hits,
+        st.block.chained_dispatches,
+        st.block.block_steps
     );
     let _ = writeln!(s, "records {}", res.records.len());
     for r in &res.records {
@@ -138,8 +146,8 @@ pub fn decode_shard(s: &str) -> Result<ShardArtifact, String> {
         .ok_or_else(|| format!("malformed stats line {stats_line:?}"))?
         .split(' ')
         .collect();
-    if nums.len() != 5 {
-        return Err(format!("stats line needs 5 fields: {stats_line:?}"));
+    if nums.len() != 9 {
+        return Err(format!("stats line needs 9 fields: {stats_line:?}"));
     }
     let field = |i: usize| -> Result<u64, String> {
         nums[i]
@@ -152,6 +160,12 @@ pub fn decode_shard(s: &str) -> Result<ShardArtifact, String> {
         skipped_cycles: field(2)?,
         captured: field(3)? as usize,
         ff_runs: field(4)? as usize,
+        block: idld_isa::BlockStats {
+            blocks_compiled: field(5)?,
+            block_hits: field(6)?,
+            chained_dispatches: field(7)?,
+            block_steps: field(8)?,
+        },
     };
 
     let count = |line: &str, tag: &str| -> Result<usize, String> {
@@ -408,6 +422,7 @@ pub fn merge_shards(parts: &[ShardArtifact]) -> Result<MergedCampaign, String> {
         stats.skipped_cycles += p.stats.skipped_cycles;
         stats.ff_runs += p.stats.ff_runs;
         stats.captured += p.stats.captured;
+        stats.block.add(&p.stats.block);
     }
 
     Ok(MergedCampaign {

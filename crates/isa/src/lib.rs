@@ -42,6 +42,7 @@
 //! ```
 
 pub mod asm;
+pub mod block;
 pub mod emu;
 pub mod inst;
 pub mod mem;
@@ -50,6 +51,7 @@ pub mod program;
 pub mod reg;
 
 pub use asm::Asm;
+pub use block::BlockStats;
 pub use emu::{EmuFault, EmuResult, Emulator, StopReason};
 pub use inst::{AluOp, BrCond, Inst, InstKind};
 pub use mem::{MemFault, Memory};

@@ -77,6 +77,27 @@ impl Memory {
         Ok(v)
     }
 
+    /// [`Memory::load`] with the width known at compile time, so the
+    /// byte-assembly loop specializes to one `from_le_bytes`. Used by the
+    /// block interpreter's pre-decoded micro-ops; bounds semantics (and
+    /// thus faults) are identical to the generic path.
+    #[inline]
+    pub fn load_w<const W: usize>(&self, addr: u64) -> Result<u64, MemFault> {
+        let a = self.check(addr, W)?;
+        let mut buf = [0u8; 8];
+        buf[..W].copy_from_slice(&self.bytes[a..a + W]);
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// [`Memory::store`] with the width known at compile time; the
+    /// write-side counterpart of [`Memory::load_w`].
+    #[inline]
+    pub fn store_w<const W: usize>(&mut self, addr: u64, value: u64) -> Result<(), MemFault> {
+        let a = self.check(addr, W)?;
+        self.bytes[a..a + W].copy_from_slice(&value.to_le_bytes()[..W]);
+        Ok(())
+    }
+
     /// Stores the low `width` bytes (1, 4 or 8) of `value` little-endian.
     ///
     /// # Errors

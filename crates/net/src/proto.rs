@@ -347,7 +347,7 @@ mod tests {
             },
             Message::Artifact {
                 shard: 1,
-                body: "idld-shard v2\nshard 1 4\nmulti\nline body\n".to_string(),
+                body: "idld-shard v3\nshard 1 4\nmulti\nline body\n".to_string(),
             },
             Message::Artifact {
                 shard: 0,

@@ -91,6 +91,63 @@ struct Entry {
     forwarded_from: Option<u64>,
 }
 
+/// Control-flow class of an instruction, pre-classified at decode so
+/// next-pc prediction switches on a small discriminant instead of
+/// re-matching the full [`Inst`] on every fetch.
+#[derive(Clone, Copy, Debug)]
+enum FetchCtrl {
+    /// Conditional branch with its taken-path target.
+    Br { target: usize },
+    /// Direct jump: the next pc is always `target`.
+    Jal { target: usize },
+    /// Indirect jump: the next pc comes from the BTB.
+    Jalr,
+    /// Halt: fetch stops behind it.
+    Halt,
+    /// Everything else falls through to `pc + 1`.
+    Fall,
+}
+
+/// One pre-decoded instruction: everything the frontend used to derive
+/// from an [`Inst`] per fetch — control class, rename request, kind —
+/// computed once per program in [`Simulator::new`]. Derived state:
+/// immutable for the simulator's lifetime, never part of snapshots.
+#[derive(Clone, Copy, Debug)]
+struct FetchDecode {
+    inst: Inst,
+    ctrl: FetchCtrl,
+    req: RenameRequest,
+    kind: idld_isa::InstKind,
+    /// `Halt`/`Nop`: retires without ever executing.
+    no_exec: bool,
+}
+
+impl FetchDecode {
+    fn new(inst: Inst) -> Self {
+        FetchDecode {
+            inst,
+            ctrl: match inst {
+                Inst::Br { target, .. } => FetchCtrl::Br { target },
+                Inst::Jal { target, .. } => FetchCtrl::Jal { target },
+                Inst::Jalr { .. } => FetchCtrl::Jalr,
+                Inst::Halt => FetchCtrl::Halt,
+                _ => FetchCtrl::Fall,
+            },
+            req: RenameRequest {
+                ldst: inst.dest().map(|r| r.index()),
+                srcs: [
+                    inst.sources()[0].map(|r| r.index()),
+                    inst.sources()[1].map(|r| r.index()),
+                ],
+                is_move: is_register_move(&inst),
+                idiom: idiom_of(&inst),
+            },
+            kind: inst.kind(),
+            no_exec: matches!(inst, Inst::Halt | Inst::Nop),
+        }
+    }
+}
+
 /// A cycle-accurate out-of-order core bound to one program.
 ///
 /// Create one per run; drive it with [`Simulator::run`]. See the crate docs
@@ -98,6 +155,10 @@ struct Entry {
 #[derive(Debug)]
 pub struct Simulator<'p> {
     prog: &'p Program,
+    /// Per-pc pre-decode of `prog` (see [`FetchDecode`]): the fetch/rename
+    /// path indexes this table instead of re-deriving operands, idioms and
+    /// branch targets from the raw instruction every fetch.
+    decode: Vec<FetchDecode>,
     cfg: SimConfig,
     rrs: Rrs,
     mem: Memory,
@@ -145,10 +206,10 @@ pub struct Simulator<'p> {
     committed: u64,
     stats: SimStats,
     store_sets: StoreSets,
-    /// Per-cycle scratch: the fetch group `(pc, inst, pred_next, bp_hist)`.
+    /// Per-cycle scratch: the fetch group `(pc, decode, pred_next, bp_hist)`.
     /// Reused across cycles to keep the fetch/rename path allocation-free;
     /// always empty between cycles, so snapshots need not carry it.
-    fetch_buf: Vec<(usize, Inst, usize, u32)>,
+    fetch_buf: Vec<(usize, FetchDecode, usize, u32)>,
     /// Per-cycle scratch: rename requests derived from the fetch group.
     req_buf: Vec<RenameRequest>,
     /// Per-cycle scratch: rename outputs.
@@ -169,6 +230,12 @@ impl<'p> Simulator<'p> {
         }
         Simulator {
             prog: program,
+            decode: program
+                .insts
+                .iter()
+                .copied()
+                .map(FetchDecode::new)
+                .collect(),
             mem: program.build_memory(),
             rrs,
             prf,
@@ -226,6 +293,15 @@ impl<'p> Simulator<'p> {
     #[inline]
     pub fn rrs(&self) -> &Rrs {
         &self.rrs
+    }
+
+    /// The program this simulator executes. The frontend fetches from the
+    /// pre-decoded per-pc table derived from it at construction, so the
+    /// program must not change for the simulator's lifetime (the `&'p`
+    /// borrow guarantees it).
+    #[inline]
+    pub fn program(&self) -> &'p Program {
+        self.prog
     }
 
     /// The committed (architectural) value of logical register `arch`,
@@ -1171,17 +1247,17 @@ impl<'p> Simulator<'p> {
     /// Predicts the next pc for the instruction at `pc`, checkpointing the
     /// global history before any prediction shift. Returns `(next, hist)`,
     /// or `None` next for `Halt` (fetch stops behind it).
-    fn predict_next(&mut self, pc: usize, inst: &Inst) -> (Option<usize>, u32) {
+    fn predict_next(&mut self, pc: usize, ctrl: FetchCtrl) -> (Option<usize>, u32) {
         let hist = self.predictor.history();
-        let next = match *inst {
-            Inst::Br { target, .. } => {
+        let next = match ctrl {
+            FetchCtrl::Br { target } => {
                 let (taken, _) = self.predictor.predict_dir(pc);
                 Some(if taken { target } else { pc + 1 })
             }
-            Inst::Jal { target, .. } => Some(target),
-            Inst::Jalr { .. } => Some(self.predictor.predict_target(pc).unwrap_or(pc + 1)),
-            Inst::Halt => None,
-            _ => Some(pc + 1),
+            FetchCtrl::Jal { target } => Some(target),
+            FetchCtrl::Jalr => Some(self.predictor.predict_target(pc).unwrap_or(pc + 1)),
+            FetchCtrl::Halt => None,
+            FetchCtrl::Fall => Some(pc + 1),
         };
         (next, hist)
     }
@@ -1215,7 +1291,7 @@ impl<'p> Simulator<'p> {
         &mut self,
         hook: &mut impl FaultHook,
         checkers: &mut CheckerSet,
-        group: &mut Vec<(usize, Inst, usize, u32)>,
+        group: &mut Vec<(usize, FetchDecode, usize, u32)>,
         reqs: &mut Vec<RenameRequest>,
         outs: &mut Vec<idld_rrs::RenameOut>,
         recorder: &mut R,
@@ -1224,19 +1300,19 @@ impl<'p> Simulator<'p> {
         group.clear();
         let mut pc = self.fetch_pc;
         for _ in 0..self.cfg.width() {
-            let Some(inst) = self.prog.fetch(pc) else {
+            let Some(&d) = self.decode.get(pc) else {
                 self.fetch_fault = Some(pc);
                 self.fetch_enabled = false;
                 break;
             };
-            match self.predict_next(pc, &inst) {
+            match self.predict_next(pc, d.ctrl) {
                 (Some(next), hist) => {
-                    group.push((pc, inst, next, hist));
+                    group.push((pc, d, next, hist));
                     pc = next;
                 }
                 (None, hist) => {
                     // Halt: fetch it, then stop fetching.
-                    group.push((pc, inst, pc + 1, hist));
+                    group.push((pc, d, pc + 1, hist));
                     self.halt_in_flight = true;
                     self.fetch_enabled = false;
                     break;
@@ -1250,7 +1326,7 @@ impl<'p> Simulator<'p> {
         loop {
             let dests = group[..n]
                 .iter()
-                .filter(|(_, i, _, _)| i.dest().is_some())
+                .filter(|(_, d, _, _)| d.req.ldst.is_some())
                 .count();
             if n == 0 || self.rrs.can_rename(n, dests) {
                 break;
@@ -1270,7 +1346,7 @@ impl<'p> Simulator<'p> {
             if self.halt_in_flight
                 && !group[..n]
                     .iter()
-                    .any(|(_, i, _, _)| matches!(i, Inst::Halt))
+                    .any(|(_, d, _, _)| matches!(d.ctrl, FetchCtrl::Halt))
             {
                 self.halt_in_flight = false;
                 self.fetch_enabled = true;
@@ -1288,18 +1364,10 @@ impl<'p> Simulator<'p> {
         }
 
         reqs.clear();
-        reqs.extend(group.iter().map(|(_, inst, _, _)| RenameRequest {
-            ldst: inst.dest().map(|r| r.index()),
-            srcs: [
-                inst.sources()[0].map(|r| r.index()),
-                inst.sources()[1].map(|r| r.index()),
-            ],
-            is_move: is_register_move(inst),
-            idiom: idiom_of(inst),
-        }));
+        reqs.extend(group.iter().map(|(_, d, _, _)| d.req));
         self.rrs.rename_group_into(reqs, outs, hook, checkers)?;
 
-        for ((pc, inst, pred_next, bp_hist), out) in group.drain(..).zip(outs.drain(..)) {
+        for ((pc, d, pred_next, bp_hist), out) in group.drain(..).zip(outs.drain(..)) {
             self.stats.renamed += 1;
             if out.eliminated {
                 self.stats.eliminated_moves += 1;
@@ -1321,13 +1389,13 @@ impl<'p> Simulator<'p> {
                     },
                 );
             }
-            if matches!(inst.kind(), idld_isa::InstKind::Store) {
+            if matches!(d.kind, idld_isa::InstKind::Store) {
                 self.store_seqs.push_back(out.seq);
             }
             // Store-sets dispatch interactions (speculative mode only).
             let mut wait_for_store = None;
             if self.cfg.mem_dep_speculation {
-                match inst.kind() {
+                match d.kind {
                     idld_isa::InstKind::Store => {
                         let d = self.store_sets.dispatch_store(pc as u64, StoreTag(out.seq));
                         let _ = d;
@@ -1346,7 +1414,7 @@ impl<'p> Simulator<'p> {
             // Eliminated moves need no execution: their destination *is*
             // the source physical register, whose readiness the original
             // producer controls.
-            let status = if matches!(inst, Inst::Halt | Inst::Nop) || out.eliminated {
+            let status = if d.no_exec || out.eliminated {
                 Status::Done
             } else {
                 self.waiting_seqs.push(out.seq);
@@ -1357,7 +1425,7 @@ impl<'p> Simulator<'p> {
             self.window.push_back(Entry {
                 seq: out.seq,
                 pc,
-                inst,
+                inst: d.inst,
                 srcs: out.srcs,
                 new_pdst: out.new_pdst,
                 pred_next,
