@@ -350,6 +350,23 @@ fn run_bench(out: &Path) {
         fail("disabling the block engine changed the record stream");
     }
 
+    // The SMT axis: the paired-scenario section appended after the dense
+    // single-thread job space (DESIGN §14). The single-thread prefix of
+    // the record stream must be byte-identical to the snapshot-on
+    // baseline — the axis may only append.
+    eprintln!("campaignd: SMT axis...");
+    let smt = Campaign::new(CampaignConfig {
+        snapshot: true,
+        smt: true,
+        ..base.clone()
+    })
+    .run_with_progress(&suite, &StderrProgress::new())
+    .unwrap_or_else(|e| fail(&format!("SMT campaign invalid: {e}")));
+    if !export::to_csv(&smt).starts_with(&export::to_csv(&snap)) {
+        fail("the SMT axis perturbed the single-thread record prefix");
+    }
+    let smt_entry = BenchEntry::from_result("suite_smt", &smt);
+
     // The shard-count series only means something with cores to spread
     // over: on a single-core host every extra shard just adds process
     // overhead and the curve comes out inverted. Record an explicit skip
@@ -471,6 +488,7 @@ fn run_bench(out: &Path) {
         BenchEntry::from_result("suite_snapshot_on", &snap),
         BenchEntry::from_result("suite_ff", &ff),
         BenchEntry::from_result("suite_emu_block", &ff_noblock),
+        smt_entry,
         sharded,
         dist_entry,
         scale10_entry,

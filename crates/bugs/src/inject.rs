@@ -35,7 +35,36 @@ impl BugSpec {
         pdst_bits: u32,
         rng: &mut impl Rng,
     ) -> Option<BugSpec> {
-        let sites = model.sites();
+        Self::sample_from(model, model.sites(), census, pdst_bits, rng)
+    }
+
+    /// [`BugSpec::sample`] over the SMT candidate set: the model's
+    /// single-thread sites plus its [`BugModel::smt_sites`] (thread-select
+    /// mux, shared-FL allocate/reclaim). On an SMT census the single-thread
+    /// FL sites count zero (the shared FL reports `SmtFlPop`/`SmtFlPush`),
+    /// so the census weighting does the routing by itself.
+    pub fn sample_smt(
+        model: BugModel,
+        census: &CensusHook,
+        pdst_bits: u32,
+        rng: &mut impl Rng,
+    ) -> Option<BugSpec> {
+        let sites: Vec<crate::model::SiteChoice> = model
+            .sites()
+            .iter()
+            .chain(model.smt_sites())
+            .copied()
+            .collect();
+        Self::sample_from(model, &sites, census, pdst_bits, rng)
+    }
+
+    fn sample_from(
+        model: BugModel,
+        sites: &[crate::model::SiteChoice],
+        census: &CensusHook,
+        pdst_bits: u32,
+        rng: &mut impl Rng,
+    ) -> Option<BugSpec> {
         let counts: Vec<u64> = sites.iter().map(|s| census.count(s.site)).collect();
         let total: u64 = counts.iter().sum();
         if total == 0 {
@@ -270,6 +299,59 @@ mod tests {
             fl > 140,
             "sampling should be proportional to counts, got {fl}/200"
         );
+    }
+
+    #[test]
+    fn sample_smt_routes_by_census_weight() {
+        // An SMT census: the shared FL reports the SMT sites, the
+        // single-thread FL sites never fire; per-thread RAT/ROB sites are
+        // still live.
+        let census = census_with(&[
+            (OpSite::SmtFlPop, 40),
+            (OpSite::SmtFlPush, 30),
+            (OpSite::ThreadSelect, 20),
+            (OpSite::RatWrite, 40),
+            (OpSite::RobCommitRead, 25),
+        ]);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut saw_smt_pop = false;
+        let mut saw_select = false;
+        for _ in 0..100 {
+            let dup = BugSpec::sample_smt(BugModel::Duplication, &census, 7, &mut rng).unwrap();
+            assert!(matches!(dup.site, OpSite::SmtFlPop | OpSite::RobCommitRead));
+            saw_smt_pop |= dup.site == OpSite::SmtFlPop;
+            let leak = BugSpec::sample_smt(BugModel::Leakage, &census, 7, &mut rng).unwrap();
+            assert!(matches!(
+                leak.site,
+                OpSite::RatWrite | OpSite::SmtFlPush | OpSite::ThreadSelect
+            ));
+            saw_select |= leak.site == OpSite::ThreadSelect;
+            let pc = BugSpec::sample_smt(BugModel::PdstCorruption, &census, 7, &mut rng).unwrap();
+            assert!(matches!(pc.site, OpSite::RatWrite | OpSite::SmtFlPush));
+            assert_eq!(pc.corruption.value_xor.count_ones(), 1);
+        }
+        assert!(saw_smt_pop && saw_select, "SMT sites must be reachable");
+    }
+
+    #[test]
+    fn sample_smt_on_single_thread_census_matches_sample() {
+        // A census with zero occurrences at every SMT site weights the SMT
+        // candidates to nothing: the distribution (and with the same rng
+        // stream, the exact draw) is the single-thread one.
+        let census = census_with(&[(OpSite::RatWrite, 100), (OpSite::FlPush, 50)]);
+        let a = BugSpec::sample(
+            BugModel::Leakage,
+            &census,
+            7,
+            &mut SmallRng::seed_from_u64(42),
+        );
+        let b = BugSpec::sample_smt(
+            BugModel::Leakage,
+            &census,
+            7,
+            &mut SmallRng::seed_from_u64(42),
+        );
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -82,6 +82,48 @@ impl BugModel {
         }
     }
 
+    /// The *additional* candidate sites this class gains on a 2-way SMT
+    /// renamer — the scenarios where a PdstID can leak into or duplicate
+    /// across *the other thread's* context. SMT campaigns sample over
+    /// `sites() ∪ smt_sites()`; single-thread campaigns never see these
+    /// (their censuses count zero occurrences at every SMT site), which
+    /// keeps `IDLD_SMT=0` sampling byte-identical to the pre-SMT engine.
+    pub fn smt_sites(self) -> &'static [SiteChoice] {
+        match self {
+            // Shared-FL read pointer stuck: the same PdstID is delivered to
+            // both threads' renames — cross-thread duplication.
+            BugModel::Duplication => &[SiteChoice {
+                site: OpSite::SmtFlPop,
+                suppress_array: false,
+                suppress_ptr: true,
+            }],
+            // Shared-FL reclaim dropped (the id disappears from the shared
+            // pool) and the thread-select mux steered at rename (the
+            // allocated id leaks into the other thread's RAT while the
+            // victim thread's mapping is clobbered).
+            BugModel::Leakage => &[
+                SiteChoice {
+                    site: OpSite::SmtFlPush,
+                    suppress_array: true,
+                    suppress_ptr: true,
+                },
+                SiteChoice {
+                    site: OpSite::ThreadSelect,
+                    suppress_array: true,
+                    suppress_ptr: false,
+                },
+            ],
+            // The id is corrupted as either thread reclaims it into the
+            // shared pool: the corrupted id later allocates into *either*
+            // thread's RAT.
+            BugModel::PdstCorruption => &[SiteChoice {
+                site: OpSite::SmtFlPush,
+                suppress_array: false,
+                suppress_ptr: false,
+            }],
+        }
+    }
+
     /// The exotic Table-I signals outside the paper's three campaign
     /// classes: pointer-update suppressions and recovery/checkpoint-signal
     /// suppressions. Exercised by the ablation benches to probe the edges
@@ -192,6 +234,26 @@ mod tests {
         assert_eq!(BugModel::PdstCorruption.sites().len(), 1);
         let pc = BugModel::PdstCorruption.sites()[0];
         assert!(!pc.suppress_array && !pc.suppress_ptr);
+    }
+
+    #[test]
+    fn smt_sites_cover_the_shared_structures() {
+        let dup: Vec<_> = BugModel::Duplication
+            .smt_sites()
+            .iter()
+            .map(|s| s.site)
+            .collect();
+        assert_eq!(dup, vec![OpSite::SmtFlPop]);
+        let leak: Vec<_> = BugModel::Leakage
+            .smt_sites()
+            .iter()
+            .map(|s| s.site)
+            .collect();
+        assert_eq!(leak, vec![OpSite::SmtFlPush, OpSite::ThreadSelect]);
+        let pc = BugModel::PdstCorruption.smt_sites();
+        assert_eq!(pc.len(), 1);
+        assert_eq!(pc[0].site, OpSite::SmtFlPush);
+        assert!(!pc[0].suppress_array && !pc[0].suppress_ptr);
     }
 
     #[test]

@@ -122,6 +122,13 @@ pub const SHARDS_ENV: &str = "IDLD_SHARDS";
 /// Environment variable: config-space sweep specification (`grid` or
 /// comma-separated `w<width>c<ckpts>r<rob>` points; unset = no sweep).
 pub const SWEEP_ENV: &str = "IDLD_SWEEP";
+/// Environment variable: the SMT campaign axis, `0` (default) or `1`.
+/// With `1` the campaign appends, after the single-thread job space, an
+/// injection section over the paired-workload SMT scenarios
+/// ([`idld_workloads::smt_pairs`]) on the 2-thread shared-rename core
+/// (see [`crate::smt`]). With `0` the record stream is byte-identical
+/// to a campaign without the axis.
+pub const SMT_ENV: &str = "IDLD_SMT";
 
 /// Campaign parameters.
 #[derive(Clone, Debug)]
@@ -180,6 +187,12 @@ pub struct CampaignConfig {
     pub shard: usize,
     /// Total shard count; `1` (the default) runs every job in-process.
     pub shards: usize,
+    /// The SMT campaign axis (off by default): append an injection
+    /// section over the paired-workload SMT scenarios on the 2-thread
+    /// shared-rename core, with job indices continuing after the dense
+    /// single-thread job space. Off, the record stream is byte-identical
+    /// to a campaign without the axis.
+    pub smt: bool,
     /// Test instrumentation: make the worker executing this job index
     /// panic deliberately, to exercise panic isolation. Not for normal
     /// use.
@@ -203,6 +216,7 @@ impl Default for CampaignConfig {
             emu_block: true,
             shard: 0,
             shards: 1,
+            smt: false,
             sabotage_job: None,
         }
     }
@@ -271,6 +285,9 @@ impl CampaignConfig {
         }
         if let Some(on) = parse_flag(EMU_BLOCK_ENV)? {
             cfg.emu_block = on;
+        }
+        if let Some(on) = parse_flag(SMT_ENV)? {
+            cfg.smt = on;
         }
         if cfg.ff && !cfg.snapshot {
             return Err(format!(
@@ -739,7 +756,7 @@ struct Job {
 thread_local! {
     /// Set on campaign worker threads so the process-wide panic hook can
     /// suppress backtrace spam for isolated (caught) run panics only.
-    static SUPPRESS_PANIC_OUTPUT: Cell<bool> = const { Cell::new(false) };
+    pub(crate) static SUPPRESS_PANIC_OUTPUT: Cell<bool> = const { Cell::new(false) };
 }
 
 type PrevHook = Arc<Box<dyn Fn(&panic::PanicHookInfo<'_>) + Send + Sync + 'static>>;
@@ -848,7 +865,7 @@ impl SnapshotStats {
 }
 
 /// Renders a caught panic payload as a short message.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -916,7 +933,7 @@ impl Campaign {
 
     /// Derives the per-run RNG deterministically from (seed, config,
     /// bench, model, run index).
-    fn run_rng(&self, config: &str, bench: &str, model: BugModel, k: usize) -> SmallRng {
+    pub(crate) fn run_rng(&self, config: &str, bench: &str, model: BugModel, k: usize) -> SmallRng {
         let mut h = DefaultHasher::new();
         self.cfg.seed.hash(&mut h);
         config.hash(&mut h);
@@ -931,7 +948,7 @@ impl Campaign {
     /// which goldens it needs — before simulating anything. The hash is
     /// `DefaultHasher` with its fixed default keys: deterministic across
     /// the identical processes a coordinator self-execs.
-    fn shard_of(&self, config: &str, bench: &str, model: BugModel, k: usize) -> usize {
+    pub(crate) fn shard_of(&self, config: &str, bench: &str, model: BugModel, k: usize) -> usize {
         let mut h = DefaultHasher::new();
         config.hash(&mut h);
         bench.hash(&mut h);
@@ -1441,6 +1458,14 @@ impl Campaign {
             cell.poisoned += usize::from(rec.poisoned.is_some());
             cell.total += elapsed;
             records.push(rec);
+        }
+
+        // The SMT axis appends its section after the dense single-thread
+        // job space, so with it off the stream above is byte-identical to
+        // a campaign without the axis.
+        if self.cfg.smt {
+            let base_jobs = points.len() * nw * models * self.cfg.runs_per_cell;
+            self.run_smt_section(base_jobs, &mut records, &mut timings, progress, cancel)?;
         }
 
         progress.on_finish(&state.snapshot());
@@ -1961,6 +1986,13 @@ mod tests {
         let sharded = run(SHARD_ENV, "3").expect("3 of 4 parses");
         assert_eq!((sharded.shard, sharded.shards), (3, 4));
         std::env::remove_var(SHARDS_ENV);
+        assert!(
+            run(SMT_ENV, "true").is_err(),
+            "the SMT axis flag accepts only 0/1"
+        );
+        assert!(run(SMT_ENV, "2").is_err());
+        assert!(run(SMT_ENV, " 1 ").expect("1 parses").smt);
+        assert!(!run(SMT_ENV, "0").expect("0 parses").smt);
         assert!(
             run(SWEEP_ENV, "w4c4").is_err(),
             "malformed sweep points must not run a partial sweep"

@@ -1,6 +1,6 @@
 //! Outcome classification (paper §IV.A and §VI.C).
 
-use idld_sim::{RunResult, SimStop};
+use idld_sim::{Divergence, RunResult, SimStop, SmtRunResult};
 
 /// The seven outcome classes of the paper.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -90,15 +90,17 @@ impl std::fmt::Display for OutcomeClass {
     }
 }
 
-/// Classifies one injected run against the golden output.
-pub fn classify(result: &RunResult, golden_output: &[u64]) -> OutcomeClass {
-    match result.stop {
+/// The classification shared by the single-thread and SMT variants: the
+/// stop reason dominates, then output equality, then the kind of commit-
+/// trace divergence.
+fn classify_from(stop: SimStop, output_matches: bool, divergence: &Divergence) -> OutcomeClass {
+    match stop {
         SimStop::Halted => {
-            if result.output != golden_output {
+            if !output_matches {
                 OutcomeClass::Sdc
-            } else if result.divergence.order.is_some() {
+            } else if divergence.order.is_some() {
                 OutcomeClass::ControlFlowDeviation
-            } else if result.divergence.timing.is_some() {
+            } else if divergence.timing.is_some() {
                 OutcomeClass::Performance
             } else {
                 OutcomeClass::Benign
@@ -110,21 +112,49 @@ pub fn classify(result: &RunResult, golden_output: &[u64]) -> OutcomeClass {
     }
 }
 
-/// The manifestation cycle: when the bug first shows *any* evidence
-/// (divergence from the golden trace, or abnormal termination). `None` for
-/// Benign runs — no evidence ever (paper: 13.5% of bugs).
-pub fn manifestation_cycle(result: &RunResult, class: OutcomeClass) -> Option<u64> {
+/// Classifies one injected run against the golden output.
+pub fn classify(result: &RunResult, golden_output: &[u64]) -> OutcomeClass {
+    classify_from(
+        result.stop,
+        result.output == golden_output,
+        &result.divergence,
+    )
+}
+
+/// Classifies one injected SMT run against the two threads' golden
+/// outputs. Any thread's output deviating is SDC — a cross-thread leak
+/// corrupting only the victim thread still corrupts the run.
+pub fn classify_smt(result: &SmtRunResult, golden_outputs: [&[u64]; 2]) -> OutcomeClass {
+    let output_matches =
+        result.outputs[0] == golden_outputs[0] && result.outputs[1] == golden_outputs[1];
+    classify_from(result.stop, output_matches, &result.divergence)
+}
+
+fn manifestation_from(divergence: &Divergence, cycles: u64, class: OutcomeClass) -> Option<u64> {
     match class {
         OutcomeClass::Benign => None,
-        OutcomeClass::Performance => result.divergence.timing,
-        OutcomeClass::ControlFlowDeviation => result.divergence.order,
-        OutcomeClass::Sdc => result.divergence.first_cycle().or(Some(result.cycles)),
+        OutcomeClass::Performance => divergence.timing,
+        OutcomeClass::ControlFlowDeviation => divergence.order,
+        OutcomeClass::Sdc => divergence.first_cycle().or(Some(cycles)),
         OutcomeClass::Timeout | OutcomeClass::Assert | OutcomeClass::Crash => {
-            result.divergence.first_cycle().or(Some(result.cycles))
+            divergence.first_cycle().or(Some(cycles))
         }
         // Poisoned runs never came back with a usable result.
         OutcomeClass::Anomalous => None,
     }
+}
+
+/// The manifestation cycle: when the bug first shows *any* evidence
+/// (divergence from the golden trace, or abnormal termination). `None` for
+/// Benign runs — no evidence ever (paper: 13.5% of bugs).
+pub fn manifestation_cycle(result: &RunResult, class: OutcomeClass) -> Option<u64> {
+    manifestation_from(&result.divergence, result.cycles, class)
+}
+
+/// [`manifestation_cycle`] for an SMT run (the commit-trace divergence
+/// covers both threads: tagged pcs interleave in the shared trace).
+pub fn manifestation_cycle_smt(result: &SmtRunResult, class: OutcomeClass) -> Option<u64> {
+    manifestation_from(&result.divergence, result.cycles, class)
 }
 
 #[cfg(test)]

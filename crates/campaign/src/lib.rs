@@ -27,17 +27,19 @@ pub mod ledger;
 pub mod metrics;
 pub mod progress;
 pub mod shard;
+pub mod smt;
 pub mod sweep;
 
 pub use campaign::{
     Campaign, CampaignConfig, CampaignResult, CellTiming, GoldenRun, GoldenRunError,
     GoldenSnapshot, RunRecord, SnapshotStats,
 };
-pub use classify::{classify, OutcomeClass};
+pub use classify::{classify, classify_smt, manifestation_cycle_smt, OutcomeClass};
 pub use ledger::{Claim, Completion, ShardLedger};
 pub use metrics::{metrics_csv, metrics_json, CampaignMetrics};
 pub use progress::{CampaignProgress, NullProgress, ProgressSnapshot, StderrProgress};
 pub use shard::{
     decode_shard, encode_shard, merge_shards, MergedCampaign, ShardArtifact, SHARD_MAGIC,
 };
+pub use smt::{smt_checkers, SmtGolden, SMT_LABEL};
 pub use sweep::{SweepPoint, SweepSpec, DEFAULT_LABEL};

@@ -42,6 +42,23 @@ impl BitVectorChecker {
         }
     }
 
+    /// Creates a checker for a 2-way SMT RRS in its power-on state: the
+    /// shared FL holds `num_phys - 2 * num_arch` ids (both contexts' RATs
+    /// are pre-mapped). The scheme itself is unchanged — it watches the
+    /// shared FL's traffic and is blind to which thread drives it.
+    pub fn new_smt(cfg: &RrsConfig) -> Self {
+        let mut free = vec![false; cfg.num_phys];
+        for p in idld_rrs::SmtRrs::initial_free(cfg) {
+            free[p.index()] = true;
+        }
+        BitVectorChecker {
+            free,
+            expected_free: cfg.num_phys - idld_rrs::NUM_THREADS * cfg.num_arch,
+            detection: None,
+            pending: None,
+        }
+    }
+
     /// Number of ids currently marked free.
     pub fn free_count(&self) -> usize {
         self.free.iter().filter(|&&b| b).count()

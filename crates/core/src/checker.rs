@@ -4,6 +4,7 @@ use crate::bv::BitVectorChecker;
 use crate::counter::CounterChecker;
 use crate::idld::IdldChecker;
 use crate::parity::ParityChecker;
+use crate::smt_idld::SmtIdldChecker;
 use idld_rrs::{EventSink, RrsEvent};
 use std::fmt;
 
@@ -122,6 +123,8 @@ pub trait Checker: EventSink + Send + Sync {
 pub enum AnyChecker {
     /// The paper's IDLD scheme.
     Idld(IdldChecker),
+    /// IDLD extended to 2-way SMT rename sharing.
+    SmtIdld(SmtIdldChecker),
     /// The bit-vector baseline.
     BitVector(BitVectorChecker),
     /// The counter baseline.
@@ -136,6 +139,7 @@ macro_rules! dispatch {
     ($s:expr, $c:ident => $body:expr) => {
         match $s {
             AnyChecker::Idld($c) => $body,
+            AnyChecker::SmtIdld($c) => $body,
             AnyChecker::BitVector($c) => $body,
             AnyChecker::Counter($c) => $body,
             AnyChecker::Parity($c) => $body,
@@ -185,12 +189,18 @@ impl EventSink for AnyChecker {
     fn event(&mut self, ev: RrsEvent) {
         dispatch!(self, c => c.event(ev))
     }
+
+    #[inline]
+    fn thread_hint(&mut self, t: u8) {
+        dispatch!(self, c => c.thread_hint(t))
+    }
 }
 
 impl Clone for AnyChecker {
     fn clone(&self) -> Self {
         match self {
             AnyChecker::Idld(c) => AnyChecker::Idld(c.clone()),
+            AnyChecker::SmtIdld(c) => AnyChecker::SmtIdld(c.clone()),
             AnyChecker::BitVector(c) => AnyChecker::BitVector(c.clone()),
             AnyChecker::Counter(c) => AnyChecker::Counter(c.clone()),
             AnyChecker::Parity(c) => AnyChecker::Parity(c.clone()),
@@ -309,6 +319,21 @@ impl EventSink for CheckerSet {
         }
         for c in &mut self.checkers {
             c.event(ev);
+        }
+    }
+
+    #[inline]
+    fn thread_hint(&mut self, t: u8) {
+        // The SMT shipping configuration: the SMT-aware IDLD plus the
+        // thread-blind BV/counter baselines (which keep the no-op default).
+        if let [AnyChecker::SmtIdld(i), AnyChecker::BitVector(_), AnyChecker::Counter(_)] =
+            &mut self.checkers[..]
+        {
+            i.thread_hint(t);
+            return;
+        }
+        for c in &mut self.checkers {
+            c.thread_hint(t);
         }
     }
 }

@@ -30,6 +30,19 @@ impl CounterChecker {
         }
     }
 
+    /// Creates a checker for a 2-way SMT RRS in its power-on state (shared
+    /// FL holding `num_phys - 2 * num_arch` ids).
+    pub fn new_smt(cfg: &RrsConfig) -> Self {
+        let free = (cfg.num_phys - idld_rrs::NUM_THREADS * cfg.num_arch) as i64;
+        CounterChecker {
+            free,
+            expected_free: free,
+            max: cfg.num_phys as i64,
+            detection: None,
+            pending: None,
+        }
+    }
+
     /// The current free-register count.
     pub fn free_count(&self) -> i64 {
         self.free

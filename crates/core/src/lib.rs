@@ -42,6 +42,7 @@ pub mod checker;
 pub mod counter;
 pub mod idld;
 pub mod parity;
+pub mod smt_idld;
 #[cfg(test)]
 pub(crate) mod testutil;
 
@@ -50,3 +51,4 @@ pub use checker::{AnyChecker, Checker, CheckerSet, Detection, DetectionKind};
 pub use counter::CounterChecker;
 pub use idld::IdldChecker;
 pub use parity::ParityChecker;
+pub use smt_idld::SmtIdldChecker;

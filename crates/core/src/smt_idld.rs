@@ -1,0 +1,332 @@
+//! The IDLD checker extended to 2-way SMT rename sharing.
+
+use crate::checker::{Checker, Detection, DetectionKind};
+use idld_rrs::{EventSink, RrsConfig, RrsEvent, SmtRrs, NUM_THREADS};
+
+/// IDLD over a 2-way SMT renamer: per-thread RAT-XOR and ROB-XOR registers
+/// plus a single shared FL-XOR.
+///
+/// Two invariants are evaluated every cycle:
+///
+/// * **Global (the paper's, summed across contexts):**
+///   `FLxor ^ RATxor[0] ^ RATxor[1] ^ ROBxor[0] ^ ROBxor[1]` must equal the
+///   constant XOR of all extended PdstIDs. This catches every imbalance on
+///   the shared structures — suppressed shared-FL enables, suppressed RAT /
+///   ROB enables, PdstID value corruption — at the cycle it happens,
+///   exactly as in single-thread mode.
+/// * **Per-thread flow:** a thread-select steering fault *conserves* the
+///   global id flow (the leaked id rides the fetching thread's ROB entry
+///   and is reclaimed normally), so the summed XOR is structurally blind to
+///   it. Each context therefore also keeps an **ownership XOR** `OWNxor[t]`
+///   accumulating the shared-FL port traffic *requested by* thread `t`
+///   (reliable select-line metadata, delivered via
+///   [`EventSink::thread_hint`]). For each context,
+///   `RATxor[t] ^ ROBxor[t] ^ OWNxor[t]` must equal its power-on constant:
+///   every id a thread pops must surface in *its own* RAT, and every id its
+///   ROB reclaims must have come out of *its own* RAT. A steered rename
+///   breaks both threads' balances in the same cycle — latency 0.
+///
+/// Hardware cost over single-thread IDLD: one extra XOR register per
+/// structure per context (the paper's three registers become seven) and two
+/// extra comparators; the port XOR trees are shared.
+#[derive(Clone, Debug)]
+pub struct SmtIdldChecker {
+    bits: u32,
+    total: u32,
+    flx: u32,
+    ratx: [u32; NUM_THREADS],
+    robx: [u32; NUM_THREADS],
+    ownx: [u32; NUM_THREADS],
+    base: [u32; NUM_THREADS],
+    cur: usize,
+    detection: Option<Detection>,
+    init_flx: u32,
+}
+
+impl SmtIdldChecker {
+    /// Creates a checker for an SMT RRS in its power-on state
+    /// ([`SmtRrs::new`]'s initial partition).
+    pub fn new(cfg: &RrsConfig) -> Self {
+        let bits = cfg.pdst_bits();
+        let flx = SmtRrs::initial_free(cfg).fold(0, |a, p| a ^ p.extended(bits));
+        let base = [0, 1].map(|t| {
+            (0..cfg.num_arch).fold(0, |a, i| a ^ SmtRrs::initial_rat(cfg, t, i).extended(bits))
+        });
+        SmtIdldChecker {
+            bits,
+            total: cfg.total_xor(),
+            flx,
+            ratx: base,
+            robx: [0; NUM_THREADS],
+            ownx: [0; NUM_THREADS],
+            base,
+            cur: 0,
+            detection: None,
+            init_flx: flx,
+        }
+    }
+
+    /// The global accumulated code (summed across contexts).
+    #[inline]
+    pub fn code(&self) -> u32 {
+        self.flx ^ self.ratx[0] ^ self.ratx[1] ^ self.robx[0] ^ self.robx[1]
+    }
+
+    /// The constant the global code is compared against.
+    #[inline]
+    pub fn expected(&self) -> u32 {
+        self.total
+    }
+
+    /// Thread `t`'s flow code `RATxor[t] ^ ROBxor[t] ^ OWNxor[t]`; balanced
+    /// when it equals [`SmtIdldChecker::thread_expected`].
+    #[inline]
+    pub fn thread_code(&self, t: usize) -> u32 {
+        self.ratx[t] ^ self.robx[t] ^ self.ownx[t]
+    }
+
+    /// The power-on constant of thread `t`'s flow code.
+    #[inline]
+    pub fn thread_expected(&self, t: usize) -> u32 {
+        self.base[t]
+    }
+
+    /// All seven XOR registers, for inspection:
+    /// `(FLxor, RATxor[2], ROBxor[2], OWNxor[2])`.
+    #[inline]
+    pub fn registers(
+        &self,
+    ) -> (
+        u32,
+        [u32; NUM_THREADS],
+        [u32; NUM_THREADS],
+        [u32; NUM_THREADS],
+    ) {
+        (self.flx, self.ratx, self.robx, self.ownx)
+    }
+}
+
+impl EventSink for SmtIdldChecker {
+    #[inline]
+    fn event(&mut self, ev: RrsEvent) {
+        let bits = self.bits;
+        let t = self.cur;
+        match ev {
+            RrsEvent::FlRead(p) | RrsEvent::FlWrite(p) => {
+                let x = p.extended(bits);
+                self.flx ^= x;
+                self.ownx[t] ^= x;
+            }
+            RrsEvent::RatWrite(p) => self.ratx[t] ^= p.extended(bits),
+            RrsEvent::RatEvictRead(e) => self.ratx[t] ^= e.extended(bits),
+            RrsEvent::RobWrite(p) => self.robx[t] ^= p.extended(bits),
+            RrsEvent::RobRead(p) => self.robx[t] ^= p.extended(bits),
+            // The SMT pipeline is in-order past rename: no checkpoints, no
+            // recovery walks, no retirement RAT. None of these can occur.
+            _ => {}
+        }
+    }
+
+    #[inline]
+    fn thread_hint(&mut self, t: u8) {
+        self.cur = (t as usize).min(NUM_THREADS - 1);
+    }
+}
+
+impl Checker for SmtIdldChecker {
+    fn name(&self) -> &'static str {
+        "idld"
+    }
+
+    fn end_cycle(&mut self, cycle: u64) {
+        if self.detection.is_some() {
+            return;
+        }
+        if self.code() != self.total
+            || (0..NUM_THREADS).any(|t| self.thread_code(t) != self.base[t])
+        {
+            self.detection = Some(Detection {
+                cycle,
+                kind: DetectionKind::XorInvariance,
+            });
+        }
+    }
+
+    fn on_pipeline_empty(&mut self, _cycle: u64) {
+        // IDLD checks every cycle; nothing extra at empty points.
+    }
+
+    fn detection(&self) -> Option<Detection> {
+        self.detection
+    }
+
+    fn clone_box(&self) -> Box<dyn Checker> {
+        Box::new(self.clone())
+    }
+
+    fn devirt(self: Box<Self>) -> crate::checker::AnyChecker {
+        crate::checker::AnyChecker::SmtIdld(*self)
+    }
+
+    fn reset(&mut self) {
+        self.flx = self.init_flx;
+        self.ratx = self.base;
+        self.robx = [0; NUM_THREADS];
+        self.ownx = [0; NUM_THREADS];
+        self.cur = 0;
+        self.detection = None;
+    }
+
+    fn xor_code(&self) -> Option<u32> {
+        Some(self.code())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idld_rrs::fault::{Corruption, FaultHook, NoFaults, OpSite};
+    use idld_rrs::PhysReg;
+
+    fn cfg() -> RrsConfig {
+        RrsConfig {
+            num_phys: 32,
+            num_arch: 8,
+            rob_entries: 8,
+            rht_entries: 8,
+            num_ckpts: 1,
+            ckpt_interval: 64,
+            width: 2,
+            ..Default::default()
+        }
+    }
+
+    use crate::testutil::OneShot;
+
+    /// Drives interleaved 2-thread traffic; returns (smt, checker, cycles).
+    fn drive(hook: &mut impl FaultHook, rounds: u64) -> (SmtRrs, SmtIdldChecker, u64) {
+        let c = cfg();
+        let mut smt = SmtRrs::new(c);
+        let mut ck = SmtIdldChecker::new(&c);
+        let mut cycle = 0u64;
+        for round in 0..rounds {
+            let t = (round % 2) as usize;
+            if smt.can_rename(t, 2, 2) {
+                smt.rename_group(
+                    t,
+                    &[Some((round % 8) as usize), Some(((round + 3) % 8) as usize)],
+                    hook,
+                    &mut ck,
+                )
+                .unwrap();
+            }
+            if smt.rob_len(t) > 4 {
+                smt.commit_head(t, hook, &mut ck).unwrap();
+                smt.commit_head(t, hook, &mut ck).unwrap();
+            }
+            ck.end_cycle(cycle);
+            cycle += 1;
+        }
+        (smt, ck, cycle)
+    }
+
+    #[test]
+    fn bug_free_registers_track_array_contents() {
+        let (smt, ck, _) = drive(&mut NoFaults, 60);
+        let truth = smt.content_xors();
+        let (flx, ratx, robx, _ownx) = ck.registers();
+        assert_eq!(flx, truth.flx);
+        assert_eq!(ratx, truth.ratx);
+        assert_eq!(robx, truth.robx);
+        assert_eq!(ck.code(), ck.expected());
+        for t in 0..NUM_THREADS {
+            assert_eq!(ck.thread_code(t), ck.thread_expected(t));
+        }
+        assert!(ck.detection().is_none());
+    }
+
+    #[test]
+    fn thread_select_steering_detected_same_cycle() {
+        // The headline scenario: steering conserves the global flow (the
+        // summed XOR stays balanced) but breaks BOTH threads' flow codes in
+        // the firing cycle.
+        let mut hook = OneShot::new(
+            OpSite::ThreadSelect,
+            5,
+            Corruption {
+                suppress_array: true,
+                ..Corruption::NONE
+            },
+        );
+        let (_, ck, _) = drive(&mut hook, 20);
+        assert!(hook.fired);
+        assert_eq!(ck.code(), ck.expected(), "global sum is blind to steering");
+        assert_ne!(ck.thread_code(0), ck.thread_expected(0));
+        assert_ne!(ck.thread_code(1), ck.thread_expected(1));
+        let d = ck.detection().expect("cross-thread leak must be detected");
+        assert_eq!(d.kind, DetectionKind::XorInvariance);
+        // Fired in round 5 (occurrence 5 of the per-round group select) →
+        // detected at that very cycle.
+        assert_eq!(d.cycle, 5, "detection not instantaneous");
+    }
+
+    #[test]
+    fn shared_fl_pop_suppression_detected_instantly() {
+        let mut hook = OneShot::new(
+            OpSite::SmtFlPop,
+            6,
+            Corruption {
+                suppress_ptr: true,
+                ..Corruption::NONE
+            },
+        );
+        let (_, ck, _) = drive(&mut hook, 20);
+        assert!(hook.fired);
+        assert!(ck.detection().is_some(), "shared-FL duplication missed");
+    }
+
+    #[test]
+    fn shared_fl_push_suppression_detected_instantly() {
+        let mut hook = OneShot::new(
+            OpSite::SmtFlPush,
+            3,
+            Corruption {
+                suppress_array: true,
+                suppress_ptr: true,
+                ..Corruption::NONE
+            },
+        );
+        let (_, ck, _) = drive(&mut hook, 30);
+        assert!(hook.fired);
+        assert!(ck.detection().is_some(), "shared-FL leakage missed");
+    }
+
+    #[test]
+    fn shared_fl_value_corruption_detected_instantly() {
+        let mut hook = OneShot::new(
+            OpSite::SmtFlPush,
+            2,
+            Corruption {
+                value_xor: 0b101,
+                ..Corruption::NONE
+            },
+        );
+        let (_, ck, _) = drive(&mut hook, 30);
+        assert!(hook.fired);
+        assert!(ck.detection().is_some(), "PdstID corruption missed");
+    }
+
+    #[test]
+    fn detection_is_sticky_and_reset_restores_power_on() {
+        let c = cfg();
+        let mut ck = SmtIdldChecker::new(&c);
+        ck.thread_hint(1);
+        ck.event(RrsEvent::FlRead(PhysReg(20)));
+        ck.end_cycle(3);
+        ck.end_cycle(4);
+        assert_eq!(ck.detection().unwrap().cycle, 3);
+        ck.reset();
+        assert!(ck.detection().is_none());
+        assert_eq!(ck.code(), ck.expected());
+    }
+}

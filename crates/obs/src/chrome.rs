@@ -223,6 +223,16 @@ pub fn chrome_trace(title: &str, events: &[TimedEvent]) -> String {
                     &format!("\"checker\": \"{checker}\", \"kind\": \"{kind}\", \"at\": {at}"),
                 );
             }
+            ObsEvent::ThreadSwitch { t } => {
+                instant(
+                    &mut out,
+                    "thread",
+                    "control",
+                    track::CONTROL,
+                    ts,
+                    &format!("\"t\": {t}"),
+                );
+            }
         }
     }
 

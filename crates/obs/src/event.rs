@@ -39,11 +39,16 @@ pub enum EventKind {
     Checker,
     /// Fault injection or checker detection marker.
     Fault,
+    /// SMT thread-select activity (which hardware context owns the
+    /// frontend this cycle). Appended after the original ten kinds so
+    /// every existing tag, index and golden digest is unchanged;
+    /// single-thread runs never emit it.
+    Thread,
 }
 
 impl EventKind {
     /// Number of distinct kinds (length of [`EventKind::ALL`]).
-    pub const COUNT: usize = 10;
+    pub const COUNT: usize = 11;
 
     /// All kinds, in tag order.
     pub const ALL: [EventKind; EventKind::COUNT] = [
@@ -57,6 +62,7 @@ impl EventKind {
         EventKind::Occupancy,
         EventKind::Checker,
         EventKind::Fault,
+        EventKind::Thread,
     ];
 
     /// Dense index of this kind in [`EventKind::ALL`].
@@ -78,6 +84,7 @@ impl EventKind {
             EventKind::Occupancy => "occupancy",
             EventKind::Checker => "checker",
             EventKind::Fault => "fault",
+            EventKind::Thread => "thread",
         }
     }
 }
@@ -171,6 +178,12 @@ pub enum ObsEvent {
         /// the event was recorded in).
         at: u64,
     },
+    /// The SMT frontend switched to hardware context `t` (emitted on
+    /// changes only, so an all-one-thread run carries a single marker).
+    ThreadSwitch {
+        /// The hardware thread now owning fetch/rename.
+        t: u8,
+    },
 }
 
 impl ObsEvent {
@@ -188,6 +201,7 @@ impl ObsEvent {
             ObsEvent::Occupancy { .. } => EventKind::Occupancy,
             ObsEvent::CheckerCode { .. } => EventKind::Checker,
             ObsEvent::FaultInjected { .. } | ObsEvent::Detection { .. } => EventKind::Fault,
+            ObsEvent::ThreadSwitch { .. } => EventKind::Thread,
         }
     }
 
@@ -260,6 +274,10 @@ impl ObsEvent {
                 digest.write_bytes(kind.as_bytes());
                 digest.write_u64(at);
             }
+            ObsEvent::ThreadSwitch { t } => {
+                digest.write_u8(12);
+                digest.write_u8(t);
+            }
         }
     }
 }
@@ -307,6 +325,7 @@ impl fmt::Display for ObsEvent {
             ObsEvent::Detection { checker, kind, at } => {
                 write!(f, "DET checker={checker} kind={kind} at={at}")
             }
+            ObsEvent::ThreadSwitch { t } => write!(f, "T t={t}"),
         }
     }
 }

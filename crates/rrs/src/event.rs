@@ -69,6 +69,17 @@ pub enum RrsEvent {
 pub trait EventSink {
     /// Observes one event.
     fn event(&mut self, ev: RrsEvent);
+
+    /// Announces which hardware thread the *following* events belong to.
+    ///
+    /// In SMT mode the RRS tags each port transfer with the context it is
+    /// architecturally routed to (the physical select line on the shared
+    /// structure's port — reliable metadata, like the ROB's bookkeeping
+    /// fields). Single-thread structures never call this, and thread-blind
+    /// checkers keep the no-op default: the paper's single-context schemes
+    /// see exactly the stream they always saw.
+    #[inline]
+    fn thread_hint(&mut self, _t: u8) {}
 }
 
 /// Discards all events.
@@ -111,6 +122,11 @@ impl<S: EventSink + ?Sized> EventSink for &mut S {
     fn event(&mut self, ev: RrsEvent) {
         (**self).event(ev);
     }
+
+    #[inline]
+    fn thread_hint(&mut self, t: u8) {
+        (**self).thread_hint(t);
+    }
 }
 
 /// Fans one event stream out to a pair of sinks; nest pairs for more.
@@ -122,6 +138,12 @@ impl<A: EventSink, B: EventSink> EventSink for FanoutSink<A, B> {
     fn event(&mut self, ev: RrsEvent) {
         self.0.event(ev);
         self.1.event(ev);
+    }
+
+    #[inline]
+    fn thread_hint(&mut self, t: u8) {
+        self.0.thread_hint(t);
+        self.1.thread_hint(t);
     }
 }
 

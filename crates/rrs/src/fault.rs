@@ -46,14 +46,28 @@ pub enum OpSite {
     /// allocation. Suppression makes the write look like an ordinary
     /// (counted) rename write — the paper's "will cause IDLD assertion".
     MoveElimDup,
+    /// SMT thread-select mux at rename: the select line routing a rename
+    /// group's RAT write ports to its thread's RAT. Corruption steers the
+    /// group's RAT traffic into the *other* thread's RAT — the allocated
+    /// PdstID leaks across the thread boundary while the ROB/FL flow stays
+    /// attributed to the fetching thread. Exists only in SMT mode.
+    ThreadSelect,
+    /// SMT shared-free-list read: pop for allocation on behalf of one
+    /// hardware thread (read-enable advances the shared read pointer).
+    /// Exists only in SMT mode, where [`OpSite::FlPop`] never fires.
+    SmtFlPop,
+    /// SMT shared-free-list write: reclaim at one thread's retirement
+    /// (write-enable updates the shared array and write pointer). Exists
+    /// only in SMT mode, where [`OpSite::FlPush`] never fires.
+    SmtFlPush,
 }
 
 impl OpSite {
     /// Number of distinct sites (the length of [`OpSite::ALL`]).
-    pub const COUNT: usize = 13;
+    pub const COUNT: usize = 16;
 
     /// All sites, for census and reporting.
-    pub const ALL: [OpSite; 13] = [
+    pub const ALL: [OpSite; 16] = [
         OpSite::FlPop,
         OpSite::FlPush,
         OpSite::RobAlloc,
@@ -67,6 +81,9 @@ impl OpSite {
         OpSite::RatRecover,
         OpSite::CkptTake,
         OpSite::MoveElimDup,
+        OpSite::ThreadSelect,
+        OpSite::SmtFlPop,
+        OpSite::SmtFlPush,
     ];
 
     /// Dense index of this site in [`OpSite::ALL`], for array-backed
@@ -87,6 +104,9 @@ impl OpSite {
             OpSite::RatRecover => 10,
             OpSite::CkptTake => 11,
             OpSite::MoveElimDup => 12,
+            OpSite::ThreadSelect => 13,
+            OpSite::SmtFlPop => 14,
+            OpSite::SmtFlPush => 15,
         }
     }
 
@@ -106,6 +126,9 @@ impl OpSite {
             OpSite::RatRecover => "RatRecover",
             OpSite::CkptTake => "CkptTake",
             OpSite::MoveElimDup => "MoveElimDup",
+            OpSite::ThreadSelect => "ThreadSelect",
+            OpSite::SmtFlPop => "SmtFlPop",
+            OpSite::SmtFlPush => "SmtFlPush",
         }
     }
 }

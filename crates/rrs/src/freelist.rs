@@ -69,11 +69,24 @@ impl FreeList {
     /// the pointer stays and no [`RrsEvent::FlRead`] is emitted, so the next
     /// pop delivers the same id — a duplication bug.
     pub fn pop(&mut self, hook: &mut impl FaultHook, sink: &mut impl EventSink) -> Option<PhysReg> {
+        self.pop_at(OpSite::FlPop, hook, sink)
+    }
+
+    /// [`FreeList::pop`] with the fault-injection site made explicit. The
+    /// SMT shared free list reports its read port as [`OpSite::SmtFlPop`]
+    /// so Table-I censuses and injections distinguish the shared-structure
+    /// scenario from the single-thread one.
+    pub fn pop_at(
+        &mut self,
+        site: OpSite,
+        hook: &mut impl FaultHook,
+        sink: &mut impl EventSink,
+    ) -> Option<PhysReg> {
         if self.is_empty() {
             return None;
         }
         let data = self.slots[(self.head % self.capacity() as u64) as usize];
-        let c = hook.on_op(OpSite::FlPop);
+        let c = hook.on_op(site);
         if !c.suppress_ptr && !c.suppress_array {
             self.head += 1;
             sink.event(RrsEvent::FlRead(data));
@@ -99,10 +112,22 @@ impl FreeList {
         hook: &mut impl FaultHook,
         sink: &mut impl EventSink,
     ) -> Result<(), RrsAssert> {
+        self.push_at(OpSite::FlPush, p, hook, sink)
+    }
+
+    /// [`FreeList::push`] with the fault-injection site made explicit
+    /// ([`OpSite::SmtFlPush`] for the SMT shared free list's write port).
+    pub fn push_at(
+        &mut self,
+        site: OpSite,
+        p: PhysReg,
+        hook: &mut impl FaultHook,
+        sink: &mut impl EventSink,
+    ) -> Result<(), RrsAssert> {
         if self.len() == self.capacity() {
             return Err(RrsAssert::FlOverflow);
         }
-        let c = hook.on_op(OpSite::FlPush);
+        let c = hook.on_op(site);
         let v = PhysReg(p.0 ^ c.value_xor);
         if !c.suppress_array {
             let cap = self.capacity() as u64;

@@ -45,6 +45,7 @@ pub mod rat;
 pub mod rht;
 pub mod rob;
 pub mod rrs;
+pub mod smt;
 #[cfg(test)]
 pub(crate) mod testutil;
 
@@ -53,3 +54,4 @@ pub use event::{EventSink, NullSink, RecordingSink, RrsEvent};
 pub use fault::{CensusHook, Corruption, FaultHook, NoFaults, OpSite};
 pub use phys::PhysReg;
 pub use rrs::{CommitOut, ContentSnapshot, Idiom, RenameOut, RenameRequest, Rrs, RrsAssert};
+pub use smt::{SmtRrs, SmtXors, NUM_THREADS};

@@ -42,12 +42,14 @@ pub mod config;
 pub mod predictor;
 pub mod result;
 pub mod sim;
+pub mod smt;
 pub mod stats;
 pub mod trace;
 
 pub use config::SimConfig;
 pub use result::{CrashCause, RunResult, SimStop};
 pub use sim::{FfDivergence, SegmentedRun, SimSnapshot, Simulator};
+pub use smt::{SmtRunResult, SmtSegmentedRun, SmtSimulator, SmtSnapshot};
 
 pub use stats::SimStats;
 pub use trace::{CommitTrace, Divergence, TraceMonitor};

@@ -100,6 +100,52 @@ pub fn by_name_scaled(name: &str, factor: u32) -> Option<Workload> {
     suite_scaled(factor).into_iter().find(|w| w.name == name)
 }
 
+/// A paired-workload SMT scenario: two suite workloads co-scheduled on
+/// the two hardware threads of the SMT core model.
+#[derive(Clone, Debug)]
+pub struct SmtScenario {
+    /// Scenario name, `"<thread0>+<thread1>"`.
+    pub name: String,
+    /// Thread 0's workload.
+    pub a: Workload,
+    /// Thread 1's workload.
+    pub b: Workload,
+}
+
+impl SmtScenario {
+    /// Builds a scenario from two suite workload names.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either name is not in the suite (scenario tables are
+    /// static, so a typo is a programmer error).
+    pub fn of(a: &str, b: &str) -> SmtScenario {
+        SmtScenario {
+            name: format!("{a}+{b}"),
+            a: by_name(a).unwrap_or_else(|| panic!("unknown suite workload {a}")),
+            b: by_name(b).unwrap_or_else(|| panic!("unknown suite workload {b}")),
+        }
+    }
+
+    /// Combined emulator step budget of the pair.
+    pub fn max_steps(&self) -> u64 {
+        self.a.max_steps + self.b.max_steps
+    }
+}
+
+/// The paired-workload SMT scenarios, in a stable order. The pairs mix
+/// workload characters (serial-dependence CRC against ALU-saturated SHA,
+/// branchy bitcount against div/mul-free basicmath, swap-heavy qsort
+/// against byte-scanning stringsearch) so the shared free list sees
+/// different per-thread allocation rhythms in each scenario.
+pub fn smt_pairs() -> Vec<SmtScenario> {
+    vec![
+        SmtScenario::of("crc32", "sha"),
+        SmtScenario::of("bitcount", "basicmath"),
+        SmtScenario::of("qsort", "stringsearch"),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use idld_isa::{Emulator, StopReason};
@@ -118,6 +164,20 @@ mod tests {
     fn by_name_round_trip() {
         assert!(super::by_name("crc32").is_some());
         assert!(super::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn smt_pairs_are_suite_members_with_stable_names() {
+        let pairs = super::smt_pairs();
+        assert_eq!(pairs.len(), 3);
+        let suite: Vec<_> = super::suite().iter().map(|w| w.name.clone()).collect();
+        for p in &pairs {
+            assert_eq!(p.name, format!("{}+{}", p.a.name, p.b.name));
+            assert!(suite.contains(&p.a.name) && suite.contains(&p.b.name));
+            assert!(p.max_steps() >= p.a.max_steps);
+        }
+        let names: std::collections::HashSet<_> = pairs.iter().map(|p| &p.name).collect();
+        assert_eq!(names.len(), pairs.len(), "scenario names unique");
     }
 
     /// The master validation: every workload's emulator run reproduces its

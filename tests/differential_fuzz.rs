@@ -11,13 +11,15 @@
 //! case index) so the corpus is stable across runs and a failure names its
 //! case index.
 
+use idld::campaign::smt_checkers;
 use idld::core::{CheckerSet, IdldChecker};
 use idld::isa::reg::NUM_ARCH_REGS;
 use idld::isa::{AluOp, ArchReg, BrCond, Emulator, Inst, Program, StopReason};
 use idld::rrs::NoFaults;
-use idld::sim::{SimConfig, SimStop, Simulator};
+use idld::sim::{SimConfig, SimStop, Simulator, SmtSimulator};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// One generated instruction slot (targets are resolved to forward pcs).
 #[derive(Clone, Copy, Debug)]
@@ -240,5 +242,176 @@ fn random_programs_agree_between_emulator_and_core() {
                 // arm total for safety.
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SMT differential fuzzing: two random programs co-scheduled on the
+// 2-thread core must produce exactly the architectural results of the
+// same two programs run back-to-back on the single-thread core — per
+// thread: output stream, final architectural registers (read through
+// the shared PRF), and private data memory. Sharing the free list, PRF
+// and backend must be architecturally invisible.
+
+const SMT_FUZZ_CASES: u64 = 48;
+const SMT_BUDGET: u64 = 3_000_000;
+
+/// Deterministically derives one SMT fuzz case from its index: two
+/// halt-safe random programs and a shared core configuration.
+fn gen_smt_case(case: u64) -> (Vec<Slot>, Vec<Slot>, SimConfig) {
+    let mut rng = SmallRng::seed_from_u64(0x5317 ^ (case << 1));
+    let gen_program = |rng: &mut SmallRng| {
+        let n = rng.gen_range(1usize..80);
+        (0..n).map(|_| gen_slot(rng)).collect::<Vec<Slot>>()
+    };
+    let slots_a = gen_program(&mut rng);
+    let slots_b = gen_program(&mut rng);
+    // Move/idiom elimination are single-thread-only options (SmtRrs
+    // rejects them), so the SMT corpus varies width and memory-dependence
+    // speculation only.
+    let mut cfg = SimConfig::with_width([1, 4, 8][rng.gen_range(0usize..3)]);
+    cfg.mem_dep_speculation = rng.gen_bool(0.5);
+    (slots_a, slots_b, cfg)
+}
+
+/// Runs one program alone on the single-thread core, returning the sim
+/// (for architectural state reads) and its stop/output.
+fn single_thread_reference(p: &Program, cfg: SimConfig) -> (Simulator<'_>, SimStop, Vec<u64>) {
+    let mut sim = Simulator::new(p, cfg);
+    let mut checkers = CheckerSet::new();
+    let res = sim.run(&mut NoFaults, &mut checkers, None, SMT_BUDGET);
+    let (stop, output) = (res.stop, res.output);
+    (sim, stop, output)
+}
+
+/// The actual differential check; returns a description of the first
+/// deviation, or `Ok` if the SMT run is architecturally identical to the
+/// back-to-back single-thread runs.
+fn check_smt_pair_inner(pa: &Program, pb: &Program, cfg: SimConfig) -> Result<(), String> {
+    let (ref_a, stop_a, out_a) = single_thread_reference(pa, cfg);
+    let (ref_b, stop_b, out_b) = single_thread_reference(pb, cfg);
+
+    let mut checkers = smt_checkers(&cfg);
+    let mut smt = SmtSimulator::new([pa, pb], cfg);
+    let res = smt.run(&mut NoFaults, &mut checkers, None, SMT_BUDGET);
+
+    if stop_a != SimStop::Halted || stop_b != SimStop::Halted {
+        // A faulting program faults under SMT too; interleaving decides
+        // which thread's crash stops the run first, so only the stop
+        // class is comparable.
+        return match res.stop {
+            SimStop::Crash(_) => Ok(()),
+            other => Err(format!(
+                "references stopped ({stop_a:?}, {stop_b:?}) but the SMT run stopped {other:?}"
+            )),
+        };
+    }
+
+    if res.stop != SimStop::Halted {
+        return Err(format!("SMT run stopped {:?}, references halted", res.stop));
+    }
+    for (t, (refs, out)) in [(&ref_a, &out_a), (&ref_b, &out_b)].iter().enumerate() {
+        if &res.outputs[t] != *out {
+            return Err(format!("thread {t} output deviates"));
+        }
+        for a in 0..NUM_ARCH_REGS {
+            let (got, want) = (smt.arch_reg(t, a), refs.arch_reg(a));
+            if got != want {
+                return Err(format!("thread {t} arch reg r{a}: {got:#x} != {want:#x}"));
+            }
+        }
+        if smt.mem(t) != refs.mem() {
+            return Err(format!("thread {t} final memory deviates"));
+        }
+    }
+    if let Some((name, _)) = checkers.detections().iter().find(|(_, d)| d.is_some()) {
+        return Err(format!("checker {name} fired on a clean SMT run"));
+    }
+    Ok(())
+}
+
+/// [`check_smt_pair_inner`] behind a panic guard: a simulator panic is a
+/// reported failure for that case, not an abort of the whole corpus.
+fn check_smt_pair(slots_a: &[Slot], slots_b: &[Slot], cfg: SimConfig) -> Result<(), String> {
+    let (pa, pb) = (build(slots_a), build(slots_b));
+    catch_unwind(AssertUnwindSafe(|| check_smt_pair_inner(&pa, &pb, cfg))).unwrap_or_else(|p| {
+        let msg = p
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| p.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_else(|| "non-string panic payload".into());
+        Err(format!("panicked: {msg}"))
+    })
+}
+
+/// Greedily shrinks a failing pair — truncating from the end, then
+/// dropping interior slots of either program — while the failure
+/// persists, so the panic message carries a minimized reproducer instead
+/// of the raw ~80-instruction corpus entry.
+fn minimize_smt_pair(slots_a: &[Slot], slots_b: &[Slot], cfg: SimConfig) -> (Vec<Slot>, Vec<Slot>) {
+    let mut a = slots_a.to_vec();
+    let mut b = slots_b.to_vec();
+    loop {
+        let mut shrunk = false;
+        for which in 0..2 {
+            let cur = if which == 0 { &mut a } else { &mut b };
+            // Halve-truncation first, then single-slot drops.
+            let mut candidates: Vec<Vec<Slot>> = Vec::new();
+            if cur.len() > 1 {
+                candidates.push(cur[..cur.len() / 2].to_vec());
+                candidates.push(cur[..cur.len() - 1].to_vec());
+            }
+            for i in 0..cur.len().min(24) {
+                let mut c = cur.clone();
+                c.remove(i);
+                candidates.push(c);
+            }
+            for cand in candidates {
+                let fails = if which == 0 {
+                    check_smt_pair(&cand, &b, cfg).is_err()
+                } else {
+                    check_smt_pair(&a, &cand, cfg).is_err()
+                };
+                if fails {
+                    if which == 0 {
+                        a = cand;
+                    } else {
+                        b = cand;
+                    }
+                    shrunk = true;
+                    break;
+                }
+            }
+        }
+        if !shrunk {
+            return (a, b);
+        }
+    }
+}
+
+#[test]
+fn random_program_pairs_match_back_to_back_single_thread_runs() {
+    let mut failures: Vec<(u64, String)> = Vec::new();
+    for case in 0..SMT_FUZZ_CASES {
+        let (slots_a, slots_b, cfg) = gen_smt_case(case);
+        if let Err(msg) = check_smt_pair(&slots_a, &slots_b, cfg) {
+            failures.push((case, msg));
+        }
+    }
+    if let Some((case, msg)) = failures.first() {
+        let (slots_a, slots_b, cfg) = gen_smt_case(*case);
+        let (min_a, min_b) = minimize_smt_pair(&slots_a, &slots_b, cfg);
+        panic!(
+            "{} of {SMT_FUZZ_CASES} SMT fuzz cases failed; first: case {case}: {msg}\n\
+             minimized reproducer (re-run with `check_smt_pair` on these \
+             slots at width {}, spec={}):\n\
+             thread 0 ({} slots): {min_a:?}\n\
+             thread 1 ({} slots): {min_b:?}",
+            failures.len(),
+            cfg.rrs.width,
+            cfg.mem_dep_speculation,
+            min_a.len(),
+            min_b.len(),
+        );
     }
 }

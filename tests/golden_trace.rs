@@ -19,11 +19,13 @@
 //! other code change. Traces are identical at any `--test-threads`
 //! count: each test owns its simulator and recorder.
 
+use idld::campaign::smt_checkers;
 use idld::core::{BitVectorChecker, CheckerSet, CounterChecker, IdldChecker};
 use idld::obs::{compact_trace, parse_digest, RingRecorder};
 use idld::rrs::NoFaults;
-use idld::sim::{SimConfig, SimStop, Simulator};
-use std::path::PathBuf;
+use idld::sim::{SimConfig, SimStop, Simulator, SmtSimulator};
+use idld::workloads::{smt_pairs, SmtScenario};
+use std::path::{Path, PathBuf};
 
 const BUDGET: u64 = 500_000_000;
 
@@ -98,20 +100,73 @@ fn diff(expected: &str, actual: &str) -> String {
     out
 }
 
+/// Simulates a clean SMT run of the paired scenario and renders its
+/// compact trace (thread-tagged events included).
+fn record_smt_trace(scenario: &SmtScenario) -> String {
+    let cfg = SimConfig::default();
+    let mut cset = smt_checkers(&cfg);
+    let mut sim = SmtSimulator::new([&scenario.a.program, &scenario.b.program], cfg);
+    let mut recorder = RingRecorder::default();
+    let res = sim.run_observed(&mut NoFaults, &mut cset, None, BUDGET, &mut recorder);
+    assert_eq!(
+        res.stop,
+        SimStop::Halted,
+        "{}: clean SMT run must halt",
+        scenario.name
+    );
+    assert!(
+        cset.detections().iter().all(|(_, d)| d.is_none()),
+        "{}: no checker may fire on a clean SMT run",
+        scenario.name
+    );
+    let extra = [
+        ("cycles", res.cycles.to_string()),
+        ("committed", res.committed.to_string()),
+    ];
+    compact_trace(
+        &scenario.name,
+        "clean default-config 2-thread SMT run",
+        &recorder,
+        &extra,
+        idld::obs::DEFAULT_TAIL,
+    )
+}
+
+fn smt_golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden/smt")
+        .join(format!("{name}.trace.txt"))
+}
+
 fn check(name: &str, scale: u32) {
     let actual = record_trace(name, scale);
     let path = golden_path(name, scale);
+    compare(name, &path, &actual);
+}
+
+fn check_smt(name: &str) {
+    let scenario = smt_pairs()
+        .into_iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("unknown SMT scenario {name}"));
+    let actual = record_smt_trace(&scenario);
+    compare(name, &smt_golden_path(name), &actual);
+}
+
+/// Byte-diffs `actual` against the blessed file at `path`, or rewrites
+/// the file when `IDLD_BLESS=1`.
+fn compare(name: &str, path: &Path, actual: &str) {
     if std::env::var("IDLD_BLESS").is_ok_and(|v| v == "1") {
         if let Some(dir) = path.parent() {
             std::fs::create_dir_all(dir)
                 .unwrap_or_else(|e| panic!("cannot create {}: {e}", dir.display()));
         }
-        std::fs::write(&path, &actual)
+        std::fs::write(path, actual)
             .unwrap_or_else(|e| panic!("cannot bless {}: {e}", path.display()));
         eprintln!("blessed {}", path.display());
         return;
     }
-    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+    let expected = std::fs::read_to_string(path).unwrap_or_else(|e| {
         panic!(
             "missing golden trace {} ({e}); run IDLD_BLESS=1 cargo test --test golden_trace",
             path.display()
@@ -121,8 +176,8 @@ fn check(name: &str, scale: u32) {
         expected == actual,
         "{name}: trace deviates from blessed golden (digest {} -> {}):\n{}",
         parse_digest(&expected).map_or("?".into(), |d| format!("{d:016x}")),
-        parse_digest(&actual).map_or("?".into(), |d| format!("{d:016x}")),
-        diff(&expected, &actual),
+        parse_digest(actual).map_or("?".into(), |d| format!("{d:016x}")),
+        diff(&expected, actual),
     );
 }
 
@@ -180,6 +235,29 @@ golden_trace_scale10_tests!(
     scale10_rijndael => rijndael,
 );
 
+// SMT conformance: each paired scenario's clean 2-thread run, blessed
+// under `tests/golden/smt/`. These traces additionally pin the
+// thread-select interleaving and the thread tags on every event; bless
+// with
+//
+// ```sh
+// IDLD_BLESS=1 cargo test --test golden_trace smt_
+// ```
+macro_rules! golden_trace_smt_tests {
+    ($($test:ident => $name:expr),* $(,)?) => {$(
+        #[test]
+        fn $test() {
+            check_smt($name);
+        }
+    )*};
+}
+
+golden_trace_smt_tests!(
+    smt_crc32_sha => "crc32+sha",
+    smt_bitcount_basicmath => "bitcount+basicmath",
+    smt_qsort_stringsearch => "qsort+stringsearch",
+);
+
 /// The blessed set exactly covers the workload suite — a workload added
 /// to the suite without a golden trace (or a stale file for a removed
 /// one) fails here rather than silently escaping conformance.
@@ -229,6 +307,25 @@ fn golden_set_matches_suite() {
         suite, blessed10,
         "tests/golden/scale10 must hold exactly one blessed trace per suite workload"
     );
+    // And the SMT tier mirrors the paired-scenario set.
+    let mut scenarios: Vec<String> = smt_pairs().iter().map(|s| s.name.clone()).collect();
+    scenarios.sort();
+    let dirsmt = dir.join("smt");
+    let mut blessed_smt: Vec<String> = std::fs::read_dir(&dirsmt)
+        .expect("tests/golden/smt exists")
+        .filter_map(|e| {
+            e.ok()?
+                .file_name()
+                .to_str()?
+                .strip_suffix(".trace.txt")
+                .map(str::to_string)
+        })
+        .collect();
+    blessed_smt.sort();
+    assert_eq!(
+        scenarios, blessed_smt,
+        "tests/golden/smt must hold exactly one blessed trace per SMT scenario"
+    );
 }
 
 /// Snapshot-fork trace equivalence at the workload level: pausing a
@@ -260,6 +357,50 @@ fn forked_traces_match_cold_traces() {
         // ...then resume in a different simulator and recorder instance.
         let mut cset2 = CheckerSet::new();
         let mut sim2 = Simulator::new(&workload.program, cfg);
+        let mut rec2 = RingRecorder::default();
+        sim2.restore_observed(&snap, &mut cset2, &mut rec2);
+        let res2 = sim2.run_observed(&mut NoFaults, &mut cset2, None, BUDGET, &mut rec2);
+        assert_eq!(res2.stop, SimStop::Halted);
+
+        assert_eq!(cold.digest(), rec2.digest(), "{name}: digest must match");
+        assert_eq!(cold.total(), rec2.total(), "{name}: event count must match");
+        assert_eq!(cold.counts(), rec2.counts(), "{name}: per-kind counts");
+        assert!(
+            cold.events().eq(rec2.events()),
+            "{name}: retained tails must be identical"
+        );
+    }
+}
+
+/// The SMT snapshot-fork identity: pausing a recorded 2-thread run
+/// mid-flight, snapshotting (checkers and recorder included), restoring
+/// into a fresh simulator, and finishing must reproduce the cold run's
+/// digest, per-kind counts and retained tail — including the thread tags
+/// and the round-robin interleave across the fork point.
+#[test]
+fn forked_smt_traces_match_cold_traces() {
+    for scenario in smt_pairs() {
+        let name = &scenario.name;
+        let programs = [&scenario.a.program, &scenario.b.program];
+        let cfg = SimConfig::default();
+
+        let mut cset = smt_checkers(&cfg);
+        let mut sim = SmtSimulator::new(programs, cfg);
+        let mut cold = RingRecorder::default();
+        let res = sim.run_observed(&mut NoFaults, &mut cset, None, BUDGET, &mut cold);
+        assert_eq!(res.stop, SimStop::Halted);
+        let pause = res.cycles / 3;
+
+        let mut cset1 = smt_checkers(&cfg);
+        let mut sim1 = SmtSimulator::new(programs, cfg);
+        let mut rec1 = RingRecorder::default();
+        let mut seg1 = sim1.begin_run(None, BUDGET);
+        let stop = seg1.step_until_observed(&mut sim1, &mut NoFaults, &mut cset1, pause, &mut rec1);
+        assert!(stop.is_none(), "{name}: must pause before completion");
+        let snap = sim1.snapshot_observed(&cset1, &rec1);
+
+        let mut cset2 = CheckerSet::new();
+        let mut sim2 = SmtSimulator::new(programs, cfg);
         let mut rec2 = RingRecorder::default();
         sim2.restore_observed(&snap, &mut cset2, &mut rec2);
         let res2 = sim2.run_observed(&mut NoFaults, &mut cset2, None, BUDGET, &mut rec2);
